@@ -1,0 +1,741 @@
+//! Typed columnar arrays.
+//!
+//! Arrays are immutable and buffer-backed; cloning is cheap. Nullability
+//! is canonical: an array with no nulls stores `validity = None`, so two
+//! logically-equal arrays built by different paths (builder, IPC decode,
+//! kernel output) compare equal.
+
+use std::fmt;
+
+use crate::buffer::{Bitmap, Buffer};
+use crate::datatype::DataType;
+use crate::error::ArrowError;
+
+/// One dynamically-typed value, used at the row-oriented edges of the
+/// system (the marshalling baseline, tests, display).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A fixed-width 64-bit integer array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int64Array {
+    values: Buffer,
+    validity: Option<Bitmap>,
+    len: usize,
+}
+
+impl Int64Array {
+    /// Builds from values with no nulls.
+    pub fn new(values: Vec<i64>) -> Self {
+        let len = values.len();
+        Int64Array {
+            values: values.into(),
+            validity: None,
+            len,
+        }
+    }
+
+    /// Builds from optional values.
+    pub fn from_options(values: Vec<Option<i64>>) -> Self {
+        let len = values.len();
+        let mut raw = Vec::with_capacity(len);
+        let mut valid = Vec::with_capacity(len);
+        let mut any_null = false;
+        for v in values {
+            match v {
+                Some(x) => {
+                    raw.push(x);
+                    valid.push(true);
+                }
+                None => {
+                    raw.push(0);
+                    valid.push(false);
+                    any_null = true;
+                }
+            }
+        }
+        Int64Array {
+            values: raw.into(),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+            len,
+        }
+    }
+
+    /// Reconstructs from raw parts (IPC decode).
+    pub fn from_parts(values: Buffer, validity: Option<Bitmap>, len: usize) -> Self {
+        assert!(values.len() >= len * 8, "values buffer too short");
+        Int64Array {
+            values,
+            validity,
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `i`, or `None` if null.
+    pub fn get(&self, i: usize) -> Option<i64> {
+        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+        match &self.validity {
+            Some(v) if !v.get(i) => None,
+            _ => Some(self.values.get_i64(i)),
+        }
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> impl Iterator<Item = Option<i64>> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The raw values buffer.
+    pub fn values(&self) -> &Buffer {
+        &self.values
+    }
+
+    /// The validity bitmap, if any value is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
+/// A fixed-width 64-bit float array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Float64Array {
+    values: Buffer,
+    validity: Option<Bitmap>,
+    len: usize,
+}
+
+impl Float64Array {
+    /// Builds from values with no nulls.
+    pub fn new(values: Vec<f64>) -> Self {
+        let len = values.len();
+        Float64Array {
+            values: values.into(),
+            validity: None,
+            len,
+        }
+    }
+
+    /// Builds from optional values.
+    pub fn from_options(values: Vec<Option<f64>>) -> Self {
+        let len = values.len();
+        let mut raw = Vec::with_capacity(len);
+        let mut valid = Vec::with_capacity(len);
+        let mut any_null = false;
+        for v in values {
+            match v {
+                Some(x) => {
+                    raw.push(x);
+                    valid.push(true);
+                }
+                None => {
+                    raw.push(0.0);
+                    valid.push(false);
+                    any_null = true;
+                }
+            }
+        }
+        Float64Array {
+            values: raw.into(),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+            len,
+        }
+    }
+
+    /// Reconstructs from raw parts (IPC decode).
+    pub fn from_parts(values: Buffer, validity: Option<Bitmap>, len: usize) -> Self {
+        assert!(values.len() >= len * 8, "values buffer too short");
+        Float64Array {
+            values,
+            validity,
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `i`, or `None` if null.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+        match &self.validity {
+            Some(v) if !v.get(i) => None,
+            _ => Some(self.values.get_f64(i)),
+        }
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The raw values buffer.
+    pub fn values(&self) -> &Buffer {
+        &self.values
+    }
+
+    /// The validity bitmap, if any value is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
+/// A bit-packed boolean array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolArray {
+    values: Bitmap,
+    validity: Option<Bitmap>,
+}
+
+impl BoolArray {
+    /// Builds from values with no nulls.
+    pub fn new(values: &[bool]) -> Self {
+        BoolArray {
+            values: Bitmap::from_bools(values),
+            validity: None,
+        }
+    }
+
+    /// Builds from optional values.
+    pub fn from_options(values: Vec<Option<bool>>) -> Self {
+        let raw: Vec<bool> = values.iter().map(|v| v.unwrap_or(false)).collect();
+        let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let any_null = valid.iter().any(|v| !v);
+        BoolArray {
+            values: Bitmap::from_bools(&raw),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+        }
+    }
+
+    /// Reconstructs from raw parts (IPC decode).
+    pub fn from_parts(values: Bitmap, validity: Option<Bitmap>) -> Self {
+        BoolArray { values, validity }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at `i`, or `None` if null.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        match &self.validity {
+            Some(v) if !v.get(i) => None,
+            _ => Some(self.values.get(i)),
+        }
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> impl Iterator<Item = Option<bool>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The packed value bits.
+    pub fn values(&self) -> &Bitmap {
+        &self.values
+    }
+
+    /// The validity bitmap, if any value is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
+/// A UTF-8 string array with 32-bit offsets (Arrow `Utf8` layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utf8Array {
+    /// `len + 1` little-endian i32 offsets into `data`.
+    offsets: Buffer,
+    data: Buffer,
+    validity: Option<Bitmap>,
+    len: usize,
+}
+
+impl Utf8Array {
+    /// Builds from string slices with no nulls.
+    pub fn new<S: AsRef<str>>(values: &[S]) -> Self {
+        Self::from_options_impl(values.iter().map(|s| Some(s.as_ref())))
+    }
+
+    /// Builds from optional string slices.
+    pub fn from_options<'a, I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<&'a str>>,
+    {
+        Self::from_options_impl(values.into_iter())
+    }
+
+    fn from_options_impl<'a>(values: impl Iterator<Item = Option<&'a str>>) -> Self {
+        let mut offsets: Vec<i32> = vec![0];
+        let mut data: Vec<u8> = Vec::new();
+        let mut valid: Vec<bool> = Vec::new();
+        let mut any_null = false;
+        for v in values {
+            match v {
+                Some(s) => {
+                    data.extend_from_slice(s.as_bytes());
+                    valid.push(true);
+                }
+                None => {
+                    valid.push(false);
+                    any_null = true;
+                }
+            }
+            let end = i32::try_from(data.len()).expect("utf8 data exceeds 2 GiB");
+            offsets.push(end);
+        }
+        let len = valid.len();
+        Utf8Array {
+            offsets: offsets.into(),
+            data: Buffer::from_vec(data),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+            len,
+        }
+    }
+
+    /// Reconstructs from raw parts (IPC decode).
+    pub fn from_parts(offsets: Buffer, data: Buffer, validity: Option<Bitmap>, len: usize) -> Self {
+        assert!(offsets.len() >= (len + 1) * 4, "offsets buffer too short");
+        Utf8Array {
+            offsets,
+            data,
+            validity,
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `i`, or `None` if null.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+        match &self.validity {
+            Some(v) if !v.get(i) => None,
+            _ => {
+                let start = self.offsets.get_i32(i) as usize;
+                let end = self.offsets.get_i32(i + 1) as usize;
+                Some(
+                    std::str::from_utf8(&self.data.as_slice()[start..end])
+                        .expect("invariant: utf8 data"),
+                )
+            }
+        }
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The offsets buffer.
+    pub fn offsets(&self) -> &Buffer {
+        &self.offsets
+    }
+
+    /// The string data buffer.
+    pub fn data(&self) -> &Buffer {
+        &self.data
+    }
+
+    /// The validity bitmap, if any value is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
+/// A dynamically-typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Array {
+    /// 64-bit integers.
+    Int64(Int64Array),
+    /// 64-bit floats.
+    Float64(Float64Array),
+    /// Booleans.
+    Bool(BoolArray),
+    /// UTF-8 strings.
+    Utf8(Utf8Array),
+}
+
+impl Array {
+    /// Builds an `Int64` column with no nulls.
+    pub fn from_i64(values: Vec<i64>) -> Array {
+        Array::Int64(Int64Array::new(values))
+    }
+
+    /// Builds an `Int64` column from optional values.
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Array {
+        Array::Int64(Int64Array::from_options(values))
+    }
+
+    /// Builds a `Float64` column with no nulls.
+    pub fn from_f64(values: Vec<f64>) -> Array {
+        Array::Float64(Float64Array::new(values))
+    }
+
+    /// Builds a `Float64` column from optional values.
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Array {
+        Array::Float64(Float64Array::from_options(values))
+    }
+
+    /// Builds a `Bool` column with no nulls.
+    pub fn from_bool(values: &[bool]) -> Array {
+        Array::Bool(BoolArray::new(values))
+    }
+
+    /// Builds a `Bool` column from optional values.
+    pub fn from_opt_bool(values: Vec<Option<bool>>) -> Array {
+        Array::Bool(BoolArray::from_options(values))
+    }
+
+    /// Builds a `Utf8` column with no nulls.
+    pub fn from_utf8<S: AsRef<str>>(values: &[S]) -> Array {
+        Array::Utf8(Utf8Array::new(values))
+    }
+
+    /// Builds a `Utf8` column from optional values.
+    pub fn from_opt_utf8<'a, I>(values: I) -> Array
+    where
+        I: IntoIterator<Item = Option<&'a str>>,
+    {
+        Array::Utf8(Utf8Array::from_options(values))
+    }
+
+    /// The logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Array::Int64(_) => DataType::Int64,
+            Array::Float64(_) => DataType::Float64,
+            Array::Bool(_) => DataType::Bool,
+            Array::Utf8(_) => DataType::Utf8,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Int64(a) => a.len(),
+            Array::Float64(a) => a.len(),
+            Array::Bool(a) => a.len(),
+            Array::Utf8(a) => a.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if row `i` is null.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.value_at(i) == Value::Null
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        let validity = match self {
+            Array::Int64(a) => a.validity(),
+            Array::Float64(a) => a.validity(),
+            Array::Bool(a) => a.validity(),
+            Array::Utf8(a) => a.validity(),
+        };
+        match validity {
+            Some(v) => v.len() - v.count_set(),
+            None => 0,
+        }
+    }
+
+    /// The dynamically-typed value at row `i`.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Array::Int64(a) => a.get(i).map(Value::I64).unwrap_or(Value::Null),
+            Array::Float64(a) => a.get(i).map(Value::F64).unwrap_or(Value::Null),
+            Array::Bool(a) => a.get(i).map(Value::Bool).unwrap_or(Value::Null),
+            Array::Utf8(a) => a
+                .get(i)
+                .map(|s| Value::Str(s.to_string()))
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (values + offsets +
+    /// validity).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Array::Int64(a) => a.values().len() + a.validity().map_or(0, |v| v.buffer().len()),
+            Array::Float64(a) => a.values().len() + a.validity().map_or(0, |v| v.buffer().len()),
+            Array::Bool(a) => {
+                a.values().buffer().len() + a.validity().map_or(0, |v| v.buffer().len())
+            }
+            Array::Utf8(a) => {
+                a.offsets().len() + a.data().len() + a.validity().map_or(0, |v| v.buffer().len())
+            }
+        }
+    }
+
+    /// Downcasts to `Int64`, or reports the actual type.
+    pub fn as_i64(&self) -> Result<&Int64Array, ArrowError> {
+        match self {
+            Array::Int64(a) => Ok(a),
+            other => Err(ArrowError::TypeMismatch {
+                expected: DataType::Int64,
+                actual: other.data_type(),
+            }),
+        }
+    }
+
+    /// Downcasts to `Float64`, or reports the actual type.
+    pub fn as_f64(&self) -> Result<&Float64Array, ArrowError> {
+        match self {
+            Array::Float64(a) => Ok(a),
+            other => Err(ArrowError::TypeMismatch {
+                expected: DataType::Float64,
+                actual: other.data_type(),
+            }),
+        }
+    }
+
+    /// Downcasts to `Bool`, or reports the actual type.
+    pub fn as_bool(&self) -> Result<&BoolArray, ArrowError> {
+        match self {
+            Array::Bool(a) => Ok(a),
+            other => Err(ArrowError::TypeMismatch {
+                expected: DataType::Bool,
+                actual: other.data_type(),
+            }),
+        }
+    }
+
+    /// Downcasts to `Utf8`, or reports the actual type.
+    pub fn as_utf8(&self) -> Result<&Utf8Array, ArrowError> {
+        match self {
+            Array::Utf8(a) => Ok(a),
+            other => Err(ArrowError::TypeMismatch {
+                expected: DataType::Utf8,
+                actual: other.data_type(),
+            }),
+        }
+    }
+
+    /// Builds a column of type `dt` from dynamically-typed values.
+    /// `Value::Null` becomes a null; other variants must match `dt`.
+    pub fn from_values(dt: DataType, values: &[Value]) -> Result<Array, ArrowError> {
+        fn bad(dt: DataType, v: &Value) -> ArrowError {
+            ArrowError::ShapeMismatch(format!("value {v} does not fit column type {dt}"))
+        }
+        Ok(match dt {
+            DataType::Int64 => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::I64(x) => Some(*x),
+                        other => return Err(bad(dt, other)),
+                    });
+                }
+                Array::from_opt_i64(out)
+            }
+            DataType::Float64 => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::F64(x) => Some(*x),
+                        other => return Err(bad(dt, other)),
+                    });
+                }
+                Array::from_opt_f64(out)
+            }
+            DataType::Bool => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Bool(x) => Some(*x),
+                        other => return Err(bad(dt, other)),
+                    });
+                }
+                Array::from_opt_bool(out)
+            }
+            DataType::Utf8 => {
+                let mut out: Vec<Option<&str>> = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Str(s) => Some(s.as_str()),
+                        other => return Err(bad(dt, other)),
+                    });
+                }
+                Array::from_opt_utf8(out)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_round_trip() {
+        let a = Int64Array::new(vec![1, -2, 3]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1), Some(-2));
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![Some(1), Some(-2), Some(3)]
+        );
+        assert!(a.validity().is_none());
+    }
+
+    #[test]
+    fn i64_nulls() {
+        let a = Int64Array::from_options(vec![Some(1), None, Some(3)]);
+        assert_eq!(a.get(0), Some(1));
+        assert_eq!(a.get(1), None);
+        assert_eq!(Array::Int64(a).null_count(), 1);
+    }
+
+    #[test]
+    fn no_null_options_canonicalize_to_no_validity() {
+        let a = Int64Array::from_options(vec![Some(1), Some(2)]);
+        let b = Int64Array::new(vec![1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn utf8_layout() {
+        let a = Utf8Array::new(&["hello", "", "world"]);
+        assert_eq!(a.get(0), Some("hello"));
+        assert_eq!(a.get(1), Some(""));
+        assert_eq!(a.get(2), Some("world"));
+        // Offsets are [0, 5, 5, 10].
+        assert_eq!(a.offsets().get_i32(3), 10);
+    }
+
+    #[test]
+    fn utf8_nulls_and_unicode() {
+        let a = Utf8Array::from_options(vec![Some("héllo"), None, Some("wörld")]);
+        assert_eq!(a.get(0), Some("héllo"));
+        assert_eq!(a.get(1), None);
+        assert_eq!(a.get(2), Some("wörld"));
+    }
+
+    #[test]
+    fn bool_packing() {
+        let vals: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let a = BoolArray::new(&vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(a.get(i), Some(*v));
+        }
+    }
+
+    #[test]
+    fn float_nulls() {
+        let a = Float64Array::from_options(vec![Some(1.5), None]);
+        assert_eq!(a.get(0), Some(1.5));
+        assert_eq!(a.get(1), None);
+    }
+
+    #[test]
+    fn dynamic_values() {
+        let a = Array::from_opt_utf8(vec![Some("x"), None]);
+        assert_eq!(a.value_at(0), Value::Str("x".into()));
+        assert_eq!(a.value_at(1), Value::Null);
+        assert!(a.is_null(1));
+        assert!(!a.is_null(0));
+    }
+
+    #[test]
+    fn from_values_round_trip() {
+        let vals = vec![Value::I64(1), Value::Null, Value::I64(3)];
+        let a = Array::from_values(DataType::Int64, &vals).unwrap();
+        assert_eq!((0..3).map(|i| a.value_at(i)).collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn from_values_type_checks() {
+        let err = Array::from_values(DataType::Int64, &[Value::Str("x".into())]).unwrap_err();
+        assert!(matches!(err, ArrowError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn downcasts() {
+        let a = Array::from_i64(vec![1]);
+        assert!(a.as_i64().is_ok());
+        let err = a.as_utf8().unwrap_err();
+        assert_eq!(
+            err,
+            ArrowError::TypeMismatch {
+                expected: DataType::Utf8,
+                actual: DataType::Int64
+            }
+        );
+    }
+
+    #[test]
+    fn byte_size_reflects_content() {
+        let small = Array::from_i64(vec![1, 2]);
+        let big = Array::from_i64((0..1000).collect());
+        assert!(big.byte_size() > small.byte_size() * 100);
+        let s = Array::from_utf8(&["aaaa", "bbbb"]);
+        assert!(s.byte_size() >= 8 + 12); // data + offsets
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        Int64Array::new(vec![1]).get(1);
+    }
+}

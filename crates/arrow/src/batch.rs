@@ -1,0 +1,275 @@
+//! Record batches: a schema plus equal-length columns.
+
+use std::fmt;
+
+use crate::array::{Array, Value};
+use crate::error::ArrowError;
+use crate::schema::SchemaRef;
+
+/// An immutable table fragment: one schema, N equal-length columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    schema: SchemaRef,
+    columns: Vec<Array>,
+    rows: usize,
+}
+
+impl RecordBatch {
+    /// Creates a batch, validating column count, column types, and lengths
+    /// against the schema.
+    pub fn try_new(schema: SchemaRef, columns: Vec<Array>) -> Result<Self, ArrowError> {
+        if schema.len() != columns.len() {
+            return Err(ArrowError::ShapeMismatch(format!(
+                "schema has {} fields but {} columns were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Array::len);
+        for (i, col) in columns.iter().enumerate() {
+            let field = schema.field(i);
+            if col.data_type() != field.data_type {
+                return Err(ArrowError::TypeMismatch {
+                    expected: field.data_type,
+                    actual: col.data_type(),
+                });
+            }
+            if col.len() != rows {
+                return Err(ArrowError::ShapeMismatch(format!(
+                    "column {} has {} rows, expected {rows}",
+                    field.name,
+                    col.len()
+                )));
+            }
+            if !field.nullable && col.null_count() > 0 {
+                return Err(ArrowError::ShapeMismatch(format!(
+                    "column {} is non-nullable but contains {} nulls",
+                    field.name,
+                    col.null_count()
+                )));
+            }
+        }
+        Ok(RecordBatch {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Array::from_values(f.data_type, &[]).expect("empty column is always valid"))
+            .collect();
+        RecordBatch {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns, in schema order.
+    pub fn columns(&self) -> &[Array] {
+        &self.columns
+    }
+
+    /// The column at index `i`.
+    pub fn column(&self, i: usize) -> &Array {
+        &self.columns[i]
+    }
+
+    /// The column with the given name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Array, ArrowError> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Total in-memory footprint of all columns, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Array::byte_size).sum()
+    }
+
+    /// One row as dynamically-typed values (used by the marshalling
+    /// baseline and tests).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        assert!(i < self.rows, "row {i} out of bounds for {}", self.rows);
+        self.columns.iter().map(|c| c.value_at(i)).collect()
+    }
+
+    /// Keeps only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<RecordBatch, ArrowError> {
+        let schema = self.schema.project(names)?;
+        let mut columns = Vec::with_capacity(names.len());
+        for n in names {
+            columns.push(self.column_by_name(n)?.clone());
+        }
+        RecordBatch::try_new(schema, columns)
+    }
+
+    /// Concatenates batches with identical schemas.
+    pub fn concat(batches: &[RecordBatch]) -> Result<RecordBatch, ArrowError> {
+        let first = batches
+            .first()
+            .ok_or_else(|| ArrowError::ShapeMismatch("concat of zero batches".into()))?;
+        let schema = first.schema.clone();
+        for b in batches {
+            if b.schema != schema {
+                return Err(ArrowError::ShapeMismatch(
+                    "concat of batches with differing schemas".into(),
+                ));
+            }
+        }
+        let mut columns = Vec::with_capacity(schema.len());
+        for c in 0..schema.len() {
+            let dt = schema.field(c).data_type;
+            let mut values = Vec::new();
+            for b in batches {
+                for r in 0..b.num_rows() {
+                    values.push(b.column(c).value_at(r));
+                }
+            }
+            columns.push(Array::from_values(dt, &values)?);
+        }
+        RecordBatch::try_new(schema, columns)
+    }
+}
+
+impl fmt::Display for RecordBatch {
+    /// Compact textual rendering: header plus up to 10 rows.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for i in 0..self.rows.min(10) {
+            let row: Vec<String> = self.row(i).iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", row.join(" | "))?;
+        }
+        if self.rows > 10 {
+            writeln!(f, "... {} more rows", self.rows - 10)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+
+    fn sample() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("name", DataType::Utf8, true),
+        ]);
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Array::from_i64(vec![1, 2, 3]),
+                Array::from_opt_utf8(vec![Some("a"), None, Some("c")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64, false)]);
+        // Wrong column count.
+        assert!(RecordBatch::try_new(schema.clone(), vec![]).is_err());
+        // Wrong type.
+        let err = RecordBatch::try_new(schema.clone(), vec![Array::from_f64(vec![1.0])]);
+        assert!(matches!(err, Err(ArrowError::TypeMismatch { .. })));
+        // Nulls in non-nullable column.
+        let err = RecordBatch::try_new(schema, vec![Array::from_opt_i64(vec![None])]);
+        assert!(matches!(err, Err(ArrowError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("b", DataType::Int64, false),
+        ]);
+        let err = RecordBatch::try_new(
+            schema,
+            vec![Array::from_i64(vec![1]), Array::from_i64(vec![1, 2])],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn row_access() {
+        let b = sample();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.row(1), vec![Value::I64(2), Value::Null]);
+    }
+
+    #[test]
+    fn column_by_name() {
+        let b = sample();
+        assert_eq!(b.column_by_name("id").unwrap().len(), 3);
+        assert!(b.column_by_name("zzz").is_err());
+    }
+
+    #[test]
+    fn projection() {
+        let b = sample().project(&["name"]).unwrap();
+        assert_eq!(b.num_columns(), 1);
+        assert_eq!(b.schema().field(0).name, "name");
+    }
+
+    #[test]
+    fn concat_stacks_rows() {
+        let b = sample();
+        let c = RecordBatch::concat(&[b.clone(), b.clone()]).unwrap();
+        assert_eq!(c.num_rows(), 6);
+        assert_eq!(c.row(3), c.row(0));
+    }
+
+    #[test]
+    fn concat_schema_mismatch_errors() {
+        let other = RecordBatch::try_new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            vec![Array::from_i64(vec![9])],
+        )
+        .unwrap();
+        assert!(RecordBatch::concat(&[sample(), other]).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = RecordBatch::empty(sample().schema().clone());
+        assert_eq!(b.num_rows(), 0);
+        assert_eq!(b.num_columns(), 2);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64, false)]);
+        let b = RecordBatch::try_new(schema, vec![Array::from_i64((0..20).collect())]).unwrap();
+        let s = b.to_string();
+        assert!(s.contains("more rows"), "{s}");
+    }
+
+    use crate::array::Value;
+}

@@ -1,0 +1,255 @@
+//! Immutable byte buffers and packed validity bitmaps.
+//!
+//! [`Buffer`] wraps [`bytes::Bytes`]: cloning and slicing are O(1)
+//! reference-count operations, which is what makes the IPC decode path
+//! genuinely zero-copy — decoded arrays alias the wire buffer.
+
+use bytes::Bytes;
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Buffer {
+    data: Bytes,
+}
+
+impl Buffer {
+    /// Creates an empty buffer.
+    pub fn empty() -> Self {
+        Buffer { data: Bytes::new() }
+    }
+
+    /// Wraps owned bytes.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Buffer {
+            data: Bytes::from(v),
+        }
+    }
+
+    /// Wraps shared bytes without copying.
+    pub fn from_bytes(b: Bytes) -> Self {
+        Buffer { data: b }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw byte view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// O(1) sub-slice sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, offset: usize, len: usize) -> Buffer {
+        Buffer {
+            data: self.data.slice(offset..offset + len),
+        }
+    }
+
+    /// The underlying shared bytes.
+    pub fn bytes(&self) -> Bytes {
+        self.data.clone()
+    }
+
+    /// Reads the i64 at element index `i` (little-endian).
+    pub fn get_i64(&self, i: usize) -> i64 {
+        let start = i * 8;
+        i64::from_le_bytes(self.data[start..start + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Reads the f64 at element index `i` (little-endian).
+    pub fn get_f64(&self, i: usize) -> f64 {
+        let start = i * 8;
+        f64::from_le_bytes(self.data[start..start + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Reads the i32 at element index `i` (little-endian).
+    pub fn get_i32(&self, i: usize) -> i32 {
+        let start = i * 4;
+        i32::from_le_bytes(self.data[start..start + 4].try_into().expect("4 bytes"))
+    }
+}
+
+impl From<Vec<i64>> for Buffer {
+    fn from(v: Vec<i64>) -> Self {
+        let mut out = Vec::with_capacity(v.len() * 8);
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Buffer::from_vec(out)
+    }
+}
+
+impl From<Vec<f64>> for Buffer {
+    fn from(v: Vec<f64>) -> Self {
+        let mut out = Vec::with_capacity(v.len() * 8);
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Buffer::from_vec(out)
+    }
+}
+
+impl From<Vec<i32>> for Buffer {
+    fn from(v: Vec<i32>) -> Self {
+        let mut out = Vec::with_capacity(v.len() * 4);
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Buffer::from_vec(out)
+    }
+}
+
+/// A bit-packed boolean sequence (LSB-first within each byte), used both
+/// for `Bool` array values and for validity (null) bitmaps.
+///
+/// Equality is *logical*: padding bits in the final byte are ignored, so
+/// bitmaps built by different code paths compare equal when their bits do.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    bits: Buffer,
+    len: usize,
+}
+
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Bitmap {}
+
+impl Bitmap {
+    /// Builds a bitmap from booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bytes = vec![0u8; bools.len().div_ceil(8)];
+        for (i, b) in bools.iter().enumerate() {
+            if *b {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        Bitmap {
+            bits: Buffer::from_vec(bytes),
+            len: bools.len(),
+        }
+    }
+
+    /// Builds an all-set bitmap of length `len`.
+    pub fn all_set(len: usize) -> Self {
+        Bitmap {
+            bits: Buffer::from_vec(vec![0xFF; len.div_ceil(8)]),
+            len,
+        }
+    }
+
+    /// Reconstructs a bitmap from its packed bytes.
+    pub fn from_buffer(bits: Buffer, len: usize) -> Self {
+        assert!(bits.len() >= len.div_ceil(8), "bitmap buffer too short");
+        Bitmap { bits, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds for {}", self.len);
+        self.bits.as_slice()[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        (0..self.len).filter(|i| self.get(*i)).count()
+    }
+
+    /// The packed backing buffer.
+    pub fn buffer(&self) -> &Buffer {
+        &self.bits
+    }
+
+    /// Iterates over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_slicing_shares_data() {
+        let b = Buffer::from_vec((0..32u8).collect());
+        let s = b.slice(8, 8);
+        assert_eq!(s.as_slice(), &(8..16u8).collect::<Vec<_>>()[..]);
+        // Same backing allocation: pointer into the same range.
+        let base = b.as_slice().as_ptr() as usize;
+        let sub = s.as_slice().as_ptr() as usize;
+        assert_eq!(sub, base + 8);
+    }
+
+    #[test]
+    fn typed_reads() {
+        let b: Buffer = vec![1i64, -2, i64::MAX].into();
+        assert_eq!(b.get_i64(0), 1);
+        assert_eq!(b.get_i64(1), -2);
+        assert_eq!(b.get_i64(2), i64::MAX);
+        let f: Buffer = vec![1.5f64, -0.25].into();
+        assert_eq!(f.get_f64(1), -0.25);
+        let i: Buffer = vec![7i32, 8, 9].into();
+        assert_eq!(i.get_i32(2), 9);
+    }
+
+    #[test]
+    fn bitmap_round_trip() {
+        let bools: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        assert_eq!(bm.len(), 19);
+        for (i, b) in bools.iter().enumerate() {
+            assert_eq!(bm.get(i), *b, "bit {i}");
+        }
+        assert_eq!(bm.count_set(), bools.iter().filter(|b| **b).count());
+        assert_eq!(bm.iter().collect::<Vec<_>>(), bools);
+    }
+
+    #[test]
+    fn all_set_is_all_set() {
+        let bm = Bitmap::all_set(10);
+        assert_eq!(bm.count_set(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bitmap_bounds_checked() {
+        Bitmap::all_set(3).get(3);
+    }
+
+    #[test]
+    fn bitmap_from_buffer_reconstructs() {
+        let bools = vec![true, false, true, true, false];
+        let bm = Bitmap::from_bools(&bools);
+        let bm2 = Bitmap::from_buffer(bm.buffer().clone(), bools.len());
+        assert_eq!(bm, bm2);
+    }
+}

@@ -1,0 +1,559 @@
+//! Compute kernels over columnar data.
+//!
+//! These are the handcrafted operators the simulated vertices execute when
+//! an experiment actually materializes data (most experiments only *price*
+//! data movement, but the examples and the SQL frontend run real queries
+//! end-to-end on small inputs).
+
+use crate::array::{Array, Value};
+use crate::batch::RecordBatch;
+use crate::buffer::Bitmap;
+use crate::error::ArrowError;
+
+/// Selects the rows of `batch` where `mask` is true (null mask = false).
+pub fn filter(batch: &RecordBatch, mask: &Array) -> Result<RecordBatch, ArrowError> {
+    let mask = mask.as_bool()?;
+    if mask.len() != batch.num_rows() {
+        return Err(ArrowError::ShapeMismatch(format!(
+            "mask has {} rows, batch has {}",
+            mask.len(),
+            batch.num_rows()
+        )));
+    }
+    let indices: Vec<usize> = (0..mask.len())
+        .filter(|i| mask.get(*i) == Some(true))
+        .collect();
+    take_indices(batch, &indices)
+}
+
+/// Reorders/selects rows by index.
+pub fn take(batch: &RecordBatch, indices: &Array) -> Result<RecordBatch, ArrowError> {
+    let idx = indices.as_i64()?;
+    let mut out = Vec::with_capacity(idx.len());
+    for i in 0..idx.len() {
+        let v = idx
+            .get(i)
+            .ok_or_else(|| ArrowError::ShapeMismatch("take index may not be null".into()))?;
+        let v = usize::try_from(v).map_err(|_| ArrowError::IndexOutOfBounds {
+            index: 0,
+            len: batch.num_rows(),
+        })?;
+        if v >= batch.num_rows() {
+            return Err(ArrowError::IndexOutOfBounds {
+                index: v,
+                len: batch.num_rows(),
+            });
+        }
+        out.push(v);
+    }
+    take_indices(batch, &out)
+}
+
+fn take_indices(batch: &RecordBatch, indices: &[usize]) -> Result<RecordBatch, ArrowError> {
+    let mut columns = Vec::with_capacity(batch.num_columns());
+    for c in 0..batch.num_columns() {
+        let col = batch.column(c);
+        let values: Vec<Value> = indices.iter().map(|i| col.value_at(*i)).collect();
+        columns.push(Array::from_values(col.data_type(), &values)?);
+    }
+    RecordBatch::try_new(batch.schema().clone(), columns)
+}
+
+/// Sums an `Int64` column, skipping nulls. Returns `None` for an
+/// all-null/empty column.
+pub fn sum_i64(col: &Array) -> Result<Option<i64>, ArrowError> {
+    let a = col.as_i64()?;
+    let mut acc: Option<i64> = None;
+    for v in a.iter().flatten() {
+        acc = Some(acc.unwrap_or(0).wrapping_add(v));
+    }
+    Ok(acc)
+}
+
+/// Sums a `Float64` column, skipping nulls.
+pub fn sum_f64(col: &Array) -> Result<Option<f64>, ArrowError> {
+    let a = col.as_f64()?;
+    let mut acc: Option<f64> = None;
+    for v in a.iter().flatten() {
+        acc = Some(acc.unwrap_or(0.0) + v);
+    }
+    Ok(acc)
+}
+
+/// Minimum of an `Int64` column, skipping nulls.
+pub fn min_i64(col: &Array) -> Result<Option<i64>, ArrowError> {
+    Ok(col.as_i64()?.iter().flatten().min())
+}
+
+/// Maximum of an `Int64` column, skipping nulls.
+pub fn max_i64(col: &Array) -> Result<Option<i64>, ArrowError> {
+    Ok(col.as_i64()?.iter().flatten().max())
+}
+
+/// Number of non-null values in any column.
+pub fn count(col: &Array) -> usize {
+    col.len() - col.null_count()
+}
+
+/// Comparison operators for scalar predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Compares each element of a column against a scalar, producing a `Bool`
+/// mask. Null inputs produce null outputs.
+pub fn cmp_scalar(col: &Array, op: CmpOp, scalar: &Value) -> Result<Array, ArrowError> {
+    let n = col.len();
+    let mut out: Vec<Option<bool>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = col.value_at(i);
+        let r = match (&v, scalar) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::I64(a), Value::I64(b)) => Some(op.eval(a, b)),
+            (Value::F64(a), Value::F64(b)) => Some(op.eval(a, b)),
+            (Value::I64(a), Value::F64(b)) => Some(op.eval(&(*a as f64), b)),
+            (Value::F64(a), Value::I64(b)) => Some(op.eval(a, &(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(op.eval(a, b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(op.eval(a, b)),
+            _ => {
+                return Err(ArrowError::ShapeMismatch(format!(
+                    "cannot compare {} with {}",
+                    col.data_type(),
+                    scalar
+                )))
+            }
+        };
+        out.push(r);
+    }
+    Ok(Array::from_opt_bool(out))
+}
+
+/// Elementwise AND of two boolean masks (null-safe: null AND x = null
+/// unless x is false).
+pub fn and(a: &Array, b: &Array) -> Result<Array, ArrowError> {
+    let (a, b) = (a.as_bool()?, b.as_bool()?);
+    if a.len() != b.len() {
+        return Err(ArrowError::ShapeMismatch("mask length mismatch".into()));
+    }
+    let out: Vec<Option<bool>> = (0..a.len())
+        .map(|i| match (a.get(i), b.get(i)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        })
+        .collect();
+    Ok(Array::from_opt_bool(out))
+}
+
+/// FNV-1a hash of one row's values across the given columns; used for hash
+/// partitioning keyed edges.
+pub fn hash_row(batch: &RecordBatch, cols: &[usize], row: usize) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut feed = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for &c in cols {
+        match batch.column(c).value_at(row) {
+            Value::Null => feed(&[0xFF]),
+            Value::I64(v) => feed(&v.to_le_bytes()),
+            Value::F64(v) => feed(&v.to_bits().to_le_bytes()),
+            Value::Bool(v) => feed(&[v as u8]),
+            Value::Str(s) => feed(s.as_bytes()),
+        }
+    }
+    h
+}
+
+/// Splits a batch into `parts` partitions by hashing the given key
+/// columns; the same keys always land in the same partition.
+pub fn hash_partition(
+    batch: &RecordBatch,
+    key_cols: &[usize],
+    parts: usize,
+) -> Result<Vec<RecordBatch>, ArrowError> {
+    assert!(parts > 0, "hash_partition into zero parts");
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for r in 0..batch.num_rows() {
+        let h = hash_row(batch, key_cols, r);
+        buckets[(h % parts as u64) as usize].push(r);
+    }
+    buckets
+        .iter()
+        .map(|rows| take_indices(batch, rows))
+        .collect()
+}
+
+/// Builds a validity-style mask from an iterator of booleans.
+pub fn mask_from_bools(bools: &[bool]) -> Array {
+    Array::Bool(crate::array::BoolArray::from_parts(
+        Bitmap::from_bools(bools),
+        None,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+
+    fn sample() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("score", DataType::Float64, true),
+        ]);
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Array::from_i64(vec![1, 2, 3, 4]),
+                Array::from_opt_f64(vec![Some(0.1), None, Some(0.3), Some(0.4)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_true_rows() {
+        let b = sample();
+        let mask = Array::from_bool(&[true, false, true, false]);
+        let out = filter(&b, &mask).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column(0).value_at(1), Value::I64(3));
+    }
+
+    #[test]
+    fn filter_null_mask_drops() {
+        let b = sample();
+        let mask = Array::from_opt_bool(vec![Some(true), None, None, Some(true)]);
+        assert_eq!(filter(&b, &mask).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn filter_length_mismatch_errors() {
+        let b = sample();
+        let mask = Array::from_bool(&[true]);
+        assert!(filter(&b, &mask).is_err());
+    }
+
+    #[test]
+    fn take_reorders() {
+        let b = sample();
+        let out = take(&b, &Array::from_i64(vec![3, 0, 0])).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.column(0).value_at(0), Value::I64(4));
+        assert_eq!(out.column(0).value_at(2), Value::I64(1));
+    }
+
+    #[test]
+    fn take_out_of_bounds_errors() {
+        let b = sample();
+        assert!(matches!(
+            take(&b, &Array::from_i64(vec![99])),
+            Err(ArrowError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregates() {
+        let b = sample();
+        assert_eq!(sum_i64(b.column(0)).unwrap(), Some(10));
+        assert_eq!(min_i64(b.column(0)).unwrap(), Some(1));
+        assert_eq!(max_i64(b.column(0)).unwrap(), Some(4));
+        let s = sum_f64(b.column(1)).unwrap().unwrap();
+        assert!((s - 0.8).abs() < 1e-12);
+        assert_eq!(count(b.column(1)), 3);
+        assert_eq!(sum_i64(&Array::from_i64(vec![])).unwrap(), None);
+    }
+
+    #[test]
+    fn cmp_scalar_produces_mask() {
+        let b = sample();
+        let mask = cmp_scalar(b.column(0), CmpOp::Gt, &Value::I64(2)).unwrap();
+        let bools: Vec<Option<bool>> = (0..4)
+            .map(|i| match mask.value_at(i) {
+                Value::Bool(v) => Some(v),
+                Value::Null => None,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            bools,
+            vec![Some(false), Some(false), Some(true), Some(true)]
+        );
+    }
+
+    #[test]
+    fn cmp_nulls_propagate() {
+        let b = sample();
+        let mask = cmp_scalar(b.column(1), CmpOp::Lt, &Value::F64(0.35)).unwrap();
+        assert_eq!(mask.value_at(1), Value::Null);
+        assert_eq!(mask.value_at(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn cmp_mixed_numeric_coerces() {
+        let col = Array::from_i64(vec![1, 5]);
+        let mask = cmp_scalar(&col, CmpOp::Ge, &Value::F64(2.5)).unwrap();
+        assert_eq!(mask.value_at(0), Value::Bool(false));
+        assert_eq!(mask.value_at(1), Value::Bool(true));
+    }
+
+    #[test]
+    fn cmp_incompatible_errors() {
+        let col = Array::from_i64(vec![1]);
+        assert!(cmp_scalar(&col, CmpOp::Eq, &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn and_truth_table() {
+        let a = Array::from_opt_bool(vec![Some(true), Some(true), Some(false), None]);
+        let b = Array::from_opt_bool(vec![Some(true), None, None, None]);
+        let r = and(&a, &b).unwrap();
+        assert_eq!(r.value_at(0), Value::Bool(true));
+        assert_eq!(r.value_at(1), Value::Null);
+        assert_eq!(r.value_at(2), Value::Bool(false));
+        assert_eq!(r.value_at(3), Value::Null);
+    }
+
+    #[test]
+    fn hash_partition_is_stable_and_complete() {
+        let n = 100i64;
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64, false)]);
+        let b = RecordBatch::try_new(
+            schema,
+            vec![Array::from_i64((0..n).map(|i| i % 10).collect())],
+        )
+        .unwrap();
+        let parts = hash_partition(&b, &[0], 4).unwrap();
+        let total: usize = parts.iter().map(RecordBatch::num_rows).sum();
+        assert_eq!(total, n as usize);
+        // Same key never appears in two partitions.
+        for key in 0..10i64 {
+            let holders = parts
+                .iter()
+                .filter(|p| (0..p.num_rows()).any(|r| p.column(0).value_at(r) == Value::I64(key)))
+                .count();
+            assert_eq!(holders, 1, "key {key} appears in {holders} partitions");
+        }
+        // Deterministic across invocations.
+        let parts2 = hash_partition(&b, &[0], 4).unwrap();
+        assert_eq!(parts, parts2);
+    }
+
+    #[test]
+    fn hash_row_distinguishes_null_from_zero() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64, true)]);
+        let b =
+            RecordBatch::try_new(schema, vec![Array::from_opt_i64(vec![Some(0), None])]).unwrap();
+        assert_ne!(hash_row(&b, &[0], 0), hash_row(&b, &[0], 1));
+    }
+}
+
+/// Sort order for [`sort_to_indices`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first; NULLs first.
+    Ascending,
+    /// Largest first; NULLs last.
+    Descending,
+}
+
+/// Computes the row permutation that sorts `col`. NULLs sort lowest.
+/// Numeric columns sort numerically; strings lexicographically; booleans
+/// false-before-true.
+pub fn sort_to_indices(col: &Array, order: SortOrder) -> Array {
+    let mut idx: Vec<usize> = (0..col.len()).collect();
+    let key = |r: usize| col.value_at(r);
+    idx.sort_by(|a, b| {
+        let (va, vb) = (key(*a), key(*b));
+        let ord = match (&va, &vb) {
+            (Value::Null, Value::Null) => std::cmp::Ordering::Equal,
+            (Value::Null, _) => std::cmp::Ordering::Less,
+            (_, Value::Null) => std::cmp::Ordering::Greater,
+            (Value::I64(x), Value::I64(y)) => x.cmp(y),
+            (Value::F64(x), Value::F64(y)) => x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
+            (Value::I64(x), Value::F64(y)) => (*x as f64)
+                .partial_cmp(y)
+                .unwrap_or(std::cmp::Ordering::Equal),
+            (Value::F64(x), Value::I64(y)) => x
+                .partial_cmp(&(*y as f64))
+                .unwrap_or(std::cmp::Ordering::Equal),
+            (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+            (Value::Str(x), Value::Str(y)) => x.cmp(y),
+            _ => va.to_string().cmp(&vb.to_string()),
+        };
+        match order {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        }
+        // Stable sort keeps equal keys in row order.
+    });
+    Array::from_i64(idx.into_iter().map(|i| i as i64).collect())
+}
+
+/// Elementwise addition of two numeric columns (null if either side is).
+pub fn add(a: &Array, b: &Array) -> Result<Array, ArrowError> {
+    binary_numeric(a, b, |x, y| x + y)
+}
+
+/// Elementwise multiplication of two numeric columns.
+pub fn multiply(a: &Array, b: &Array) -> Result<Array, ArrowError> {
+    binary_numeric(a, b, |x, y| x * y)
+}
+
+fn binary_numeric(a: &Array, b: &Array, f: impl Fn(f64, f64) -> f64) -> Result<Array, ArrowError> {
+    if a.len() != b.len() {
+        return Err(ArrowError::ShapeMismatch(format!(
+            "binary op over {} vs {} rows",
+            a.len(),
+            b.len()
+        )));
+    }
+    let num = |v: &Value| -> Result<Option<f64>, ArrowError> {
+        Ok(match v {
+            Value::Null => None,
+            Value::I64(x) => Some(*x as f64),
+            Value::F64(x) => Some(*x),
+            other => {
+                return Err(ArrowError::ShapeMismatch(format!(
+                    "non-numeric value {other} in arithmetic"
+                )))
+            }
+        })
+    };
+    let mut out = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (x, y) = (num(&a.value_at(i))?, num(&b.value_at(i))?);
+        out.push(match (x, y) {
+            (Some(x), Some(y)) => Some(f(x, y)),
+            _ => None,
+        });
+    }
+    Ok(Array::from_opt_f64(out))
+}
+
+/// Minimum of a `Float64` column, skipping nulls.
+pub fn min_f64(col: &Array) -> Result<Option<f64>, ArrowError> {
+    Ok(col
+        .as_f64()?
+        .iter()
+        .flatten()
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        }))
+}
+
+/// Maximum of a `Float64` column, skipping nulls.
+pub fn max_f64(col: &Array) -> Result<Option<f64>, ArrowError> {
+    Ok(col
+        .as_f64()?
+        .iter()
+        .flatten()
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        }))
+}
+
+#[cfg(test)]
+mod kernel_extension_tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+
+    #[test]
+    fn sort_numeric_with_nulls() {
+        let col = Array::from_opt_f64(vec![Some(3.0), None, Some(1.0), Some(2.0)]);
+        let asc = sort_to_indices(&col, SortOrder::Ascending);
+        let order: Vec<i64> = (0..4)
+            .map(|i| match asc.value_at(i) {
+                Value::I64(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3, 0]); // null, 1.0, 2.0, 3.0
+        let desc = sort_to_indices(&col, SortOrder::Descending);
+        assert_eq!(desc.value_at(0), Value::I64(0));
+        assert_eq!(desc.value_at(3), Value::I64(1)); // null last
+    }
+
+    #[test]
+    fn sort_strings() {
+        let col = Array::from_utf8(&["pear", "apple", "fig"]);
+        let idx = sort_to_indices(&col, SortOrder::Ascending);
+        assert_eq!(idx.value_at(0), Value::I64(1));
+        assert_eq!(idx.value_at(2), Value::I64(0));
+    }
+
+    #[test]
+    fn sort_feeds_take() {
+        let schema = Schema::new(vec![Field::new("v", DataType::Int64, false)]);
+        let b = RecordBatch::try_new(schema, vec![Array::from_i64(vec![9, 1, 5])]).unwrap();
+        let idx = sort_to_indices(b.column(0), SortOrder::Ascending);
+        let sorted = take(&b, &idx).unwrap();
+        assert_eq!(sorted.column(0).value_at(0), Value::I64(1));
+        assert_eq!(sorted.column(0).value_at(2), Value::I64(9));
+    }
+
+    #[test]
+    fn arithmetic_kernels() {
+        let a = Array::from_f64(vec![1.0, 2.0, 3.0]);
+        let b = Array::from_opt_f64(vec![Some(10.0), None, Some(30.0)]);
+        let sum = add(&a, &b).unwrap();
+        assert_eq!(sum.value_at(0), Value::F64(11.0));
+        assert_eq!(sum.value_at(1), Value::Null);
+        let prod = multiply(&a, &b).unwrap();
+        assert_eq!(prod.value_at(2), Value::F64(90.0));
+        // Mixed int/float coerces.
+        let ints = Array::from_i64(vec![1, 2, 3]);
+        let mixed = add(&a, &ints).unwrap();
+        assert_eq!(mixed.value_at(2), Value::F64(6.0));
+    }
+
+    #[test]
+    fn arithmetic_shape_and_type_errors() {
+        let a = Array::from_f64(vec![1.0]);
+        let b = Array::from_f64(vec![1.0, 2.0]);
+        assert!(add(&a, &b).is_err());
+        let s = Array::from_utf8(&["x"]);
+        assert!(add(&a, &s).is_err());
+    }
+
+    #[test]
+    fn float_min_max() {
+        let col = Array::from_opt_f64(vec![Some(2.5), None, Some(-1.0)]);
+        assert_eq!(min_f64(&col).unwrap(), Some(-1.0));
+        assert_eq!(max_f64(&col).unwrap(), Some(2.5));
+        let empty = Array::from_f64(vec![]);
+        assert_eq!(min_f64(&empty).unwrap(), None);
+    }
+}

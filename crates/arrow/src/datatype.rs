@@ -1,0 +1,86 @@
+//! Logical data types.
+
+use std::fmt;
+
+/// The logical type of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// Boolean, bit-packed.
+    Bool,
+    /// UTF-8 string with 32-bit offsets.
+    Utf8,
+}
+
+impl DataType {
+    /// Fixed width in bytes of one value, or `None` for variable-width
+    /// types.
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DataType::Int64 | DataType::Float64 => Some(8),
+            DataType::Bool => None, // Bit-packed, not byte-addressable.
+            DataType::Utf8 => None,
+        }
+    }
+
+    /// Stable numeric tag used by the wire formats.
+    pub fn tag(self) -> u8 {
+        match self {
+            DataType::Int64 => 0,
+            DataType::Float64 => 1,
+            DataType::Bool => 2,
+            DataType::Utf8 => 3,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    pub fn from_tag(tag: u8) -> Option<DataType> {
+        match tag {
+            0 => Some(DataType::Int64),
+            1 => Some(DataType::Float64),
+            2 => Some(DataType::Bool),
+            3 => Some(DataType::Utf8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "int64",
+            DataType::Float64 => "float64",
+            DataType::Bool => "bool",
+            DataType::Utf8 => "utf8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Bool,
+            DataType::Utf8,
+        ] {
+            assert_eq!(DataType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DataType::from_tag(200), None);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Int64.fixed_width(), Some(8));
+        assert_eq!(DataType::Utf8.fixed_width(), None);
+        assert_eq!(DataType::Bool.fixed_width(), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the columnar format.
+
+use std::fmt;
+
+use crate::datatype::DataType;
+
+/// Errors produced by array construction, kernels, and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrowError {
+    /// Column count or column lengths disagree with the schema.
+    ShapeMismatch(String),
+    /// A kernel was asked to operate on an incompatible type.
+    TypeMismatch {
+        /// Type the operation expected.
+        expected: DataType,
+        /// Type it actually received.
+        actual: DataType,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Length of the array.
+        len: usize,
+    },
+    /// Wire bytes could not be decoded.
+    Corrupt(String),
+}
+
+impl fmt::Display for ArrowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrowError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            ArrowError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            ArrowError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            ArrowError::Corrupt(msg) => write!(f, "corrupt encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArrowError::TypeMismatch {
+            expected: DataType::Int64,
+            actual: DataType::Utf8,
+        };
+        assert!(e.to_string().contains("expected int64"));
+        let e = ArrowError::IndexOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains("index 9"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Record schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::datatype::DataType;
+use crate::error::ArrowError;
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether values may be null.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}{}",
+            self.name,
+            self.data_type,
+            if self.nullable { "?" } else { "" }
+        )
+    }
+}
+
+/// An ordered set of fields. Shared via [`SchemaRef`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// A reference-counted schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(fields: Vec<Field>) -> SchemaRef {
+        Arc::new(Schema { fields })
+    }
+
+    /// Creates an empty schema.
+    pub fn empty() -> SchemaRef {
+        Schema::new(Vec::new())
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Finds a column index by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, ArrowError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| ArrowError::ShapeMismatch(format!("no column named {name:?}")))
+    }
+
+    /// Builds a new schema with a subset of columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<SchemaRef, ArrowError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            fields.push(self.fields[self.index_of(n)?].clone());
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fld}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("score", DataType::Float64, true),
+            Field::new("name", DataType::Utf8, true),
+        ])
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = sample();
+        assert_eq!(s.index_of("score").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample();
+        let p = s.project(&["name", "id"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).name, "name");
+        assert_eq!(p.field(1).data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn project_unknown_errors() {
+        assert!(sample().project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = sample();
+        let d = s.to_string();
+        assert!(d.contains("id: int64"), "{d}");
+        assert!(d.contains("score: float64?"), "{d}");
+    }
+}

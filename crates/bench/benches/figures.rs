@@ -1,0 +1,103 @@
+//! Criterion benches over the figure/table experiments: each bench runs
+//! one experiment's core simulation, so regressions in the runtime or
+//! simulator show up as wall-clock changes here. One bench group per
+//! paper artifact (Figure 1, Figure 2, Figure 3, Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skadi::prelude::*;
+use skadi_bench::{
+    e01_fig1_deployments, e03_fig2_cache_tiers, e05_fig3_generations, e06_table1_baselines,
+    e07_fault_tolerance, e08_scheduling, e10_fusion, e12_gang, e14_pipeline_parallelism,
+    e17_actor_serving, e18_fanout_broadcast, e19_consolidation,
+};
+use skadi_store::policy::EvictionPolicy;
+
+fn bench_fig1_deployments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_deployments");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("serverful", RuntimeConfig::serverful()),
+        ("stateless", RuntimeConfig::stateless_serverless()),
+        ("skadi", RuntimeConfig::skadi_gen2()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| e01_fig1_deployments::run_deployment(cfg.clone(), 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_cache_tiers");
+    g.sample_size(10);
+    for ws in [8u64, 64] {
+        g.bench_function(BenchmarkId::from_parameter(format!("ws{ws}")), |b| {
+            b.iter(|| e03_fig2_cache_tiers::run_working_set(ws, 8 << 20, EvictionPolicy::Lru))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3_generations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_generations");
+    g.sample_size(20);
+    for (name, cfg) in [
+        ("gen1", RuntimeConfig::skadi_gen1()),
+        ("gen2", RuntimeConfig::skadi_gen2()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| e05_fig3_generations::jct(cfg.clone(), 10.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_baselines");
+    g.sample_size(10);
+    for b_row in e06_table1_baselines::baselines() {
+        g.bench_function(BenchmarkId::from_parameter(b_row.name), move |b| {
+            b.iter(|| e06_table1_baselines::run_baseline(&b_row))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("e7_ft_lineage", |b| {
+        b.iter(|| e07_fault_tolerance::run_ft(FtMode::Lineage))
+    });
+    g.bench_function("e8_sched_datacentric", |b| {
+        b.iter(|| e08_scheduling::run_policy(PlacementPolicy::DataCentric, 32))
+    });
+    g.bench_function("e10_fusion_on", |b| {
+        b.iter(|| e10_fusion::run_variant(true, 1 << 20, 64 << 20))
+    });
+    g.bench_function("e12_gang_on", |b| b.iter(|| e12_gang::run_gang(true, 4)));
+    g.bench_function("e14_pipeline_futures", |b| {
+        b.iter(|| e14_pipeline_parallelism::run_cfg(RuntimeConfig::skadi_gen2()))
+    });
+    g.bench_function("e17_serving_gen2", |b| {
+        b.iter(|| e17_actor_serving::run_serving(RuntimeConfig::skadi_gen2(), 20.0))
+    });
+    g.bench_function("e18_fanout_copies", |b| {
+        b.iter(|| e18_fanout_broadcast::run_fanout(true, 8, 64))
+    });
+    g.bench_function("e19_consolidation_shared", |b| {
+        b.iter(|| e19_consolidation::compare(4))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1_deployments,
+    bench_fig2_cache,
+    bench_fig3_generations,
+    bench_table1_baselines,
+    bench_ablations
+);
+criterion_main!(figures);

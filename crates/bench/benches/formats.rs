@@ -1,0 +1,66 @@
+//! E9 as a Criterion bench: shared columnar format (zero-copy IPC) vs
+//! row-at-a-time marshalling — the real-wall-clock half of the
+//! reproduction (the claim is literally about CPU cost per exchange).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use skadi::arrow::{compute, ipc, marshal};
+use skadi_bench::e09_shared_format::sample_batch;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for rows in [1_000usize, 10_000, 100_000] {
+        let batch = sample_batch(rows);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_function(BenchmarkId::new("ipc", rows), |b| {
+            b.iter(|| ipc::encode(&batch))
+        });
+        g.bench_function(BenchmarkId::new("marshal", rows), |b| {
+            b.iter(|| marshal::to_rows(&batch))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    for rows in [1_000usize, 10_000, 100_000] {
+        let batch = sample_batch(rows);
+        let ipc_bytes = ipc::encode(&batch);
+        let row_bytes = marshal::to_rows(&batch);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_function(BenchmarkId::new("ipc", rows), |b| {
+            b.iter(|| ipc::decode(ipc_bytes.clone()).expect("decodes"))
+        });
+        g.bench_function(BenchmarkId::new("marshal", rows), |b| {
+            b.iter(|| marshal::from_rows(&row_bytes).expect("decodes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    let batch = sample_batch(100_000);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("sum_i64", |b| {
+        b.iter(|| compute::sum_i64(batch.column(0)).expect("sums"))
+    });
+    g.bench_function("cmp_scalar", |b| {
+        b.iter(|| {
+            compute::cmp_scalar(
+                batch.column(1),
+                compute::CmpOp::Gt,
+                &skadi::arrow::array::Value::F64(25_000.0),
+            )
+            .expect("compares")
+        })
+    });
+    g.bench_function("hash_partition_8", |b| {
+        b.iter(|| compute::hash_partition(&batch, &[0], 8).expect("partitions"))
+    });
+    g.finish();
+}
+
+criterion_group!(formats, bench_encode, bench_decode, bench_kernels);
+criterion_main!(formats);

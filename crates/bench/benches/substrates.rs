@@ -1,0 +1,92 @@
+//! Substrate micro-benchmarks: the simulator's event queue, the network
+//! pricer, erasure coding, and the end-to-end session path. These guard
+//! the implementation itself (the virtual-time experiment results live in
+//! the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use skadi::dcsim::engine::EventQueue;
+use skadi::dcsim::network::{LinkParams, Network};
+use skadi::dcsim::time::{SimDuration, SimTime};
+use skadi::dcsim::topology::presets;
+use skadi::prelude::*;
+use skadi::store::ec::{decode, encode, EcConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for i in 0..n {
+                    q.schedule_at(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_pricing(c: &mut Criterion) {
+    let topo = presets::small_disagg_cluster();
+    let servers = topo.servers();
+    c.bench_function("network_transfer_pricing", |b| {
+        let mut net = Network::new(&topo, LinkParams::default());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(1);
+            net.transfer(t, servers[0], servers[5], 1 << 20)
+        })
+    });
+}
+
+fn bench_erasure_coding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erasure_coding");
+    for kb in [64usize, 1024] {
+        let payload = vec![0xA5u8; kb * 1024];
+        g.throughput(Throughput::Bytes((kb * 1024) as u64));
+        g.bench_function(BenchmarkId::new("encode_rs42", kb), |b| {
+            b.iter(|| encode(&payload, EcConfig::RS_4_2).expect("encodes"))
+        });
+        let enc = encode(&payload, EcConfig::RS_4_2).expect("encodes");
+        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[4] = None;
+        g.bench_function(BenchmarkId::new("decode_2_erasures", kb), |b| {
+            b.iter(|| decode(&shards, enc.original_len, enc.config).expect("decodes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_session_sql(c: &mut Criterion) {
+    let session = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .build();
+    let mut g = c.benchmark_group("session");
+    g.sample_size(20);
+    g.bench_function("sql_end_to_end", |b| {
+        b.iter(|| {
+            session
+                .sql("SELECT kind, sum(value) FROM events WHERE value > 0.5 GROUP BY kind")
+                .expect("runs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_event_queue,
+    bench_network_pricing,
+    bench_erasure_coding,
+    bench_session_sql
+);
+criterion_main!(substrates);

@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the Skadi reproduction.
+//!
+//! ```text
+//! cargo run -p skadi-bench --bin experiments            # all experiments
+//! cargo run -p skadi-bench --bin experiments -- fig3_gen table1
+//! cargo run -p skadi-bench --bin experiments -- --list
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = skadi_bench::all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &all {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&skadi_bench::Experiment> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect()
+    };
+
+    if selected.is_empty() {
+        eprintln!("no experiment matches {args:?}; try --list");
+        std::process::exit(1);
+    }
+
+    println!("skadi reproduction — experiment harness");
+    println!("(virtual-time results from the deterministic simulator; see EXPERIMENTS.md)\n");
+    for (_, run) in selected {
+        let table = run();
+        println!("{table}");
+    }
+}

@@ -1,0 +1,156 @@
+//! E3 / Figure 2 (caching layer): one KV API over device HBM, host DRAM,
+//! and disaggregated memory; the layer manages locations and tiering
+//! while users only see `put`/`get`.
+
+use skadi::dcsim::rng::{DetRng, Zipf};
+use skadi::dcsim::time::SimTime;
+use skadi::dcsim::topology::{
+    AccelKind, AccelSpec, DurableSpec, MemoryBladeSpec, ServerSpec, TopologyBuilder,
+};
+use skadi::store::object::ObjectId;
+use skadi::store::placement::CachingLayer;
+use skadi::store::policy::EvictionPolicy;
+use skadi::store::spill::SpillPolicy;
+use skadi::store::tier::Tier;
+
+use crate::table::Table;
+
+/// One run: Zipf gets over objects put at a GPU device whose HBM holds
+/// only part of the working set. Returns per-tier hit fractions and mean
+/// access latency (ns).
+pub fn run_working_set(ws_objects: u64, obj_bytes: u64, policy: EvictionPolicy) -> TierMix {
+    // Tiny HBM so tiering decisions actually happen.
+    let topo = TopologyBuilder::new()
+        .rack(|r| {
+            r.servers(1, ServerSpec::default());
+            r.accel_device(
+                AccelKind::Gpu,
+                AccelSpec {
+                    hbm_bytes: 64 << 20,
+                    ..AccelSpec::default()
+                },
+            );
+            r.memory_blade(MemoryBladeSpec {
+                dram_bytes: 1 << 30,
+                ..MemoryBladeSpec::default()
+            });
+        })
+        .durable_storage(DurableSpec::default())
+        .build();
+    let gpu = topo.accel_devices(None)[0];
+    let mut layer = CachingLayer::new(&topo, policy, SpillPolicy::default());
+
+    let mut now = SimTime::ZERO;
+    for i in 0..ws_objects {
+        layer
+            .put(ObjectId(i), obj_bytes, gpu, now)
+            .expect("puts fit somewhere");
+        now += skadi::dcsim::time::SimDuration::from_micros(10);
+    }
+
+    let zipf = Zipf::new(ws_objects as usize, 0.99);
+    let mut rng = DetRng::seed(7);
+    let mut mix = TierMix::default();
+    let gets = 20_000u64;
+    for _ in 0..gets {
+        let id = ObjectId(zipf.sample(&mut rng) as u64);
+        let (loc, _promoted) = layer.get_promote(id, gpu, now).expect("object exists");
+        now += skadi::dcsim::time::SimDuration::from_micros(1);
+        let lat = loc.tier.access_latency().as_nanos();
+        mix.total_latency_ns += lat;
+        match loc.tier {
+            Tier::DeviceHbm => mix.hbm += 1,
+            Tier::HostDram => mix.dram += 1,
+            Tier::DisaggMemory => mix.disagg += 1,
+            Tier::Durable => mix.durable += 1,
+        }
+    }
+    mix.gets = gets;
+    mix
+}
+
+/// Per-tier access counts for one configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierMix {
+    /// Total gets issued.
+    pub gets: u64,
+    /// Served from device HBM.
+    pub hbm: u64,
+    /// Served from host DRAM.
+    pub dram: u64,
+    /// Served from disaggregated memory.
+    pub disagg: u64,
+    /// Served from durable storage.
+    pub durable: u64,
+    /// Sum of access latencies, ns.
+    pub total_latency_ns: u64,
+}
+
+impl TierMix {
+    /// Mean access latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.total_latency_ns as f64 / self.gets.max(1) as f64
+    }
+
+    /// Fraction served by the fastest (HBM) tier.
+    pub fn hbm_frac(&self) -> f64 {
+        self.hbm as f64 / self.gets.max(1) as f64
+    }
+}
+
+/// Runs the full experiment: sweep working-set size at 8 MiB objects.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "fig2_cache",
+        "Caching layer: one KV API over HBM / DRAM / disaggregated memory",
+        "The caching layer manages data locations and tiering; users only see \
+         KV APIs, and it can hide the location and movement of data (paper \
+         §2.1 + Figure 2 note 5). Hot objects stay in HBM; the overflow \
+         spills to disaggregated memory instead of durable storage.",
+        &["ws_MiB", "hbm_%", "disagg_%", "durable_%", "mean_ns"],
+    );
+    let obj = 8 << 20u64;
+    for ws_objects in [4u64, 8, 16, 32, 64] {
+        let mix = run_working_set(ws_objects, obj, EvictionPolicy::Lru);
+        t.row(vec![
+            ((ws_objects * obj) >> 20).to_string(),
+            format!("{:.1}", 100.0 * mix.hbm_frac()),
+            format!("{:.1}", 100.0 * mix.disagg as f64 / mix.gets as f64),
+            format!("{:.1}", 100.0 * mix.durable as f64 / mix.gets as f64),
+            format!("{:.0}", mix.mean_ns()),
+        ]);
+    }
+    t.takeaway(
+        "within-HBM working sets are served at HBM latency; larger sets degrade \
+         smoothly to disaggregated memory — never to durable storage"
+            .to_string(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_set_stays_in_hbm() {
+        let mix = run_working_set(4, 8 << 20, EvictionPolicy::Lru);
+        assert!(mix.hbm_frac() > 0.99, "hbm fraction {}", mix.hbm_frac());
+    }
+
+    #[test]
+    fn overflow_goes_to_disagg_not_durable() {
+        let mix = run_working_set(64, 8 << 20, EvictionPolicy::Lru);
+        assert!(mix.disagg > 0, "expected disaggregated-memory hits");
+        assert_eq!(mix.durable, 0, "nothing should reach durable storage");
+        // Zipf skew keeps the hot head in HBM.
+        assert!(mix.hbm_frac() > 0.3, "hbm fraction {}", mix.hbm_frac());
+    }
+
+    #[test]
+    fn latency_degrades_with_working_set() {
+        let small = run_working_set(4, 8 << 20, EvictionPolicy::Lru);
+        let large = run_working_set(64, 8 << 20, EvictionPolicy::Lru);
+        assert!(large.mean_ns() > small.mean_ns());
+    }
+}

@@ -1,0 +1,95 @@
+//! E5 / Figure 3: Gen-1 (DPU-centric) vs Gen-2 (device-centric raylets +
+//! push futures) on chains of short device ops.
+
+use skadi::prelude::*;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// A chain of `n` GPU ops of `op_us` each, passing small tensors.
+pub fn short_op_chain(n: u64, op_us: f64, bytes: u64) -> Job {
+    let mut tasks = vec![TaskSpec::new(0, op_us, bytes).on(Backend::Gpu)];
+    for i in 1..n {
+        tasks.push(
+            TaskSpec::new(i, op_us, bytes)
+                .after(TaskId(i - 1), bytes)
+                .on(Backend::Gpu),
+        );
+    }
+    Job::new("short-ops", tasks).expect("valid chain")
+}
+
+/// JCT of the chain under a config.
+pub fn jct(cfg: RuntimeConfig, op_us: f64) -> JobStats {
+    let topo = presets::device_rack();
+    let mut c = Cluster::new(&topo, cfg);
+    c.run(&short_op_chain(32, op_us, 4 << 10)).expect("runs")
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "fig3_gen",
+        "Gen-1 (DPU-centric, pull) vs Gen-2 (device raylets, push), 32-op GPU chains",
+        "Gen-1 routes all control through the DPU and pulls futures: 'for \
+         short-lived ML ops, frequent trips to the DPU are too costly'. Gen-2 \
+         deploys a device-specific raylet to each device and pushes data \
+         (paper §2.3.2, Figure 3).",
+        &[
+            "op_us",
+            "gen1_jct",
+            "gen2_jct",
+            "speedup",
+            "gen1_stall/op_us",
+            "gen2_stall/op_us",
+        ],
+    );
+    let mut max_speedup: f64 = 0.0;
+    let mut min_speedup: f64 = f64::INFINITY;
+    for op_us in [5.0f64, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0] {
+        let g1 = jct(RuntimeConfig::skadi_gen1(), op_us);
+        let g2 = jct(RuntimeConfig::skadi_gen2(), op_us);
+        let speedup = g1.makespan.as_secs_f64() / g2.makespan.as_secs_f64();
+        max_speedup = max_speedup.max(speedup);
+        min_speedup = min_speedup.min(speedup);
+        t.row(vec![
+            format!("{op_us:.0}"),
+            g1.makespan.to_string(),
+            g2.makespan.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", g1.mean_stall().as_micros_f64()),
+            format!("{:.2}", g2.mean_stall().as_micros_f64()),
+        ]);
+    }
+    t.takeaway(format!(
+        "Gen-2 wins {max_speedup:.1}x on the shortest ops and fades to {min_speedup:.2}x \
+         for long ops — control overhead only matters when ops are short"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen2_wins_more_for_shorter_ops() {
+        let short1 = jct(RuntimeConfig::skadi_gen1(), 5.0);
+        let short2 = jct(RuntimeConfig::skadi_gen2(), 5.0);
+        let long1 = jct(RuntimeConfig::skadi_gen1(), 5000.0);
+        let long2 = jct(RuntimeConfig::skadi_gen2(), 5000.0);
+        let short_speedup = short1.makespan.as_secs_f64() / short2.makespan.as_secs_f64();
+        let long_speedup = long1.makespan.as_secs_f64() / long2.makespan.as_secs_f64();
+        assert!(short_speedup > 2.0, "short-op speedup {short_speedup:.2}");
+        assert!(long_speedup < 1.2, "long-op speedup {long_speedup:.2}");
+        assert!(short_speedup > long_speedup);
+    }
+
+    #[test]
+    fn gen2_stall_is_lower() {
+        let g1 = jct(RuntimeConfig::skadi_gen1(), 10.0);
+        let g2 = jct(RuntimeConfig::skadi_gen2(), 10.0);
+        assert!(g2.stall_total < g1.stall_total);
+    }
+}

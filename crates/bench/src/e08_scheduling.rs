@@ -1,0 +1,109 @@
+//! E8 / §2.3: data-centric scheduling — move compute to where data
+//! resides to reduce data transfer (the paper's data-plane benefit 1).
+
+use skadi::prelude::*;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// A locality-sensitive workload: several concurrent chains with large
+/// intermediates, so load-balancing and locality genuinely conflict.
+pub fn chain_job(stages: u64, mb_per_edge: u64) -> Job {
+    let bytes = mb_per_edge << 20;
+    let chains = 6u64;
+    let mut tasks = Vec::new();
+    for c in 0..chains {
+        for s in 0..stages {
+            let id = c * stages + s;
+            let mut t = TaskSpec::new(id, 500.0, bytes);
+            if s > 0 {
+                t = t.after(TaskId(id - 1), bytes);
+            }
+            tasks.push(t);
+        }
+    }
+    Job::new("chains", tasks).expect("valid")
+}
+
+/// Runs the chain under a placement policy.
+pub fn run_policy(policy: PlacementPolicy, mb: u64) -> JobStats {
+    let topo = presets::small_disagg_cluster();
+    let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_placement(policy));
+    c.run(&chain_job(12, mb)).expect("runs")
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e8_sched",
+        "Data-centric vs locality-oblivious scheduling",
+        "The caching layer 'decouples compute from states so compute can be \
+         opportunistically migrated to where data reside to reduce data \
+         transfer' (paper §1); the control plane 'embraces data-centric \
+         scheduling' (§2.3).",
+        &[
+            "edge_MB",
+            "policy",
+            "network_MB",
+            "makespan",
+            "bytes_saved_%",
+        ],
+    );
+    for mb in [1u64, 8, 32, 128] {
+        let dc = run_policy(PlacementPolicy::DataCentric, mb);
+        let rr = run_policy(PlacementPolicy::RoundRobin, mb);
+        let lo = run_policy(PlacementPolicy::LoadOnly, mb);
+        let base = rr.net.network_bytes() as f64;
+        for (name, s) in [
+            ("data-centric", &dc),
+            ("load-only", &lo),
+            ("round-robin", &rr),
+        ] {
+            t.row(vec![
+                mb.to_string(),
+                name.to_string(),
+                format!("{:.1}", s.net.network_bytes() as f64 / 1e6),
+                s.makespan.to_string(),
+                format!(
+                    "{:.1}",
+                    100.0 * (1.0 - s.net.network_bytes() as f64 / base.max(1.0))
+                ),
+            ]);
+        }
+    }
+    let dc = run_policy(PlacementPolicy::DataCentric, 128);
+    let rr = run_policy(PlacementPolicy::RoundRobin, 128);
+    t.takeaway(format!(
+        "at 128 MB edges, data-centric moves {:.0}% less data and finishes {:.1}x faster",
+        100.0 * (1.0 - dc.net.network_bytes() as f64 / rr.net.network_bytes() as f64),
+        rr.makespan.as_secs_f64() / dc.makespan.as_secs_f64()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_centric_moves_least_data() {
+        let dc = run_policy(PlacementPolicy::DataCentric, 32);
+        let rr = run_policy(PlacementPolicy::RoundRobin, 32);
+        assert!(dc.net.network_bytes() < rr.net.network_bytes());
+    }
+
+    #[test]
+    fn advantage_grows_with_edge_size() {
+        let small_dc = run_policy(PlacementPolicy::DataCentric, 1);
+        let small_rr = run_policy(PlacementPolicy::RoundRobin, 1);
+        let big_dc = run_policy(PlacementPolicy::DataCentric, 128);
+        let big_rr = run_policy(PlacementPolicy::RoundRobin, 128);
+        let small_gain = small_rr.makespan.as_secs_f64() / small_dc.makespan.as_secs_f64();
+        let big_gain = big_rr.makespan.as_secs_f64() / big_dc.makespan.as_secs_f64();
+        assert!(
+            big_gain > small_gain,
+            "big {big_gain:.2} vs small {small_gain:.2}"
+        );
+    }
+}

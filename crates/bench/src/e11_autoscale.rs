@@ -1,0 +1,135 @@
+//! E11 / §1: "the auto-scaling of DSAs is almost non-existent" in
+//! today's serverless — Skadi's control plane scales the warm device
+//! pool with the queue.
+
+use skadi::prelude::*;
+use skadi::runtime::config::AutoscaleConfig;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+use skadi_dcsim::time::SimDuration;
+
+use crate::table::Table;
+
+/// A two-burst GPU workload: a wide burst, a serial lull, another burst.
+pub fn bursty_job(burst: u64) -> Job {
+    let mut tasks = Vec::new();
+    let mut id = 0u64;
+    // Burst 1: `burst` independent 5 ms GPU ops.
+    for _ in 0..burst {
+        tasks.push(TaskSpec::new(id, 5_000.0, 1 << 16).on(Backend::Gpu));
+        id += 1;
+    }
+    // Lull: a serial CPU chain gating burst 2.
+    let mut prev: Vec<TaskId> = (0..burst).map(TaskId).collect();
+    for _ in 0..4 {
+        let mut t = TaskSpec::new(id, 10_000.0, 1 << 16);
+        for p in &prev {
+            t = t.after(*p, 1 << 16);
+        }
+        tasks.push(t);
+        prev = vec![TaskId(id)];
+        id += 1;
+    }
+    // Burst 2.
+    for _ in 0..burst {
+        tasks.push(
+            TaskSpec::new(id, 5_000.0, 1 << 16)
+                .after(prev[0], 1 << 16)
+                .on(Backend::Gpu),
+        );
+        id += 1;
+    }
+    Job::new("bursty", tasks).expect("valid")
+}
+
+/// Runs with or without the autoscaler on a device-dense rack.
+pub fn run_autoscale(enabled: bool, burst: u64) -> JobStats {
+    let topo = presets::device_rack();
+    let cfg = if enabled {
+        RuntimeConfig::skadi_gen2().with_autoscale(AutoscaleConfig {
+            min_devices: 0,
+            max_devices: 4,
+            scale_up_queue: 1.0,
+            interval: SimDuration::from_millis(2),
+            provision_delay: SimDuration::from_millis(10),
+        })
+    } else {
+        RuntimeConfig::skadi_gen2()
+    };
+    let mut c = Cluster::new(&topo, cfg);
+    c.run(&bursty_job(burst)).expect("runs")
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e11_autoscale",
+        "Auto-scaling the warm accelerator pool under bursty load",
+        "Existing serverless keeps DSAs either reserved (idle cost) or absent; \
+         Skadi's control plane handles auto-scaling (paper §1, §2.3): warm \
+         devices track the queue, trading a provision delay for idle cost.",
+        &[
+            "burst",
+            "mode",
+            "makespan",
+            "util_%",
+            "provisioned",
+            "retired",
+            "cost",
+        ],
+    );
+    for burst in [4u64, 8, 16] {
+        for enabled in [false, true] {
+            let s = run_autoscale(enabled, burst);
+            t.row(vec![
+                burst.to_string(),
+                (if enabled { "autoscale" } else { "all-warm" }).to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}", 100.0 * s.utilization),
+                s.metrics.counter("devices_provisioned").to_string(),
+                s.metrics.counter("devices_retired").to_string(),
+                format!("{:.4}", s.cost_units),
+            ]);
+        }
+    }
+    t.takeaway(
+        "the autoscaler pays a provision delay on each burst but retires idle \
+         devices during the lull — pay-as-you-go for DSAs"
+            .to_string(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_complete() {
+        for enabled in [false, true] {
+            let s = run_autoscale(enabled, 8);
+            assert_eq!(s.abandoned, 0);
+            assert!(s.finished > 0);
+        }
+    }
+
+    #[test]
+    fn autoscaler_cycles_the_pool() {
+        let s = run_autoscale(true, 8);
+        assert!(s.metrics.counter("devices_provisioned") > 0);
+        assert!(s.metrics.counter("devices_retired") > 0);
+    }
+
+    #[test]
+    fn all_warm_is_faster_autoscale_never_slower_than_2x() {
+        let warm = run_autoscale(false, 8);
+        let auto = run_autoscale(true, 8);
+        assert!(auto.makespan >= warm.makespan);
+        assert!(
+            auto.makespan.as_secs_f64() < warm.makespan.as_secs_f64() * 3.0,
+            "autoscale {} vs warm {}",
+            auto.makespan,
+            warm.makespan
+        );
+    }
+}

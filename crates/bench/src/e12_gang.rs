@@ -1,0 +1,104 @@
+//! E12 / §2.3: gang scheduling for SPMD sub-graphs — "if necessary, it
+//! could also integrate gang-scheduling to support SPMD-style sub-graph"
+//! (citing Pathways).
+
+use skadi::dcsim::time::SimTime;
+use skadi::prelude::*;
+use skadi::runtime::task::{GangId, TaskSpec};
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// An MPMD job containing one SPMD sub-graph of `width` members whose
+/// producers finish at staggered times (stragglers).
+pub fn spmd_job(width: u64) -> Job {
+    let gang = GangId(1);
+    let mut tasks = Vec::new();
+    // Staggered producers: producer i takes (i+1) * 2ms.
+    for i in 0..width {
+        tasks.push(TaskSpec::new(i, ((i + 1) * 2_000) as f64, 1 << 16));
+    }
+    // SPMD members: each waits on its own producer; they exchange
+    // activations, so they should start together.
+    for i in 0..width {
+        tasks.push(
+            TaskSpec::new(width + i, 3_000.0, 1 << 16)
+                .after(TaskId(i), 1 << 16)
+                .on(Backend::Gpu)
+                .in_gang(gang),
+        );
+    }
+    // A reducer joins the SPMD outputs.
+    let mut red = TaskSpec::new(2 * width, 1_000.0, 1 << 10);
+    for i in 0..width {
+        red = red.after(TaskId(width + i), 1 << 16);
+    }
+    tasks.push(red);
+    Job::new("spmd", tasks).expect("valid")
+}
+
+/// Runs with or without gang scheduling; returns `(stats, start_skew_us)`.
+pub fn run_gang(gang: bool, width: u64) -> (JobStats, f64) {
+    let topo = presets::device_rack();
+    let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_gang(gang));
+    let stats = c.run(&spmd_job(width)).expect("runs");
+    // Start skew of the gang members.
+    let starts: Vec<SimTime> = (width..2 * width)
+        .filter_map(|i| c.task_started_at(TaskId(i)))
+        .collect();
+    let skew = match (starts.iter().min(), starts.iter().max()) {
+        (Some(a), Some(b)) => b.saturating_since(*a).as_micros_f64(),
+        _ => f64::NAN,
+    };
+    (stats, skew)
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e12_gang",
+        "Gang scheduling an SPMD sub-graph with straggling producers",
+        "SPMD members that exchange data mid-op must start together; without \
+         gang scheduling, early members occupy devices and idle-wait for \
+         stragglers (paper §2.3, citing Pathways).",
+        &["width", "gang", "start_skew_us", "makespan"],
+    );
+    for width in [2u64, 4] {
+        for gang in [false, true] {
+            let (s, skew) = run_gang(gang, width);
+            t.row(vec![
+                width.to_string(),
+                (if gang { "on" } else { "off" }).to_string(),
+                format!("{skew:.0}"),
+                s.makespan.to_string(),
+            ]);
+        }
+    }
+    let (_, skew_off) = run_gang(false, 4);
+    let (_, skew_on) = run_gang(true, 4);
+    t.takeaway(format!(
+        "gang scheduling collapses member start skew from {skew_off:.0} us to {skew_on:.0} us"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gang_removes_start_skew() {
+        let (_, skew_off) = run_gang(false, 4);
+        let (_, skew_on) = run_gang(true, 4);
+        assert!(skew_on < 1_000.0, "gang skew {skew_on} us");
+        assert!(skew_off > skew_on, "off {skew_off} vs on {skew_on}");
+    }
+
+    #[test]
+    fn both_complete() {
+        for gang in [false, true] {
+            let (s, _) = run_gang(gang, 4);
+            assert_eq!(s.abandoned, 0);
+        }
+    }
+}

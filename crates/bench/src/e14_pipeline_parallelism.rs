@@ -1,0 +1,104 @@
+//! E14 / §1 data-plane benefit 3: futures untie data systems within an
+//! integrated pipeline, "enabling pipeline parallelism across system
+//! boundaries" and reducing trips to durable storage.
+
+use skadi::prelude::*;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// A two-system pipeline: `width` SQL producer shards each feeding an ML
+/// consumer shard (shard i -> shard i), so consumers *can* start as soon
+/// as their own producer finishes — if the boundary doesn't force a
+/// durable barrier.
+pub fn two_system_pipeline(width: u64, mb: u64) -> Job {
+    let bytes = mb << 20;
+    let mut tasks = Vec::new();
+    for i in 0..width {
+        // Staggered producers: earlier shards finish much earlier.
+        tasks.push(TaskSpec::new(i, ((i + 1) * 2_000) as f64, bytes).in_system("sql"));
+    }
+    for i in 0..width {
+        tasks.push(
+            TaskSpec::new(width + i, 3_000.0, bytes / 4)
+                .after(TaskId(i), bytes)
+                .in_system("ml"),
+        );
+    }
+    let mut join = TaskSpec::new(2 * width, 1_000.0, 1 << 10).in_system("ml");
+    for i in 0..width {
+        join = join.after(TaskId(width + i), bytes / 4);
+    }
+    tasks.push(join);
+    Job::new("two-system", tasks).expect("valid")
+}
+
+/// Runs the pipeline under a deployment config.
+pub fn run_cfg(cfg: RuntimeConfig) -> JobStats {
+    let topo = presets::small_disagg_cluster();
+    let mut c = Cluster::new(&topo, cfg);
+    c.run(&two_system_pipeline(6, 16)).expect("runs")
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e14_pipeline",
+        "Pipeline parallelism across system boundaries (futures vs durable barrier)",
+        "Futures + the caching layer untie data systems within an integrated \
+         pipeline, enabling pipeline parallelism across system boundaries and \
+         reducing the number of trips to durable storage (paper §1).",
+        &["boundary", "makespan", "durable_trips", "cross_system_lat"],
+    );
+    let configs = [
+        ("futures (skadi)", RuntimeConfig::skadi_gen2()),
+        ("durable (serverful)", RuntimeConfig::serverful()),
+        ("durable (stateless)", RuntimeConfig::stateless_serverless()),
+    ];
+    let mut results = Vec::new();
+    for (name, cfg) in configs {
+        let s = run_cfg(cfg);
+        t.row(vec![
+            name.to_string(),
+            s.makespan.to_string(),
+            s.durable_trips.to_string(),
+            s.mean_stall().to_string(),
+        ]);
+        results.push(s);
+    }
+    t.takeaway(format!(
+        "crossing the system boundary through futures is {:.1}x faster than \
+         through durable storage",
+        results[2].makespan.as_secs_f64() / results[0].makespan.as_secs_f64()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn futures_beat_durable_barriers() {
+        let skadi = run_cfg(RuntimeConfig::skadi_gen2());
+        let serverful = run_cfg(RuntimeConfig::serverful());
+        assert_eq!(skadi.durable_trips, 0);
+        assert!(serverful.durable_trips > 0);
+        assert!(skadi.makespan < serverful.makespan);
+    }
+
+    #[test]
+    fn consumers_overlap_producers_under_futures() {
+        // With futures, ML shard 0 starts long before SQL shard 5
+        // finishes: the makespan is far below the durable-barrier one.
+        let skadi = run_cfg(RuntimeConfig::skadi_gen2());
+        let stateless = run_cfg(RuntimeConfig::stateless_serverless());
+        assert!(
+            stateless.makespan.as_secs_f64() > skadi.makespan.as_secs_f64() * 1.5,
+            "stateless {} vs skadi {}",
+            stateless.makespan,
+            skadi.makespan
+        );
+    }
+}

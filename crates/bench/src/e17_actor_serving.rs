@@ -1,0 +1,138 @@
+//! E17 (extension): stateful actors serving short lookups from
+//! accelerator memory.
+//!
+//! Table 1 lists actor-based query-serving systems (DPA) as one family the
+//! distributed runtime must subsume, and §2.3.1 notes Ray's API launches
+//! "stateless tasks or stateful actors". This experiment serves embedding
+//! lookups from actors pinned to GPU devices — each method is short, so
+//! the Gen-1 DPU detour and pull-based resolution dominate tail latency,
+//! and Gen-2's device raylets win.
+
+use skadi::prelude::*;
+use skadi::runtime::task::{ActorId, TaskSpec};
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// A serving job: `shards` GPU-resident actors, each handling `lookups`
+/// sequential method calls fed by a router task.
+pub fn serving_job(shards: u64, lookups: u64, method_us: f64) -> Job {
+    let mut tasks = Vec::new();
+    // Router: receives the batch of requests.
+    tasks.push(TaskSpec::new(0, 50.0, 64 << 10).named("router"));
+    let mut id = 1u64;
+    for s in 0..shards {
+        let actor = ActorId(s);
+        for _ in 0..lookups {
+            tasks.push(
+                TaskSpec::new(id, method_us, 4 << 10)
+                    .after(TaskId(0), 4 << 10)
+                    .on(Backend::Gpu)
+                    .on_actor(actor)
+                    .named("lookup"),
+            );
+            id += 1;
+        }
+    }
+    Job::new("serving", tasks).expect("valid serving job")
+}
+
+/// Runs the serving job under a config; returns `(stats, p50_us, p99_us)`
+/// where the percentiles are per-request completion latencies (request
+/// issue is the router finish, so dispatch + queueing + resolution +
+/// method time all count).
+pub fn run_serving(cfg: RuntimeConfig, method_us: f64) -> (JobStats, f64, f64) {
+    let topo = presets::device_rack();
+    let mut c = Cluster::new(&topo, cfg);
+    let job = serving_job(4, 16, method_us);
+    let n = job.len() as u64;
+    let stats = c.run(&job).expect("serving runs");
+    let issue = c.task_finished_at(TaskId(0)).expect("router ran");
+    let mut lat: Vec<f64> = (1..n)
+        .filter_map(|i| c.task_finished_at(TaskId(i)))
+        .map(|t| t.saturating_since(issue).as_micros_f64())
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pct = |q: f64| -> f64 {
+        let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+        lat[idx]
+    };
+    (stats, pct(0.5), pct(0.99))
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e17_serving",
+        "Actor-based query serving from accelerator memory (DPA-style)",
+        "The runtime hosts query-serving systems as stateful actors (paper \
+         Table 1 / §2.3.1); lookups are short-lived device ops, so Gen-2's \
+         device raylets and push futures cut serving tails.",
+        &["method_us", "generation", "p50_us", "p99_us", "makespan"],
+    );
+    for method_us in [20.0f64, 100.0, 1000.0] {
+        for (name, cfg) in [
+            ("gen1", RuntimeConfig::skadi_gen1()),
+            ("gen2", RuntimeConfig::skadi_gen2()),
+        ] {
+            let (stats, p50, p99) = run_serving(cfg, method_us);
+            t.row(vec![
+                format!("{method_us:.0}"),
+                name.to_string(),
+                format!("{p50:.0}"),
+                format!("{p99:.0}"),
+                stats.makespan.to_string(),
+            ]);
+        }
+    }
+    let (_, _, p99_g1) = run_serving(RuntimeConfig::skadi_gen1(), 20.0);
+    let (_, _, p99_g2) = run_serving(RuntimeConfig::skadi_gen2(), 20.0);
+    t.takeaway(format!(
+        "at 20 us lookups, Gen-2 cuts p99 serving latency {:.1}x ({:.0} -> {:.0} us)",
+        p99_g1 / p99_g2,
+        p99_g1,
+        p99_g2
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_completes_and_serializes_per_actor() {
+        let (stats, p50, p99) = run_serving(RuntimeConfig::skadi_gen2(), 20.0);
+        assert_eq!(stats.abandoned, 0);
+        assert!(p99 >= p50);
+        // 16 sequential 20 us lookups per actor: p99 must exceed the pure
+        // serial method time of a single shard's queue tail.
+        assert!(p99 >= 16.0 * 20.0 * 0.5, "p99 {p99}");
+    }
+
+    #[test]
+    fn gen2_cuts_short_lookup_tail() {
+        let (_, _, p99_g1) = run_serving(RuntimeConfig::skadi_gen1(), 20.0);
+        let (_, _, p99_g2) = run_serving(RuntimeConfig::skadi_gen2(), 20.0);
+        assert!(
+            p99_g2 < p99_g1,
+            "gen2 p99 {p99_g2} should beat gen1 {p99_g1}"
+        );
+    }
+
+    #[test]
+    fn long_methods_drown_the_difference() {
+        let (_, _, g1) = run_serving(RuntimeConfig::skadi_gen1(), 1000.0);
+        let (_, _, g2) = run_serving(RuntimeConfig::skadi_gen2(), 1000.0);
+        let short_gain = {
+            let (_, _, a) = run_serving(RuntimeConfig::skadi_gen1(), 20.0);
+            let (_, _, b) = run_serving(RuntimeConfig::skadi_gen2(), 20.0);
+            a / b
+        };
+        let long_gain = g1 / g2;
+        assert!(
+            short_gain > long_gain,
+            "short {short_gain} vs long {long_gain}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! E18 (extension): fanning one object out to many consumers.
+//!
+//! The paper's caching layer "can hide the location and movement of data"
+//! (§2.1), and its Ray lineage cites Hoplite for efficient collectives.
+//! Here, one producer's output feeds N consumers on distinct nodes. With
+//! plasma-style fetch caching (every remote fetch leaves a copy at the
+//! consumer), later consumers read the nearest replica and the fan-out
+//! self-organizes into a distribution chain; without it, every consumer
+//! hammers the producer's NIC serially.
+
+use skadi::prelude::*;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// One producer of a `mb`-MiB object feeding `consumers` tasks.
+pub fn fanout_job(consumers: u64, mb: u64) -> Job {
+    let bytes = mb << 20;
+    let mut tasks = vec![TaskSpec::new(0, 1_000.0, bytes).named("producer")];
+    for i in 1..=consumers {
+        tasks.push(
+            TaskSpec::new(i, 500.0, 1 << 10)
+                .after(TaskId(0), bytes)
+                .named("consumer"),
+        );
+    }
+    Job::new("fanout", tasks).expect("valid fanout")
+}
+
+/// Runs the fan-out with fetch-copy caching on or off. Placement is
+/// deliberately locality-oblivious so consumers land on distinct nodes.
+pub fn run_fanout(cache_copies: bool, consumers: u64, mb: u64) -> JobStats {
+    let topo = presets::small_disagg_cluster();
+    let mut cfg = RuntimeConfig::skadi_gen2().with_placement(PlacementPolicy::RoundRobin);
+    cfg.cache_fetched_copies = cache_copies;
+    let mut c = Cluster::new(&topo, cfg);
+    c.run(&fanout_job(consumers, mb)).expect("runs")
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e18_fanout",
+        "Fan-out of one cached object to N consumers (fetch-copy ablation)",
+        "The caching layer manages locations and replication (paper Figure 2 \
+         note 5): caching fetched copies turns a hot-object fan-out into a \
+         distribution chain instead of serializing on the producer's NIC \
+         (the effect Hoplite-style collectives formalize).",
+        &[
+            "consumers",
+            "fetch_copies",
+            "makespan",
+            "net_MB",
+            "copies_in_cluster",
+        ],
+    );
+    for consumers in [2u64, 4, 8] {
+        for cache_copies in [false, true] {
+            let s = run_fanout(cache_copies, consumers, 64);
+            t.row(vec![
+                consumers.to_string(),
+                (if cache_copies { "on" } else { "off" }).to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}", s.net.network_bytes() as f64 / 1e6),
+                if cache_copies {
+                    ">1".to_string()
+                } else {
+                    "1".to_string()
+                },
+            ]);
+        }
+    }
+    let off = run_fanout(false, 8, 64);
+    let on = run_fanout(true, 8, 64);
+    t.takeaway(format!(
+        "at 8 consumers x 64 MiB, fetch-copying finishes {:.2}x faster by \
+         spreading transfer load off the producer's NIC",
+        off.makespan.as_secs_f64() / on.makespan.as_secs_f64()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_copies_speed_up_wide_fanouts() {
+        let off = run_fanout(false, 8, 64);
+        let on = run_fanout(true, 8, 64);
+        assert!(
+            on.makespan < off.makespan,
+            "on {} vs off {}",
+            on.makespan,
+            off.makespan
+        );
+    }
+
+    #[test]
+    fn narrow_fanouts_are_insensitive() {
+        let off = run_fanout(false, 1, 64);
+        let on = run_fanout(true, 1, 64);
+        // One consumer: a single transfer either way.
+        let ratio = off.makespan.as_secs_f64() / on.makespan.as_secs_f64();
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn both_modes_complete() {
+        for mode in [false, true] {
+            let s = run_fanout(mode, 8, 64);
+            assert_eq!(s.abandoned, 0);
+            assert_eq!(s.finished, 9);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! E20 (extension): tightly-coupled pods — "computing silos can be
+//! tightly-coupled clusters in which DSAs are interconnected via
+//! high-speed interconnect, essentially trading the scale of the cluster
+//! for the best performance" (paper §1). The runtime runs the same SPMD
+//! job on a commodity fabric and on a pod whose rack-internal links are
+//! NVLink-class, without any change to the job.
+
+use skadi::dcsim::network::LinkParams;
+use skadi::dcsim::time::SimDuration;
+use skadi::prelude::*;
+use skadi::runtime::task::{GangId, TaskSpec};
+use skadi::runtime::{Cluster, Job, TaskId};
+
+use crate::table::Table;
+
+/// An SPMD training phase: `steps` rounds of 4 gang-scheduled GPU ops
+/// with all-to-all activation exchange (`mb` MiB per edge) between
+/// rounds.
+pub fn spmd_exchange_job(steps: u64, mb: u64) -> Job {
+    let bytes = mb << 20;
+    let width = 4u64;
+    let mut tasks = Vec::new();
+    for s in 0..steps {
+        let gang = GangId(s as u32);
+        for w in 0..width {
+            let id = s * width + w;
+            let mut t = TaskSpec::new(id, 2_000.0, bytes)
+                .on(Backend::Gpu)
+                .in_gang(gang)
+                .named(&format!("step{s}w{w}"));
+            if s > 0 {
+                // All-to-all with the previous round.
+                for p in 0..width {
+                    t = t.after(TaskId((s - 1) * width + p), bytes);
+                }
+            }
+            tasks.push(t);
+        }
+    }
+    Job::new("spmd-exchange", tasks).expect("valid spmd job")
+}
+
+/// Runs the job on the device rack, with or without the pod interconnect.
+pub fn run_pod(pod: bool, steps: u64, mb: u64) -> JobStats {
+    let topo = presets::device_rack();
+    let links = if pod {
+        LinkParams::default().with_pod(0, SimDuration::from_micros(1), 100 << 30)
+    } else {
+        LinkParams::default()
+    };
+    let mut c = Cluster::with_links(&topo, RuntimeConfig::skadi_gen2().with_gang(true), links);
+    c.run(&spmd_exchange_job(steps, mb)).expect("runs")
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e20_pod",
+        "SPMD exchange on a commodity fabric vs a tightly-coupled pod",
+        "Tightly-coupled DSA clusters trade scale for interconnect speed \
+         (paper §1); the runtime schedules onto them transparently — the \
+         job is byte-identical, only the rack's internal links differ \
+         (Figure 2's 'highly customized clusters').",
+        &["exchange_MiB", "commodity", "pod", "speedup"],
+    );
+    for mb in [4u64, 16, 64] {
+        let plain = run_pod(false, 6, mb);
+        let pod = run_pod(true, 6, mb);
+        t.row(vec![
+            mb.to_string(),
+            plain.makespan.to_string(),
+            pod.makespan.to_string(),
+            format!(
+                "{:.2}x",
+                plain.makespan.as_secs_f64() / pod.makespan.as_secs_f64()
+            ),
+        ]);
+    }
+    let plain = run_pod(false, 6, 64);
+    let pod = run_pod(true, 6, 64);
+    t.takeaway(format!(
+        "the pod's interconnect pays off in proportion to exchange volume \
+         ({:.1}x at 64 MiB activations)",
+        plain.makespan.as_secs_f64() / pod.makespan.as_secs_f64()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_always_wins_and_scales_with_volume() {
+        let small_plain = run_pod(false, 4, 4);
+        let small_pod = run_pod(true, 4, 4);
+        let big_plain = run_pod(false, 4, 64);
+        let big_pod = run_pod(true, 4, 64);
+        assert!(small_pod.makespan <= small_plain.makespan);
+        assert!(big_pod.makespan < big_plain.makespan);
+        let small_gain = small_plain.makespan.as_secs_f64() / small_pod.makespan.as_secs_f64();
+        let big_gain = big_plain.makespan.as_secs_f64() / big_pod.makespan.as_secs_f64();
+        assert!(
+            big_gain > small_gain,
+            "big {big_gain:.2} vs small {small_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn both_fabrics_complete() {
+        for pod in [false, true] {
+            let s = run_pod(pod, 4, 16);
+            assert_eq!(s.finished, 16);
+            assert_eq!(s.abandoned, 0);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// One experiment's output: a titled table plus the claim it tests.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment identifier (e.g. `fig3_gen`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper claim this experiment reproduces.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line takeaway computed from the data.
+    pub takeaway: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            takeaway: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Sets the takeaway line.
+    pub fn takeaway(&mut self, s: String) {
+        self.takeaway = s;
+    }
+
+    /// A cell by header name and row index (test helper).
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Parses a numeric cell (test helper).
+    pub fn cell_f64(&self, row: usize, header: &str) -> Option<f64> {
+        self.cell(row, header)?
+            .trim_end_matches(['x', '%', 's', 'B'])
+            .trim()
+            .parse()
+            .ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "   ")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &dashes)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        if !self.takeaway.is_empty() {
+            writeln!(f, "   => {}", self.takeaway)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("x", "demo", "a claim", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.takeaway("done".into());
+        let s = t.to_string();
+        assert!(s.contains("== x — demo"));
+        assert!(s.contains("a claim"));
+        assert!(s.contains("=> done"));
+        assert_eq!(t.cell(0, "bb"), Some("2"));
+        assert_eq!(t.cell_f64(0, "a"), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let mut t = Table::new("x", "demo", "c", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

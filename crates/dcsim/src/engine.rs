@@ -1,0 +1,280 @@
+//! Deterministic discrete-event queue.
+//!
+//! The queue is generic over the event payload `E`, so each downstream
+//! layer (the runtime's cluster simulation, the cache simulator, unit
+//! tests) defines its own event enum and drives its own loop:
+//!
+//! ```
+//! use skadi_dcsim::engine::EventQueue;
+//! use skadi_dcsim::time::{SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule_after(SimDuration::from_micros(5), "second");
+//! q.schedule_after(SimDuration::from_micros(1), "first");
+//! let mut seen = Vec::new();
+//! while let Some((t, e)) = q.pop() {
+//!     seen.push((t.as_micros(), e));
+//! }
+//! assert_eq!(seen, vec![(1, "first"), (5, "second")]);
+//! ```
+//!
+//! Two events at the same instant are delivered in the order they were
+//! scheduled (FIFO per timestamp), which makes simulations reproducible
+//! even when cost models collapse many message latencies to equal values.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One queued event: delivery time, tie-breaking sequence number, payload.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of timed events.
+///
+/// The queue tracks the current virtual time: [`EventQueue::pop`] advances
+/// `now()` to the popped event's timestamp. Scheduling an event in the past
+/// is a causality violation and panics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            delivered: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: an event scheduled
+    /// in the past indicates a bug in the caller's cost model.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling event in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` for delivery `after` from the current time.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) {
+        let at = self.now + after;
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` for delivery at the current instant (after all
+    /// events already queued for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.delivered += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Runs the queue to exhaustion, passing each event to `handler`.
+    ///
+    /// The handler receives the queue itself so it can schedule follow-up
+    /// events. Returns the final virtual time.
+    pub fn run<S, F>(&mut self, state: &mut S, mut handler: F) -> SimTime
+    where
+        F: FnMut(&mut Self, &mut S, SimTime, E),
+    {
+        while let Some((t, e)) = self.pop() {
+            handler(self, state, t, e);
+        }
+        self.now
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; events at
+    /// exactly the deadline are still delivered.
+    pub fn run_until<S, F>(&mut self, state: &mut S, deadline: SimTime, mut handler: F) -> SimTime
+    where
+        F: FnMut(&mut Self, &mut S, SimTime, E),
+    {
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, e) = self.pop().expect("peeked event vanished");
+            handler(self, state, t, e);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling event in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(5), 1);
+        q.pop();
+        q.schedule_at(SimTime::from_micros(1), 2);
+    }
+
+    #[test]
+    fn run_drives_cascading_events() {
+        // Each event below 5 schedules its successor 1us later.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 0u32);
+        let mut seen = Vec::new();
+        let end = q.run(&mut seen, |q, seen, _t, e| {
+            seen.push(e);
+            if e < 5 {
+                q.schedule_after(SimDuration::from_micros(1), e + 1);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(end, SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        for i in 1..=10u64 {
+            q.schedule_at(SimTime::from_micros(i), i);
+        }
+        let mut seen = Vec::new();
+        q.run_until(&mut seen, SimTime::from_micros(4), |_q, seen, _t, e| {
+            seen.push(e)
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn delivered_counts_events() {
+        let mut q = EventQueue::new();
+        q.schedule_now(());
+        q.schedule_now(());
+        q.pop();
+        q.pop();
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, "a");
+        q.schedule_now("b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-node compute-slot and memory accounting.
+//!
+//! The runtime uses this to decide whether a task can start on a node now
+//! or must queue, and to model memory pressure that triggers spilling to
+//! disaggregated memory (one of the paper's Gen-2 motivations).
+
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::topology::{NodeId, NodeKind, Topology};
+
+/// Errors from resource accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// Attempted to free more memory than is reserved.
+    UnderflowFree {
+        /// Node where the underflow happened.
+        node: NodeId,
+        /// Bytes the caller tried to free.
+        requested: u64,
+        /// Bytes actually reserved.
+        reserved: u64,
+    },
+    /// Attempted to release a compute slot that was not held.
+    NoSlotHeld(NodeId),
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::UnderflowFree {
+                node,
+                requested,
+                reserved,
+            } => write!(
+                f,
+                "free of {requested} bytes on {node} exceeds reservation {reserved}"
+            ),
+            ResourceError::NoSlotHeld(node) => {
+                write!(f, "no compute slot held on {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// Accounting state for one node.
+#[derive(Debug, Clone)]
+struct NodeState {
+    total_slots: u32,
+    busy_slots: u32,
+    total_mem: u64,
+    used_mem: u64,
+    /// Earliest time each busy slot frees up; used for queue-time estimates.
+    slot_free_at: Vec<SimTime>,
+}
+
+/// Compute-slot and memory ledger for every node in a topology.
+#[derive(Debug, Clone)]
+pub struct NodeResources {
+    nodes: Vec<NodeState>,
+}
+
+impl NodeResources {
+    /// Builds the ledger from a topology. Servers get their CPU slots;
+    /// accelerator devices get their op slots; memory blades and durable
+    /// storage get zero compute slots.
+    pub fn new(topo: &Topology) -> Self {
+        let nodes = topo
+            .nodes()
+            .iter()
+            .map(|n| {
+                let (slots, mem) = match n.kind {
+                    NodeKind::Server(s) => (s.cpu_slots, s.dram_bytes),
+                    NodeKind::AccelDevice(_, a) => (a.op_slots, a.hbm_bytes),
+                    NodeKind::MemoryBlade(m) => (0, m.dram_bytes),
+                    NodeKind::DurableStorage(_) => (0, u64::MAX),
+                };
+                NodeState {
+                    total_slots: slots,
+                    busy_slots: 0,
+                    total_mem: mem,
+                    used_mem: 0,
+                    slot_free_at: Vec::new(),
+                }
+            })
+            .collect();
+        NodeResources { nodes }
+    }
+
+    /// Number of free compute slots on a node.
+    pub fn free_slots(&self, node: NodeId) -> u32 {
+        let s = &self.nodes[node.index()];
+        s.total_slots - s.busy_slots
+    }
+
+    /// Total compute slots on a node.
+    pub fn total_slots(&self, node: NodeId) -> u32 {
+        self.nodes[node.index()].total_slots
+    }
+
+    /// Tries to claim one compute slot; `busy_until` is the caller's
+    /// estimate of when the slot frees (used for wait-time estimation).
+    /// Returns false if the node is saturated.
+    pub fn try_claim_slot(&mut self, node: NodeId, busy_until: SimTime) -> bool {
+        let s = &mut self.nodes[node.index()];
+        if s.busy_slots >= s.total_slots {
+            return false;
+        }
+        s.busy_slots += 1;
+        s.slot_free_at.push(busy_until);
+        true
+    }
+
+    /// Releases one compute slot.
+    pub fn release_slot(&mut self, node: NodeId) -> Result<(), ResourceError> {
+        let s = &mut self.nodes[node.index()];
+        if s.busy_slots == 0 {
+            return Err(ResourceError::NoSlotHeld(node));
+        }
+        s.busy_slots -= 1;
+        // Drop the earliest completion estimate; exact pairing is not
+        // needed, the vector only feeds heuristics.
+        if let Some((idx, _)) = s.slot_free_at.iter().enumerate().min_by_key(|(_, t)| **t) {
+            s.slot_free_at.swap_remove(idx);
+        }
+        Ok(())
+    }
+
+    /// Estimate of the earliest time a slot will free on a saturated node;
+    /// `now` if a slot is already free.
+    pub fn earliest_slot(&self, node: NodeId, now: SimTime) -> SimTime {
+        let s = &self.nodes[node.index()];
+        if s.busy_slots < s.total_slots {
+            return now;
+        }
+        s.slot_free_at.iter().copied().min().unwrap_or(now).max(now)
+    }
+
+    /// Bytes of memory currently reserved on a node.
+    pub fn used_memory(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].used_mem
+    }
+
+    /// Bytes of memory still available on a node.
+    pub fn free_memory(&self, node: NodeId) -> u64 {
+        let s = &self.nodes[node.index()];
+        s.total_mem - s.used_mem
+    }
+
+    /// Fraction of memory in use, in `[0, 1]`.
+    pub fn memory_pressure(&self, node: NodeId) -> f64 {
+        let s = &self.nodes[node.index()];
+        if s.total_mem == 0 || s.total_mem == u64::MAX {
+            return 0.0;
+        }
+        s.used_mem as f64 / s.total_mem as f64
+    }
+
+    /// Tries to reserve `bytes` of memory; returns false if it would
+    /// overcommit.
+    pub fn try_reserve_memory(&mut self, node: NodeId, bytes: u64) -> bool {
+        let s = &mut self.nodes[node.index()];
+        if s.total_mem != u64::MAX && s.used_mem.saturating_add(bytes) > s.total_mem {
+            return false;
+        }
+        s.used_mem = s.used_mem.saturating_add(bytes);
+        true
+    }
+
+    /// Frees `bytes` of reserved memory.
+    pub fn free_memory_bytes(&mut self, node: NodeId, bytes: u64) -> Result<(), ResourceError> {
+        let s = &mut self.nodes[node.index()];
+        if bytes > s.used_mem {
+            return Err(ResourceError::UnderflowFree {
+                node,
+                requested: bytes,
+                reserved: s.used_mem,
+            });
+        }
+        s.used_mem -= bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::presets;
+
+    #[test]
+    fn slots_claim_and_release() {
+        let topo = presets::server_cluster(1, 1);
+        let mut res = NodeResources::new(&topo);
+        let n = topo.servers()[0];
+        let total = res.total_slots(n);
+        assert_eq!(res.free_slots(n), total);
+        assert!(res.try_claim_slot(n, SimTime::from_micros(10)));
+        assert_eq!(res.free_slots(n), total - 1);
+        res.release_slot(n).unwrap();
+        assert_eq!(res.free_slots(n), total);
+    }
+
+    #[test]
+    fn saturated_node_rejects_claims() {
+        let topo = presets::server_cluster(1, 1);
+        let mut res = NodeResources::new(&topo);
+        let n = topo.servers()[0];
+        for _ in 0..res.total_slots(n) {
+            assert!(res.try_claim_slot(n, SimTime::ZERO));
+        }
+        assert!(!res.try_claim_slot(n, SimTime::ZERO));
+    }
+
+    #[test]
+    fn release_without_claim_errors() {
+        let topo = presets::server_cluster(1, 1);
+        let mut res = NodeResources::new(&topo);
+        let n = topo.servers()[0];
+        assert!(matches!(
+            res.release_slot(n),
+            Err(ResourceError::NoSlotHeld(_))
+        ));
+    }
+
+    #[test]
+    fn earliest_slot_reports_min_completion() {
+        let topo = presets::server_cluster(1, 1);
+        let mut res = NodeResources::new(&topo);
+        let n = topo.servers()[0];
+        let total = res.total_slots(n);
+        for i in 0..total {
+            res.try_claim_slot(n, SimTime::from_micros(100 + i as u64));
+        }
+        assert_eq!(
+            res.earliest_slot(n, SimTime::ZERO),
+            SimTime::from_micros(100)
+        );
+        // With a free slot, the answer is `now`.
+        res.release_slot(n).unwrap();
+        assert_eq!(
+            res.earliest_slot(n, SimTime::from_micros(7)),
+            SimTime::from_micros(7)
+        );
+    }
+
+    #[test]
+    fn memory_reserve_free_and_pressure() {
+        let topo = presets::server_cluster(1, 1);
+        let mut res = NodeResources::new(&topo);
+        let n = topo.servers()[0];
+        let cap = res.free_memory(n);
+        assert!(res.try_reserve_memory(n, cap / 2));
+        assert!((res.memory_pressure(n) - 0.5).abs() < 1e-9);
+        assert!(!res.try_reserve_memory(n, cap));
+        res.free_memory_bytes(n, cap / 2).unwrap();
+        assert_eq!(res.used_memory(n), 0);
+    }
+
+    #[test]
+    fn memory_free_underflow_errors() {
+        let topo = presets::server_cluster(1, 1);
+        let mut res = NodeResources::new(&topo);
+        let n = topo.servers()[0];
+        res.try_reserve_memory(n, 10);
+        let err = res.free_memory_bytes(n, 20).unwrap_err();
+        assert!(matches!(err, ResourceError::UnderflowFree { .. }));
+        assert!(err.to_string().contains("exceeds reservation"));
+    }
+
+    #[test]
+    fn durable_storage_has_infinite_memory() {
+        let topo = presets::small_disagg_cluster();
+        let mut res = NodeResources::new(&topo);
+        let d = topo.durable_storage().unwrap();
+        assert!(res.try_reserve_memory(d, u64::MAX / 2));
+        assert_eq!(res.memory_pressure(d), 0.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Cluster topology: racks of servers, DPU-fronted accelerator devices,
+//! disaggregated memory blades, and durable cloud storage.
+//!
+//! The model follows the paper's Figure 2/3 hardware picture:
+//!
+//! - **Servers** are conventional hosts (CPU slots + DRAM) running a host
+//!   raylet, workers, and a local object store.
+//! - **Accelerator devices** are *physically disaggregated* devices: a
+//!   dominant resource (GPU or FPGA with HBM) fronted by a DPU that handles
+//!   networking and control. Whether control messages must detour through
+//!   the DPU is a runtime decision (Gen-1 vs Gen-2), not a topology one, so
+//!   the topology only records the DPU's per-message processing delay and
+//!   the internal PCIe-class hop cost.
+//! - **Memory blades** are disaggregated memory: a DPU plus a large pool of
+//!   DRAM, no general-purpose compute.
+//! - **Durable storage** is the cloud object store (S3-class latency), used
+//!   by stateless serverless deployments to bounce data between functions.
+//!
+//! Topologies are immutable once built; identity is positional, so a given
+//! builder program always produces the same IDs — another determinism
+//! anchor.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Identifies a node (server, device, blade, or durable store) in the
+/// cluster. IDs are dense indices assigned in build order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a rack. The durable store lives in a synthetic extra "rack"
+/// so that every node has a rack and cross-rack costs apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RackId(pub u16);
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack{}", self.0)
+    }
+}
+
+/// Coarse classification of a node, used for placement and link costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Conventional server (CPUs + DRAM).
+    Server,
+    /// Physically-disaggregated accelerator device (DPU + GPU/FPGA + HBM).
+    AccelDevice,
+    /// Disaggregated memory blade (DPU + DRAM pool).
+    MemoryBlade,
+    /// Durable cloud storage endpoint.
+    DurableStorage,
+}
+
+impl fmt::Display for NodeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeClass::Server => "server",
+            NodeClass::AccelDevice => "accel-device",
+            NodeClass::MemoryBlade => "memory-blade",
+            NodeClass::DurableStorage => "durable-storage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The dominant resource of an accelerator device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelKind {
+    /// GPU-class device: high throughput, HBM-backed.
+    Gpu,
+    /// FPGA-class device: lower clock, pipeline-friendly.
+    Fpga,
+}
+
+impl fmt::Display for AccelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelKind::Gpu => f.write_str("gpu"),
+            AccelKind::Fpga => f.write_str("fpga"),
+        }
+    }
+}
+
+/// DPU characteristics: how long the DPU takes to process one control or
+/// data message that transits it, and the internal device hop (PCIe-class)
+/// between the DPU and its companion resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpuSpec {
+    /// Per-message processing delay on the DPU's cores.
+    pub proc_delay: SimDuration,
+    /// One-way latency of the internal hop between DPU and the dominant
+    /// resource (accelerator cores / DRAM pool).
+    pub internal_hop: SimDuration,
+}
+
+impl Default for DpuSpec {
+    fn default() -> Self {
+        // BlueField-class DPUs add single-digit microseconds per message;
+        // the internal PCIe hop is ~1-2 us one way.
+        DpuSpec {
+            proc_delay: SimDuration::from_micros(3),
+            internal_hop: SimDuration::from_nanos(1_500),
+        }
+    }
+}
+
+/// Server hardware description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerSpec {
+    /// Number of concurrently-runnable CPU worker slots.
+    pub cpu_slots: u32,
+    /// Host DRAM capacity in bytes.
+    pub dram_bytes: u64,
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec {
+            cpu_slots: 16,
+            dram_bytes: 64 << 30,
+        }
+    }
+}
+
+/// Accelerator device hardware description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelSpec {
+    /// HBM capacity in bytes.
+    pub hbm_bytes: u64,
+    /// Number of concurrently-runnable op slots on the accelerator.
+    pub op_slots: u32,
+    /// Relative compute speed vs a CPU slot (used by op cost models).
+    pub speedup_vs_cpu: u32,
+    /// The fronting DPU.
+    pub dpu: DpuSpec,
+}
+
+impl Default for AccelSpec {
+    fn default() -> Self {
+        AccelSpec {
+            hbm_bytes: 16 << 30,
+            op_slots: 4,
+            speedup_vs_cpu: 20,
+            dpu: DpuSpec::default(),
+        }
+    }
+}
+
+/// Disaggregated memory blade description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBladeSpec {
+    /// DRAM pool capacity in bytes.
+    pub dram_bytes: u64,
+    /// The fronting DPU.
+    pub dpu: DpuSpec,
+}
+
+impl Default for MemoryBladeSpec {
+    fn default() -> Self {
+        MemoryBladeSpec {
+            dram_bytes: 512 << 30,
+            dpu: DpuSpec::default(),
+        }
+    }
+}
+
+/// Durable cloud storage description (S3-class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableSpec {
+    /// First-byte latency of a durable read or write.
+    pub latency: SimDuration,
+    /// Sustained per-stream bandwidth in bytes/second.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for DurableSpec {
+    fn default() -> Self {
+        DurableSpec {
+            // Cloud object stores: ~10 ms first byte, ~100 MB/s per stream.
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: 100 << 20,
+        }
+    }
+}
+
+/// Full description of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A conventional server.
+    Server(ServerSpec),
+    /// A physically-disaggregated accelerator device.
+    AccelDevice(AccelKind, AccelSpec),
+    /// A disaggregated memory blade.
+    MemoryBlade(MemoryBladeSpec),
+    /// Durable cloud storage.
+    DurableStorage(DurableSpec),
+}
+
+impl NodeKind {
+    /// The coarse class of this node.
+    pub fn class(&self) -> NodeClass {
+        match self {
+            NodeKind::Server(_) => NodeClass::Server,
+            NodeKind::AccelDevice(..) => NodeClass::AccelDevice,
+            NodeKind::MemoryBlade(_) => NodeClass::MemoryBlade,
+            NodeKind::DurableStorage(_) => NodeClass::DurableStorage,
+        }
+    }
+
+    /// Memory capacity of the node's primary store in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            NodeKind::Server(s) => s.dram_bytes,
+            NodeKind::AccelDevice(_, a) => a.hbm_bytes,
+            NodeKind::MemoryBlade(m) => m.dram_bytes,
+            NodeKind::DurableStorage(_) => u64::MAX,
+        }
+    }
+
+    /// The DPU spec, if this node is fronted by a DPU.
+    pub fn dpu(&self) -> Option<DpuSpec> {
+        match self {
+            NodeKind::AccelDevice(_, a) => Some(a.dpu),
+            NodeKind::MemoryBlade(m) => Some(m.dpu),
+            _ => None,
+        }
+    }
+}
+
+/// One node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// The rack the node lives in.
+    pub rack: RackId,
+    /// Hardware description.
+    pub kind: NodeKind,
+}
+
+/// An immutable cluster topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    rack_count: u16,
+}
+
+impl Topology {
+    /// All nodes, in ID order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of racks (including the synthetic durable-storage rack).
+    pub fn rack_count(&self) -> u16 {
+        self.rack_count
+    }
+
+    /// Looks up a node by ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is not part of this topology.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The rack a node lives in.
+    pub fn rack_of(&self, id: NodeId) -> RackId {
+        self.node(id).rack
+    }
+
+    /// True if both nodes are in the same rack.
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+
+    /// All node IDs with the given class, in ID order.
+    pub fn nodes_of_kind(&self, class: NodeClass) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.class() == class)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// All server node IDs.
+    pub fn servers(&self) -> Vec<NodeId> {
+        self.nodes_of_kind(NodeClass::Server)
+    }
+
+    /// All accelerator device node IDs, optionally filtered by kind.
+    pub fn accel_devices(&self, kind: Option<AccelKind>) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::AccelDevice(k, _) if kind.is_none() || kind == Some(k) => Some(n.id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All disaggregated memory blade IDs.
+    pub fn memory_blades(&self) -> Vec<NodeId> {
+        self.nodes_of_kind(NodeClass::MemoryBlade)
+    }
+
+    /// The durable storage node, if one was declared.
+    pub fn durable_storage(&self) -> Option<NodeId> {
+        self.nodes_of_kind(NodeClass::DurableStorage)
+            .first()
+            .copied()
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        let s = self.servers().len();
+        let g = self.accel_devices(Some(AccelKind::Gpu)).len();
+        let f = self.accel_devices(Some(AccelKind::Fpga)).len();
+        let m = self.memory_blades().len();
+        format!(
+            "{} racks: {s} servers, {g} GPUs, {f} FPGAs, {m} memory blades{}",
+            self.rack_count,
+            if self.durable_storage().is_some() {
+                ", durable storage"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Builds one rack's worth of nodes.
+#[derive(Debug)]
+pub struct RackBuilder {
+    rack: RackId,
+    nodes: Vec<NodeKind>,
+}
+
+impl RackBuilder {
+    /// Adds `count` identical servers to the rack.
+    pub fn servers(&mut self, count: u32, spec: ServerSpec) -> &mut Self {
+        for _ in 0..count {
+            self.nodes.push(NodeKind::Server(spec));
+        }
+        self
+    }
+
+    /// Adds one accelerator device to the rack.
+    pub fn accel_device(&mut self, kind: AccelKind, spec: AccelSpec) -> &mut Self {
+        self.nodes.push(NodeKind::AccelDevice(kind, spec));
+        self
+    }
+
+    /// Adds `count` identical accelerator devices to the rack.
+    pub fn accel_devices(&mut self, count: u32, kind: AccelKind, spec: AccelSpec) -> &mut Self {
+        for _ in 0..count {
+            self.nodes.push(NodeKind::AccelDevice(kind, spec));
+        }
+        self
+    }
+
+    /// Adds one disaggregated memory blade to the rack.
+    pub fn memory_blade(&mut self, spec: MemoryBladeSpec) -> &mut Self {
+        self.nodes.push(NodeKind::MemoryBlade(spec));
+        self
+    }
+}
+
+/// Fluent builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    racks: Vec<Vec<NodeKind>>,
+    durable: Option<DurableSpec>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a rack, populated by the closure.
+    pub fn rack(mut self, f: impl FnOnce(&mut RackBuilder)) -> Self {
+        let mut rb = RackBuilder {
+            rack: RackId(self.racks.len() as u16),
+            nodes: Vec::new(),
+        };
+        f(&mut rb);
+        let _ = rb.rack;
+        self.racks.push(rb.nodes);
+        self
+    }
+
+    /// Declares the cluster's durable storage endpoint.
+    pub fn durable_storage(mut self, spec: DurableSpec) -> Self {
+        self.durable = Some(spec);
+        self
+    }
+
+    /// Finalizes the topology, assigning dense node IDs in declaration
+    /// order (rack by rack, then durable storage last).
+    pub fn build(self) -> Topology {
+        let mut nodes = Vec::new();
+        let mut next = 0u32;
+        for (r, rack_nodes) in self.racks.iter().enumerate() {
+            for kind in rack_nodes {
+                nodes.push(Node {
+                    id: NodeId(next),
+                    rack: RackId(r as u16),
+                    kind: *kind,
+                });
+                next += 1;
+            }
+        }
+        let mut rack_count = self.racks.len() as u16;
+        if let Some(spec) = self.durable {
+            nodes.push(Node {
+                id: NodeId(next),
+                rack: RackId(rack_count),
+                kind: NodeKind::DurableStorage(spec),
+            });
+            rack_count += 1;
+        }
+        Topology { nodes, rack_count }
+    }
+}
+
+/// Pre-canned topologies used by examples, tests, and the benchmark
+/// harness, so every experiment references the same cluster shapes.
+pub mod presets {
+    use super::*;
+
+    /// A small symmetric cluster: 2 racks x 4 servers, each rack also has
+    /// one GPU device and one FPGA device, one shared memory blade, plus
+    /// durable storage. This is the default cluster for most experiments.
+    pub fn small_disagg_cluster() -> Topology {
+        TopologyBuilder::new()
+            .rack(|r| {
+                r.servers(4, ServerSpec::default());
+                r.accel_device(AccelKind::Gpu, AccelSpec::default());
+                r.accel_device(AccelKind::Fpga, AccelSpec::default());
+            })
+            .rack(|r| {
+                r.servers(4, ServerSpec::default());
+                r.accel_device(AccelKind::Gpu, AccelSpec::default());
+                r.accel_device(AccelKind::Fpga, AccelSpec::default());
+                r.memory_blade(MemoryBladeSpec::default());
+            })
+            .durable_storage(DurableSpec::default())
+            .build()
+    }
+
+    /// A device-dense rack used by the Fig-3 experiments: one server and
+    /// four accelerator devices (2 GPU + 2 FPGA) plus a memory blade.
+    pub fn device_rack() -> Topology {
+        TopologyBuilder::new()
+            .rack(|r| {
+                r.servers(1, ServerSpec::default());
+                r.accel_devices(2, AccelKind::Gpu, AccelSpec::default());
+                r.accel_devices(2, AccelKind::Fpga, AccelSpec::default());
+                r.memory_blade(MemoryBladeSpec::default());
+            })
+            .durable_storage(DurableSpec::default())
+            .build()
+    }
+
+    /// A server-only cluster (no physical disaggregation) for serverful and
+    /// stateless-serverless baselines.
+    pub fn server_cluster(racks: u16, servers_per_rack: u32) -> Topology {
+        let mut b = TopologyBuilder::new();
+        for _ in 0..racks {
+            b = b.rack(|r| {
+                r.servers(servers_per_rack, ServerSpec::default());
+            });
+        }
+        b.durable_storage(DurableSpec::default()).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids_in_order() {
+        let topo = TopologyBuilder::new()
+            .rack(|r| {
+                r.servers(2, ServerSpec::default());
+            })
+            .rack(|r| {
+                r.accel_device(AccelKind::Gpu, AccelSpec::default());
+            })
+            .build();
+        assert_eq!(topo.len(), 3);
+        assert_eq!(topo.nodes()[0].id, NodeId(0));
+        assert_eq!(topo.nodes()[2].id, NodeId(2));
+        assert_eq!(topo.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(topo.rack_of(NodeId(2)), RackId(1));
+    }
+
+    #[test]
+    fn durable_storage_gets_own_rack() {
+        let topo = TopologyBuilder::new()
+            .rack(|r| {
+                r.servers(1, ServerSpec::default());
+            })
+            .durable_storage(DurableSpec::default())
+            .build();
+        let d = topo.durable_storage().expect("durable node");
+        assert_eq!(topo.rack_of(d), RackId(1));
+        assert_eq!(topo.rack_count(), 2);
+        assert!(!topo.same_rack(NodeId(0), d));
+    }
+
+    #[test]
+    fn kind_filters_work() {
+        let topo = presets::small_disagg_cluster();
+        assert_eq!(topo.servers().len(), 8);
+        assert_eq!(topo.accel_devices(None).len(), 4);
+        assert_eq!(topo.accel_devices(Some(AccelKind::Gpu)).len(), 2);
+        assert_eq!(topo.accel_devices(Some(AccelKind::Fpga)).len(), 2);
+        assert_eq!(topo.memory_blades().len(), 1);
+        assert!(topo.durable_storage().is_some());
+    }
+
+    #[test]
+    fn node_kind_reports_memory_and_dpu() {
+        let blade = NodeKind::MemoryBlade(MemoryBladeSpec::default());
+        assert!(blade.dpu().is_some());
+        assert_eq!(blade.memory_bytes(), 512 << 30);
+        let server = NodeKind::Server(ServerSpec::default());
+        assert!(server.dpu().is_none());
+    }
+
+    #[test]
+    fn identical_builders_produce_identical_topologies() {
+        let a = presets::small_disagg_cluster();
+        let b = presets::small_disagg_cluster();
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn summary_mentions_components() {
+        let s = presets::device_rack().summary();
+        assert!(s.contains("GPUs"), "summary was: {s}");
+        assert!(s.contains("durable storage"), "summary was: {s}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Measurement: named counters and latency histograms.
+//!
+//! Experiments record into a [`Metrics`] sink and read back counters,
+//! means, and percentiles when printing tables. Percentiles use exact
+//! order statistics over recorded samples (sample counts in these
+//! experiments are small enough that sketches are unnecessary, and
+//! exactness aids reproducibility).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A latency histogram backed by raw samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all samples, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
+        SimDuration::from_nanos(u64::try_from(sum).unwrap_or(u64::MAX))
+    }
+
+    /// Largest sample, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Exact percentile (`q` in `[0, 100]`) by nearest-rank, or zero if
+    /// empty.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        SimDuration::from_nanos(self.samples[rank])
+    }
+
+    /// Median sample.
+    pub fn p50(&mut self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile sample.
+    pub fn p99(&mut self) -> SimDuration {
+        self.percentile(99.0)
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a duration sample into the named histogram.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Mutable access to a histogram (created empty on first use).
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Read access to a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(String::as_str).collect()
+    }
+
+    /// Merges another sink into this one (counters add, samples append).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            mine.samples.extend_from_slice(&h.samples);
+            mine.sorted = false;
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "{k}: n={} mean={} max={}", h.count(), h.mean(), h.max())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.bump("tasks");
+        m.add("tasks", 4);
+        assert_eq!(m.counter("tasks"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for us in [1u64, 2, 3, 4, 100] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean().as_micros(), 22);
+        assert_eq!(h.min().as_micros(), 1);
+        assert_eq!(h.max().as_micros(), 100);
+        assert_eq!(h.p50().as_micros(), 3);
+        assert_eq!(h.total().as_micros(), 110);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.percentile(0.0).as_micros(), 1);
+        assert_eq!(h.percentile(100.0).as_micros(), 100);
+        assert_eq!(h.p99().as_micros(), 99);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.p99(), SimDuration::ZERO);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn observe_via_metrics() {
+        let mut m = Metrics::new();
+        m.observe("lat", SimDuration::from_micros(10));
+        m.observe("lat", SimDuration::from_micros(20));
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+        assert_eq!(m.histogram_mut("lat").mean().as_micros(), 15);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        a.observe("h", SimDuration::from_micros(1));
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.observe("h", SimDuration::from_micros(3));
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut m = Metrics::new();
+        m.add("c", 7);
+        m.observe("h", SimDuration::from_micros(5));
+        let s = m.to_string();
+        assert!(s.contains("c: 7"));
+        assert!(s.contains("h: n=1"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for graph construction and lowering.
+
+use std::fmt;
+
+use crate::logical::VertexId;
+
+/// Errors from the flowgraph layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a vertex that does not exist.
+    UnknownVertex(VertexId),
+    /// The graph contains a cycle (FlowGraph is a DAG; iteration is
+    /// expressed by unrolling or by runtime re-submission).
+    Cyclic,
+    /// A duplicate edge was added.
+    DuplicateEdge(VertexId, VertexId),
+    /// Lowering failed (e.g. no backend for a vertex).
+    LoweringFailed(String),
+    /// The graph is structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::Cyclic => f.write_str("graph contains a cycle"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::LoweringFailed(msg) => write!(f, "lowering failed: {msg}"),
+            GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,282 @@
+//! Graph-level optimization: "optimizes the graph using predefined rules"
+//! (§2.1 step 2).
+//!
+//! Two rules are implemented, mirroring what the IR passes do at op level:
+//!
+//! 1. **Dead-vertex pruning**: vertices that cannot reach any sink do no
+//!    useful work and are removed.
+//! 2. **Chain fusion**: a linear chain of per-row IR vertices (single
+//!    producer, single consumer, plain data edge) collapses into one
+//!    fused vertex — fewer task launches and no intermediate objects,
+//!    which is the paper's motivation for cross-domain fusion.
+
+use std::collections::HashSet;
+
+use crate::logical::{EdgeKind, FlowGraph, VertexBody, VertexId};
+
+/// Which ops may join a fused vertex chain (per-row/per-element, one
+/// input). Matches the IR-level fusable set.
+fn fusable(name: &str) -> bool {
+    matches!(
+        name,
+        "rel.filter" | "rel.project" | "tensor.map" | "tensor.from_frame" | "kernel.fused"
+    )
+}
+
+/// What the optimizer did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeReport {
+    /// Vertices removed as unreachable-from-sinks.
+    pub pruned: usize,
+    /// Fusion rewrites applied (each removes one vertex).
+    pub fused: usize,
+    /// Vertex count before optimization.
+    pub before: usize,
+    /// Vertex count after optimization.
+    pub after: usize,
+}
+
+/// Runs both rules to fixpoint.
+pub fn optimize_graph(g: &mut FlowGraph) -> OptimizeReport {
+    let before = g.len();
+    let pruned = prune_dead(g);
+    let mut fused = 0;
+    while fuse_one(g) {
+        fused += 1;
+    }
+    OptimizeReport {
+        pruned,
+        fused,
+        before,
+        after: g.len(),
+    }
+}
+
+/// Removes vertices that cannot reach any sink. Graphs without sinks are
+/// left untouched (every vertex is presumed observable).
+fn prune_dead(g: &mut FlowGraph) -> usize {
+    let sinks: Vec<VertexId> = g
+        .vertices()
+        .iter()
+        .filter(|v| matches!(v.body, VertexBody::Sink { .. }))
+        .map(|v| v.id)
+        .collect();
+    if sinks.is_empty() {
+        return 0;
+    }
+    // Reverse reachability from sinks.
+    let mut live: HashSet<VertexId> = HashSet::new();
+    let mut stack = sinks;
+    while let Some(v) = stack.pop() {
+        if !live.insert(v) {
+            continue;
+        }
+        for p in g.inputs_of(v) {
+            stack.push(p);
+        }
+    }
+    let doomed: HashSet<VertexId> = g
+        .vertices()
+        .iter()
+        .filter(|v| !live.contains(&v.id))
+        .map(|v| v.id)
+        .collect();
+    let n = doomed.len();
+    if n > 0 {
+        g.remove_vertices(&doomed);
+    }
+    n
+}
+
+/// Fuses one producer-consumer pair of fusable IR vertices joined by a
+/// plain data edge, where the producer's only consumer is the pair's
+/// consumer and the consumer's only producer is the pair's producer.
+/// Returns true if a rewrite happened.
+fn fuse_one(g: &mut FlowGraph) -> bool {
+    let mut pair: Option<(VertexId, VertexId)> = None;
+    for e in g.edges() {
+        if e.kind != EdgeKind::Data {
+            continue;
+        }
+        let (p, c) = (g.vertex(e.from), g.vertex(e.to));
+        let (VertexBody::IrOp { name: pn, .. }, VertexBody::IrOp { name: cn, .. }) =
+            (&p.body, &c.body)
+        else {
+            continue;
+        };
+        if !fusable(pn) || !fusable(cn) {
+            continue;
+        }
+        if g.outputs_of(p.id).len() != 1 || g.inputs_of(c.id).len() != 1 {
+            continue;
+        }
+        pair = Some((p.id, c.id));
+        break;
+    }
+    let Some((pid, cid)) = pair else {
+        return false;
+    };
+
+    // Merge the producer's body into the consumer, then rewire the
+    // producer's inputs to the consumer and drop the producer.
+    let p_body = match &g.vertex(pid).body {
+        VertexBody::IrOp { body, .. } => body.clone(),
+        _ => unreachable!("checked above"),
+    };
+    let p_inputs: Vec<(VertexId, EdgeKind)> = g
+        .inputs_of(pid)
+        .into_iter()
+        .map(|u| (u, g.edge_between(u, pid).expect("edge exists").kind.clone()))
+        .collect();
+    let p_rows = g.vertex(pid).rows_hint;
+
+    {
+        let c = g.vertex_mut(cid);
+        if let VertexBody::IrOp { name, body } = &mut c.body {
+            let mut merged = p_body;
+            merged.extend(body.clone());
+            *body = merged;
+            *name = "kernel.fused".to_string();
+        }
+        // The fused vertex streams the producer's input cardinality.
+        c.rows_hint = c.rows_hint.max(p_rows);
+    }
+    for (u, kind) in p_inputs {
+        match kind {
+            EdgeKind::Data => g.connect(u, cid).ok(),
+            EdgeKind::Keyed(k) => g.connect_keyed(u, cid, &k).ok(),
+            EdgeKind::Broadcast => g.connect_broadcast(u, cid).ok(),
+        };
+    }
+    let doomed: HashSet<VertexId> = [pid].into_iter().collect();
+    g.remove_vertices(&doomed);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunes_unreachable_branch() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 10, 10);
+        let live = g.add_ir_op("rel.filter", 10, 10);
+        let dead = g.add_ir_op("rel.project", 10, 10);
+        let sink = g.add_sink("out");
+        g.connect(s, live).unwrap();
+        g.connect(s, dead).unwrap();
+        g.connect(live, sink).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.pruned, 1);
+        g.validate().unwrap();
+        assert!(g.vertices().iter().all(|v| v.body.name() != "rel.project"));
+    }
+
+    #[test]
+    fn fuses_linear_chain() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 1000, 8000);
+        let f = g.add_ir_op("rel.filter", 1000, 4000);
+        let m = g.add_ir_op("tensor.map", 1000, 4000);
+        let sink = g.add_sink("out");
+        g.connect(s, f).unwrap();
+        g.connect(f, m).unwrap();
+        g.connect(m, sink).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.fused, 1);
+        assert_eq!(g.len(), 3);
+        let fused = g
+            .vertices()
+            .iter()
+            .find(|v| v.body.name() == "kernel.fused")
+            .expect("fused vertex");
+        match &fused.body {
+            VertexBody::IrOp { body, .. } => {
+                assert_eq!(
+                    body,
+                    &vec!["rel.filter".to_string(), "tensor.map".to_string()]
+                )
+            }
+            _ => panic!("not an IR op"),
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn long_chain_fuses_fully() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 10, 10);
+        let a = g.add_ir_op("rel.filter", 10, 10);
+        let b = g.add_ir_op("rel.project", 10, 10);
+        let c = g.add_ir_op("tensor.from_frame", 10, 10);
+        let d = g.add_ir_op("tensor.map", 10, 10);
+        let sink = g.add_sink("out");
+        g.connect(s, a).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(b, c).unwrap();
+        g.connect(c, d).unwrap();
+        g.connect(d, sink).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.fused, 3);
+        assert_eq!(g.len(), 3); // source, fused, sink
+    }
+
+    #[test]
+    fn fanout_blocks_fusion() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 10, 10);
+        let f = g.add_ir_op("rel.filter", 10, 10);
+        let p1 = g.add_ir_op("rel.project", 10, 10);
+        let p2 = g.add_ir_op("rel.project", 10, 10);
+        let k1 = g.add_sink("o1");
+        let k2 = g.add_sink("o2");
+        g.connect(s, f).unwrap();
+        g.connect(f, p1).unwrap();
+        g.connect(f, p2).unwrap();
+        g.connect(p1, k1).unwrap();
+        g.connect(p2, k2).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.fused, 0);
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn keyed_edges_block_fusion() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 10, 10);
+        let f = g.add_ir_op("rel.filter", 10, 10);
+        let m = g.add_ir_op("tensor.map", 10, 10);
+        let sink = g.add_sink("out");
+        g.connect(s, f).unwrap();
+        g.connect_keyed(f, m, "k").unwrap();
+        g.connect(m, sink).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.fused, 0);
+    }
+
+    #[test]
+    fn aggregates_never_fuse() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 10, 10);
+        let f = g.add_ir_op("rel.filter", 10, 10);
+        let a = g.add_ir_op("rel.aggregate", 10, 10);
+        let sink = g.add_sink("out");
+        g.connect(s, f).unwrap();
+        g.connect(f, a).unwrap();
+        g.connect(a, sink).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.fused, 0);
+    }
+
+    #[test]
+    fn no_sinks_means_no_pruning() {
+        let mut g = FlowGraph::new();
+        let s = g.add_source("in", 10, 10);
+        let f = g.add_ir_op("rel.aggregate", 10, 10);
+        g.connect(s, f).unwrap();
+        let report = optimize_graph(&mut g);
+        assert_eq!(report.pruned, 0);
+        assert_eq!(g.len(), 2);
+    }
+}

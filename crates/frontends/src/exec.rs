@@ -1,0 +1,575 @@
+//! Local SQL execution engine.
+//!
+//! Executes parsed queries against real in-memory [`RecordBatch`]es using
+//! the `skadi-arrow` kernels. The distributed runtime *prices* execution
+//! on the simulated cluster; this engine *computes actual answers*, which
+//! (a) validates the planner's semantics and (b) powers the examples that
+//! want to show real results.
+//!
+//! Supported: projection, WHERE conjunctions, equi-joins, GROUP BY with
+//! `sum`/`count`/`min`/`max`/`avg`, ORDER BY, LIMIT.
+
+use std::collections::BTreeMap;
+
+use skadi_arrow::array::{Array, Value};
+use skadi_arrow::batch::RecordBatch;
+use skadi_arrow::compute::{self, CmpOp};
+use skadi_arrow::datatype::DataType;
+use skadi_arrow::schema::{Field, Schema};
+
+use crate::catalog::{Catalog, TableDef};
+use crate::sql::ast::{Comparison, Expr, Literal, Query};
+use crate::sql::{parse, tokenize, SqlError};
+use skadi_ir::types::ScalarType;
+
+/// An in-memory database: named tables of record batches.
+#[derive(Debug, Clone, Default)]
+pub struct MemDb {
+    tables: BTreeMap<String, RecordBatch>,
+}
+
+impl MemDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        MemDb::default()
+    }
+
+    /// Registers a table.
+    pub fn register(mut self, name: &str, batch: RecordBatch) -> Self {
+        self.tables.insert(name.to_string(), batch);
+        self
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&RecordBatch, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::Plan(format!("unknown table {name:?}")))
+    }
+
+    /// Parses and executes a query, returning the result batch.
+    pub fn query(&self, sql: &str) -> Result<RecordBatch, SqlError> {
+        let q = parse(&tokenize(sql)?)?;
+        execute(&q, self)
+    }
+
+    /// Derives a planner [`Catalog`] from the registered tables: schemas
+    /// from the batches, cardinalities from their actual row counts and
+    /// byte sizes — so the same database drives both real execution and
+    /// simulated distributed execution.
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for (name, batch) in &self.tables {
+            let columns: Vec<(String, ScalarType)> = batch
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| {
+                    let t = match f.data_type {
+                        DataType::Int64 => ScalarType::I64,
+                        DataType::Float64 => ScalarType::F64,
+                        DataType::Bool => ScalarType::Bool,
+                        DataType::Utf8 => ScalarType::Str,
+                    };
+                    (f.name.clone(), t)
+                })
+                .collect();
+            c = c.table(
+                name,
+                TableDef {
+                    columns,
+                    rows: batch.num_rows() as u64,
+                    bytes: batch.byte_size() as u64,
+                },
+            );
+        }
+        c
+    }
+}
+
+fn wrap(e: skadi_arrow::error::ArrowError) -> SqlError {
+    SqlError::Plan(format!("execution: {e}"))
+}
+
+fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(v) => Value::I64(*v),
+        Literal::Float(v) => Value::F64(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn cmp_op(op: &str) -> Result<CmpOp, SqlError> {
+    Ok(match op {
+        "=" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(SqlError::Plan(format!("unsupported operator {other:?}"))),
+    })
+}
+
+/// Applies one conjunct as a filter.
+fn apply_filter(batch: &RecordBatch, c: &Comparison) -> Result<RecordBatch, SqlError> {
+    let col = batch.column_by_name(&c.column).map_err(wrap)?;
+    let mask = compute::cmp_scalar(col, cmp_op(&c.op)?, &literal_value(&c.value)).map_err(wrap)?;
+    compute::filter(batch, &mask).map_err(wrap)
+}
+
+/// Hash equi-join (inner). Right-side key column is dropped from the
+/// output; other right columns are appended.
+fn hash_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    left_key: &str,
+    right_key: &str,
+) -> Result<RecordBatch, SqlError> {
+    let lk = left.schema().index_of(left_key).map_err(wrap)?;
+    let rk = right.schema().index_of(right_key).map_err(wrap)?;
+
+    // Build side: key value -> row indices.
+    let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for r in 0..right.num_rows() {
+        let key = right.column(rk).value_at(r);
+        if key == Value::Null {
+            continue;
+        }
+        index.entry(key.to_string()).or_default().push(r);
+    }
+
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<usize> = Vec::new();
+    for l in 0..left.num_rows() {
+        let key = left.column(lk).value_at(l);
+        if key == Value::Null {
+            continue;
+        }
+        if let Some(matches) = index.get(&key.to_string()) {
+            for r in matches {
+                left_rows.push(l);
+                right_rows.push(*r);
+            }
+        }
+    }
+
+    // Assemble output schema: all left columns, then right columns except
+    // the key and any name collisions.
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_cols: Vec<usize> = Vec::new();
+    for (i, f) in right.schema().fields().iter().enumerate() {
+        if i == rk || fields.iter().any(|lf| lf.name == f.name) {
+            continue;
+        }
+        fields.push(f.clone());
+        right_cols.push(i);
+    }
+
+    let mut columns: Vec<Array> = Vec::with_capacity(fields.len());
+    for c in 0..left.num_columns() {
+        let values: Vec<Value> = left_rows
+            .iter()
+            .map(|r| left.column(c).value_at(*r))
+            .collect();
+        columns.push(Array::from_values(left.column(c).data_type(), &values).map_err(wrap)?);
+    }
+    for &c in &right_cols {
+        let values: Vec<Value> = right_rows
+            .iter()
+            .map(|r| right.column(c).value_at(*r))
+            .collect();
+        columns.push(Array::from_values(right.column(c).data_type(), &values).map_err(wrap)?);
+    }
+    RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::I64(x) => Some(*x as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Grouped aggregation.
+fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError> {
+    let group_cols: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|g| input.schema().index_of(g).map_err(wrap))
+        .collect::<Result<_, _>>()?;
+
+    // Group rows by rendered key (deterministic order via BTreeMap).
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for r in 0..input.num_rows() {
+        let key: String = group_cols
+            .iter()
+            .map(|c| input.column(*c).value_at(r).to_string())
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        groups.entry(key).or_default().push(r);
+    }
+    if group_cols.is_empty() && input.num_rows() > 0 {
+        // Global aggregate: one group.
+        groups.clear();
+        groups.insert(String::new(), (0..input.num_rows()).collect());
+    }
+
+    // Output schema: group columns then one column per aggregate item.
+    let mut fields: Vec<Field> = group_cols
+        .iter()
+        .map(|c| input.schema().field(*c).clone())
+        .collect();
+    let mut agg_items: Vec<(&str, &str, String)> = Vec::new(); // (func, col, out name)
+    for item in &q.select {
+        if let Expr::Agg { func, column } = &item.expr {
+            let name = item
+                .alias
+                .clone()
+                .unwrap_or_else(|| format!("{func}({column})"));
+            let dt = if func == "count" {
+                DataType::Int64
+            } else {
+                DataType::Float64
+            };
+            fields.push(Field::new(name.clone(), dt, true));
+            agg_items.push((func, column, name));
+        }
+    }
+
+    let mut group_values: Vec<Vec<Value>> = vec![Vec::new(); group_cols.len()];
+    let mut agg_values: Vec<Vec<Value>> = vec![Vec::new(); agg_items.len()];
+    for rows in groups.values() {
+        for (i, c) in group_cols.iter().enumerate() {
+            group_values[i].push(input.column(*c).value_at(rows[0]));
+        }
+        for (i, (func, col, _)) in agg_items.iter().enumerate() {
+            let v = if *func == "count" {
+                if *col == "*" {
+                    Value::I64(rows.len() as i64)
+                } else {
+                    let c = input.schema().index_of(col).map_err(wrap)?;
+                    Value::I64(
+                        rows.iter()
+                            .filter(|r| input.column(c).value_at(**r) != Value::Null)
+                            .count() as i64,
+                    )
+                }
+            } else {
+                let c = input.schema().index_of(col).map_err(wrap)?;
+                let nums: Vec<f64> = rows
+                    .iter()
+                    .filter_map(|r| numeric(&input.column(c).value_at(*r)))
+                    .collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    match *func {
+                        "sum" => Value::F64(nums.iter().sum()),
+                        "min" => Value::F64(nums.iter().copied().fold(f64::INFINITY, f64::min)),
+                        "max" => Value::F64(nums.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+                        "avg" => Value::F64(nums.iter().sum::<f64>() / nums.len() as f64),
+                        other => {
+                            return Err(SqlError::Plan(format!("unsupported aggregate {other:?}")))
+                        }
+                    }
+                }
+            };
+            agg_values[i].push(v);
+        }
+    }
+
+    let mut columns = Vec::with_capacity(fields.len());
+    for (i, _) in group_cols.iter().enumerate() {
+        columns.push(Array::from_values(fields[i].data_type, &group_values[i]).map_err(wrap)?);
+    }
+    for (i, vals) in agg_values.iter().enumerate() {
+        columns
+            .push(Array::from_values(fields[group_cols.len() + i].data_type, vals).map_err(wrap)?);
+    }
+    RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
+}
+
+/// Sorts by one column (via the shared sort kernel; NULLs sort lowest).
+fn sort_by(batch: &RecordBatch, column: &str, descending: bool) -> Result<RecordBatch, SqlError> {
+    let col = batch.column_by_name(column).map_err(wrap)?;
+    let order = if descending {
+        compute::SortOrder::Descending
+    } else {
+        compute::SortOrder::Ascending
+    };
+    let indices = compute::sort_to_indices(col, order);
+    compute::take(batch, &indices).map_err(wrap)
+}
+
+/// Executes a parsed query against the database.
+pub fn execute(q: &Query, db: &MemDb) -> Result<RecordBatch, SqlError> {
+    let mut current = db.table(&q.from)?.clone();
+
+    // Pushdown-equivalent: apply base-table conjuncts first.
+    if let Some(p) = &q.predicate {
+        for c in &p.conjuncts {
+            if current.schema().index_of(&c.column).is_ok() {
+                current = apply_filter(&current, c)?;
+            }
+        }
+    }
+    for j in &q.joins {
+        let right = db.table(&j.table)?;
+        current = hash_join(&current, right, &j.left_key, &j.right_key)?;
+    }
+    // Residual conjuncts (columns that only exist post-join).
+    if let Some(p) = &q.predicate {
+        for c in &p.conjuncts {
+            if db.table(&q.from)?.schema().index_of(&c.column).is_err() {
+                current = apply_filter(&current, c)?;
+            }
+        }
+    }
+
+    if q.is_aggregate() {
+        current = aggregate(q, &current)?;
+    } else {
+        let cols = q.projected_columns();
+        if !cols.is_empty() && !cols.contains(&"*") {
+            current = current.project(&cols).map_err(wrap)?;
+        }
+    }
+
+    if let Some(ob) = &q.order_by {
+        current = sort_by(&current, &ob.column, ob.descending)?;
+    }
+    if let Some(n) = q.limit {
+        let keep = (n.max(0) as usize).min(current.num_rows());
+        let indices = Array::from_i64((0..keep as i64).collect());
+        current = compute::take(&current, &indices).map_err(wrap)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> MemDb {
+        let events = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("user_id", DataType::Int64, false),
+                Field::new("kind", DataType::Utf8, false),
+                Field::new("value", DataType::Float64, true),
+            ]),
+            vec![
+                Array::from_i64(vec![1, 1, 2, 2, 3, 3]),
+                Array::from_utf8(&["click", "view", "click", "click", "view", "click"]),
+                Array::from_opt_f64(vec![
+                    Some(1.0),
+                    Some(2.0),
+                    Some(3.0),
+                    None,
+                    Some(5.0),
+                    Some(6.0),
+                ]),
+            ],
+        )
+        .unwrap();
+        let users = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("user_id", DataType::Int64, false),
+                Field::new("country", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_i64(vec![1, 2, 3]),
+                Array::from_utf8(&["DE", "US", "DE"]),
+            ],
+        )
+        .unwrap();
+        MemDb::new()
+            .register("events", events)
+            .register("users", users)
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let out = db()
+            .query("SELECT user_id FROM events WHERE kind = 'click'")
+            .unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(out.num_columns(), 1);
+        assert_eq!(out.column(0).value_at(0), Value::I64(1));
+    }
+
+    #[test]
+    fn conjunction() {
+        let out = db()
+            .query("SELECT user_id FROM events WHERE kind = 'click' AND value > 2")
+            .unwrap();
+        // click rows with value > 2: (2, 3.0), (3, 6.0). Null drops.
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let out = db().query("SELECT sum(value) FROM events").unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column(0).value_at(0), Value::F64(17.0));
+    }
+
+    #[test]
+    fn group_by_with_alias() {
+        let out = db()
+            .query("SELECT kind, sum(value) AS total, count(*) AS n FROM events GROUP BY kind")
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // BTreeMap ordering: click before view.
+        assert_eq!(
+            out.column_by_name("kind").unwrap().value_at(0),
+            Value::Str("click".into())
+        );
+        assert_eq!(
+            out.column_by_name("total").unwrap().value_at(0),
+            Value::F64(10.0)
+        );
+        assert_eq!(out.column_by_name("n").unwrap().value_at(0), Value::I64(4));
+        assert_eq!(
+            out.column_by_name("total").unwrap().value_at(1),
+            Value::F64(7.0)
+        );
+    }
+
+    #[test]
+    fn count_skips_nulls_star_does_not() {
+        let out = db()
+            .query("SELECT count(value) AS vals, count(*) AS rows FROM events")
+            .unwrap();
+        assert_eq!(
+            out.column_by_name("vals").unwrap().value_at(0),
+            Value::I64(5)
+        );
+        assert_eq!(
+            out.column_by_name("rows").unwrap().value_at(0),
+            Value::I64(6)
+        );
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let out = db()
+            .query("SELECT min(value) AS lo, max(value) AS hi, avg(value) AS mean FROM events")
+            .unwrap();
+        assert_eq!(
+            out.column_by_name("lo").unwrap().value_at(0),
+            Value::F64(1.0)
+        );
+        assert_eq!(
+            out.column_by_name("hi").unwrap().value_at(0),
+            Value::F64(6.0)
+        );
+        assert_eq!(
+            out.column_by_name("mean").unwrap().value_at(0),
+            Value::F64(3.4)
+        );
+    }
+
+    #[test]
+    fn join_enriches_rows() {
+        let out = db()
+            .query(
+                "SELECT country, sum(value) AS total FROM events \
+                 JOIN users ON user_id = user_id GROUP BY country",
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // DE: users 1 and 3 -> 1 + 2 + 5 + 6 = 14; US: user 2 -> 3.
+        assert_eq!(
+            out.column_by_name("country").unwrap().value_at(0),
+            Value::Str("DE".into())
+        );
+        assert_eq!(
+            out.column_by_name("total").unwrap().value_at(0),
+            Value::F64(14.0)
+        );
+        assert_eq!(
+            out.column_by_name("total").unwrap().value_at(1),
+            Value::F64(3.0)
+        );
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let out = db()
+            .query("SELECT user_id, value FROM events ORDER BY value DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(
+            out.column_by_name("value").unwrap().value_at(0),
+            Value::F64(6.0)
+        );
+        assert_eq!(
+            out.column_by_name("value").unwrap().value_at(1),
+            Value::F64(5.0)
+        );
+    }
+
+    #[test]
+    fn order_by_string() {
+        let out = db()
+            .query("SELECT kind FROM events ORDER BY kind DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(out.column(0).value_at(0), Value::Str("view".into()));
+    }
+
+    #[test]
+    fn join_respects_filters() {
+        let out = db()
+            .query(
+                "SELECT country FROM events JOIN users ON user_id = user_id \
+                 WHERE kind = 'view'",
+            )
+            .unwrap();
+        // Views: user 1 (DE) and user 3 (DE).
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        assert!(db().query("SELECT a FROM missing").is_err());
+    }
+
+    #[test]
+    fn select_star_passthrough() {
+        let out = db().query("SELECT * FROM users").unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 2);
+    }
+}
+
+#[cfg(test)]
+mod catalog_bridge_tests {
+    use super::*;
+    use skadi_arrow::array::Array;
+
+    #[test]
+    fn catalog_mirrors_registered_tables() {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("name", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_i64(vec![1, 2, 3]),
+                Array::from_utf8(&["a", "b", "c"]),
+            ],
+        )
+        .unwrap();
+        let db = MemDb::new().register("people", batch);
+        let catalog = db.catalog();
+        let def = catalog.get("people").expect("table derived");
+        assert_eq!(def.rows, 3);
+        assert!(def.bytes > 0);
+        assert!(def.has_column("name"));
+        // The derived catalog plans real statements.
+        let (g, _) = crate::sql::plan_sql("SELECT id FROM people WHERE id > 1", &catalog).unwrap();
+        g.validate().unwrap();
+    }
+}

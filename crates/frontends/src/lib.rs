@@ -1,0 +1,34 @@
+//! # skadi-frontends — the declarative tier of the access layer
+//!
+//! "The input consists of several domain-specific declarations like SQL
+//! statements and ML training. Skadi [...] invokes domain-specific
+//! parsers to translate declarations onto a common graph called
+//! FlowGraph" (§2.1). This crate provides those parsers/builders:
+//!
+//! - [`sql`]: a SQL subset (SELECT/JOIN/WHERE/GROUP BY/ORDER BY/LIMIT)
+//!   with a lexer, recursive-descent parser, and a planner producing
+//!   FlowGraph.
+//! - [`mapreduce`]: classic map/shuffle/reduce jobs.
+//! - [`graph`]: Pregel-style iterative vertex programs (supersteps are
+//!   unrolled onto the DAG).
+//! - [`ml`]: mini-batch training pipelines (forward, loss, backward,
+//!   optimizer step; weights broadcast between steps).
+//!
+//! [`exec`] additionally provides a *local execution engine* that runs
+//! parsed SQL against real in-memory record batches (via `skadi-arrow`),
+//! validating the planner's semantics with actual answers.
+//!
+//! All four lower onto *one* [`FlowGraph`](skadi_flowgraph::FlowGraph),
+//! which is the point: one execution graph hosts data-parallel,
+//! task-parallel, and iterative patterns at once.
+
+pub mod catalog;
+pub mod exec;
+pub mod graph;
+pub mod mapreduce;
+pub mod ml;
+pub mod sql;
+pub mod streaming;
+
+pub use catalog::{Catalog, TableDef};
+pub use sql::plan_sql;

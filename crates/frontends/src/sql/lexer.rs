@@ -1,0 +1,229 @@
+//! SQL tokenizer.
+
+use super::SqlError;
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (stored uppercase).
+    Keyword(String),
+    /// An identifier (table/column name), case preserved.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`, `!=`, `<`, `<=`, `>`, `>=`
+    Op(String),
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "JOIN", "ON", "AND", "AS", "DESC",
+    "ASC",
+];
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Op("!=".into()));
+                i += 2;
+            }
+            '<' | '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Op(format!("{c}=")));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(c.to_string()));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        found: '\'',
+                    });
+                }
+                out.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            {
+                let start = i;
+                let mut j = if c == '-' { i + 1 } else { i };
+                let mut is_float = false;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    if chars[j] == '.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        found: '.',
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        found: c,
+                    })?;
+                    out.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_' || chars[j] == '.')
+                {
+                    j += 1;
+                }
+                let word: String = chars[start..j].iter().collect();
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word));
+                }
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    found: other,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("SELECT a, sum(b) FROM t WHERE a >= 10").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert_eq!(toks[3], Token::Ident("sum".into()));
+        assert_eq!(toks[4], Token::LParen);
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_preserved() {
+        let toks = tokenize("select MyCol from T").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("MyCol".into()));
+        assert_eq!(toks[3], Token::Ident("T".into()));
+    }
+
+    #[test]
+    fn literals() {
+        let toks = tokenize("WHERE x = 1.5 AND name = 'bob'").unwrap();
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("bob".into())));
+    }
+
+    #[test]
+    fn operators() {
+        for (src, op) in [
+            ("a = b", "="),
+            ("a != b", "!="),
+            ("a < b", "<"),
+            ("a <= b", "<="),
+            ("a > b", ">"),
+            ("a >= b", ">="),
+        ] {
+            let toks = tokenize(src).unwrap();
+            assert_eq!(toks[1], Token::Op(op.into()), "{src}");
+        }
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(matches!(
+            tokenize("SELECT %"),
+            Err(SqlError::Lex { found: '%', .. })
+        ));
+    }
+
+    #[test]
+    fn star_token() {
+        let toks = tokenize("SELECT * FROM t").unwrap();
+        assert_eq!(toks[1], Token::Star);
+    }
+}
+
+#[cfg(test)]
+mod negative_literal_tests {
+    use super::*;
+
+    #[test]
+    fn negative_int_and_float() {
+        let toks = tokenize("WHERE x > -5 AND y < -2.5").unwrap();
+        assert!(toks.contains(&Token::Int(-5)));
+        assert!(toks.contains(&Token::Float(-2.5)));
+    }
+
+    #[test]
+    fn lone_minus_still_errors() {
+        assert!(matches!(tokenize("x - y"), Err(SqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,71 @@
+//! SQL frontend: lexer, parser, planner.
+//!
+//! Supported subset:
+//!
+//! ```sql
+//! SELECT col | agg(col) [, ...]
+//! FROM table [JOIN table2 ON t1col = t2col]
+//! [WHERE col op literal [AND ...]]
+//! [GROUP BY col [, ...]]
+//! [ORDER BY col [DESC]]
+//! [LIMIT n]
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::{Expr, Query, SelectItem};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+pub use planner::plan_query;
+
+use crate::catalog::Catalog;
+use skadi_flowgraph::{FlowGraph, GraphError, VertexId};
+
+/// Errors from the SQL frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexing failed at the given byte offset.
+    Lex {
+        /// Byte offset of the bad character.
+        offset: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// Parsing failed.
+    Parse(String),
+    /// Planning failed (unknown table/column or graph error).
+    Plan(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { offset, found } => {
+                write!(f, "unexpected character {found:?} at offset {offset}")
+            }
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::Plan(msg) => write!(f, "planning error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<GraphError> for SqlError {
+    fn from(e: GraphError) -> Self {
+        SqlError::Plan(e.to_string())
+    }
+}
+
+/// Parses and plans one SQL statement onto a fresh FlowGraph, returning
+/// the graph and its sink vertex.
+pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<(FlowGraph, VertexId), SqlError> {
+    let tokens = tokenize(sql)?;
+    let query = parse(&tokens)?;
+    let mut g = FlowGraph::new();
+    let sink = plan_query(&query, catalog, &mut g)?;
+    Ok((g, sink))
+}

@@ -1,0 +1,290 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::ast::{Comparison, Expr, Join, Literal, OrderBy, Predicate, Query, SelectItem};
+use super::lexer::Token;
+use super::SqlError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = match self.next() {
+            Some(Token::Star) => Expr::Column("*".to_string()),
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    // Aggregate call.
+                    self.pos += 1;
+                    let column = match self.next() {
+                        Some(Token::Ident(c)) => c.clone(),
+                        Some(Token::Star) => "*".to_string(),
+                        other => {
+                            return Err(SqlError::Parse(format!(
+                                "expected aggregate argument, found {other:?}"
+                            )))
+                        }
+                    };
+                    match self.next() {
+                        Some(Token::RParen) => {}
+                        other => {
+                            return Err(SqlError::Parse(format!("expected ')', found {other:?}")))
+                        }
+                    }
+                    Expr::Agg {
+                        func: name.to_ascii_lowercase(),
+                        column,
+                    }
+                } else {
+                    Expr::Column(name.clone())
+                }
+            }
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected select item, found {other:?}"
+                )))
+            }
+        };
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Literal::Int(*v)),
+            Some(Token::Float(v)) => Ok(Literal::Float(*v)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s.clone())),
+            other => Err(SqlError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, SqlError> {
+        let column = self.ident()?;
+        let op = match self.next() {
+            Some(Token::Op(op)) => op.clone(),
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let value = self.literal()?;
+        Ok(Comparison { column, op, value })
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let mut select = Vec::new();
+        loop {
+            select.push(self.select_item()?);
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+
+        let mut joins = Vec::new();
+        while self.eat_keyword("JOIN") {
+            let table = self.ident()?;
+            self.expect_keyword("ON")?;
+            let left_key = self.ident()?;
+            match self.next() {
+                Some(Token::Op(op)) if op == "=" => {}
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "JOIN requires equality, found {other:?}"
+                    )))
+                }
+            }
+            let right_key = self.ident()?;
+            joins.push(Join {
+                table,
+                left_key,
+                right_key,
+            });
+        }
+
+        let predicate = if self.eat_keyword("WHERE") {
+            let mut conjuncts = vec![self.comparison()?];
+            while self.eat_keyword("AND") {
+                conjuncts.push(self.comparison()?);
+            }
+            Some(Predicate { conjuncts })
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.ident()?);
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let column = self.ident()?;
+            let descending = self.eat_keyword("DESC") || {
+                self.eat_keyword("ASC");
+                false
+            };
+            Some(OrderBy { column, descending })
+        } else {
+            None
+        };
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) => Some(*n),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "LIMIT requires an integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
+        if let Some(t) = self.peek() {
+            return Err(SqlError::Parse(format!("trailing tokens from {t:?}")));
+        }
+
+        Ok(Query {
+            select,
+            from,
+            joins,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+}
+
+/// Parses a token stream into a [`Query`].
+pub fn parse(tokens: &[Token]) -> Result<Query, SqlError> {
+    Parser { tokens, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::tokenize;
+    use super::*;
+
+    fn parse_sql(sql: &str) -> Result<Query, SqlError> {
+        parse(&tokenize(sql).unwrap())
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = parse_sql("SELECT a, b FROM t").unwrap();
+        assert_eq!(q.from, "t");
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.projected_columns(), vec!["a", "b"]);
+        assert!(q.predicate.is_none());
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse_sql(
+            "SELECT country, sum(value) AS total FROM events \
+             JOIN users ON user_id = user_id \
+             WHERE value > 0.5 AND kind = 'click' \
+             GROUP BY country ORDER BY total DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table, "users");
+        let p = q.predicate.as_ref().unwrap();
+        assert_eq!(p.conjuncts.len(), 2);
+        assert_eq!(q.group_by, vec!["country"]);
+        let ob = q.order_by.as_ref().unwrap();
+        assert_eq!(ob.column, "total");
+        assert!(ob.descending);
+        assert_eq!(q.limit, Some(10));
+        assert!(q.is_aggregate());
+        assert_eq!(q.select[1].alias.as_deref(), Some("total"));
+    }
+
+    #[test]
+    fn star_and_count() {
+        let q = parse_sql("SELECT count(*) FROM t").unwrap();
+        match &q.select[0].expr {
+            Expr::Agg { func, column } => {
+                assert_eq!(func, "count");
+                assert_eq!(column, "*");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_sql("SELECT FROM t").is_err());
+        assert!(parse_sql("SELECT a t").is_err());
+        assert!(parse_sql("SELECT a FROM t WHERE a >").is_err());
+        assert!(parse_sql("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_sql("SELECT a FROM t JOIN u ON a > b").is_err());
+        assert!(parse_sql("SELECT a FROM t extra junk").is_err());
+    }
+
+    #[test]
+    fn order_asc_default() {
+        let q = parse_sql("SELECT a FROM t ORDER BY a ASC").unwrap();
+        assert!(!q.order_by.unwrap().descending);
+    }
+}

@@ -1,0 +1,446 @@
+//! Typed op constructors per dialect.
+//!
+//! These are the "IR-based primitives" FlowGraph vertices are built from.
+//! Each constructor appends one op to a [`Module`] and returns the result
+//! value; type propagation (e.g. projection narrowing a frame) happens
+//! here so the verifier can stay structural.
+
+use std::collections::BTreeMap;
+
+use crate::error::IrError;
+use crate::module::Module;
+use crate::op::{Attr, Dialect, ValueId};
+use crate::types::{IrType, ScalarType};
+
+fn attrs(pairs: Vec<(&str, Attr)>) -> BTreeMap<String, Attr> {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+/// Relational dialect: scans, filters, projections, joins, aggregates.
+pub mod rel {
+    use super::*;
+
+    /// `rel.scan`: reads a named base table with the given frame type.
+    pub fn scan(m: &mut Module, table: &str, ty: IrType) -> ValueId {
+        m.append(
+            "rel.scan",
+            Dialect::Relational,
+            vec![],
+            attrs(vec![("table", Attr::Str(table.into()))]),
+            ty,
+        )
+    }
+
+    /// `rel.filter`: keeps rows matching the predicate expression.
+    pub fn filter(m: &mut Module, input: ValueId, pred: &str) -> ValueId {
+        let ty = m.type_of(input).cloned().unwrap_or(IrType::Frame(vec![]));
+        m.append(
+            "rel.filter",
+            Dialect::Relational,
+            vec![input],
+            attrs(vec![("pred", Attr::Str(pred.into()))]),
+            ty,
+        )
+    }
+
+    /// `rel.project`: keeps the named columns, narrowing the frame type.
+    pub fn project(m: &mut Module, input: ValueId, cols: &[&str]) -> ValueId {
+        let ty = match m.type_of(input) {
+            Ok(IrType::Frame(all)) => IrType::Frame(
+                all.iter()
+                    .filter(|(n, _)| cols.contains(&n.as_str()))
+                    .cloned()
+                    .collect(),
+            ),
+            _ => IrType::Frame(vec![]),
+        };
+        m.append(
+            "rel.project",
+            Dialect::Relational,
+            vec![input],
+            attrs(vec![(
+                "cols",
+                Attr::StrList(cols.iter().map(|c| c.to_string()).collect()),
+            )]),
+            ty,
+        )
+    }
+
+    /// `rel.join`: hash join on equal key columns.
+    pub fn join(
+        m: &mut Module,
+        left: ValueId,
+        right: ValueId,
+        left_key: &str,
+        right_key: &str,
+    ) -> ValueId {
+        let mut cols = Vec::new();
+        if let Ok(IrType::Frame(l)) = m.type_of(left) {
+            cols.extend(l.clone());
+        }
+        if let Ok(IrType::Frame(r)) = m.type_of(right) {
+            for (n, t) in r {
+                if !cols.iter().any(|(en, _)| en == n) {
+                    cols.push((n.clone(), *t));
+                }
+            }
+        }
+        m.append(
+            "rel.join",
+            Dialect::Relational,
+            vec![left, right],
+            attrs(vec![
+                ("left_key", Attr::Str(left_key.into())),
+                ("right_key", Attr::Str(right_key.into())),
+            ]),
+            IrType::Frame(cols),
+        )
+    }
+
+    /// `rel.aggregate`: grouped aggregation, e.g. `sum(v)` by `k`.
+    pub fn aggregate(m: &mut Module, input: ValueId, group_by: &[&str], agg_expr: &str) -> ValueId {
+        let ty = match m.type_of(input) {
+            Ok(IrType::Frame(all)) => {
+                let mut cols: Vec<(String, ScalarType)> = all
+                    .iter()
+                    .filter(|(n, _)| group_by.contains(&n.as_str()))
+                    .cloned()
+                    .collect();
+                cols.push(("agg".to_string(), ScalarType::F64));
+                IrType::Frame(cols)
+            }
+            _ => IrType::Frame(vec![("agg".to_string(), ScalarType::F64)]),
+        };
+        m.append(
+            "rel.aggregate",
+            Dialect::Relational,
+            vec![input],
+            attrs(vec![
+                (
+                    "group_by",
+                    Attr::StrList(group_by.iter().map(|c| c.to_string()).collect()),
+                ),
+                ("agg", Attr::Str(agg_expr.into())),
+            ]),
+            ty,
+        )
+    }
+
+    /// `rel.sort`: orders by the named column.
+    pub fn sort(m: &mut Module, input: ValueId, by: &str, descending: bool) -> ValueId {
+        let ty = m.type_of(input).cloned().unwrap_or(IrType::Frame(vec![]));
+        m.append(
+            "rel.sort",
+            Dialect::Relational,
+            vec![input],
+            attrs(vec![
+                ("by", Attr::Str(by.into())),
+                ("desc", Attr::Bool(descending)),
+            ]),
+            ty,
+        )
+    }
+
+    /// `rel.limit`: keeps the first `n` rows.
+    pub fn limit(m: &mut Module, input: ValueId, n: i64) -> ValueId {
+        let ty = m.type_of(input).cloned().unwrap_or(IrType::Frame(vec![]));
+        m.append(
+            "rel.limit",
+            Dialect::Relational,
+            vec![input],
+            attrs(vec![("n", Attr::Int(n))]),
+            ty,
+        )
+    }
+}
+
+/// Tensor dialect: dense linear algebra and elementwise maps.
+pub mod tensor {
+    use super::*;
+
+    /// `tensor.source`: an input tensor (training batch, parameters).
+    pub fn source(m: &mut Module, name: &str, ty: IrType) -> ValueId {
+        m.append(
+            "tensor.source",
+            Dialect::Tensor,
+            vec![],
+            attrs(vec![("name", Attr::Str(name.into()))]),
+            ty,
+        )
+    }
+
+    /// `tensor.matmul`: matrix multiplication.
+    pub fn matmul(m: &mut Module, a: ValueId, b: ValueId) -> Result<ValueId, IrError> {
+        let elem = match m.type_of(a)? {
+            IrType::Tensor { elem, .. } => *elem,
+            other => {
+                return Err(IrError::TypeError(format!(
+                    "matmul operand must be a tensor, got {other}"
+                )))
+            }
+        };
+        Ok(m.append(
+            "tensor.matmul",
+            Dialect::Tensor,
+            vec![a, b],
+            BTreeMap::new(),
+            IrType::matrix(elem),
+        ))
+    }
+
+    /// `tensor.map`: elementwise function application.
+    pub fn map(m: &mut Module, input: ValueId, func: &str) -> ValueId {
+        let ty = m
+            .type_of(input)
+            .cloned()
+            .unwrap_or(IrType::matrix(ScalarType::F64));
+        m.append(
+            "tensor.map",
+            Dialect::Tensor,
+            vec![input],
+            attrs(vec![("func", Attr::Str(func.into()))]),
+            ty,
+        )
+    }
+
+    /// `tensor.add`: elementwise addition.
+    pub fn add(m: &mut Module, a: ValueId, b: ValueId) -> ValueId {
+        let ty = m
+            .type_of(a)
+            .cloned()
+            .unwrap_or(IrType::matrix(ScalarType::F64));
+        m.append(
+            "tensor.add",
+            Dialect::Tensor,
+            vec![a, b],
+            BTreeMap::new(),
+            ty,
+        )
+    }
+
+    /// `tensor.reduce`: reduction along all axes to a scalar.
+    pub fn reduce(m: &mut Module, input: ValueId, func: &str) -> ValueId {
+        let elem = match m.type_of(input) {
+            Ok(IrType::Tensor { elem, .. }) => *elem,
+            _ => ScalarType::F64,
+        };
+        m.append(
+            "tensor.reduce",
+            Dialect::Tensor,
+            vec![input],
+            attrs(vec![("func", Attr::Str(func.into()))]),
+            IrType::Scalar(elem),
+        )
+    }
+
+    /// `tensor.from_frame`: converts a frame column block to a tensor
+    /// (the cross-domain bridge, e.g. features for training).
+    pub fn from_frame(m: &mut Module, input: ValueId, cols: &[&str]) -> ValueId {
+        m.append(
+            "tensor.from_frame",
+            Dialect::Tensor,
+            vec![input],
+            attrs(vec![(
+                "cols",
+                Attr::StrList(cols.iter().map(|c| c.to_string()).collect()),
+            )]),
+            IrType::matrix(ScalarType::F64),
+        )
+    }
+
+    /// `tensor.sgd_step`: one optimizer step (weights, gradient).
+    pub fn sgd_step(m: &mut Module, weights: ValueId, grad: ValueId, lr: f64) -> ValueId {
+        let ty = m
+            .type_of(weights)
+            .cloned()
+            .unwrap_or(IrType::matrix(ScalarType::F64));
+        m.append(
+            "tensor.sgd_step",
+            Dialect::Tensor,
+            vec![weights, grad],
+            attrs(vec![("lr", Attr::Float(lr))]),
+            ty,
+        )
+    }
+}
+
+/// Scalar dialect: constants and arithmetic, foldable at compile time.
+pub mod scalar {
+    use super::*;
+
+    /// `scalar.const`: an integer constant.
+    pub fn const_i64(m: &mut Module, v: i64) -> ValueId {
+        m.append(
+            "scalar.const",
+            Dialect::Scalar,
+            vec![],
+            attrs(vec![("value", Attr::Int(v))]),
+            IrType::Scalar(ScalarType::I64),
+        )
+    }
+
+    /// `scalar.const`: a float constant.
+    pub fn const_f64(m: &mut Module, v: f64) -> ValueId {
+        m.append(
+            "scalar.const",
+            Dialect::Scalar,
+            vec![],
+            attrs(vec![("value", Attr::Float(v))]),
+            IrType::Scalar(ScalarType::F64),
+        )
+    }
+
+    /// `scalar.add`.
+    pub fn add(m: &mut Module, a: ValueId, b: ValueId) -> ValueId {
+        let ty = m
+            .type_of(a)
+            .cloned()
+            .unwrap_or(IrType::Scalar(ScalarType::I64));
+        m.append(
+            "scalar.add",
+            Dialect::Scalar,
+            vec![a, b],
+            BTreeMap::new(),
+            ty,
+        )
+    }
+
+    /// `scalar.mul`.
+    pub fn mul(m: &mut Module, a: ValueId, b: ValueId) -> ValueId {
+        let ty = m
+            .type_of(a)
+            .cloned()
+            .unwrap_or(IrType::Scalar(ScalarType::I64));
+        m.append(
+            "scalar.mul",
+            Dialect::Scalar,
+            vec![a, b],
+            BTreeMap::new(),
+            ty,
+        )
+    }
+}
+
+/// Kernel dialect: the lowered, backend-annotated form.
+pub mod kernel {
+    use super::*;
+
+    /// `kernel.exec`: one executable kernel. `body` names the fused
+    /// high-level ops it implements; `backend` names the hardware.
+    pub fn exec(
+        m: &mut Module,
+        inputs: Vec<ValueId>,
+        body: Vec<String>,
+        backend: &str,
+        ty: IrType,
+    ) -> ValueId {
+        m.append(
+            "kernel.exec",
+            Dialect::Kernel,
+            inputs,
+            attrs(vec![
+                ("body", Attr::StrList(body)),
+                ("backend", Attr::Str(backend.into())),
+            ]),
+            ty,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::frame_ty;
+
+    #[test]
+    fn project_narrows_frame_type() {
+        let mut m = Module::new();
+        let s = rel::scan(
+            &mut m,
+            "t",
+            frame_ty(&[("a", ScalarType::I64), ("b", ScalarType::Str)]),
+        );
+        let p = rel::project(&mut m, s, &["b"]);
+        assert_eq!(m.type_of(p).unwrap(), &frame_ty(&[("b", ScalarType::Str)]));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn join_merges_columns() {
+        let mut m = Module::new();
+        let l = rel::scan(
+            &mut m,
+            "l",
+            frame_ty(&[("k", ScalarType::I64), ("x", ScalarType::F64)]),
+        );
+        let r = rel::scan(
+            &mut m,
+            "r",
+            frame_ty(&[("k", ScalarType::I64), ("y", ScalarType::F64)]),
+        );
+        let j = rel::join(&mut m, l, r, "k", "k");
+        let cols = m.type_of(j).unwrap().frame_columns().unwrap().to_vec();
+        let names: Vec<&str> = cols.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["k", "x", "y"]);
+    }
+
+    #[test]
+    fn aggregate_adds_agg_column() {
+        let mut m = Module::new();
+        let s = rel::scan(
+            &mut m,
+            "t",
+            frame_ty(&[("k", ScalarType::I64), ("v", ScalarType::F64)]),
+        );
+        let a = rel::aggregate(&mut m, s, &["k"], "sum(v)");
+        let cols = m.type_of(a).unwrap().frame_columns().unwrap().to_vec();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[1].0, "agg");
+    }
+
+    #[test]
+    fn matmul_requires_tensors() {
+        let mut m = Module::new();
+        let f = rel::scan(&mut m, "t", frame_ty(&[("a", ScalarType::I64)]));
+        assert!(tensor::matmul(&mut m, f, f).is_err());
+        let a = tensor::source(&mut m, "w", IrType::matrix(ScalarType::F64));
+        let b = tensor::source(&mut m, "x", IrType::matrix(ScalarType::F64));
+        let c = tensor::matmul(&mut m, a, b).unwrap();
+        assert_eq!(m.type_of(c).unwrap(), &IrType::matrix(ScalarType::F64));
+    }
+
+    #[test]
+    fn reduce_yields_scalar() {
+        let mut m = Module::new();
+        let t = tensor::source(&mut m, "x", IrType::matrix(ScalarType::F64));
+        let r = tensor::reduce(&mut m, t, "sum");
+        assert_eq!(m.type_of(r).unwrap(), &IrType::Scalar(ScalarType::F64));
+    }
+
+    #[test]
+    fn scalar_constants() {
+        let mut m = Module::new();
+        let a = scalar::const_i64(&mut m, 2);
+        let b = scalar::const_i64(&mut m, 3);
+        let c = scalar::add(&mut m, a, b);
+        m.mark_output(c);
+        m.verify().unwrap();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn kernel_exec_records_body_and_backend() {
+        let mut m = Module::new();
+        let t = tensor::source(&mut m, "x", IrType::matrix(ScalarType::F64));
+        let k = kernel::exec(
+            &mut m,
+            vec![t],
+            vec!["tensor.map".into()],
+            "gpu",
+            IrType::matrix(ScalarType::F64),
+        );
+        let op = m.def_of(k).unwrap();
+        assert_eq!(op.attr("backend").unwrap().as_str(), Some("gpu"));
+        assert_eq!(op.attr("body").unwrap().as_str_list().unwrap().len(), 1);
+    }
+}

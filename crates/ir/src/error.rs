@@ -1,0 +1,54 @@
+//! Error type for IR construction, verification, and lowering.
+
+use std::fmt;
+
+use crate::op::{OpId, ValueId};
+
+/// Errors from the IR layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// An operand refers to a value that is not defined earlier in the
+    /// module (SSA dominance violation) or not defined at all.
+    UndefinedValue {
+        /// The op using the value.
+        op: OpId,
+        /// The missing value.
+        value: ValueId,
+    },
+    /// An op has the wrong operand count or attribute set.
+    MalformedOp {
+        /// The offending op.
+        op: OpId,
+        /// What is wrong.
+        reason: String,
+    },
+    /// Types disagree.
+    TypeError(String),
+    /// The op cannot be lowered to any allowed backend.
+    NoBackend {
+        /// The op that could not be lowered.
+        op: OpId,
+        /// Its name.
+        name: String,
+    },
+    /// A pass failed.
+    PassError(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UndefinedValue { op, value } => {
+                write!(f, "op {op} uses undefined value {value}")
+            }
+            IrError::MalformedOp { op, reason } => write!(f, "malformed op {op}: {reason}"),
+            IrError::TypeError(msg) => write!(f, "type error: {msg}"),
+            IrError::NoBackend { op, name } => {
+                write!(f, "no backend can execute op {op} ({name})")
+            }
+            IrError::PassError(msg) => write!(f, "pass error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

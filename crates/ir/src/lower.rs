@@ -1,0 +1,229 @@
+//! Lowering: from dialect ops to backend-annotated kernels.
+//!
+//! This is step (1) of the paper's logical-to-physical lowering (§2.1):
+//! "selects hardware backends for MLIR-based ops using predefined rules".
+//! The output is a [`KernelPlan`] the flowgraph layer turns into physical
+//! vertices. [`lower_to_all_backends`] implements the paper's D1/D2
+//! trick: lowering one op to several backends for a direct comparison.
+
+use crate::backend::{estimate, Backend, BackendPolicy, CostEstimate};
+use crate::error::IrError;
+use crate::module::Module;
+use crate::op::{Attr, Dialect, OpId, ValueId};
+
+/// One executable kernel in the lowered plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// The IR op this kernel implements.
+    pub op: OpId,
+    /// Op name (`kernel.fused` bodies keep their constituent list).
+    pub name: String,
+    /// Chosen hardware backend.
+    pub backend: Backend,
+    /// Input values.
+    pub inputs: Vec<ValueId>,
+    /// Output value.
+    pub output: ValueId,
+    /// Estimated cost at the policy's default cardinality.
+    pub cost: CostEstimate,
+    /// Constituent high-level ops (singleton for unfused kernels).
+    pub body: Vec<String>,
+}
+
+/// The lowered form of a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPlan {
+    /// Kernels in dependency order.
+    pub kernels: Vec<Kernel>,
+    /// The module outputs.
+    pub outputs: Vec<ValueId>,
+}
+
+impl KernelPlan {
+    /// Kernels assigned to the given backend.
+    pub fn on_backend(&self, b: Backend) -> Vec<&Kernel> {
+        self.kernels.iter().filter(|k| k.backend == b).collect()
+    }
+
+    /// Total estimated time, microseconds, if kernels ran serially.
+    pub fn serial_cost_us(&self) -> f64 {
+        self.kernels.iter().map(|k| k.cost.total_us()).sum()
+    }
+}
+
+fn body_of(m: &Module, op: OpId) -> Vec<String> {
+    let op = m.ops().iter().find(|o| o.id == op).expect("op exists");
+    if op.name == "kernel.fused" {
+        op.attr("body")
+            .and_then(Attr::as_str_list)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default()
+    } else {
+        vec![op.name.clone()]
+    }
+}
+
+/// Lowers every op of the module to a kernel with a backend chosen by
+/// `policy`. Scalar constants lower to trivial CPU kernels.
+pub fn lower_to_kernels(m: &Module, policy: &BackendPolicy) -> Result<KernelPlan, IrError> {
+    let mut kernels = Vec::with_capacity(m.len());
+    for op in m.ops() {
+        if op.dialect == Dialect::Builtin {
+            continue;
+        }
+        let (backend, cost) =
+            policy
+                .select(op, policy.default_elements)
+                .ok_or_else(|| IrError::NoBackend {
+                    op: op.id,
+                    name: op.name.clone(),
+                })?;
+        kernels.push(Kernel {
+            op: op.id,
+            name: op.name.clone(),
+            backend,
+            inputs: op.operands.clone(),
+            output: op.result(),
+            cost,
+            body: body_of(m, op.id),
+        });
+    }
+    Ok(KernelPlan {
+        kernels,
+        outputs: m.outputs().to_vec(),
+    })
+}
+
+/// Lowers one op to *every* backend that supports it, with costs — the
+/// paper's direct-comparison path (vertex D lowered to GPU D1 and FPGA
+/// D2 in Figure 2).
+pub fn lower_to_all_backends(
+    m: &Module,
+    op: OpId,
+    elements: u64,
+) -> Result<Vec<(Backend, CostEstimate)>, IrError> {
+    let op = m
+        .ops()
+        .iter()
+        .find(|o| o.id == op)
+        .ok_or(IrError::PassError(format!("no such op {op}")))?;
+    let variants: Vec<(Backend, CostEstimate)> = Backend::ALL
+        .iter()
+        .filter_map(|b| estimate(op, elements, *b).map(|c| (*b, c)))
+        .collect();
+    if variants.is_empty() {
+        return Err(IrError::NoBackend {
+            op: op.id,
+            name: op.name.clone(),
+        });
+    }
+    Ok(variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{rel, tensor};
+    use crate::pass::PassManager;
+    use crate::types::{frame_ty, IrType, ScalarType};
+
+    fn mixed_module() -> Module {
+        let mut m = Module::new();
+        let s = rel::scan(
+            &mut m,
+            "events",
+            frame_ty(&[("k", ScalarType::I64), ("v", ScalarType::F64)]),
+        );
+        let f = rel::filter(&mut m, s, "v > 0");
+        let t = tensor::from_frame(&mut m, f, &["v"]);
+        let w = tensor::source(&mut m, "w", IrType::matrix(ScalarType::F64));
+        let mm = tensor::matmul(&mut m, t, w).unwrap();
+        m.mark_output(mm);
+        m
+    }
+
+    #[test]
+    fn lowering_covers_every_op() {
+        let m = mixed_module();
+        let plan = lower_to_kernels(&m, &BackendPolicy::cost_based()).unwrap();
+        assert_eq!(plan.kernels.len(), m.len());
+        assert_eq!(plan.outputs, m.outputs());
+    }
+
+    #[test]
+    fn cost_based_puts_matmul_on_gpu() {
+        let m = mixed_module();
+        let plan = lower_to_kernels(&m, &BackendPolicy::cost_based()).unwrap();
+        let mm = plan
+            .kernels
+            .iter()
+            .find(|k| k.name == "tensor.matmul")
+            .unwrap();
+        assert_eq!(mm.backend, Backend::Gpu);
+    }
+
+    #[test]
+    fn cpu_only_policy_forces_cpu() {
+        let m = mixed_module();
+        let plan = lower_to_kernels(&m, &BackendPolicy::cpu_only()).unwrap();
+        assert!(plan.kernels.iter().all(|k| k.backend == Backend::Cpu));
+        assert!(plan.on_backend(Backend::Gpu).is_empty());
+    }
+
+    #[test]
+    fn fused_kernels_carry_their_body() {
+        let mut m = mixed_module();
+        PassManager::standard().run(&mut m).unwrap();
+        let plan = lower_to_kernels(&m, &BackendPolicy::cost_based()).unwrap();
+        let fused = plan
+            .kernels
+            .iter()
+            .find(|k| k.name == "kernel.fused")
+            .expect("fusion should fire on filter+from_frame");
+        assert!(fused.body.len() >= 2, "{:?}", fused.body);
+    }
+
+    #[test]
+    fn all_backend_lowering_for_direct_comparison() {
+        let m = mixed_module();
+        // The tensor.from_frame op runs on all three backends.
+        let op = m
+            .ops()
+            .iter()
+            .find(|o| o.name == "tensor.from_frame")
+            .unwrap()
+            .id;
+        let variants = lower_to_all_backends(&m, op, 1 << 20).unwrap();
+        assert_eq!(variants.len(), 3);
+        // The matmul only has CPU and GPU variants.
+        let op = m
+            .ops()
+            .iter()
+            .find(|o| o.name == "tensor.matmul")
+            .unwrap()
+            .id;
+        let variants = lower_to_all_backends(&m, op, 1 << 20).unwrap();
+        assert_eq!(variants.len(), 2);
+    }
+
+    #[test]
+    fn serial_cost_sums() {
+        let m = mixed_module();
+        let plan = lower_to_kernels(&m, &BackendPolicy::cost_based()).unwrap();
+        let total = plan.serial_cost_us();
+        let sum: f64 = plan.kernels.iter().map(|k| k.cost.total_us()).sum();
+        assert!((total - sum).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn fusion_reduces_serial_cost_and_kernel_count() {
+        let mut fused = mixed_module();
+        PassManager::standard().run(&mut fused).unwrap();
+        let unfused = mixed_module();
+        let p_fused = lower_to_kernels(&fused, &BackendPolicy::cost_based()).unwrap();
+        let p_unfused = lower_to_kernels(&unfused, &BackendPolicy::cost_based()).unwrap();
+        assert!(p_fused.kernels.len() < p_unfused.kernels.len());
+        assert!(p_fused.serial_cost_us() < p_unfused.serial_cost_us());
+    }
+}

@@ -1,0 +1,315 @@
+//! The IR module: an ordered list of SSA ops with a verifier and a
+//! textual form.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::error::IrError;
+use crate::op::{Attr, Dialect, Op, OpId, ValueId};
+use crate::types::IrType;
+
+/// A compilation unit: SSA ops in definition order (defs strictly before
+/// uses), the type of every value, and the module's outputs.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    ops: Vec<Op>,
+    value_types: HashMap<ValueId, IrType>,
+    outputs: Vec<ValueId>,
+    next_value: u32,
+    next_op: u32,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Appends an op producing one result of type `result_ty`.
+    pub fn append(
+        &mut self,
+        name: &str,
+        dialect: Dialect,
+        operands: Vec<ValueId>,
+        attrs: BTreeMap<String, Attr>,
+        result_ty: IrType,
+    ) -> ValueId {
+        let result = ValueId(self.next_value);
+        self.next_value += 1;
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.value_types.insert(result, result_ty);
+        self.ops.push(Op {
+            id,
+            name: name.to_string(),
+            dialect,
+            operands,
+            results: vec![result],
+            attrs,
+        });
+        result
+    }
+
+    /// The ops, in definition order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the module has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The type of a value.
+    pub fn type_of(&self, v: ValueId) -> Result<&IrType, IrError> {
+        self.value_types
+            .get(&v)
+            .ok_or(IrError::TypeError(format!("no type for {v}")))
+    }
+
+    /// Marks a value as a module output (kept alive by DCE).
+    pub fn mark_output(&mut self, v: ValueId) {
+        if !self.outputs.contains(&v) {
+            self.outputs.push(v);
+        }
+    }
+
+    /// The module's outputs.
+    pub fn outputs(&self) -> &[ValueId] {
+        &self.outputs
+    }
+
+    /// The op defining `v`, if any.
+    pub fn def_of(&self, v: ValueId) -> Option<&Op> {
+        self.ops.iter().find(|o| o.results.contains(&v))
+    }
+
+    /// Indices of ops that use `v` as an operand.
+    pub fn users_of(&self, v: ValueId) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|o| o.operands.contains(&v))
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Number of uses of `v`, counting the module output list.
+    pub fn use_count(&self, v: ValueId) -> usize {
+        let op_uses: usize = self
+            .ops
+            .iter()
+            .map(|o| o.operands.iter().filter(|x| **x == v).count())
+            .sum();
+        op_uses + self.outputs.iter().filter(|x| **x == v).count()
+    }
+
+    /// Rewrites every use of `from` (including outputs) to `to`.
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
+        for op in &mut self.ops {
+            for operand in &mut op.operands {
+                if *operand == from {
+                    *operand = to;
+                }
+            }
+        }
+        for out in &mut self.outputs {
+            if *out == from {
+                *out = to;
+            }
+        }
+    }
+
+    /// Removes the ops whose IDs are in `remove`, leaving values intact.
+    /// Callers must have rewritten uses first; the verifier will catch
+    /// dangling references otherwise.
+    pub fn retain_ops(&mut self, remove: &[OpId]) {
+        self.ops.retain(|o| !remove.contains(&o.id));
+    }
+
+    /// Mutable access to ops for passes.
+    pub fn ops_mut(&mut self) -> &mut Vec<Op> {
+        &mut self.ops
+    }
+
+    /// Registers a type for an externally-created value (used by passes
+    /// that synthesize ops manually).
+    pub fn set_type(&mut self, v: ValueId, ty: IrType) {
+        self.value_types.insert(v, ty);
+    }
+
+    /// Mints a fresh value ID with the given type (for passes).
+    pub fn fresh_value(&mut self, ty: IrType) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        self.value_types.insert(v, ty);
+        v
+    }
+
+    /// Mints a fresh op ID (for passes).
+    pub fn fresh_op_id(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    /// Checks SSA well-formedness: every operand is defined by an earlier
+    /// op, every value has a type, outputs exist, result IDs are unique.
+    pub fn verify(&self) -> Result<(), IrError> {
+        let mut defined: Vec<ValueId> = Vec::new();
+        for op in &self.ops {
+            for operand in &op.operands {
+                if !defined.contains(operand) {
+                    return Err(IrError::UndefinedValue {
+                        op: op.id,
+                        value: *operand,
+                    });
+                }
+            }
+            for r in &op.results {
+                if defined.contains(r) {
+                    return Err(IrError::MalformedOp {
+                        op: op.id,
+                        reason: format!("result {r} defined twice"),
+                    });
+                }
+                if !self.value_types.contains_key(r) {
+                    return Err(IrError::TypeError(format!("no type for result {r}")));
+                }
+                defined.push(*r);
+            }
+        }
+        for out in &self.outputs {
+            if !defined.contains(out) {
+                return Err(IrError::UndefinedValue {
+                    op: OpId(u32::MAX),
+                    value: *out,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ops belonging to the given dialect.
+    pub fn ops_in_dialect(&self, d: Dialect) -> Vec<&Op> {
+        self.ops.iter().filter(|o| o.dialect == d).collect()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {{")?;
+        for op in &self.ops {
+            let ty = op
+                .results
+                .first()
+                .and_then(|r| self.value_types.get(r))
+                .map(|t| format!(" : {t}"))
+                .unwrap_or_default();
+            writeln!(f, "  {op}{ty}")?;
+        }
+        write!(f, "  output(")?;
+        for (i, o) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        writeln!(f, ")")?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{frame_ty, ScalarType};
+
+    fn filter_chain() -> (Module, ValueId, ValueId) {
+        let mut m = Module::new();
+        let ty = frame_ty(&[("x", ScalarType::I64)]);
+        let mut attrs = BTreeMap::new();
+        attrs.insert("table".into(), Attr::Str("t".into()));
+        let scan = m.append("rel.scan", Dialect::Relational, vec![], attrs, ty.clone());
+        let mut attrs = BTreeMap::new();
+        attrs.insert("pred".into(), Attr::Str("x > 1".into()));
+        let filt = m.append("rel.filter", Dialect::Relational, vec![scan], attrs, ty);
+        m.mark_output(filt);
+        (m, scan, filt)
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let (m, _, _) = filter_chain();
+        m.verify().unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn undefined_operand_caught() {
+        let mut m = Module::new();
+        let ty = frame_ty(&[("x", ScalarType::I64)]);
+        m.append(
+            "rel.filter",
+            Dialect::Relational,
+            vec![ValueId(42)],
+            BTreeMap::new(),
+            ty,
+        );
+        assert!(matches!(m.verify(), Err(IrError::UndefinedValue { .. })));
+    }
+
+    #[test]
+    fn use_counts_and_users() {
+        let (m, scan, filt) = filter_chain();
+        assert_eq!(m.use_count(scan), 1);
+        assert_eq!(m.use_count(filt), 1); // The output list counts.
+        assert_eq!(m.users_of(scan).len(), 1);
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_outputs() {
+        let (mut m, scan, filt) = filter_chain();
+        m.replace_all_uses(filt, scan);
+        assert_eq!(m.outputs(), &[scan]);
+        assert_eq!(m.use_count(filt), 0);
+    }
+
+    #[test]
+    fn retain_ops_removes() {
+        let (mut m, scan, filt) = filter_chain();
+        m.replace_all_uses(filt, scan);
+        let filter_id = m.def_of(filt).unwrap().id;
+        m.retain_ops(&[filter_id]);
+        assert_eq!(m.len(), 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn dangling_output_caught() {
+        let mut m = Module::new();
+        m.mark_output(ValueId(7));
+        assert!(m.verify().is_err());
+    }
+
+    #[test]
+    fn display_textual_ir() {
+        let (m, _, _) = filter_chain();
+        let s = m.to_string();
+        assert!(s.contains("%0 = rel.scan()"), "{s}");
+        assert!(s.contains("rel.filter(%0)"), "{s}");
+        assert!(s.contains("output(%1)"), "{s}");
+        assert!(s.contains(": frame<x: i64>"), "{s}");
+    }
+
+    #[test]
+    fn def_of_finds_definition() {
+        let (m, scan, _) = filter_chain();
+        assert_eq!(m.def_of(scan).unwrap().name, "rel.scan");
+        assert!(m.def_of(ValueId(99)).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! SSA operations and attributes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An SSA value identifier (`%3` in the textual form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An operation identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The dialect an op belongs to. Mirrors the paper's tiering: high-level
+/// domain dialects get progressively lowered to the kernel dialect that
+/// names a hardware backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// Relational algebra (scan/filter/project/join/aggregate).
+    Relational,
+    /// Dense linear algebra / elementwise tensor ops.
+    Tensor,
+    /// Scalar arithmetic and constants.
+    Scalar,
+    /// Backend-annotated executable kernels (the lowered form).
+    Kernel,
+    /// Structural ops (outputs, identity).
+    Builtin,
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dialect::Relational => "rel",
+            Dialect::Tensor => "tensor",
+            Dialect::Scalar => "scalar",
+            Dialect::Kernel => "kernel",
+            Dialect::Builtin => "builtin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An attribute value attached to an op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attr {
+    /// Integer attribute.
+    Int(i64),
+    /// Float attribute.
+    Float(f64),
+    /// String attribute (predicates, column lists, table names).
+    Str(String),
+    /// Boolean attribute.
+    Bool(bool),
+    /// List of integers.
+    IntList(Vec<i64>),
+    /// List of strings.
+    StrList(Vec<String>),
+}
+
+impl Attr {
+    /// The string payload, if this is a string attribute.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an int attribute.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attr::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, accepting ints too.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attr::Float(v) => Some(*v),
+            Attr::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string-list payload, if present.
+    pub fn as_str_list(&self) -> Option<&[String]> {
+        match self {
+            Attr::StrList(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attr::Int(v) => write!(f, "{v}"),
+            // Always keep a decimal point so the textual form re-parses
+            // as a float, not an int.
+            Attr::Float(v) => write!(f, "{v:?}"),
+            Attr::Str(v) => write!(f, "{v:?}"),
+            Attr::Bool(v) => write!(f, "{v}"),
+            Attr::IntList(v) => write!(f, "{v:?}"),
+            Attr::StrList(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// One SSA operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// Identity within the module.
+    pub id: OpId,
+    /// Fully-qualified name, e.g. `rel.filter`.
+    pub name: String,
+    /// Owning dialect.
+    pub dialect: Dialect,
+    /// Input values.
+    pub operands: Vec<ValueId>,
+    /// Output values (usually exactly one).
+    pub results: Vec<ValueId>,
+    /// Attributes, sorted by key for deterministic printing/hashing.
+    pub attrs: BTreeMap<String, Attr>,
+}
+
+impl Op {
+    /// The single result of the op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op does not have exactly one result.
+    pub fn result(&self) -> ValueId {
+        assert_eq!(
+            self.results.len(),
+            1,
+            "{} has {} results",
+            self.name,
+            self.results.len()
+        );
+        self.results[0]
+    }
+
+    /// Reads a named attribute.
+    pub fn attr(&self, key: &str) -> Option<&Attr> {
+        self.attrs.get(key)
+    }
+
+    /// A structural fingerprint used by CSE: name + operands + attrs
+    /// (results excluded).
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "{}(", self.name);
+        for o in &self.operands {
+            let _ = write!(s, "{o},");
+        }
+        let _ = write!(s, ")[");
+        for (k, v) in &self.attrs {
+            let _ = write!(s, "{k}={v};");
+        }
+        s.push(']');
+        s
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        if !self.results.is_empty() {
+            write!(f, " = ")?;
+        }
+        write!(f, "{}(", self.name)?;
+        for (i, o) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        write!(f, ")")?;
+        if !self.attrs.is_empty() {
+            write!(f, " {{")?;
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k} = {v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Op {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("pred".to_string(), Attr::Str("x > 1".into()));
+        attrs.insert("limit".to_string(), Attr::Int(5));
+        Op {
+            id: OpId(0),
+            name: "rel.filter".into(),
+            dialect: Dialect::Relational,
+            operands: vec![ValueId(1)],
+            results: vec![ValueId(2)],
+            attrs,
+        }
+    }
+
+    #[test]
+    fn display_is_mlir_like() {
+        let s = sample().to_string();
+        assert_eq!(s, "%2 = rel.filter(%1) {limit = 5, pred = \"x > 1\"}");
+    }
+
+    #[test]
+    fn fingerprint_ignores_results() {
+        let a = sample();
+        let mut b = sample();
+        b.results = vec![ValueId(99)];
+        b.id = OpId(7);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample();
+        c.attrs.insert("limit".into(), Attr::Int(6));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn attr_accessors() {
+        let op = sample();
+        assert_eq!(op.attr("pred").unwrap().as_str(), Some("x > 1"));
+        assert_eq!(op.attr("limit").unwrap().as_int(), Some(5));
+        assert_eq!(op.attr("limit").unwrap().as_float(), Some(5.0));
+        assert!(op.attr("missing").is_none());
+    }
+
+    #[test]
+    fn result_accessor() {
+        assert_eq!(sample().result(), ValueId(2));
+    }
+}

@@ -1,0 +1,465 @@
+//! Textual IR parser: the inverse of [`Module`]'s `Display`.
+//!
+//! Round-tripping the textual form (`print -> parse -> print` is a
+//! fixpoint) is how MLIR keeps its dialects honest; this parser does the
+//! same for our IR. The accepted grammar is exactly what `Display`
+//! emits:
+//!
+//! ```text
+//! module {
+//!   %0 = rel.scan() {table = "t"} : frame<x: i64>
+//!   %1 = rel.filter(%0) {pred = "x > 0"} : frame<x: i64>
+//!   output(%1)
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::IrError;
+use crate::module::Module;
+use crate::op::{Attr, Dialect, ValueId};
+use crate::types::{Dim, IrType, ScalarType};
+
+fn err(msg: impl Into<String>) -> IrError {
+    IrError::PassError(format!("parse: {}", msg.into()))
+}
+
+/// A minimal cursor over one line.
+struct Line<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Line<'a> {
+    fn new(s: &'a str) -> Self {
+        Line { s, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), IrError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {token:?} at {:?}", self.rest())))
+        }
+    }
+
+    /// Consumes an identifier-ish word (letters, digits, `_`, `.`).
+    fn word(&mut self) -> Result<&'a str, IrError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        while self.pos < self.s.len() {
+            let c = bytes[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(err(format!("expected word at {:?}", self.rest())));
+        }
+        Ok(&self.s[start..self.pos])
+    }
+
+    fn value_id(&mut self) -> Result<ValueId, IrError> {
+        self.expect("%")?;
+        let w = self.word()?;
+        w.parse::<u32>()
+            .map(ValueId)
+            .map_err(|_| err(format!("bad value id %{w}")))
+    }
+
+    /// Parses a double-quoted string with `{:?}`-style escapes.
+    fn quoted(&mut self) -> Result<String, IrError> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        let bytes: Vec<char> = self.rest().chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                '"' => {
+                    self.pos += bytes[..=i].iter().map(|c| c.len_utf8()).sum::<usize>();
+                    return Ok(out);
+                }
+                '\\' if i + 1 < bytes.len() => {
+                    let e = bytes[i + 1];
+                    out.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        '\\' => '\\',
+                        '"' => '"',
+                        other => other,
+                    });
+                    i += 2;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        Err(err("unterminated string"))
+    }
+}
+
+fn scalar_type(w: &str) -> Result<ScalarType, IrError> {
+    match w {
+        "i64" => Ok(ScalarType::I64),
+        "f64" => Ok(ScalarType::F64),
+        "bool" => Ok(ScalarType::Bool),
+        "str" => Ok(ScalarType::Str),
+        other => Err(err(format!("unknown scalar type {other:?}"))),
+    }
+}
+
+fn parse_type(line: &mut Line<'_>) -> Result<IrType, IrError> {
+    line.skip_ws();
+    if line.eat("tensor<") {
+        // Everything up to '>' is 'x'-separated dims with the element
+        // type as the final segment, e.g. `4x8xf64` or `?x?xi64`.
+        let rest = line.rest();
+        let end = rest
+            .find('>')
+            .ok_or_else(|| err("unterminated tensor type"))?;
+        let content = &rest[..end];
+        line.pos += end + 1;
+        let segments: Vec<&str> = content.split('x').collect();
+        let (elem_seg, dim_segs) = segments
+            .split_last()
+            .ok_or_else(|| err("empty tensor type"))?;
+        let elem = scalar_type(elem_seg)?;
+        let mut shape = Vec::with_capacity(dim_segs.len());
+        for d in dim_segs {
+            if *d == "?" {
+                shape.push(Dim::Dynamic);
+            } else {
+                shape.push(Dim::Known(
+                    d.parse::<u64>()
+                        .map_err(|_| err(format!("bad tensor dim {d:?}")))?,
+                ));
+            }
+        }
+        return Ok(IrType::Tensor { elem, shape });
+    }
+    if line.eat("frame<") {
+        let mut cols = Vec::new();
+        line.skip_ws();
+        if line.eat(">") {
+            return Ok(IrType::Frame(cols));
+        }
+        loop {
+            let name = line.word()?.to_string();
+            line.expect(":")?;
+            let ty = scalar_type(line.word()?)?;
+            cols.push((name, ty));
+            if line.eat(",") {
+                continue;
+            }
+            line.expect(">")?;
+            return Ok(IrType::Frame(cols));
+        }
+    }
+    let w = line.word()?;
+    Ok(IrType::Scalar(scalar_type(w)?))
+}
+
+/// Consumes a numeric token (sign, digits, decimal point, exponent).
+fn number_text<'a>(line: &mut Line<'a>) -> Result<&'a str, IrError> {
+    line.skip_ws();
+    let start = line.pos;
+    let bytes = line.s.as_bytes();
+    while line.pos < line.s.len() {
+        let c = bytes[line.pos] as char;
+        if c.is_ascii_digit() || "+-.eE".contains(c) {
+            line.pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = &line.s[start..line.pos];
+    if text.is_empty() {
+        return Err(err(format!("expected number at {:?}", line.rest())));
+    }
+    Ok(text)
+}
+
+fn parse_attr_value(line: &mut Line<'_>) -> Result<Attr, IrError> {
+    line.skip_ws();
+    if line.rest().starts_with('"') {
+        return Ok(Attr::Str(line.quoted()?));
+    }
+    if line.eat("[") {
+        line.skip_ws();
+        if line.eat("]") {
+            return Ok(Attr::IntList(Vec::new()));
+        }
+        if line.rest().starts_with('"') {
+            let mut items = vec![line.quoted()?];
+            while line.eat(",") {
+                items.push(line.quoted()?);
+            }
+            line.expect("]")?;
+            return Ok(Attr::StrList(items));
+        }
+        let mut items = Vec::new();
+        loop {
+            let text = number_text(line)?;
+            items.push(
+                text.parse::<i64>()
+                    .map_err(|_| err(format!("bad int list item {text:?}")))?,
+            );
+            if line.eat(",") {
+                continue;
+            }
+            line.expect("]")?;
+            return Ok(Attr::IntList(items));
+        }
+    }
+    if line.eat("true") {
+        return Ok(Attr::Bool(true));
+    }
+    if line.eat("false") {
+        return Ok(Attr::Bool(false));
+    }
+    // Number: int unless it contains '.' or an exponent.
+    let text = number_text(line)?;
+    if text.contains('.') || text.contains('e') || text.contains('E') {
+        text.parse::<f64>()
+            .map(Attr::Float)
+            .map_err(|_| err(format!("bad float {text:?}")))
+    } else {
+        text.parse::<i64>()
+            .map(Attr::Int)
+            .map_err(|_| err(format!("bad int {text:?}")))
+    }
+}
+
+fn dialect_of(name: &str) -> Dialect {
+    match name.split('.').next() {
+        Some("rel") => Dialect::Relational,
+        Some("tensor") => Dialect::Tensor,
+        Some("scalar") => Dialect::Scalar,
+        Some("kernel") => Dialect::Kernel,
+        _ => Dialect::Builtin,
+    }
+}
+
+/// Parses the textual form produced by [`Module`]'s `Display`.
+pub fn parse_module(text: &str) -> Result<Module, IrError> {
+    let mut m = Module::new();
+    // Map source value numbering to the fresh module's numbering (append
+    // assigns sequentially, so they coincide when defs are in order; the
+    // map keeps us correct even if they don't).
+    let mut values: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    match lines.next() {
+        Some(l) if l.starts_with("module") => {}
+        other => return Err(err(format!("expected module header, got {other:?}"))),
+    }
+
+    for raw in lines {
+        if raw == "}" {
+            continue;
+        }
+        let mut line = Line::new(raw);
+        if line.eat("output(") {
+            if !line.eat(")") {
+                loop {
+                    let v = line.value_id()?;
+                    let mapped = *values
+                        .get(&v)
+                        .ok_or_else(|| err(format!("output of undefined {v}")))?;
+                    m.mark_output(mapped);
+                    if line.eat(",") {
+                        continue;
+                    }
+                    line.expect(")")?;
+                    break;
+                }
+            }
+            continue;
+        }
+        // `%N = name(operands) {attrs} : type`
+        let result = line.value_id()?;
+        line.expect("=")?;
+        let name = line.word()?.to_string();
+        line.expect("(")?;
+        let mut operands = Vec::new();
+        if !line.eat(")") {
+            loop {
+                let v = line.value_id()?;
+                operands.push(
+                    *values
+                        .get(&v)
+                        .ok_or_else(|| err(format!("use of undefined {v}")))?,
+                );
+                if line.eat(",") {
+                    continue;
+                }
+                line.expect(")")?;
+                break;
+            }
+        }
+        let mut attrs = BTreeMap::new();
+        if line.eat("{") {
+            loop {
+                let key = line.word()?.to_string();
+                line.expect("=")?;
+                let value = parse_attr_value(&mut line)?;
+                attrs.insert(key, value);
+                if line.eat(",") {
+                    continue;
+                }
+                line.expect("}")?;
+                break;
+            }
+        }
+        line.expect(":")?;
+        let ty = parse_type(&mut line)?;
+        let new = m.append(&name, dialect_of(&name), operands, attrs, ty);
+        values.insert(result, new);
+    }
+
+    m.verify()?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{rel, scalar, tensor};
+    use crate::types::frame_ty;
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        let s = rel::scan(
+            &mut m,
+            "events",
+            frame_ty(&[("k", ScalarType::I64), ("v", ScalarType::F64)]),
+        );
+        let f = rel::filter(&mut m, s, "v > 0.5");
+        let t = tensor::from_frame(&mut m, f, &["v"]);
+        let w = tensor::source(&mut m, "w", IrType::tensor(ScalarType::F64, &[4, 8]));
+        let mm = tensor::matmul(&mut m, t, w).unwrap();
+        let c = scalar::const_f64(&mut m, 0.25);
+        let c2 = scalar::const_i64(&mut m, 7);
+        let _ = scalar::add(&mut m, c2, c2);
+        let _ = c;
+        m.mark_output(mm);
+        m
+    }
+
+    #[test]
+    fn print_parse_print_is_a_fixpoint() {
+        let m = sample();
+        let text1 = m.to_string();
+        let parsed = parse_module(&text1).unwrap();
+        let text2 = parsed.to_string();
+        assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn parsed_module_verifies_and_matches_shape() {
+        let m = sample();
+        let parsed = parse_module(&m.to_string()).unwrap();
+        assert_eq!(parsed.len(), m.len());
+        assert_eq!(parsed.outputs().len(), m.outputs().len());
+        for (a, b) in m.ops().iter().zip(parsed.ops()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.dialect, b.dialect);
+            assert_eq!(a.operands, b.operands);
+            assert_eq!(a.attrs, b.attrs);
+        }
+    }
+
+    #[test]
+    fn attr_kinds_round_trip() {
+        let mut m = Module::new();
+        let mut attrs = BTreeMap::new();
+        attrs.insert("i".to_string(), Attr::Int(-3));
+        attrs.insert("f".to_string(), Attr::Float(2.5));
+        attrs.insert("b".to_string(), Attr::Bool(true));
+        attrs.insert("s".to_string(), Attr::Str("he\"llo".to_string()));
+        attrs.insert(
+            "sl".to_string(),
+            Attr::StrList(vec!["a".into(), "b".into()]),
+        );
+        attrs.insert("il".to_string(), Attr::IntList(vec![1, -2, 3]));
+        let v = m.append(
+            "rel.scan",
+            Dialect::Relational,
+            vec![],
+            attrs,
+            frame_ty(&[("x", ScalarType::I64)]),
+        );
+        m.mark_output(v);
+        let parsed = parse_module(&m.to_string()).unwrap();
+        assert_eq!(parsed.ops()[0].attrs, m.ops()[0].attrs);
+    }
+
+    #[test]
+    fn float_attrs_stay_floats() {
+        let mut m = Module::new();
+        let v = scalar::const_f64(&mut m, 5.0);
+        m.mark_output(v);
+        let parsed = parse_module(&m.to_string()).unwrap();
+        assert_eq!(
+            parsed.ops()[0].attr("value"),
+            Some(&Attr::Float(5.0)),
+            "5.0 must not collapse to Int(5)"
+        );
+    }
+
+    #[test]
+    fn types_round_trip() {
+        for ty in [
+            IrType::Scalar(ScalarType::Bool),
+            IrType::tensor(ScalarType::F64, &[2, 3]),
+            IrType::matrix(ScalarType::I64),
+            frame_ty(&[("a", ScalarType::Str), ("b", ScalarType::F64)]),
+            IrType::Frame(vec![]),
+        ] {
+            let mut m = Module::new();
+            let v = m.append(
+                "rel.scan",
+                Dialect::Relational,
+                vec![],
+                BTreeMap::new(),
+                ty.clone(),
+            );
+            m.mark_output(v);
+            let parsed = parse_module(&m.to_string()).unwrap();
+            assert_eq!(parsed.type_of(parsed.outputs()[0]).unwrap(), &ty);
+        }
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(parse_module("not a module").is_err());
+        assert!(parse_module("module {\n  %0 = rel.filter(%9) : frame<>\n}").is_err());
+        assert!(parse_module("module {\n  output(%0)\n}").is_err());
+        assert!(parse_module("module {\n  %0 = rel.scan( : frame<>\n}").is_err());
+    }
+}

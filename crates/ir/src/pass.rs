@@ -1,0 +1,156 @@
+//! Pass infrastructure.
+
+use crate::error::IrError;
+use crate::module::Module;
+
+/// A module-level rewrite.
+pub trait Pass {
+    /// Human-readable pass name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass; returns `true` if the module changed.
+    fn run(&self, m: &mut Module) -> Result<bool, IrError>;
+}
+
+/// What a pass-manager run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReport {
+    /// Full fixpoint iterations executed.
+    pub iterations: usize,
+    /// `(pass name, times it reported a change)`.
+    pub changes: Vec<(String, usize)>,
+}
+
+impl PassReport {
+    /// Total changes across all passes.
+    pub fn total_changes(&self) -> usize {
+        self.changes.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Runs a pipeline of passes to fixpoint.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_iterations: usize,
+}
+
+impl PassManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            max_iterations: 10,
+        }
+    }
+
+    /// The standard optimization pipeline: canonicalize, constant-fold,
+    /// CSE, fuse, DCE.
+    pub fn standard() -> Self {
+        let mut pm = PassManager::new();
+        pm.add(crate::passes::Canonicalize);
+        pm.add(crate::passes::ConstFold);
+        pm.add(crate::passes::Cse);
+        pm.add(crate::passes::Fusion);
+        pm.add(crate::passes::Dce);
+        pm
+    }
+
+    /// The same pipeline without fusion (the E10 ablation).
+    pub fn no_fusion() -> Self {
+        let mut pm = PassManager::new();
+        pm.add(crate::passes::Canonicalize);
+        pm.add(crate::passes::ConstFold);
+        pm.add(crate::passes::Cse);
+        pm.add(crate::passes::Dce);
+        pm
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Caps fixpoint iterations.
+    pub fn max_iterations(&mut self, n: usize) -> &mut Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Runs every pass repeatedly until none changes the module (or the
+    /// iteration cap is hit). Verifies the module after every pass so a
+    /// broken rewrite is caught at its source.
+    pub fn run(&self, m: &mut Module) -> Result<PassReport, IrError> {
+        let mut changes: Vec<(String, usize)> = self
+            .passes
+            .iter()
+            .map(|p| (p.name().to_string(), 0))
+            .collect();
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let mut any = false;
+            for (i, pass) in self.passes.iter().enumerate() {
+                if pass.run(m)? {
+                    any = true;
+                    changes[i].1 += 1;
+                    m.verify().map_err(|e| {
+                        IrError::PassError(format!("{} broke the module: {e}", pass.name()))
+                    })?;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        Ok(PassReport {
+            iterations,
+            changes,
+        })
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::rel;
+    use crate::types::{frame_ty, ScalarType};
+
+    struct NoOp;
+    impl Pass for NoOp {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn run(&self, _m: &mut Module) -> Result<bool, IrError> {
+            Ok(false)
+        }
+    }
+
+    #[test]
+    fn fixpoint_terminates_immediately_when_nothing_changes() {
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame_ty(&[("x", ScalarType::I64)]));
+        m.mark_output(s);
+        let mut pm = PassManager::new();
+        pm.add(NoOp);
+        let report = pm.run(&mut m).unwrap();
+        assert_eq!(report.iterations, 1);
+        assert_eq!(report.total_changes(), 0);
+    }
+
+    #[test]
+    fn standard_pipeline_runs_clean_on_simple_module() {
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame_ty(&[("x", ScalarType::I64)]));
+        m.mark_output(s);
+        PassManager::standard().run(&mut m).unwrap();
+        m.verify().unwrap();
+        assert_eq!(m.len(), 1);
+    }
+}

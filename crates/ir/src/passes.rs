@@ -1,0 +1,489 @@
+//! The standard passes: canonicalization, constant folding, CSE, fusion,
+//! and dead-code elimination.
+//!
+//! Fusion is the pass the paper's access layer motivates: "a common IR
+//! enables graph-level optimizations such as op-fusing *across application
+//! domains*" (§1). [`Fusion`] collapses chains of per-row/per-element ops
+//! — including chains that cross from the relational dialect into the
+//! tensor dialect — into single `kernel.fused` ops, which later lower to
+//! one hardware kernel instead of several (fewer task launches, no
+//! intermediate materialization).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::module::Module;
+use crate::op::{Attr, Dialect, Op, OpId, ValueId};
+use crate::pass::Pass;
+
+/// Canonicalization: merges adjacent projections and limits, and removes
+/// `builtin.id` indirections.
+pub struct Canonicalize;
+
+impl Pass for Canonicalize {
+    fn name(&self) -> &'static str {
+        "canonicalize"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool, IrError> {
+        let mut changed = false;
+
+        // builtin.id(x) -> x.
+        let ids: Vec<(OpId, ValueId, ValueId)> = m
+            .ops()
+            .iter()
+            .filter(|o| o.name == "builtin.id")
+            .map(|o| (o.id, o.result(), o.operands[0]))
+            .collect();
+        for (op, result, operand) in ids {
+            m.replace_all_uses(result, operand);
+            m.retain_ops(&[op]);
+            changed = true;
+        }
+
+        // rel.limit(rel.limit(x, a), b) -> rel.limit(x, min(a, b)), when
+        // the inner limit has a single use.
+        loop {
+            let mut rewrite: Option<(OpId, ValueId, i64)> = None;
+            for op in m.ops() {
+                if op.name != "rel.limit" {
+                    continue;
+                }
+                let outer_n = op.attr("n").and_then(Attr::as_int).unwrap_or(i64::MAX);
+                let Some(inner) = m.def_of(op.operands[0]) else {
+                    continue;
+                };
+                if inner.name == "rel.limit" && m.use_count(inner.result()) == 1 {
+                    let inner_n = inner.attr("n").and_then(Attr::as_int).unwrap_or(i64::MAX);
+                    rewrite = Some((op.id, inner.operands[0], outer_n.min(inner_n)));
+                    break;
+                }
+            }
+            let Some((outer_id, new_input, n)) = rewrite else {
+                break;
+            };
+            let op = m
+                .ops_mut()
+                .iter_mut()
+                .find(|o| o.id == outer_id)
+                .expect("just found");
+            op.operands = vec![new_input];
+            op.attrs.insert("n".into(), Attr::Int(n));
+            changed = true;
+        }
+
+        Ok(changed)
+    }
+}
+
+/// Constant folding for `scalar.add`/`scalar.mul` over `scalar.const`.
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool, IrError> {
+        let mut changed = false;
+        loop {
+            let mut target: Option<(OpId, Attr)> = None;
+            for op in m.ops() {
+                let fold = matches!(op.name.as_str(), "scalar.add" | "scalar.mul");
+                if !fold || op.operands.len() != 2 {
+                    continue;
+                }
+                let lhs = m.def_of(op.operands[0]);
+                let rhs = m.def_of(op.operands[1]);
+                let (Some(l), Some(r)) = (lhs, rhs) else {
+                    continue;
+                };
+                if l.name != "scalar.const" || r.name != "scalar.const" {
+                    continue;
+                }
+                let (lv, rv) = (l.attr("value"), r.attr("value"));
+                let folded = match (lv, rv) {
+                    (Some(Attr::Int(a)), Some(Attr::Int(b))) => {
+                        let v = if op.name == "scalar.add" {
+                            a.wrapping_add(*b)
+                        } else {
+                            a.wrapping_mul(*b)
+                        };
+                        Some(Attr::Int(v))
+                    }
+                    (Some(a), Some(b)) => {
+                        let (a, b) = (a.as_float(), b.as_float());
+                        match (a, b) {
+                            (Some(a), Some(b)) => {
+                                let v = if op.name == "scalar.add" {
+                                    a + b
+                                } else {
+                                    a * b
+                                };
+                                Some(Attr::Float(v))
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    target = Some((op.id, v));
+                    break;
+                }
+            }
+            let Some((id, value)) = target else {
+                break;
+            };
+            let op = m
+                .ops_mut()
+                .iter_mut()
+                .find(|o| o.id == id)
+                .expect("just found");
+            op.name = "scalar.const".into();
+            op.dialect = Dialect::Scalar;
+            op.operands.clear();
+            op.attrs = BTreeMap::from([("value".to_string(), value)]);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Common-subexpression elimination by structural fingerprint.
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool, IrError> {
+        let mut seen: HashMap<String, ValueId> = HashMap::new();
+        let mut dup: Vec<(OpId, ValueId, ValueId)> = Vec::new();
+        for op in m.ops() {
+            if op.results.len() != 1 {
+                continue;
+            }
+            let fp = op.fingerprint();
+            match seen.get(&fp) {
+                Some(canon) => dup.push((op.id, op.result(), *canon)),
+                None => {
+                    seen.insert(fp, op.result());
+                }
+            }
+        }
+        if dup.is_empty() {
+            return Ok(false);
+        }
+        let mut remove = Vec::new();
+        for (id, result, canon) in dup {
+            m.replace_all_uses(result, canon);
+            remove.push(id);
+        }
+        m.retain_ops(&remove);
+        Ok(true)
+    }
+}
+
+/// Dead-code elimination: removes ops whose results are unused and are
+/// not module outputs.
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool, IrError> {
+        let mut changed = false;
+        loop {
+            let dead: Vec<OpId> = m
+                .ops()
+                .iter()
+                .filter(|o| o.results.iter().all(|r| m.use_count(*r) == 0))
+                .map(|o| o.id)
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            m.retain_ops(&dead);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Ops that can join a fused chain: per-row / per-element work with one
+/// primary data input. The set deliberately spans dialects so chains can
+/// cross domain boundaries.
+fn fusable(name: &str) -> bool {
+    matches!(
+        name,
+        "rel.filter" | "rel.project" | "tensor.map" | "tensor.from_frame" | "kernel.fused"
+    )
+}
+
+/// Producer-consumer fusion into `kernel.fused` ops.
+pub struct Fusion;
+
+impl Pass for Fusion {
+    fn name(&self) -> &'static str {
+        "fuse"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool, IrError> {
+        // Find one producer-consumer pair to fuse per rewrite, then loop.
+        // A pair fuses when both ops are fusable, the producer's single
+        // result feeds only the consumer, and the consumer's primary input
+        // is that result.
+        let mut changed = false;
+        loop {
+            let mut pair: Option<(OpId, OpId)> = None;
+            for consumer in m.ops() {
+                if !fusable(&consumer.name) || consumer.operands.len() != 1 {
+                    continue;
+                }
+                let Some(producer) = m.def_of(consumer.operands[0]) else {
+                    continue;
+                };
+                if !fusable(&producer.name)
+                    || producer.results.len() != 1
+                    || producer.operands.len() > 1
+                    || m.use_count(producer.result()) != 1
+                {
+                    continue;
+                }
+                pair = Some((producer.id, consumer.id));
+                break;
+            }
+            let Some((pid, cid)) = pair else {
+                break;
+            };
+            fuse_pair(m, pid, cid);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Describes one op for the fused body list.
+fn body_entry(op: &Op) -> Vec<String> {
+    if op.name == "kernel.fused" {
+        op.attr("body")
+            .and_then(Attr::as_str_list)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default()
+    } else {
+        vec![op.name.clone()]
+    }
+}
+
+fn fuse_pair(m: &mut Module, pid: OpId, cid: OpId) {
+    let producer = m
+        .ops()
+        .iter()
+        .find(|o| o.id == pid)
+        .expect("producer exists")
+        .clone();
+    let consumer = m
+        .ops()
+        .iter()
+        .find(|o| o.id == cid)
+        .expect("consumer exists")
+        .clone();
+
+    let mut body = body_entry(&producer);
+    body.extend(body_entry(&consumer));
+
+    let fused_id = m.fresh_op_id();
+    let fused = Op {
+        id: fused_id,
+        name: "kernel.fused".into(),
+        dialect: Dialect::Kernel,
+        operands: producer.operands.clone(),
+        // Reuse the consumer's result value so downstream uses stay valid.
+        results: consumer.results.clone(),
+        attrs: BTreeMap::from([("body".to_string(), Attr::StrList(body))]),
+    };
+
+    // Replace the producer in place (keeps SSA order: its operands are
+    // defined before it, and the consumer's result is only used later).
+    let pos = m
+        .ops()
+        .iter()
+        .position(|o| o.id == pid)
+        .expect("producer exists");
+    m.ops_mut()[pos] = fused;
+    m.retain_ops(&[cid]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{rel, scalar, tensor};
+    use crate::pass::PassManager;
+    use crate::types::{frame_ty, IrType, ScalarType};
+
+    fn frame() -> IrType {
+        frame_ty(&[("a", ScalarType::I64), ("b", ScalarType::F64)])
+    }
+
+    #[test]
+    fn const_fold_collapses_arith() {
+        let mut m = Module::new();
+        let a = scalar::const_i64(&mut m, 2);
+        let b = scalar::const_i64(&mut m, 3);
+        let c = scalar::add(&mut m, a, b);
+        let d = scalar::mul(&mut m, c, c);
+        m.mark_output(d);
+        let mut pm = PassManager::new();
+        pm.add(ConstFold);
+        pm.add(Cse);
+        pm.add(Dce);
+        pm.run(&mut m).unwrap();
+        // Everything folds to one constant 25.
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.ops()[0].attr("value").unwrap().as_int(), Some(25));
+    }
+
+    #[test]
+    fn cse_dedupes_identical_scans() {
+        let mut m = Module::new();
+        let s1 = rel::scan(&mut m, "t", frame());
+        let s2 = rel::scan(&mut m, "t", frame());
+        let j = rel::join(&mut m, s1, s2, "a", "a");
+        m.mark_output(j);
+        let mut pm = PassManager::new();
+        pm.add(Cse);
+        pm.run(&mut m).unwrap();
+        // The join now reads the same scan twice.
+        assert_eq!(m.len(), 2);
+        let join = m.ops().iter().find(|o| o.name == "rel.join").unwrap();
+        assert_eq!(join.operands[0], join.operands[1]);
+    }
+
+    #[test]
+    fn dce_drops_unused() {
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame());
+        let _dead = rel::filter(&mut m, s, "a > 0");
+        let live = rel::filter(&mut m, s, "a > 1");
+        m.mark_output(live);
+        let mut pm = PassManager::new();
+        pm.add(Dce);
+        pm.run(&mut m).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn fusion_collapses_unary_chain() {
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame());
+        let f = rel::filter(&mut m, s, "a > 0");
+        let p = rel::project(&mut m, f, &["b"]);
+        m.mark_output(p);
+        let mut pm = PassManager::new();
+        pm.add(Fusion);
+        pm.run(&mut m).unwrap();
+        m.verify().unwrap();
+        // scan + fused(filter, project).
+        assert_eq!(m.len(), 2);
+        let fused = m.ops().iter().find(|o| o.name == "kernel.fused").unwrap();
+        assert_eq!(
+            fused.attr("body").unwrap().as_str_list().unwrap(),
+            &["rel.filter".to_string(), "rel.project".to_string()]
+        );
+        assert_eq!(m.outputs(), &[fused.result()]);
+    }
+
+    #[test]
+    fn fusion_crosses_domains() {
+        // rel.filter -> tensor.from_frame -> tensor.map: one kernel.
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame());
+        let f = rel::filter(&mut m, s, "a > 0");
+        let t = tensor::from_frame(&mut m, f, &["b"]);
+        let r = tensor::map(&mut m, t, "relu");
+        m.mark_output(r);
+        let mut pm = PassManager::new();
+        pm.add(Fusion);
+        pm.run(&mut m).unwrap();
+        m.verify().unwrap();
+        assert_eq!(m.len(), 2);
+        let fused = m.ops().iter().find(|o| o.name == "kernel.fused").unwrap();
+        let body = fused.attr("body").unwrap().as_str_list().unwrap();
+        assert_eq!(
+            body,
+            &[
+                "rel.filter".to_string(),
+                "tensor.from_frame".to_string(),
+                "tensor.map".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn fusion_respects_multiple_uses() {
+        // The filter result feeds two consumers: must not fuse into either.
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame());
+        let f = rel::filter(&mut m, s, "a > 0");
+        let p1 = rel::project(&mut m, f, &["a"]);
+        let p2 = rel::project(&mut m, f, &["b"]);
+        m.mark_output(p1);
+        m.mark_output(p2);
+        let mut pm = PassManager::new();
+        pm.add(Fusion);
+        pm.run(&mut m).unwrap();
+        m.verify().unwrap();
+        // The filter survives; the projections cannot take it.
+        assert!(m.ops().iter().any(|o| o.name == "rel.filter"));
+    }
+
+    #[test]
+    fn canonicalize_merges_limits() {
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "t", frame());
+        let l1 = rel::limit(&mut m, s, 100);
+        let l2 = rel::limit(&mut m, l1, 10);
+        m.mark_output(l2);
+        let mut pm = PassManager::new();
+        pm.add(Canonicalize);
+        pm.add(Dce);
+        pm.run(&mut m).unwrap();
+        m.verify().unwrap();
+        let limits: Vec<_> = m.ops().iter().filter(|o| o.name == "rel.limit").collect();
+        assert_eq!(limits.len(), 1);
+        assert_eq!(limits[0].attr("n").unwrap().as_int(), Some(10));
+    }
+
+    #[test]
+    fn standard_pipeline_on_mixed_module() {
+        let mut m = Module::new();
+        let s = rel::scan(&mut m, "events", frame());
+        let f1 = rel::filter(&mut m, s, "a > 0");
+        let f2 = rel::filter(&mut m, f1, "b < 10");
+        let t = tensor::from_frame(&mut m, f2, &["b"]);
+        let mapped = tensor::map(&mut m, t, "normalize");
+        let red = tensor::reduce(&mut m, mapped, "sum");
+        m.mark_output(red);
+        let before = m.len();
+        let report = PassManager::standard().run(&mut m).unwrap();
+        m.verify().unwrap();
+        assert!(m.len() < before, "{} -> {}", before, m.len());
+        assert!(report.total_changes() > 0);
+        // The whole per-row chain fused into one kernel.
+        let fused: Vec<_> = m
+            .ops()
+            .iter()
+            .filter(|o| o.name == "kernel.fused")
+            .collect();
+        assert_eq!(fused.len(), 1);
+        assert_eq!(
+            fused[0].attr("body").unwrap().as_str_list().unwrap().len(),
+            4
+        );
+    }
+}

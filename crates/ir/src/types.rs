@@ -1,0 +1,175 @@
+//! IR type system: scalars, tensors, and frames.
+
+use std::fmt;
+
+/// Element/scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::I64 => "i64",
+            ScalarType::F64 => "f64",
+            ScalarType::Bool => "bool",
+            ScalarType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tensor dimension: statically known or dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Known extent.
+    Known(u64),
+    /// Unknown until runtime.
+    Dynamic,
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Known(n) => write!(f, "{n}"),
+            Dim::Dynamic => f.write_str("?"),
+        }
+    }
+}
+
+/// The type of an SSA value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IrType {
+    /// A single scalar.
+    Scalar(ScalarType),
+    /// A dense tensor.
+    Tensor {
+        /// Element type.
+        elem: ScalarType,
+        /// Shape, outermost first.
+        shape: Vec<Dim>,
+    },
+    /// A dataframe: named, typed columns with a dynamic row count.
+    Frame(Vec<(String, ScalarType)>),
+}
+
+impl IrType {
+    /// A 2-D dynamic tensor (the common matrix case).
+    pub fn matrix(elem: ScalarType) -> IrType {
+        IrType::Tensor {
+            elem,
+            shape: vec![Dim::Dynamic, Dim::Dynamic],
+        }
+    }
+
+    /// A tensor with known shape.
+    pub fn tensor(elem: ScalarType, shape: &[u64]) -> IrType {
+        IrType::Tensor {
+            elem,
+            shape: shape.iter().map(|d| Dim::Known(*d)).collect(),
+        }
+    }
+
+    /// Static element count of a tensor, if fully known.
+    pub fn element_count(&self) -> Option<u64> {
+        match self {
+            IrType::Tensor { shape, .. } => {
+                let mut n = 1u64;
+                for d in shape {
+                    match d {
+                        Dim::Known(k) => n = n.checked_mul(*k)?,
+                        Dim::Dynamic => return None,
+                    }
+                }
+                Some(n)
+            }
+            IrType::Scalar(_) => Some(1),
+            IrType::Frame(_) => None,
+        }
+    }
+
+    /// The frame's columns, if this is a frame type.
+    pub fn frame_columns(&self) -> Option<&[(String, ScalarType)]> {
+        match self {
+            IrType::Frame(cols) => Some(cols),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrType::Scalar(s) => write!(f, "{s}"),
+            IrType::Tensor { elem, shape } => {
+                write!(f, "tensor<")?;
+                for d in shape {
+                    write!(f, "{d}x")?;
+                }
+                write!(f, "{elem}>")
+            }
+            IrType::Frame(cols) => {
+                write!(f, "frame<")?;
+                for (i, (n, t)) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+/// Builds a frame type from `(name, type)` pairs.
+pub fn frame_ty(cols: &[(&str, ScalarType)]) -> IrType {
+    IrType::Frame(cols.iter().map(|(n, t)| (n.to_string(), *t)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count() {
+        assert_eq!(
+            IrType::tensor(ScalarType::F64, &[4, 8]).element_count(),
+            Some(32)
+        );
+        assert_eq!(IrType::matrix(ScalarType::F64).element_count(), None);
+        assert_eq!(IrType::Scalar(ScalarType::I64).element_count(), Some(1));
+        assert_eq!(frame_ty(&[("a", ScalarType::I64)]).element_count(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            IrType::tensor(ScalarType::F64, &[2, 3]).to_string(),
+            "tensor<2x3xf64>"
+        );
+        assert_eq!(
+            IrType::matrix(ScalarType::I64).to_string(),
+            "tensor<?x?xi64>"
+        );
+        assert_eq!(
+            frame_ty(&[("id", ScalarType::I64), ("n", ScalarType::Str)]).to_string(),
+            "frame<id: i64, n: str>"
+        );
+    }
+
+    #[test]
+    fn frame_columns_accessor() {
+        let t = frame_ty(&[("x", ScalarType::Bool)]);
+        assert_eq!(t.frame_columns().unwrap().len(), 1);
+        assert!(IrType::Scalar(ScalarType::I64).frame_columns().is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Distributed reference counting.
+//!
+//! The ownership table tracks one aggregate count per object; this ledger
+//! tracks *who* holds the references (tasks, actors, other objects), so
+//! borrowers that exit can release everything they held — including after
+//! a crash, when the runtime releases a dead worker's borrows in bulk.
+
+use std::collections::HashMap;
+
+use skadi_store::object::ObjectId;
+
+use crate::table::OwnershipError;
+
+/// An opaque borrower identity (task, actor, or driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BorrowerId(pub u64);
+
+/// Per-borrower reference ledger.
+#[derive(Debug, Clone, Default)]
+pub struct RefLedger {
+    /// object -> borrower -> count
+    refs: HashMap<ObjectId, HashMap<BorrowerId, u64>>,
+    /// borrower -> objects it references (reverse index)
+    held: HashMap<BorrowerId, Vec<ObjectId>>,
+}
+
+impl RefLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RefLedger::default()
+    }
+
+    /// Records that `borrower` took a reference to `id`.
+    pub fn borrow(&mut self, id: ObjectId, borrower: BorrowerId) {
+        *self
+            .refs
+            .entry(id)
+            .or_default()
+            .entry(borrower)
+            .or_insert(0) += 1;
+        let held = self.held.entry(borrower).or_default();
+        if !held.contains(&id) {
+            held.push(id);
+        }
+    }
+
+    /// Releases one reference from `borrower`. Returns `true` if the
+    /// object now has zero references overall.
+    pub fn release(&mut self, id: ObjectId, borrower: BorrowerId) -> Result<bool, OwnershipError> {
+        let per_obj = self
+            .refs
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        let count = per_obj
+            .get_mut(&borrower)
+            .ok_or(OwnershipError::RefUnderflow(id))?;
+        if *count == 0 {
+            return Err(OwnershipError::RefUnderflow(id));
+        }
+        *count -= 1;
+        if *count == 0 {
+            per_obj.remove(&borrower);
+            if let Some(held) = self.held.get_mut(&borrower) {
+                held.retain(|o| *o != id);
+            }
+        }
+        if per_obj.is_empty() {
+            self.refs.remove(&id);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Total outstanding references to `id`.
+    pub fn count(&self, id: ObjectId) -> u64 {
+        self.refs.get(&id).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// True if any borrower still references `id`.
+    pub fn is_referenced(&self, id: ObjectId) -> bool {
+        self.count(id) > 0
+    }
+
+    /// Releases everything `borrower` held (worker exit or crash).
+    /// Returns the objects that dropped to zero references.
+    pub fn release_all(&mut self, borrower: BorrowerId) -> Vec<ObjectId> {
+        let held = self.held.remove(&borrower).unwrap_or_default();
+        let mut freed = Vec::new();
+        for id in held {
+            if let Some(per_obj) = self.refs.get_mut(&id) {
+                per_obj.remove(&borrower);
+                if per_obj.is_empty() {
+                    self.refs.remove(&id);
+                    freed.push(id);
+                }
+            }
+        }
+        freed.sort();
+        freed
+    }
+
+    /// Objects currently referenced by `borrower`, sorted.
+    pub fn held_by(&self, borrower: BorrowerId) -> Vec<ObjectId> {
+        let mut v = self.held.get(&borrower).cloned().unwrap_or_default();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B1: BorrowerId = BorrowerId(1);
+    const B2: BorrowerId = BorrowerId(2);
+
+    #[test]
+    fn borrow_release_cycle() {
+        let mut l = RefLedger::new();
+        l.borrow(ObjectId(1), B1);
+        l.borrow(ObjectId(1), B2);
+        assert_eq!(l.count(ObjectId(1)), 2);
+        assert!(!l.release(ObjectId(1), B1).unwrap());
+        assert!(l.release(ObjectId(1), B2).unwrap());
+        assert!(!l.is_referenced(ObjectId(1)));
+    }
+
+    #[test]
+    fn multiple_borrows_same_borrower() {
+        let mut l = RefLedger::new();
+        l.borrow(ObjectId(1), B1);
+        l.borrow(ObjectId(1), B1);
+        assert_eq!(l.count(ObjectId(1)), 2);
+        assert!(!l.release(ObjectId(1), B1).unwrap());
+        assert!(l.release(ObjectId(1), B1).unwrap());
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut l = RefLedger::new();
+        l.borrow(ObjectId(1), B1);
+        l.release(ObjectId(1), B1).unwrap();
+        assert!(l.release(ObjectId(1), B1).is_err());
+        assert!(l.release(ObjectId(2), B1).is_err());
+    }
+
+    #[test]
+    fn release_all_on_crash() {
+        let mut l = RefLedger::new();
+        l.borrow(ObjectId(1), B1);
+        l.borrow(ObjectId(2), B1);
+        l.borrow(ObjectId(2), B2);
+        let freed = l.release_all(B1);
+        assert_eq!(freed, vec![ObjectId(1)]);
+        assert!(l.is_referenced(ObjectId(2)));
+        assert_eq!(l.held_by(B1), Vec::<ObjectId>::new());
+        assert_eq!(l.held_by(B2), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn held_by_lists_objects() {
+        let mut l = RefLedger::new();
+        l.borrow(ObjectId(3), B1);
+        l.borrow(ObjectId(1), B1);
+        assert_eq!(l.held_by(B1), vec![ObjectId(1), ObjectId(3)]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Future resolution protocols: Ray's pull model and Skadi's push model.
+//!
+//! §2.3.2 of the paper: "Ray's future resolution uses a pull-based model
+//! in which the consumer pulls data from the producer on demand. This
+//! creates long stalls for short-lived ops. [...] We add another
+//! push-based model for future resolution, in which the producer pushes
+//! data to the consumer proactively."
+//!
+//! The functions here price one future resolution between a producer and
+//! a consumer, given who owns the metadata and how control messages are
+//! routed ([`RoutePolicy`]): Gen-1 detours every device message through
+//! the fronting DPU, Gen-2 runs a device raylet inside the device. The
+//! runtime calls these on every graph edge; the Fig-3 experiments sweep
+//! them directly.
+
+use skadi_dcsim::network::Network;
+use skadi_dcsim::time::{SimDuration, SimTime};
+use skadi_dcsim::topology::NodeId;
+
+/// Which resolution protocol an edge uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionMode {
+    /// Consumer pulls: ask the owner for the location, then fetch.
+    Pull,
+    /// Producer pushes data to the (known) consumer when ready.
+    Push,
+}
+
+impl std::fmt::Display for ResolutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolutionMode::Pull => f.write_str("pull"),
+            ResolutionMode::Push => f.write_str("push"),
+        }
+    }
+}
+
+/// How control/data messages reach code running on a DPU-fronted device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePolicy {
+    /// Gen-1: true — the DPU orchestrates its device, so every message
+    /// to or from the device pays the DPU's per-message processing delay
+    /// plus the internal PCIe hop in both directions. Gen-2: false — a
+    /// device-resident raylet handles messages locally.
+    pub dpu_detour: bool,
+    /// Per-message processing cost of the Gen-2 device raylet (small but
+    /// not free).
+    pub device_raylet_overhead: SimDuration,
+}
+
+impl RoutePolicy {
+    /// The Gen-1 (DPU-centric) routing policy.
+    pub const GEN1: RoutePolicy = RoutePolicy {
+        dpu_detour: true,
+        device_raylet_overhead: SimDuration::ZERO,
+    };
+
+    /// The Gen-2 (device-centric) routing policy.
+    pub const GEN2: RoutePolicy = RoutePolicy {
+        dpu_detour: false,
+        device_raylet_overhead: SimDuration::from_nanos(500),
+    };
+
+    /// Per-message overhead paid at `node` under this policy.
+    pub fn endpoint_overhead(&self, net: &Network, node: NodeId) -> SimDuration {
+        let dpu = net.dpu_delay(node);
+        if dpu.is_zero() {
+            // Regular server: raylet runs on the host CPU either way.
+            return SimDuration::ZERO;
+        }
+        if self.dpu_detour {
+            // In via NIC -> DPU processing -> PCIe hop to the device, and
+            // symmetrically on the way out.
+            dpu + net.internal_hop(node) * 2
+        } else {
+            self.device_raylet_overhead
+        }
+    }
+}
+
+/// One resolution to price.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveScenario {
+    /// Node whose worker owns the future's metadata.
+    pub owner: NodeId,
+    /// Node producing the value.
+    pub producer: NodeId,
+    /// Node consuming the value.
+    pub consumer: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// When the producer finishes computing the value.
+    pub value_ready: SimTime,
+    /// When the consumer is scheduled and would start if its input were
+    /// already local.
+    pub consumer_ready: SimTime,
+}
+
+/// The priced outcome of one resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolveOutcome {
+    /// When the consumer has the bytes locally and can start.
+    pub input_available: SimTime,
+    /// Protocol-induced wait beyond the intrinsic data dependency
+    /// (`input_available - max(value_ready, consumer_ready)`).
+    pub stall: SimDuration,
+    /// Control messages on and off the critical path.
+    pub control_msgs: u32,
+    /// Bulk bytes moved.
+    pub data_bytes: u64,
+}
+
+fn control_msg(
+    net: &mut Network,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    route: &RoutePolicy,
+) -> SimTime {
+    let depart = now + route.endpoint_overhead(net, from);
+    let arrive = net.control(depart, from, to);
+    arrive + route.endpoint_overhead(net, to)
+}
+
+fn data_msg(
+    net: &mut Network,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    bytes: u64,
+    route: &RoutePolicy,
+) -> SimTime {
+    let depart = now + route.endpoint_overhead(net, from);
+    let t = net.transfer(depart, from, to, bytes);
+    t.arrival + route.endpoint_overhead(net, to)
+}
+
+/// Prices a pull-based resolution (Ray's ownership protocol):
+///
+/// 1. producer -> owner: "value ready at my store" (table update);
+/// 2. consumer -> owner: "where is the value?" (at `consumer_ready`);
+/// 3. owner -> consumer: location reply (waits for step 1 if the ask
+///    arrives early — this wait is the pull stall the paper calls out);
+/// 4. consumer -> producer: fetch request;
+/// 5. producer -> consumer: bulk data.
+pub fn resolve_pull(net: &mut Network, s: &ResolveScenario, route: &RoutePolicy) -> ResolveOutcome {
+    // Step 1: the owner learns of readiness only after this arrives.
+    let owner_knows = control_msg(net, s.value_ready, s.producer, s.owner, route);
+    // Step 2: consumer asks.
+    let ask_arrives = control_msg(net, s.consumer_ready, s.consumer, s.owner, route);
+    // Step 3: owner replies once it both has the ask and knows the value.
+    let reply_departs = ask_arrives.max(owner_knows);
+    let reply_arrives = control_msg(net, reply_departs, s.owner, s.consumer, route);
+    // Step 4: fetch request to the holder.
+    let fetch_arrives = control_msg(net, reply_arrives, s.consumer, s.producer, route);
+    // Step 5: bulk data.
+    let input_available = data_msg(net, fetch_arrives, s.producer, s.consumer, s.bytes, route);
+
+    let intrinsic = s.value_ready.max(s.consumer_ready);
+    ResolveOutcome {
+        input_available,
+        stall: input_available.saturating_since(intrinsic),
+        control_msgs: 4,
+        data_bytes: s.bytes,
+    }
+}
+
+/// Prices a push-based resolution (Skadi's addition):
+///
+/// 1. producer -> consumer: bulk data, sent proactively at `value_ready`
+///    (the producer knows the consumer from the physical graph);
+/// 2. producer -> owner: asynchronous table update, off the critical
+///    path (still counted as a control message).
+pub fn resolve_push(net: &mut Network, s: &ResolveScenario, route: &RoutePolicy) -> ResolveOutcome {
+    let input_available = data_msg(net, s.value_ready, s.producer, s.consumer, s.bytes, route);
+    // Off-critical-path ownership update.
+    let _ = control_msg(net, s.value_ready, s.producer, s.owner, route);
+
+    let intrinsic = s.value_ready.max(s.consumer_ready);
+    ResolveOutcome {
+        // The consumer can only start once it is itself ready.
+        input_available: input_available.max(s.consumer_ready),
+        stall: input_available
+            .max(s.consumer_ready)
+            .saturating_since(intrinsic),
+        control_msgs: 1,
+        data_bytes: s.bytes,
+    }
+}
+
+/// Dispatches on the mode.
+pub fn resolve(
+    mode: ResolutionMode,
+    net: &mut Network,
+    s: &ResolveScenario,
+    route: &RoutePolicy,
+) -> ResolveOutcome {
+    match mode {
+        ResolutionMode::Pull => resolve_pull(net, s, route),
+        ResolutionMode::Push => resolve_push(net, s, route),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skadi_dcsim::network::LinkParams;
+    use skadi_dcsim::topology::{presets, Topology};
+
+    fn setup() -> (Topology, Network) {
+        let topo = presets::device_rack();
+        let net = Network::new(&topo, LinkParams::default());
+        (topo, net)
+    }
+
+    fn scenario(topo: &Topology, bytes: u64) -> ResolveScenario {
+        let devs = topo.accel_devices(None);
+        ResolveScenario {
+            owner: topo.servers()[0],
+            producer: devs[0],
+            consumer: devs[1],
+            bytes,
+            value_ready: SimTime::from_micros(100),
+            consumer_ready: SimTime::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn push_beats_pull_for_small_objects() {
+        let (topo, mut net) = setup();
+        let s = scenario(&topo, 4 << 10);
+        let pull = resolve_pull(&mut net, &s, &RoutePolicy::GEN1);
+        let mut net2 = Network::new(&topo, LinkParams::default());
+        let push = resolve_push(&mut net2, &s, &RoutePolicy::GEN1);
+        assert!(
+            push.stall < pull.stall,
+            "push {} vs pull {}",
+            push.stall,
+            pull.stall
+        );
+        assert!(push.control_msgs < pull.control_msgs);
+    }
+
+    #[test]
+    fn gen2_beats_gen1_between_devices() {
+        let (topo, mut net) = setup();
+        let s = scenario(&topo, 4 << 10);
+        let g1 = resolve_pull(&mut net, &s, &RoutePolicy::GEN1);
+        let mut net2 = Network::new(&topo, LinkParams::default());
+        let g2 = resolve_pull(&mut net2, &s, &RoutePolicy::GEN2);
+        assert!(
+            g2.stall < g1.stall,
+            "gen2 {} vs gen1 {}",
+            g2.stall,
+            g1.stall
+        );
+    }
+
+    #[test]
+    fn stall_never_negative_and_data_counted() {
+        let (topo, mut net) = setup();
+        let s = scenario(&topo, 1 << 20);
+        for (mode, route) in [
+            (ResolutionMode::Pull, RoutePolicy::GEN1),
+            (ResolutionMode::Pull, RoutePolicy::GEN2),
+            (ResolutionMode::Push, RoutePolicy::GEN1),
+            (ResolutionMode::Push, RoutePolicy::GEN2),
+        ] {
+            let o = resolve(mode, &mut net, &s, &route);
+            assert!(o.input_available >= s.value_ready);
+            assert_eq!(o.data_bytes, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn pull_waits_for_late_producer() {
+        let (topo, mut net) = setup();
+        let mut s = scenario(&topo, 1024);
+        // Consumer is ready long before the value.
+        s.consumer_ready = SimTime::from_micros(0);
+        s.value_ready = SimTime::from_millis(5);
+        let o = resolve_pull(&mut net, &s, &RoutePolicy::GEN1);
+        assert!(o.input_available > s.value_ready);
+        // Stall is measured beyond the intrinsic dependency, so it is just
+        // protocol overhead, far below the 5 ms skew.
+        assert!(o.stall < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn push_respects_consumer_not_ready() {
+        let (topo, mut net) = setup();
+        let mut s = scenario(&topo, 1024);
+        s.value_ready = SimTime::from_micros(0);
+        s.consumer_ready = SimTime::from_millis(3);
+        let o = resolve_push(&mut net, &s, &RoutePolicy::GEN2);
+        // Data arrived early; the consumer starts when it is ready.
+        assert_eq!(o.input_available, s.consumer_ready);
+        assert_eq!(o.stall, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn server_endpoints_pay_no_device_overhead() {
+        let (topo, net) = setup();
+        let server = topo.servers()[0];
+        assert_eq!(
+            RoutePolicy::GEN1.endpoint_overhead(&net, server),
+            SimDuration::ZERO
+        );
+        let dev = topo.accel_devices(None)[0];
+        assert!(RoutePolicy::GEN1.endpoint_overhead(&net, dev) > SimDuration::ZERO);
+        assert!(
+            RoutePolicy::GEN2.endpoint_overhead(&net, dev)
+                < RoutePolicy::GEN1.endpoint_overhead(&net, dev)
+        );
+    }
+
+    #[test]
+    fn relative_gap_shrinks_for_large_transfers() {
+        // For bulk data the serialization dominates, so pull's extra
+        // control round-trips matter relatively less.
+        let (topo, _) = setup();
+        let small = scenario(&topo, 1 << 10);
+        let large = scenario(&topo, 64 << 20);
+        let mut n1 = Network::new(&topo, LinkParams::default());
+        let mut n2 = Network::new(&topo, LinkParams::default());
+        let mut n3 = Network::new(&topo, LinkParams::default());
+        let mut n4 = Network::new(&topo, LinkParams::default());
+        let ps = resolve_pull(&mut n1, &small, &RoutePolicy::GEN1);
+        let qs = resolve_push(&mut n2, &small, &RoutePolicy::GEN1);
+        let pl = resolve_pull(&mut n3, &large, &RoutePolicy::GEN1);
+        let ql = resolve_push(&mut n4, &large, &RoutePolicy::GEN1);
+        let small_ratio = ps.stall.as_secs_f64() / qs.stall.as_secs_f64();
+        let large_ratio = pl.stall.as_secs_f64() / ql.stall.as_secs_f64();
+        assert!(
+            small_ratio > large_ratio,
+            "small {small_ratio:.2} vs large {large_ratio:.2}"
+        );
+    }
+}

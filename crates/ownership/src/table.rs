@@ -1,0 +1,362 @@
+//! The heterogeneity-aware ownership table.
+//!
+//! Figure 3 of the paper shows the extension: the classic Ray columns
+//! `[*ID, *Owner, *Value, ...]` plus `[Locations, DeviceID, DeviceHandle]`.
+//! The device columns let a raylet on a DPU (Gen-1) or inside a device
+//! (Gen-2) manage memory on its companion accelerator through the device
+//! driver, while the rest of the system keeps using opaque object IDs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use skadi_dcsim::topology::NodeId;
+use skadi_store::object::ObjectId;
+
+/// An opaque handle to a device communication driver (what the modified
+/// raylet uses to reach HBM behind a DPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceHandle(pub u32);
+
+/// The device residency of an object: which device, through which driver
+/// handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSlot {
+    /// The accelerator/memory device holding the bytes.
+    pub device: NodeId,
+    /// Driver handle used to address them.
+    pub handle: DeviceHandle,
+}
+
+/// Lifecycle of a future's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueState {
+    /// The producing task has not finished.
+    Pending,
+    /// The value exists; `size` bytes.
+    Ready {
+        /// Payload size in bytes.
+        size: u64,
+    },
+    /// The producing task failed; lineage may re-create it.
+    Failed,
+}
+
+/// Errors from the ownership table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwnershipError {
+    /// No entry for the object.
+    UnknownObject(ObjectId),
+    /// The object was registered twice.
+    AlreadyOwned(ObjectId),
+    /// A reference count went negative.
+    RefUnderflow(ObjectId),
+}
+
+impl fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwnershipError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            OwnershipError::AlreadyOwned(id) => write!(f, "object {id} already registered"),
+            OwnershipError::RefUnderflow(id) => write!(f, "refcount underflow on {id}"),
+        }
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
+/// One row of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The object this row describes.
+    pub id: ObjectId,
+    /// The node whose worker created the future (the owner).
+    pub owner: NodeId,
+    /// Value lifecycle state.
+    pub value: ValueState,
+    /// Nodes holding copies.
+    pub locations: Vec<NodeId>,
+    /// Device residency, when the primary copy lives in device memory.
+    pub device: Option<DeviceSlot>,
+    /// Outstanding references.
+    pub refcount: u64,
+}
+
+/// The ownership table. In the real system each worker owns a shard of
+/// this table; the simulation keeps one logical table and charges the
+/// message costs separately (see [`crate::resolve`]).
+#[derive(Debug, Clone, Default)]
+pub struct OwnershipTable {
+    entries: HashMap<ObjectId, Entry>,
+}
+
+impl OwnershipTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        OwnershipTable::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a new future owned by `owner`, with one initial
+    /// reference.
+    pub fn register(&mut self, id: ObjectId, owner: NodeId) -> Result<(), OwnershipError> {
+        if self.entries.contains_key(&id) {
+            return Err(OwnershipError::AlreadyOwned(id));
+        }
+        self.entries.insert(
+            id,
+            Entry {
+                id,
+                owner,
+                value: ValueState::Pending,
+                locations: Vec::new(),
+                device: None,
+                refcount: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, id: ObjectId) -> Result<&Entry, OwnershipError> {
+        self.entries
+            .get(&id)
+            .ok_or(OwnershipError::UnknownObject(id))
+    }
+
+    /// The owner of an object.
+    pub fn owner_of(&self, id: ObjectId) -> Result<NodeId, OwnershipError> {
+        Ok(self.get(id)?.owner)
+    }
+
+    /// Marks the value ready at `location`, optionally recording device
+    /// residency.
+    pub fn mark_ready(
+        &mut self,
+        id: ObjectId,
+        size: u64,
+        location: NodeId,
+        device: Option<DeviceSlot>,
+    ) -> Result<(), OwnershipError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        e.value = ValueState::Ready { size };
+        if !e.locations.contains(&location) {
+            e.locations.push(location);
+        }
+        e.device = device;
+        Ok(())
+    }
+
+    /// Marks the value failed (producer crashed).
+    pub fn mark_failed(&mut self, id: ObjectId) -> Result<(), OwnershipError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        e.value = ValueState::Failed;
+        e.locations.clear();
+        e.device = None;
+        Ok(())
+    }
+
+    /// Adds a copy location.
+    pub fn add_location(&mut self, id: ObjectId, node: NodeId) -> Result<(), OwnershipError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        if !e.locations.contains(&node) {
+            e.locations.push(node);
+        }
+        Ok(())
+    }
+
+    /// Drops a copy location (e.g. after eviction or node failure).
+    pub fn remove_location(&mut self, id: ObjectId, node: NodeId) -> Result<(), OwnershipError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        e.locations.retain(|n| *n != node);
+        if e.locations.is_empty() {
+            if let ValueState::Ready { .. } = e.value {
+                // All copies gone: from the table's perspective the value
+                // must be re-created (lineage) or fetched from durable.
+                e.value = ValueState::Failed;
+            }
+        }
+        Ok(())
+    }
+
+    /// Increments the reference count.
+    pub fn incref(&mut self, id: ObjectId) -> Result<u64, OwnershipError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        e.refcount += 1;
+        Ok(e.refcount)
+    }
+
+    /// Decrements the reference count. When it reaches zero the entry is
+    /// removed and `true` is returned — the caller should free the bytes.
+    pub fn decref(&mut self, id: ObjectId) -> Result<bool, OwnershipError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(OwnershipError::UnknownObject(id))?;
+        if e.refcount == 0 {
+            return Err(OwnershipError::RefUnderflow(id));
+        }
+        e.refcount -= 1;
+        if e.refcount == 0 {
+            self.entries.remove(&id);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// All objects owned by workers on `node` (used when a node fails:
+    /// these futures lose their owner and must be re-driven by lineage).
+    pub fn owned_by(&self, node: NodeId) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self
+            .entries
+            .values()
+            .filter(|e| e.owner == node)
+            .map(|e| e.id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Handles a node failure: removes the node from all location lists
+    /// and returns `(objects_now_unavailable, objects_whose_owner_died)`.
+    pub fn fail_node(&mut self, node: NodeId) -> (Vec<ObjectId>, Vec<ObjectId>) {
+        let ids: Vec<ObjectId> = self.entries.keys().copied().collect();
+        let mut unavailable = Vec::new();
+        for id in ids {
+            let had = {
+                let e = self.entries.get(&id).expect("listed");
+                e.locations.contains(&node)
+            };
+            if had {
+                self.remove_location(id, node).expect("exists");
+                let e = self.entries.get(&id).expect("exists");
+                if e.value == ValueState::Failed {
+                    unavailable.push(id);
+                }
+            }
+        }
+        unavailable.sort();
+        (unavailable, self.owned_by(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    #[test]
+    fn register_and_ready() {
+        let mut t = OwnershipTable::new();
+        t.register(ObjectId(1), N0).unwrap();
+        assert_eq!(t.get(ObjectId(1)).unwrap().value, ValueState::Pending);
+        t.mark_ready(ObjectId(1), 64, N1, None).unwrap();
+        let e = t.get(ObjectId(1)).unwrap();
+        assert_eq!(e.value, ValueState::Ready { size: 64 });
+        assert_eq!(e.locations, vec![N1]);
+        assert_eq!(t.owner_of(ObjectId(1)).unwrap(), N0);
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let mut t = OwnershipTable::new();
+        t.register(ObjectId(1), N0).unwrap();
+        assert!(matches!(
+            t.register(ObjectId(1), N1),
+            Err(OwnershipError::AlreadyOwned(_))
+        ));
+    }
+
+    #[test]
+    fn device_slot_recorded() {
+        let mut t = OwnershipTable::new();
+        t.register(ObjectId(1), N0).unwrap();
+        let slot = DeviceSlot {
+            device: N2,
+            handle: DeviceHandle(7),
+        };
+        t.mark_ready(ObjectId(1), 10, N2, Some(slot)).unwrap();
+        assert_eq!(t.get(ObjectId(1)).unwrap().device, Some(slot));
+    }
+
+    #[test]
+    fn refcounting_frees_at_zero() {
+        let mut t = OwnershipTable::new();
+        t.register(ObjectId(1), N0).unwrap();
+        assert_eq!(t.incref(ObjectId(1)).unwrap(), 2);
+        assert!(!t.decref(ObjectId(1)).unwrap());
+        assert!(t.decref(ObjectId(1)).unwrap());
+        assert!(t.get(ObjectId(1)).is_err());
+    }
+
+    #[test]
+    fn losing_last_location_fails_value() {
+        let mut t = OwnershipTable::new();
+        t.register(ObjectId(1), N0).unwrap();
+        t.mark_ready(ObjectId(1), 10, N1, None).unwrap();
+        t.add_location(ObjectId(1), N2).unwrap();
+        t.remove_location(ObjectId(1), N1).unwrap();
+        assert_eq!(
+            t.get(ObjectId(1)).unwrap().value,
+            ValueState::Ready { size: 10 }
+        );
+        t.remove_location(ObjectId(1), N2).unwrap();
+        assert_eq!(t.get(ObjectId(1)).unwrap().value, ValueState::Failed);
+    }
+
+    #[test]
+    fn fail_node_reports_losses_and_orphans() {
+        let mut t = OwnershipTable::new();
+        // obj1: owned by N0, stored only on N1 -> unavailable when N1 dies.
+        t.register(ObjectId(1), N0).unwrap();
+        t.mark_ready(ObjectId(1), 1, N1, None).unwrap();
+        // obj2: owned by N1 -> orphaned when N1 dies.
+        t.register(ObjectId(2), N1).unwrap();
+        t.mark_ready(ObjectId(2), 1, N2, None).unwrap();
+        // obj3: stored on N1 and N2 -> survives.
+        t.register(ObjectId(3), N0).unwrap();
+        t.mark_ready(ObjectId(3), 1, N1, None).unwrap();
+        t.add_location(ObjectId(3), N2).unwrap();
+        let (unavailable, orphaned) = t.fail_node(N1);
+        assert_eq!(unavailable, vec![ObjectId(1)]);
+        assert_eq!(orphaned, vec![ObjectId(2)]);
+        assert_eq!(
+            t.get(ObjectId(3)).unwrap().value,
+            ValueState::Ready { size: 1 }
+        );
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let mut t = OwnershipTable::new();
+        assert!(t.get(ObjectId(9)).is_err());
+        assert!(t.incref(ObjectId(9)).is_err());
+        assert!(t.mark_ready(ObjectId(9), 1, N0, None).is_err());
+    }
+}

@@ -1,0 +1,2031 @@
+//! The event-driven cluster: control plane + data plane on the simulated
+//! data center.
+//!
+//! [`Cluster::run`] executes a [`Job`] under a [`RuntimeConfig`] on a
+//! [`Topology`], pricing every control message, future resolution, data
+//! transfer, spill, cold start, and re-execution, and returns
+//! [`JobStats`].
+//!
+//! ## Execution model
+//!
+//! Tasks move through `Blocked -> Ready -> Dispatched -> Running ->
+//! Finished`. The centralized scheduler (resident on the first server,
+//! like Ray's head node) learns of readiness via control messages,
+//! places tasks with the configured policy, and dispatches them to the
+//! target node's raylet. At the raylet, each input edge is resolved with
+//! the configured protocol (pull or push, routed per Gen-1 or Gen-2);
+//! the task starts when its inputs have arrived and an execution slot is
+//! free, and finishes after its backend-specific compute time. Outputs
+//! land in the caching layer (or durable storage, per deployment), which
+//! may trigger spills to disaggregated memory.
+//!
+//! ## Failure handling
+//!
+//! Injected node failures abort resident tasks and drop the node's
+//! cached objects. Losses are detected lazily when a consumer tries to
+//! resolve a missing input (plus eagerly for job outputs), and repaired
+//! per the configured [`FtMode`]: lineage re-execution, replication
+//! (loss masked by surviving copies), or erasure coding (loss masked
+//! while at least `k` shards survive).
+
+use std::collections::{HashMap, HashSet};
+
+use skadi_dcsim::engine::EventQueue;
+use skadi_dcsim::network::{LinkParams, Network};
+use skadi_dcsim::resources::NodeResources;
+use skadi_dcsim::rng::DetRng;
+use skadi_dcsim::time::{SimDuration, SimTime};
+use skadi_dcsim::topology::{AccelKind, NodeClass, NodeId, NodeKind, Topology};
+use skadi_dcsim::trace::Metrics;
+use skadi_ir::Backend;
+use skadi_ownership::resolve::{resolve, ResolveScenario};
+use skadi_ownership::table::{DeviceHandle, DeviceSlot, OwnershipTable};
+use skadi_store::ec::EcConfig;
+use skadi_store::object::{ObjectId, ObjectIdGen};
+use skadi_store::placement::CachingLayer;
+use skadi_store::policy::EvictionPolicy;
+use skadi_store::spill::{SpillPolicy, SpillTarget};
+
+use crate::config::{Deployment, FtMode, RuntimeConfig};
+use crate::error::RuntimeError;
+use crate::failure::FailurePlan;
+use crate::job::{Job, JobStats};
+use crate::lineage::LineageLog;
+use crate::scheduler::{Autoscaler, GangTracker, NodeFacts, Placer, ScaleDecision};
+use crate::task::{ActorId, TaskId, TaskRecord, TaskState};
+
+/// Simulation events. Task events carry the task's epoch so events from
+/// a superseded attempt are dropped on delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The scheduler learned the task is ready.
+    Ready(TaskId, u32),
+    /// The dispatch reached the target raylet.
+    Arrive(TaskId, u32),
+    /// Inputs are local; try to claim a slot and start.
+    TryStart(TaskId, u32),
+    /// The task's compute completed.
+    Finish(TaskId, u32),
+    /// A node dies.
+    Fail(NodeId),
+    /// A node rejoins (empty).
+    Recover(NodeId),
+    /// Autoscaler tick.
+    Autoscale,
+}
+
+/// Per-object erasure-coding placement.
+#[derive(Debug, Clone)]
+struct EcPlacement {
+    shard_nodes: Vec<NodeId>,
+    size: u64,
+    config: EcConfig,
+}
+
+/// Completion statistics for one job of a multi-job run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerJobStats {
+    /// The job's name.
+    pub name: String,
+    /// When the job was submitted.
+    pub arrival: SimTime,
+    /// Submission-to-last-task-finish time.
+    pub completion: SimDuration,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    topo: Topology,
+    cfg: RuntimeConfig,
+    net: Network,
+    res: NodeResources,
+    cache: CachingLayer,
+    own: OwnershipTable,
+    idgen: ObjectIdGen,
+    _rng: DetRng,
+
+    tasks: HashMap<TaskId, TaskRecord>,
+    consumers: HashMap<TaskId, Vec<TaskId>>,
+    epochs: HashMap<TaskId, u32>,
+    object_of: HashMap<TaskId, ObjectId>,
+    value_ready: HashMap<TaskId, SimTime>,
+    durable_ready: HashMap<TaskId, SimTime>,
+    ec_placements: HashMap<TaskId, EcPlacement>,
+
+    placer: Placer,
+    gangs: GangTracker,
+    lineage: LineageLog,
+    metrics: Metrics,
+    failed_nodes: HashSet<NodeId>,
+    node_load: HashMap<NodeId, u32>,
+    scheduler_node: NodeId,
+    system_pools: HashMap<String, Vec<NodeId>>,
+
+    autoscaler: Option<Autoscaler>,
+    device_available_at: HashMap<NodeId, SimTime>,
+
+    /// Where each actor lives (pinned at first placement).
+    actor_node: HashMap<ActorId, NodeId>,
+    /// Until when each actor is busy executing a method.
+    actor_busy_until: HashMap<ActorId, SimTime>,
+
+    busy_us_by_node: HashMap<NodeId, f64>,
+    durable_trips: u64,
+    retries: u64,
+    abandoned: u64,
+    finished: u64,
+    stall_total: SimDuration,
+    compute_total: SimDuration,
+    serverless_task_cost: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster over `topo` with the given configuration and
+    /// default link parameters.
+    pub fn new(topo: &Topology, cfg: RuntimeConfig) -> Self {
+        Cluster::with_links(topo, cfg, LinkParams::default())
+    }
+
+    /// Builds a cluster with explicit link parameters.
+    pub fn with_links(topo: &Topology, cfg: RuntimeConfig, links: LinkParams) -> Self {
+        let spill_policy = SpillPolicy {
+            // Gen-2 extends the caching layer to disaggregated memory;
+            // Gen-1 and the baselines spill straight to durable storage.
+            use_disagg_memory: matches!(cfg.generation, crate::config::Generation::Gen2)
+                && cfg.deployment == Deployment::DistributedRuntime,
+            allow_drop_for_lineage: false,
+        };
+        let scheduler_node = topo
+            .servers()
+            .first()
+            .copied()
+            .unwrap_or(skadi_dcsim::topology::NodeId(0));
+        let seed = cfg.seed;
+        let placement = cfg.placement;
+        let autoscaler = cfg.autoscale.map(Autoscaler::new);
+        Cluster {
+            net: Network::new(topo, links),
+            res: NodeResources::new(topo),
+            cache: CachingLayer::new(topo, EvictionPolicy::Lru, spill_policy),
+            own: OwnershipTable::new(),
+            idgen: ObjectIdGen::new(),
+            _rng: DetRng::seed(seed),
+            tasks: HashMap::new(),
+            consumers: HashMap::new(),
+            epochs: HashMap::new(),
+            object_of: HashMap::new(),
+            value_ready: HashMap::new(),
+            durable_ready: HashMap::new(),
+            ec_placements: HashMap::new(),
+            placer: Placer::new(placement),
+            gangs: GangTracker::new(),
+            lineage: LineageLog::new(),
+            metrics: Metrics::new(),
+            failed_nodes: HashSet::new(),
+            node_load: HashMap::new(),
+            scheduler_node,
+            system_pools: HashMap::new(),
+            autoscaler,
+            device_available_at: HashMap::new(),
+            actor_node: HashMap::new(),
+            actor_busy_until: HashMap::new(),
+            busy_us_by_node: HashMap::new(),
+            durable_trips: 0,
+            retries: 0,
+            abandoned: 0,
+            finished: 0,
+            stall_total: SimDuration::ZERO,
+            compute_total: SimDuration::ZERO,
+            serverless_task_cost: 0.0,
+            topo: topo.clone(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// When a task started executing in the last run (experiment hook,
+    /// e.g. for measuring gang start skew).
+    pub fn task_started_at(&self, t: TaskId) -> Option<SimTime> {
+        self.tasks.get(&t).and_then(|r| r.started_at)
+    }
+
+    /// When a task finished in the last run.
+    pub fn task_finished_at(&self, t: TaskId) -> Option<SimTime> {
+        self.tasks.get(&t).and_then(|r| r.finished_at)
+    }
+
+    /// Runs a job to completion (no failures).
+    pub fn run(&mut self, job: &Job) -> Result<JobStats, RuntimeError> {
+        self.run_with_failures(job, &FailurePlan::none())
+    }
+
+    /// Runs several jobs sharing this cluster, each submitted at its own
+    /// arrival time — the consolidation scenario the paper's utilization
+    /// argument is about. Returns per-job completion times plus combined
+    /// stats.
+    pub fn run_jobs(
+        &mut self,
+        jobs: &[(Job, SimTime)],
+        failures: &FailurePlan,
+    ) -> Result<(Vec<PerJobStats>, JobStats), RuntimeError> {
+        // Renumber every job into one combined ID space, remembering each
+        // job's arrival and member tasks.
+        let mut combined: Vec<crate::task::TaskSpec> = Vec::new();
+        let mut membership: Vec<(String, SimTime, Vec<TaskId>)> = Vec::new();
+        let mut releases: HashMap<TaskId, SimTime> = HashMap::new();
+        let mut offset = 0u64;
+        for (job, arrival) in jobs {
+            let mut members = Vec::new();
+            for spec in job.tasks.values() {
+                let mut s = spec.clone();
+                s.id = TaskId(s.id.0 + offset);
+                s.inputs = s
+                    .inputs
+                    .iter()
+                    .map(|(t, b)| (TaskId(t.0 + offset), *b))
+                    .collect();
+                if s.inputs.is_empty() {
+                    releases.insert(s.id, *arrival);
+                }
+                members.push(s.id);
+                combined.push(s);
+            }
+            membership.push((job.name.clone(), *arrival, members));
+            offset += job.tasks.keys().map(|t| t.0 + 1).max().unwrap_or(0);
+        }
+        let combined = Job::new("combined", combined)?;
+        let stats = self.run_released(&combined, failures, &releases)?;
+        let per_job = membership
+            .into_iter()
+            .map(|(name, arrival, members)| {
+                let done = members
+                    .iter()
+                    .filter_map(|t| self.tasks.get(t).and_then(|r| r.finished_at))
+                    .max()
+                    .unwrap_or(arrival);
+                PerJobStats {
+                    name,
+                    arrival,
+                    completion: done.saturating_since(arrival),
+                }
+            })
+            .collect();
+        Ok((per_job, stats))
+    }
+
+    /// Runs a job under a failure schedule.
+    pub fn run_with_failures(
+        &mut self,
+        job: &Job,
+        failures: &FailurePlan,
+    ) -> Result<JobStats, RuntimeError> {
+        self.run_released(job, failures, &HashMap::new())
+    }
+
+    fn run_released(
+        &mut self,
+        job: &Job,
+        failures: &FailurePlan,
+        releases: &HashMap<TaskId, SimTime>,
+    ) -> Result<JobStats, RuntimeError> {
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        self.init_job(job, &mut queue, releases)?;
+        for f in failures.failures() {
+            queue.schedule_at(f.at, Event::Fail(f.node));
+            if let Some(r) = f.recovers_at {
+                queue.schedule_at(r, Event::Recover(f.node));
+            }
+        }
+        if let Some(a) = &self.autoscaler {
+            queue.schedule_after(a.interval(), Event::Autoscale);
+        }
+
+        let budget: u64 = 1_000_000 + job.len() as u64 * 10_000;
+        let mut processed: u64 = 0;
+        while let Some((now, ev)) = queue.pop() {
+            processed += 1;
+            if processed > budget {
+                return Err(RuntimeError::Livelock { events: processed });
+            }
+            self.handle(now, ev, &mut queue);
+            // Stop pumping pure-timer events once the job is done.
+            if self.job_done() && !queue.is_empty() {
+                let only_timers = {
+                    // Drain remaining failure/autoscale ticks cheaply.
+                    true
+                };
+                if only_timers {
+                    break;
+                }
+            }
+        }
+
+        let makespan = self
+            .tasks
+            .values()
+            .filter_map(|t| t.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO);
+
+        self.finished = self
+            .tasks
+            .values()
+            .filter(|t| t.state == TaskState::Finished)
+            .count() as u64;
+        // Utilization: busy slot-time over available slot-time.
+        let total_slots: f64 = self
+            .topo
+            .nodes()
+            .iter()
+            .map(|n| self.res.total_slots(n.id) as f64)
+            .sum();
+        let busy_us: f64 = self.busy_us_by_node.values().sum();
+        let utilization = if makespan.is_zero() || total_slots == 0.0 {
+            0.0
+        } else {
+            (busy_us / (total_slots * makespan.as_micros_f64())).clamp(0.0, 1.0)
+        };
+        Ok(JobStats {
+            makespan,
+            finished: self.finished,
+            retries: self.retries,
+            abandoned: self.abandoned,
+            net: *self.net.stats(),
+            durable_trips: self.durable_trips,
+            stall_total: self.stall_total,
+            compute_total: self.compute_total,
+            cost_units: self.cost_units(makespan),
+            utilization,
+            spills: self.cache.spill_stats().0,
+            spill_bytes: self.cache.spill_stats().1,
+            metrics: std::mem::take(&mut self.metrics),
+        })
+    }
+
+    fn init_job(
+        &mut self,
+        job: &Job,
+        queue: &mut EventQueue<Event>,
+        releases: &HashMap<TaskId, SimTime>,
+    ) -> Result<(), RuntimeError> {
+        self.tasks.clear();
+        self.consumers.clear();
+        self.epochs.clear();
+        self.build_system_pools(job);
+        for spec in job.tasks.values() {
+            self.lineage.record(spec.clone());
+            for dep in spec.inputs.keys() {
+                self.consumers.entry(*dep).or_default().push(spec.id);
+            }
+            if let Some(g) = spec.gang {
+                if self.cfg.gang_scheduling {
+                    self.gangs.declare(g, 1);
+                }
+            }
+            self.epochs.insert(spec.id, 0);
+            self.tasks.insert(spec.id, TaskRecord::new(spec.clone()));
+        }
+        for c in self.consumers.values_mut() {
+            c.sort();
+        }
+        // Kick off source tasks: the driver tells the scheduler.
+        let mut ready: Vec<TaskId> = self
+            .tasks
+            .values()
+            .filter(|t| t.state == TaskState::Ready)
+            .map(|t| t.spec.id)
+            .collect();
+        // HashMap iteration order is nondeterministic; root-task order
+        // decides event FIFO ties, so sort.
+        ready.sort();
+        if ready.is_empty() && !job.is_empty() {
+            return Err(RuntimeError::Internal("no root tasks".to_string()));
+        }
+        for t in ready {
+            let at = releases.get(&t).copied().unwrap_or(SimTime::ZERO);
+            queue.schedule_at(at, Event::Ready(t, 0));
+        }
+        Ok(())
+    }
+
+    /// Serverful deployments split nodes into per-system silos.
+    fn build_system_pools(&mut self, job: &Job) {
+        self.system_pools.clear();
+        if self.cfg.deployment != Deployment::Serverful {
+            return;
+        }
+        let mut systems: Vec<String> = job
+            .tasks
+            .values()
+            .map(|t| t.system.clone())
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        systems.sort();
+        if systems.is_empty() {
+            return;
+        }
+        let servers = self.topo.servers();
+        let devices = self.topo.accel_devices(None);
+        for (i, node) in servers.iter().chain(devices.iter()).enumerate() {
+            let sys = &systems[i % systems.len()];
+            self.system_pools
+                .entry(sys.clone())
+                .or_default()
+                .push(*node);
+        }
+    }
+
+    fn job_done(&self) -> bool {
+        self.tasks
+            .values()
+            .all(|t| t.state == TaskState::Finished || t.state == TaskState::Failed)
+    }
+
+    fn epoch(&self, t: TaskId) -> u32 {
+        self.epochs.get(&t).copied().unwrap_or(0)
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event, queue: &mut EventQueue<Event>) {
+        match ev {
+            Event::Ready(t, e) if e == self.epoch(t) => self.on_ready(now, t, queue),
+            Event::Arrive(t, e) if e == self.epoch(t) => self.on_arrive(now, t, queue),
+            Event::TryStart(t, e) if e == self.epoch(t) => self.on_try_start(now, t, queue),
+            Event::Finish(t, e) if e == self.epoch(t) => self.on_finish(now, t, queue),
+            Event::Fail(n) => self.on_fail(now, n, queue),
+            Event::Recover(n) => {
+                self.failed_nodes.remove(&n);
+            }
+            Event::Autoscale => self.on_autoscale(now, queue),
+            // Stale task event from a superseded attempt.
+            _ => {}
+        }
+    }
+
+    // ---- scheduling -----------------------------------------------------
+
+    fn eligible_nodes(&self, t: TaskId) -> (Vec<NodeId>, bool) {
+        let spec = &self.tasks[&t].spec;
+        // An already-placed actor's methods must run on its node.
+        if let Some(actor) = spec.actor {
+            if let Some(node) = self.actor_node.get(&actor) {
+                if !self.failed_nodes.contains(node) {
+                    return (vec![*node], false);
+                }
+            }
+        }
+        let pool: Vec<NodeId> = if self.cfg.deployment == Deployment::Serverful {
+            self.system_pools
+                .get(&spec.system)
+                .cloned()
+                .unwrap_or_default()
+        } else {
+            self.topo.nodes().iter().map(|n| n.id).collect()
+        };
+        let alive = |n: &NodeId| !self.failed_nodes.contains(n);
+        let warm = |n: &NodeId| match self.device_available_at.get(n) {
+            Some(_) => true, // Provision time is respected at dispatch.
+            None => self.autoscaler.is_none(),
+        };
+        let mut primary: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(alive)
+            .filter(|n| match (spec.backend, self.topo.node(*n).kind) {
+                (Backend::Cpu, NodeKind::Server(_)) => true,
+                (Backend::Gpu, NodeKind::AccelDevice(AccelKind::Gpu, _)) => warm(n),
+                (Backend::Fpga, NodeKind::AccelDevice(AccelKind::Fpga, _)) => warm(n),
+                _ => false,
+            })
+            .collect();
+        primary.sort();
+        if !primary.is_empty() {
+            return (primary, false);
+        }
+        // With an autoscaler, cold devices are procurable: accel tasks
+        // wait for the pool to warm instead of degrading to CPU.
+        if spec.backend != Backend::Cpu && self.autoscaler.is_some() {
+            let procurable = match spec.backend {
+                Backend::Gpu => !self.topo.accel_devices(Some(AccelKind::Gpu)).is_empty(),
+                Backend::Fpga => !self.topo.accel_devices(Some(AccelKind::Fpga)).is_empty(),
+                Backend::Cpu => false,
+            };
+            if procurable {
+                return (Vec::new(), false);
+            }
+        }
+        // CPU fallback: accel task orchestrated from a plain server.
+        if spec.backend != Backend::Cpu && self.cfg.cpu_fallback_slowdown.is_some() {
+            let mut servers: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .filter(alive)
+                .filter(|n| self.topo.node(*n).kind.class() == NodeClass::Server)
+                .collect();
+            servers.sort();
+            return (servers, true);
+        }
+        (Vec::new(), false)
+    }
+
+    fn on_ready(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
+        {
+            let rec = self.tasks.get_mut(&t).expect("known task");
+            if rec.state != TaskState::Ready && rec.state != TaskState::Blocked {
+                return;
+            }
+            rec.state = TaskState::Ready;
+            rec.ready_at = Some(now);
+        }
+        // Gang gating: hold members until the whole gang is ready.
+        let gang = self.tasks[&t].spec.gang;
+        if self.cfg.gang_scheduling {
+            if let Some(g) = gang {
+                match self.gangs.member_ready(g, t) {
+                    Some(members) => {
+                        for m in members {
+                            self.place(now, m, queue);
+                        }
+                        return;
+                    }
+                    None => return,
+                }
+            }
+        }
+        self.place(now, t, queue);
+    }
+
+    fn place(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
+        let (eligible, fallback) = self.eligible_nodes(t);
+        if eligible.is_empty() {
+            if let Some(scaler) = &self.autoscaler {
+                // Wait for the autoscaler to warm a device.
+                let interval = scaler.interval();
+                let e = self.epoch(t);
+                queue.schedule_at(now + interval, Event::Ready(t, e));
+                return;
+            }
+            self.abandoned += 1;
+            self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+            return;
+        }
+        // Gather placement facts.
+        let inputs: Vec<(TaskId, u64)> = self.tasks[&t]
+            .spec
+            .inputs
+            .iter()
+            .map(|(p, b)| (*p, *b))
+            .collect();
+        let cache = &self.cache;
+        let object_of = &self.object_of;
+        let node_load = &self.node_load;
+        let res = &self.res;
+        let node = self
+            .placer
+            .place(&eligible, |n| {
+                let local: u64 = inputs
+                    .iter()
+                    .filter(|(p, _)| {
+                        object_of
+                            .get(p)
+                            .map(|o| cache.locations(*o).contains(&n))
+                            .unwrap_or(false)
+                    })
+                    .map(|(_, b)| *b)
+                    .sum();
+                NodeFacts {
+                    local_input_bytes: local,
+                    load: node_load.get(&n).copied().unwrap_or(0),
+                    free_slots: res.free_slots(n),
+                }
+            })
+            .expect("eligible non-empty");
+
+        {
+            let rec = self.tasks.get_mut(&t).expect("known");
+            rec.state = TaskState::Dispatched;
+            rec.node = Some(node);
+        }
+        if let Some(actor) = self.tasks[&t].spec.actor {
+            self.actor_node.entry(actor).or_insert(node);
+        }
+        *self.node_load.entry(node).or_insert(0) += 1;
+        if fallback {
+            self.metrics.bump("cpu_fallback");
+        }
+        // Dispatch: scheduler raylet -> target raylet control message.
+        let route = self.cfg.generation.route_policy();
+        let depart = now + route.endpoint_overhead(&self.net, self.scheduler_node);
+        let arrive = self.net.control(depart, self.scheduler_node, node)
+            + route.endpoint_overhead(&self.net, node);
+        // Respect autoscaler provision delays.
+        let arrive = match self.device_available_at.get(&node) {
+            Some(at) => arrive.max(*at),
+            None => arrive,
+        };
+        let e = self.epoch(t);
+        queue.schedule_at(arrive, Event::Arrive(t, e));
+    }
+
+    // ---- input resolution ------------------------------------------------
+
+    /// True if the producer's output must bounce through durable storage
+    /// on its way to this consumer.
+    fn via_durable(&self, producer: TaskId, consumer: TaskId) -> bool {
+        match self.cfg.deployment {
+            Deployment::StatelessServerless => true,
+            Deployment::Serverful => {
+                self.tasks[&producer].spec.system != self.tasks[&consumer].spec.system
+            }
+            Deployment::DistributedRuntime => false,
+        }
+    }
+
+    /// True if the producer's output is still obtainable.
+    fn input_available(&self, producer: TaskId, consumer: TaskId) -> bool {
+        if self.via_durable(producer, consumer) {
+            return self.durable_ready.contains_key(&producer);
+        }
+        if let Some(p) = self.ec_placements.get(&producer) {
+            return p.shard_nodes.len() >= p.config.data;
+        }
+        self.object_of
+            .get(&producer)
+            .map(|o| self.cache.contains(*o))
+            .unwrap_or(false)
+    }
+
+    fn on_arrive(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
+        let rec = &self.tasks[&t];
+        if rec.state != TaskState::Dispatched {
+            return;
+        }
+        let node = rec.node.expect("dispatched task has a node");
+        let inputs: Vec<(TaskId, u64)> = rec.spec.inputs.iter().map(|(p, b)| (*p, *b)).collect();
+
+        // Detect lost inputs before fetching.
+        let missing: Vec<TaskId> = inputs
+            .iter()
+            .map(|(p, _)| *p)
+            .filter(|p| !self.input_available(*p, t))
+            .collect();
+        if !missing.is_empty() {
+            self.recover_missing(now, t, &missing, queue);
+            return;
+        }
+
+        let route = self.cfg.generation.route_policy();
+        let mut available = now;
+        for (p, bytes) in inputs {
+            let t_in = if self.via_durable(p, t) {
+                // Durable read: first-byte latency + stream.
+                let write_done = self.durable_ready[&p];
+                let durable = self
+                    .topo
+                    .durable_storage()
+                    .expect("durable deployments need durable storage");
+                let tr = self.net.transfer(now.max(write_done), durable, node, bytes);
+                self.durable_trips += 1;
+                self.metrics.bump("durable_reads");
+                tr.arrival
+            } else if bytes <= self.cfg.pass_by_value_max && !self.ec_placements.contains_key(&p) {
+                // Pass-by-value: the bytes rode inline in the dispatch
+                // message; the input is available the moment the task
+                // arrives at the raylet.
+                self.metrics.bump("inlined_values");
+                now
+            } else if let Some(ec) = self.ec_placements.get(&p) {
+                // Fetch k shards in parallel from surviving holders.
+                let k = ec.config.data;
+                let shard_bytes = (ec.size / k as u64).max(1);
+                let holders: Vec<NodeId> = ec.shard_nodes.iter().take(k).copied().collect();
+                let ready = self.value_ready.get(&p).copied().unwrap_or(now);
+                let mut last = now;
+                for h in holders {
+                    let tr = self.net.transfer(now.max(ready), h, node, shard_bytes);
+                    last = last.max(tr.arrival);
+                }
+                // Decode at ~10 GiB/s.
+                last + SimDuration::from_secs_f64(ec.size as f64 / (10.0 * (1u64 << 30) as f64))
+            } else {
+                // The caching layer tells us where the best copy is.
+                let obj = self.object_of[&p];
+                let loc = self
+                    .cache
+                    .get(obj, node, now)
+                    .expect("availability checked above");
+                let producer_node = loc.node;
+                let owner = self.own.owner_of(obj).unwrap_or(self.scheduler_node);
+                let scenario = ResolveScenario {
+                    owner,
+                    producer: producer_node,
+                    consumer: node,
+                    bytes,
+                    value_ready: self.value_ready.get(&p).copied().unwrap_or(now),
+                    consumer_ready: now,
+                };
+                let out = resolve(self.cfg.resolution, &mut self.net, &scenario, &route);
+                self.stall_total += out.stall;
+                self.metrics.observe("stall", out.stall);
+                // The fetched bytes now also live in the consumer's local
+                // store (plasma semantics): later consumers read the
+                // nearest copy instead of re-crossing the fabric.
+                if !loc.local && self.cfg.cache_fetched_copies {
+                    let size = self.tasks[&p].spec.output_bytes.max(1);
+                    if self.cache.put(obj, size, node, now).is_ok() {
+                        let _ = self.own.add_location(obj, node);
+                    }
+                }
+                out.input_available
+            };
+            available = available.max(t_in);
+        }
+
+        // Serverless cold start.
+        if self.cfg.deployment == Deployment::StatelessServerless {
+            available += self.cfg.cold_start;
+            self.metrics.bump("cold_starts");
+        }
+
+        let e = self.epoch(t);
+        queue.schedule_at(available, Event::TryStart(t, e));
+    }
+
+    fn recover_missing(
+        &mut self,
+        now: SimTime,
+        consumer: TaskId,
+        missing: &[TaskId],
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.cfg.ft == FtMode::None {
+            self.abandoned += 1;
+            let rec = self.tasks.get_mut(&consumer).expect("known");
+            if let Some(node) = rec.node {
+                if let Some(l) = self.node_load.get_mut(&node) {
+                    *l = l.saturating_sub(1);
+                }
+            }
+            rec.state = TaskState::Failed;
+            return;
+        }
+        self.metrics.bump("lineage_recoveries");
+        let _ = missing; // Re-derived inside reset_task.
+                         // Reset the consumer: it re-blocks on the missing producers, and
+                         // reset_task re-drives those producers transitively (the same
+                         // closure the lineage log's recovery_plan computes).
+        self.reset_task(consumer, queue, now);
+    }
+
+    /// Resets a task to run again: bumps its epoch, recomputes pending
+    /// inputs from current availability, and re-enters the readiness
+    /// machinery.
+    fn reset_task(&mut self, t: TaskId, queue: &mut EventQueue<Event>, now: SimTime) {
+        let e = self.epochs.entry(t).or_insert(0);
+        *e += 1;
+        let epoch = *e;
+        // Drop stale output bookkeeping.
+        if let Some(obj) = self.object_of.remove(&t) {
+            let _ = self.cache.delete(obj);
+        }
+        self.value_ready.remove(&t);
+        self.durable_ready.remove(&t);
+        self.ec_placements.remove(&t);
+
+        let (pending, node, state) = {
+            let rec = self.tasks.get_mut(&t).expect("known task");
+            let prev_node = rec.node.take();
+            let prev_state = rec.state;
+            rec.started_at = None;
+            rec.finished_at = None;
+            rec.attempts += 1;
+            (0usize, prev_node, prev_state)
+        };
+        let _ = pending;
+        if state == TaskState::Dispatched || state == TaskState::Running {
+            if let Some(n) = node {
+                if let Some(l) = self.node_load.get_mut(&n) {
+                    *l = l.saturating_sub(1);
+                }
+                if state == TaskState::Running {
+                    let _ = self.res.release_slot(n);
+                }
+            }
+        }
+        if let Some(g) = self.tasks[&t].spec.gang {
+            if self.cfg.gang_scheduling {
+                self.gangs.reset(g);
+            }
+        }
+        let missing: Vec<TaskId> = {
+            let inputs: Vec<TaskId> = self.tasks[&t].spec.inputs.keys().copied().collect();
+            inputs
+                .into_iter()
+                .filter(|p| !self.input_available(*p, t))
+                .collect()
+        };
+        {
+            let rec = self.tasks.get_mut(&t).expect("known task");
+            rec.pending_inputs = missing.len();
+            if missing.is_empty() {
+                rec.state = TaskState::Ready;
+                queue.schedule_at(now, Event::Ready(t, epoch));
+            } else {
+                rec.state = TaskState::Blocked;
+            }
+        }
+        // Re-create missing inputs: a Blocked task is only woken by its
+        // producers finishing, so the producers must be re-driven here
+        // (transitively, via their own resets).
+        for p in missing {
+            let state = self.tasks[&p].state;
+            if state == TaskState::Finished || state == TaskState::Failed {
+                self.retries += 1;
+                self.reset_task(p, queue, now);
+            }
+        }
+    }
+
+    // ---- execution -------------------------------------------------------
+
+    fn on_try_start(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
+        let rec = &self.tasks[&t];
+        if rec.state != TaskState::Dispatched {
+            return;
+        }
+        let node = rec.node.expect("dispatched");
+        if self.failed_nodes.contains(&node) {
+            // The node died while we were waiting; re-place.
+            self.retries += 1;
+            self.reset_task(t, queue, now);
+            return;
+        }
+        let slowdown = if rec.spec.backend != Backend::Cpu
+            && self.topo.node(node).kind.class() == NodeClass::Server
+        {
+            self.cfg.cpu_fallback_slowdown.unwrap_or(1.0)
+        } else {
+            1.0
+        };
+        let dur = SimDuration::from_secs_f64(rec.spec.compute_us * slowdown / 1e6);
+        // Actor methods execute one at a time, in readiness order.
+        if let Some(actor) = rec.spec.actor {
+            let busy_until = self
+                .actor_busy_until
+                .get(&actor)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            if busy_until > now {
+                let e = self.epoch(t);
+                queue.schedule_at(busy_until, Event::TryStart(t, e));
+                return;
+            }
+        }
+        if self.res.try_claim_slot(node, now + dur) {
+            let rec = self.tasks.get_mut(&t).expect("known");
+            rec.state = TaskState::Running;
+            rec.started_at = Some(now);
+            if let Some(actor) = rec.spec.actor {
+                self.actor_busy_until.insert(actor, now + dur);
+            }
+            self.compute_total += dur;
+            self.metrics.observe("task.run", dur);
+            if let Some(r) = rec.ready_at {
+                self.metrics.observe("task.wait", now.saturating_since(r));
+            }
+            let e = self.epoch(t);
+            queue.schedule_at(now + dur, Event::Finish(t, e));
+        } else {
+            let retry = self.res.earliest_slot(node, now);
+            let e = self.epoch(t);
+            // Guard against pathological same-instant retries.
+            let retry = retry.max(now + SimDuration::from_nanos(100));
+            queue.schedule_at(retry, Event::TryStart(t, e));
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
+        let (node, out_bytes, backend) = {
+            let rec = self.tasks.get_mut(&t).expect("known");
+            if rec.state != TaskState::Running {
+                return;
+            }
+            rec.state = TaskState::Finished;
+            rec.finished_at = Some(now);
+            (
+                rec.node.expect("running"),
+                rec.spec.output_bytes,
+                rec.spec.backend,
+            )
+        };
+        let _ = self.res.release_slot(node);
+        if let Some(l) = self.node_load.get_mut(&node) {
+            *l = l.saturating_sub(1);
+        }
+        if let Some(start) = self.tasks[&t].started_at {
+            *self.busy_us_by_node.entry(node).or_insert(0.0) +=
+                now.saturating_since(start).as_micros_f64();
+        }
+        self.metrics.bump("task_completions");
+        if self.cfg.deployment == Deployment::StatelessServerless
+            || self.cfg.deployment == Deployment::DistributedRuntime
+        {
+            // Pay-per-use cost accrues per task-second.
+            let dur = self.tasks[&t]
+                .started_at()
+                .map(|s| now.saturating_since(s))
+                .unwrap_or(SimDuration::ZERO);
+            self.serverless_task_cost += dur.as_secs_f64() * node_rate(&self.topo, node) + 0.0001;
+        }
+
+        self.store_output(now, t, node, out_bytes, backend);
+
+        // Notify the scheduler (owner) and wake consumers.
+        let notify = self.net.control(now, node, self.scheduler_node);
+        let consumers: Vec<TaskId> = self.consumers.get(&t).cloned().unwrap_or_default();
+        for c in consumers {
+            let rec = self.tasks.get_mut(&c).expect("known consumer");
+            if rec.state == TaskState::Blocked && rec.pending_inputs > 0 {
+                rec.pending_inputs -= 1;
+                if rec.pending_inputs == 0 {
+                    let e = self.epoch(c);
+                    queue.schedule_at(notify, Event::Ready(c, e));
+                }
+            }
+        }
+    }
+
+    /// Stores a finished task's output per the deployment and FT mode,
+    /// setting `value_ready` (and `durable_ready` when applicable).
+    fn store_output(
+        &mut self,
+        now: SimTime,
+        t: TaskId,
+        node: NodeId,
+        bytes: u64,
+        backend: Backend,
+    ) {
+        // Durable write when any consumer (or the deployment) needs it.
+        let needs_durable = match self.cfg.deployment {
+            Deployment::StatelessServerless => true,
+            Deployment::Serverful => self
+                .consumers
+                .get(&t)
+                .map(|cs| cs.iter().any(|c| self.via_durable(t, *c)))
+                .unwrap_or(false),
+            Deployment::DistributedRuntime => false,
+        };
+        if needs_durable {
+            let durable = self
+                .topo
+                .durable_storage()
+                .expect("durable deployments need durable storage");
+            let tr = self.net.transfer(now, node, durable, bytes);
+            self.durable_trips += 1;
+            self.metrics.bump("durable_writes");
+            self.durable_ready.insert(t, tr.arrival);
+        }
+        if self.cfg.deployment == Deployment::StatelessServerless {
+            // Stateless functions keep nothing locally.
+            self.value_ready.insert(t, now);
+            return;
+        }
+
+        match self.cfg.ft {
+            FtMode::ErasureCoding(config) => {
+                // Distribute k+m shards over servers and blades.
+                let mut holders: Vec<NodeId> = self
+                    .topo
+                    .servers()
+                    .into_iter()
+                    .chain(self.topo.memory_blades())
+                    .filter(|n| !self.failed_nodes.contains(n))
+                    .collect();
+                holders.sort();
+                let total = config.total();
+                let shard = (bytes / config.data as u64).max(1);
+                let mut nodes = Vec::with_capacity(total);
+                let mut last = now;
+                for i in 0..total {
+                    let h = holders[i % holders.len()];
+                    let tr = self.net.transfer(now, node, h, shard);
+                    last = last.max(tr.arrival);
+                    nodes.push(h);
+                }
+                self.metrics.add("ec_bytes", shard * total as u64);
+                self.ec_placements.insert(
+                    t,
+                    EcPlacement {
+                        shard_nodes: nodes,
+                        size: bytes,
+                        config,
+                    },
+                );
+                self.value_ready.insert(t, last);
+            }
+            _ => {
+                let obj = self.idgen.next();
+                self.object_of.insert(t, obj);
+                let _ = self.own.register(obj, self.scheduler_node);
+                let device = match self.topo.node(node).kind {
+                    NodeKind::AccelDevice(..) => Some(DeviceSlot {
+                        device: node,
+                        handle: DeviceHandle(node.0),
+                    }),
+                    _ => None,
+                };
+                let put = self.cache.put(obj, bytes.max(1), node, now);
+                match put {
+                    Ok(report) => {
+                        for s in &report.spilled {
+                            match s.to {
+                                SpillTarget::Node(dest) | SpillTarget::Durable(dest) => {
+                                    let _ = self.net.transfer(now, s.from, dest, s.bytes);
+                                    if matches!(s.to, SpillTarget::Durable(_)) {
+                                        self.durable_trips += 1;
+                                    }
+                                }
+                                SpillTarget::Drop => {}
+                            }
+                        }
+                        let tier = report.tier;
+                        let _ = self.own.mark_ready(obj, bytes, node, device);
+                        self.value_ready.insert(t, now + tier.access_latency());
+                    }
+                    Err(_) => {
+                        // Cannot fit anywhere in memory: durable backstop.
+                        if let Some(d) = self.topo.durable_storage() {
+                            let tr = self.net.transfer(now, node, d, bytes);
+                            let _ = self.cache.put(obj, bytes.max(1), d, now);
+                            let _ = self.own.mark_ready(obj, bytes, d, None);
+                            self.durable_trips += 1;
+                            self.value_ready.insert(t, tr.arrival);
+                        }
+                    }
+                }
+                // Replication: copy to rack-diverse holders, off the
+                // critical path (priced, but value_ready unchanged).
+                if let FtMode::Replication(n) = self.cfg.ft {
+                    if n > 1 {
+                        let candidates: Vec<NodeId> = self
+                            .topo
+                            .servers()
+                            .into_iter()
+                            .chain(self.topo.memory_blades())
+                            .filter(|x| !self.failed_nodes.contains(x))
+                            .collect();
+                        if let Ok(added) =
+                            self.cache
+                                .replicate(obj, (n - 1) as usize, &candidates, now)
+                        {
+                            for dest in added {
+                                let _ = self.net.transfer(now, node, dest, bytes);
+                                let _ = self.own.add_location(obj, dest);
+                                self.metrics.add("replica_bytes", bytes);
+                            }
+                        }
+                    }
+                }
+                let _ = backend;
+            }
+        }
+    }
+
+    // ---- failures ----------------------------------------------------------
+
+    fn on_fail(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
+        if self.failed_nodes.contains(&node) {
+            return;
+        }
+        self.failed_nodes.insert(node);
+        self.metrics.bump("node_failures");
+
+        // Actors living on the node restart elsewhere (their pin clears;
+        // the next method placement re-pins).
+        let dead_actors: Vec<ActorId> = self
+            .actor_node
+            .iter()
+            .filter(|(_, n)| **n == node)
+            .map(|(a, _)| *a)
+            .collect();
+        for a in dead_actors {
+            self.actor_node.remove(&a);
+            self.actor_busy_until.remove(&a);
+        }
+
+        // Objects on the node: replicas mask losses inside the cache.
+        let lost_objects = self.cache.fail_node(node);
+        let (_unavail, _orphans) = self.own.fail_node(node);
+
+        // EC shards on the node.
+        for p in self.ec_placements.values_mut() {
+            p.shard_nodes.retain(|n| *n != node);
+        }
+
+        // Abort resident tasks.
+        let mut resident: Vec<TaskId> = self
+            .tasks
+            .values()
+            .filter(|r| {
+                r.node == Some(node)
+                    && matches!(r.state, TaskState::Dispatched | TaskState::Running)
+            })
+            .map(|r| r.spec.id)
+            .collect();
+        resident.sort();
+        for t in resident {
+            // A recursive reset may already have re-driven this task.
+            if !matches!(
+                self.tasks[&t].state,
+                TaskState::Dispatched | TaskState::Running
+            ) {
+                continue;
+            }
+            if self.cfg.ft == FtMode::None {
+                self.abandoned += 1;
+                self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+                if let Some(l) = self.node_load.get_mut(&node) {
+                    *l = l.saturating_sub(1);
+                }
+            } else {
+                self.retries += 1;
+                self.reset_task(t, queue, now);
+            }
+        }
+
+        // Eagerly re-create lost *job outputs* (no consumers to trigger
+        // lazy recovery).
+        if self.cfg.ft != FtMode::None {
+            let mut lost_tasks: Vec<TaskId> = self
+                .object_of
+                .iter()
+                .filter(|(_, o)| lost_objects.contains(o))
+                .map(|(t, _)| *t)
+                .collect();
+            lost_tasks.sort();
+            for t in lost_tasks {
+                let no_consumers = self.consumers.get(&t).map(Vec::is_empty).unwrap_or(true);
+                if no_consumers && self.tasks[&t].state == TaskState::Finished {
+                    self.retries += 1;
+                    self.reset_task(t, queue, now);
+                }
+            }
+        }
+    }
+
+    fn on_autoscale(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        let Some(scaler) = self.autoscaler.as_mut() else {
+            return;
+        };
+        // Queue depth: accel-backend tasks not yet running.
+        let queue_depth = self
+            .tasks
+            .values()
+            .filter(|r| {
+                r.spec.backend != Backend::Cpu
+                    && matches!(r.state, TaskState::Ready | TaskState::Dispatched)
+            })
+            .count() as u32;
+        let busy: u32 = self
+            .device_available_at
+            .keys()
+            .map(|n| self.node_load.get(n).copied().unwrap_or(0))
+            .sum();
+        let decision = scaler.evaluate(now, queue_depth, busy);
+        let delay = scaler.provision_delay();
+        match decision {
+            ScaleDecision::Up(n) => {
+                let mut cold: Vec<NodeId> = self
+                    .topo
+                    .accel_devices(None)
+                    .into_iter()
+                    .filter(|d| !self.device_available_at.contains_key(d))
+                    .collect();
+                cold.sort();
+                for d in cold.into_iter().take(n as usize) {
+                    self.device_available_at.insert(d, now + delay);
+                    self.metrics.bump("devices_provisioned");
+                }
+            }
+            ScaleDecision::Down(n) => {
+                let mut idle: Vec<NodeId> = self
+                    .device_available_at
+                    .keys()
+                    .copied()
+                    .filter(|d| self.node_load.get(d).copied().unwrap_or(0) == 0)
+                    .collect();
+                idle.sort();
+                for d in idle.into_iter().take(n as usize) {
+                    self.device_available_at.remove(&d);
+                    self.metrics.bump("devices_retired");
+                }
+            }
+            ScaleDecision::Hold => {}
+        }
+        if !self.job_done() {
+            let interval = self.autoscaler.as_ref().expect("present").interval();
+            queue.schedule_at(now + interval, Event::Autoscale);
+        }
+    }
+
+    // ---- cost --------------------------------------------------------------
+
+    fn cost_units(&self, makespan: SimDuration) -> f64 {
+        match self.cfg.deployment {
+            Deployment::Serverful => {
+                // Reservation: every node in every system pool is paid for
+                // the whole job.
+                let nodes: HashSet<NodeId> =
+                    self.system_pools.values().flatten().copied().collect();
+                nodes
+                    .iter()
+                    .map(|n| node_rate(&self.topo, *n) * makespan.as_secs_f64())
+                    .sum()
+            }
+            _ => {
+                let mut cost = self.serverless_task_cost;
+                cost += self.durable_trips as f64 * 0.0005;
+                if let Some(s) = &self.autoscaler {
+                    cost += s.warm_device_us() / 1e6 * 3.0;
+                }
+                cost
+            }
+        }
+    }
+}
+
+/// Abstract cost rate of a node, units per second.
+fn node_rate(topo: &Topology, node: NodeId) -> f64 {
+    match topo.node(node).kind {
+        NodeKind::Server(_) => 1.0,
+        NodeKind::AccelDevice(AccelKind::Gpu, _) => 3.0,
+        NodeKind::AccelDevice(AccelKind::Fpga, _) => 2.0,
+        NodeKind::MemoryBlade(_) => 0.3,
+        NodeKind::DurableStorage(_) => 0.0,
+    }
+}
+
+impl TaskRecord {
+    fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{GangId, TaskSpec};
+    use skadi_dcsim::topology::presets;
+
+    fn chain_job(n: u64, compute_us: f64, bytes: u64) -> Job {
+        let mut tasks = vec![TaskSpec::new(0, compute_us, bytes)];
+        for i in 1..n {
+            tasks.push(TaskSpec::new(i, compute_us, bytes).after(TaskId(i - 1), bytes));
+        }
+        Job::new("chain", tasks).unwrap()
+    }
+
+    fn fanout_job(width: u64, compute_us: f64, bytes: u64) -> Job {
+        let mut tasks = vec![TaskSpec::new(0, compute_us, bytes)];
+        for i in 1..=width {
+            tasks.push(TaskSpec::new(i, compute_us, bytes).after(TaskId(0), bytes));
+        }
+        let mut sink = TaskSpec::new(width + 1, compute_us, bytes);
+        for i in 1..=width {
+            sink = sink.after(TaskId(i), bytes);
+        }
+        tasks.push(sink);
+        Job::new("fanout", tasks).unwrap()
+    }
+
+    #[test]
+    fn chain_completes_with_monotone_makespan() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let short = c.run(&chain_job(5, 100.0, 1 << 10)).unwrap();
+        assert_eq!(short.finished, 5);
+        assert_eq!(short.abandoned, 0);
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let long = c.run(&chain_job(20, 100.0, 1 << 10)).unwrap();
+        assert!(long.makespan > short.makespan);
+    }
+
+    #[test]
+    fn fanout_parallelizes() {
+        let topo = presets::small_disagg_cluster();
+        // 16 independent 1ms tasks across 8 servers x 16 slots: the
+        // makespan should be far below the serial sum.
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&fanout_job(16, 1000.0, 1 << 10)).unwrap();
+        assert_eq!(stats.finished, 18);
+        let serial_us = 18.0 * 1000.0;
+        assert!(
+            stats.makespan.as_micros() < (serial_us * 0.5) as u64,
+            "makespan {} vs serial {serial_us}us",
+            stats.makespan
+        );
+    }
+
+    #[test]
+    fn stateless_pays_durable_trips() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(4, 100.0, 1 << 20);
+        let mut skadi = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let s = skadi.run(&job).unwrap();
+        let mut stateless = Cluster::new(&topo, RuntimeConfig::stateless_serverless());
+        let f = stateless.run(&job).unwrap();
+        assert_eq!(s.durable_trips, 0);
+        assert!(
+            f.durable_trips >= 6,
+            "writes + reads, got {}",
+            f.durable_trips
+        );
+        assert!(f.makespan > s.makespan * 2);
+    }
+
+    #[test]
+    fn serverful_bounces_cross_system_edges_only() {
+        let topo = presets::small_disagg_cluster();
+        let tasks = vec![
+            TaskSpec::new(0, 100.0, 1 << 20).in_system("sql"),
+            TaskSpec::new(1, 100.0, 1 << 20)
+                .after(TaskId(0), 1 << 20)
+                .in_system("sql"),
+            TaskSpec::new(2, 100.0, 1 << 20)
+                .after(TaskId(1), 1 << 20)
+                .in_system("ml"),
+        ];
+        let job = Job::new("mixed", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::serverful());
+        let stats = c.run(&job).unwrap();
+        // One cross-system edge: one write + one read.
+        assert_eq!(stats.durable_trips, 2);
+        assert_eq!(stats.finished, 3);
+    }
+
+    #[test]
+    fn gpu_tasks_land_on_gpu_devices() {
+        let topo = presets::small_disagg_cluster();
+        let job = Job::new(
+            "gpu",
+            vec![
+                TaskSpec::new(0, 100.0, 1 << 10),
+                TaskSpec::new(1, 100.0, 1 << 10)
+                    .after(TaskId(0), 1 << 10)
+                    .on(Backend::Gpu),
+            ],
+        )
+        .unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&job).unwrap();
+        assert_eq!(stats.finished, 2);
+        assert_eq!(stats.metrics.counter("cpu_fallback"), 0);
+    }
+
+    #[test]
+    fn gen2_beats_gen1_on_short_device_ops() {
+        let topo = presets::device_rack();
+        // A chain of short GPU ops: control overhead dominates.
+        let mut tasks = vec![TaskSpec::new(0, 10.0, 4 << 10).on(Backend::Gpu)];
+        for i in 1..20 {
+            tasks.push(
+                TaskSpec::new(i, 10.0, 4 << 10)
+                    .after(TaskId(i - 1), 4 << 10)
+                    .on(Backend::Gpu),
+            );
+        }
+        let job = Job::new("short-ops", tasks).unwrap();
+        let mut g1 = Cluster::new(&topo, RuntimeConfig::skadi_gen1());
+        let s1 = g1.run(&job).unwrap();
+        let mut g2 = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let s2 = g2.run(&job).unwrap();
+        assert!(
+            s2.makespan < s1.makespan,
+            "gen2 {} vs gen1 {}",
+            s2.makespan,
+            s1.makespan
+        );
+        assert!(s2.stall_total < s1.stall_total);
+    }
+
+    #[test]
+    fn lineage_recovers_from_node_failure() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(6, 2000.0, 1 << 16);
+        // Kill a server mid-job.
+        let victim = topo.servers()[0];
+        let plan = FailurePlan::none().kill(victim, SimTime::from_millis(3));
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 6, "all tasks should finish eventually");
+        assert_eq!(stats.abandoned, 0);
+    }
+
+    #[test]
+    fn ft_none_abandons_on_failure() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(6, 5000.0, 1 << 16);
+        let victim = topo.servers()[0];
+        let plan = FailurePlan::none().kill(victim, SimTime::from_millis(6));
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_ft(FtMode::None));
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        // The chain ran on the data-local node; killing it aborts the rest.
+        assert!(stats.abandoned > 0 || stats.finished == 6);
+    }
+
+    #[test]
+    fn replication_masks_failures_cheaper_recovery() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(8, 3000.0, 1 << 18);
+        let victim = topo.servers()[0];
+        let at = SimTime::from_millis(10);
+
+        let mut lineage = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let l = lineage
+            .run_with_failures(&job, &FailurePlan::none().kill(victim, at))
+            .unwrap();
+        let mut repl = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2().with_ft(FtMode::Replication(2)),
+        );
+        let r = repl
+            .run_with_failures(&job, &FailurePlan::none().kill(victim, at))
+            .unwrap();
+        assert_eq!(l.finished, 8);
+        assert_eq!(r.finished, 8);
+        // Replication re-runs at most the task that was executing; lineage
+        // may recompute ancestors too.
+        assert!(
+            r.retries <= l.retries,
+            "repl {} vs lineage {}",
+            r.retries,
+            l.retries
+        );
+    }
+
+    #[test]
+    fn erasure_coding_survives_single_failure() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(6, 3000.0, 1 << 18);
+        let victim = topo.servers()[1];
+        let plan = FailurePlan::none().kill(victim, SimTime::from_millis(8));
+        let mut c = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2().with_ft(FtMode::ErasureCoding(EcConfig::RS_4_2)),
+        );
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 6);
+        assert!(stats.metrics.counter("ec_bytes") > 0);
+    }
+
+    #[test]
+    fn gang_scheduling_starts_members_together() {
+        let topo = presets::small_disagg_cluster();
+        let gang = GangId(1);
+        // Two gang members, one delayed by a long producer.
+        let tasks = vec![
+            TaskSpec::new(0, 10_000.0, 1 << 10),
+            TaskSpec::new(1, 100.0, 1 << 10).in_gang(gang),
+            TaskSpec::new(2, 100.0, 1 << 10)
+                .after(TaskId(0), 1 << 10)
+                .in_gang(gang),
+        ];
+        let job = Job::new("gang", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_gang(true));
+        let _ = c.run(&job).unwrap();
+        let t1 = c.tasks[&TaskId(1)].started_at.unwrap();
+        let t2 = c.tasks[&TaskId(2)].started_at.unwrap();
+        let skew = t1.max(t2).saturating_since(t1.min(t2));
+        assert!(
+            skew < SimDuration::from_millis(1),
+            "gang members started {skew} apart"
+        );
+    }
+
+    #[test]
+    fn data_centric_moves_less_data_than_round_robin() {
+        let topo = presets::small_disagg_cluster();
+        // Shuffle-free chain with big intermediates: locality matters.
+        let job = chain_job(10, 500.0, 32 << 20);
+        let mut dc = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let a = dc.run(&job).unwrap();
+        let mut rr = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2().with_placement(crate::PlacementPolicy::RoundRobin),
+        );
+        let b = rr.run(&job).unwrap();
+        assert!(
+            a.net.network_bytes() < b.net.network_bytes(),
+            "data-centric {} vs round-robin {}",
+            a.net.network_bytes(),
+            b.net.network_bytes()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let topo = presets::small_disagg_cluster();
+        let job = fanout_job(8, 700.0, 1 << 16);
+        let mut c1 = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let a = c1.run(&job).unwrap();
+        let mut c2 = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let b = c2.run(&job).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.cost_units, b.cost_units);
+    }
+
+    #[test]
+    fn serverful_cost_is_reservation_based() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(3, 100.0, 1 << 10);
+        let mut sf = Cluster::new(&topo, RuntimeConfig::serverful());
+        let s = sf.run(&job).unwrap();
+        // Cost scales with makespan x pool size, not with task time.
+        assert!(s.cost_units > 0.0);
+        let mut sk = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let k = sk.run(&job).unwrap();
+        assert!(k.cost_units < s.cost_units);
+    }
+
+    #[test]
+    fn autoscaler_provisions_devices_under_load() {
+        let topo = presets::device_rack();
+        let mut tasks = Vec::new();
+        for i in 0..24u64 {
+            tasks.push(TaskSpec::new(i, 5_000.0, 1 << 10).on(Backend::Gpu));
+        }
+        let job = Job::new("burst", tasks).unwrap();
+        let mut c = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2().with_autoscale(crate::config::AutoscaleConfig {
+                min_devices: 0,
+                max_devices: 4,
+                scale_up_queue: 1.0,
+                interval: SimDuration::from_millis(1),
+                provision_delay: SimDuration::from_millis(5),
+            }),
+        );
+        let stats = c.run(&job).unwrap();
+        assert_eq!(stats.finished, 24);
+        assert!(stats.metrics.counter("devices_provisioned") > 0);
+    }
+}
+
+#[cfg(test)]
+mod actor_tests {
+    use super::*;
+    use crate::task::{ActorId, TaskSpec};
+    use skadi_dcsim::topology::presets;
+
+    /// `n` independent method calls on one actor.
+    fn actor_job(n: u64, compute_us: f64) -> Job {
+        let actor = ActorId(7);
+        let tasks = (0..n)
+            .map(|i| TaskSpec::new(i, compute_us, 1 << 10).on_actor(actor))
+            .collect();
+        Job::new("actor-methods", tasks).unwrap()
+    }
+
+    #[test]
+    fn actor_methods_share_one_node() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let _ = c.run(&actor_job(8, 500.0)).unwrap();
+        let nodes: std::collections::HashSet<_> = c.tasks.values().filter_map(|r| r.node).collect();
+        assert_eq!(nodes.len(), 1, "actor methods spread across {nodes:?}");
+    }
+
+    #[test]
+    fn actor_methods_serialize() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&actor_job(8, 1000.0)).unwrap();
+        // 8 x 1 ms methods with no dependencies would parallelize freely
+        // as plain tasks; on an actor they serialize to >= 8 ms.
+        assert!(
+            stats.makespan >= SimDuration::from_millis(8),
+            "makespan {}",
+            stats.makespan
+        );
+        // No two method executions overlap.
+        let mut spans: Vec<(SimTime, SimTime)> = c
+            .tasks
+            .values()
+            .map(|r| (r.started_at.unwrap(), r.finished_at.unwrap()))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn plain_tasks_outpace_actor_methods() {
+        let topo = presets::small_disagg_cluster();
+        let plain = Job::new(
+            "plain",
+            (0..8).map(|i| TaskSpec::new(i, 1000.0, 1 << 10)).collect(),
+        )
+        .unwrap();
+        let mut c1 = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let p = c1.run(&plain).unwrap();
+        let mut c2 = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let a = c2.run(&actor_job(8, 1000.0)).unwrap();
+        assert!(p.makespan < a.makespan);
+    }
+
+    #[test]
+    fn actor_restarts_elsewhere_after_node_failure() {
+        let topo = presets::small_disagg_cluster();
+        // Chain of methods so the failure hits mid-sequence.
+        let actor = ActorId(1);
+        let mut tasks = vec![TaskSpec::new(0, 3000.0, 1 << 12).on_actor(actor)];
+        for i in 1..6 {
+            tasks.push(
+                TaskSpec::new(i, 3000.0, 1 << 12)
+                    .after(TaskId(i - 1), 1 << 12)
+                    .on_actor(actor),
+            );
+        }
+        let job = Job::new("actor-chain", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        // Find where the actor gets pinned on a dry run, then kill it.
+        let _ = c.run(&job).unwrap();
+        let pinned = c.tasks[&TaskId(0)].node.unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let plan = FailurePlan::none().kill(pinned, SimTime::from_millis(7));
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 6);
+        assert_eq!(stats.abandoned, 0);
+        // Methods re-run after the failure live on a different node.
+        let last_node = c.tasks[&TaskId(5)].node.unwrap();
+        assert_ne!(last_node, pinned);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use skadi_dcsim::topology::{
+        presets, AccelKind, AccelSpec, DurableSpec, MemoryBladeSpec, ServerSpec, TopologyBuilder,
+    };
+
+    /// A topology with tiny HBM so device outputs overflow immediately.
+    fn tiny_hbm_topo() -> Topology {
+        TopologyBuilder::new()
+            .rack(|r| {
+                r.servers(2, ServerSpec::default());
+                r.accel_device(
+                    AccelKind::Gpu,
+                    AccelSpec {
+                        hbm_bytes: 8 << 20,
+                        ..AccelSpec::default()
+                    },
+                );
+                r.memory_blade(MemoryBladeSpec {
+                    dram_bytes: 1 << 30,
+                    ..MemoryBladeSpec::default()
+                });
+            })
+            .durable_storage(DurableSpec::default())
+            .build()
+    }
+
+    #[test]
+    fn hbm_overflow_spills_to_disagg_memory_mid_job() {
+        let topo = tiny_hbm_topo();
+        // Four 5 MiB GPU outputs into 8 MiB HBM: spills must happen.
+        let tasks: Vec<TaskSpec> = (0..4)
+            .map(|i| TaskSpec::new(i, 500.0, 5 << 20).on(Backend::Gpu))
+            .collect();
+        let job = Job::new("spilly", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&job).unwrap();
+        assert_eq!(stats.finished, 4);
+        assert!(stats.spills > 0, "expected HBM spills");
+        assert!(stats.spill_bytes >= 5 << 20);
+        // Gen-2 spills to the blade, not to durable storage.
+        assert_eq!(stats.durable_trips, 0);
+    }
+
+    #[test]
+    fn oversized_output_falls_back_to_durable() {
+        let topo = tiny_hbm_topo();
+        // A 16 MiB output cannot fit 8 MiB HBM at all; with a 1 GiB blade
+        // the cascade handles it, so shrink the blade out of the picture
+        // by filling it: use an output larger than blade + HBM.
+        let job = Job::new(
+            "huge",
+            vec![TaskSpec::new(0, 500.0, 2 << 30).on(Backend::Gpu)],
+        )
+        .unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&job).unwrap();
+        assert_eq!(stats.finished, 1);
+        assert!(
+            stats.durable_trips > 0,
+            "output larger than all memory tiers must land durable"
+        );
+    }
+
+    #[test]
+    fn recovered_node_is_reusable() {
+        let topo = presets::server_cluster(1, 2);
+        let victim = topo.servers()[1];
+        // Two waves of tasks; the node dies during wave 1 and recovers
+        // before wave 2.
+        let mut tasks = Vec::new();
+        for i in 0..8u64 {
+            tasks.push(TaskSpec::new(i, 2_000.0, 1 << 10));
+        }
+        for i in 8..16u64 {
+            tasks.push(TaskSpec::new(i, 2_000.0, 1 << 10).after(TaskId(i - 8), 1 << 10));
+        }
+        let job = Job::new("waves", tasks).unwrap();
+        let plan = FailurePlan::none().kill_and_recover(
+            victim,
+            SimTime::from_millis(1),
+            SimTime::from_millis(3),
+        );
+        // Round-robin placement guarantees the recovered node re-enters
+        // the rotation (data-centric would legitimately keep following
+        // the survivor's data).
+        let mut c = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2().with_placement(crate::PlacementPolicy::RoundRobin),
+        );
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 16);
+        assert_eq!(stats.abandoned, 0);
+        // Wave-2 tasks land on the recovered node again.
+        let used_recovered = c
+            .tasks
+            .values()
+            .any(|r| r.node == Some(victim) && r.finished_at > Some(SimTime::from_millis(3)));
+        assert!(used_recovered, "recovered node never reused");
+    }
+
+    #[test]
+    fn serverful_pools_isolate_systems() {
+        let topo = presets::small_disagg_cluster();
+        let tasks = vec![
+            TaskSpec::new(0, 500.0, 1 << 10).in_system("alpha"),
+            TaskSpec::new(1, 500.0, 1 << 10).in_system("beta"),
+        ];
+        let job = Job::new("silos", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::serverful());
+        let _ = c.run(&job).unwrap();
+        let n0 = c.tasks[&TaskId(0)].node.unwrap();
+        let n1 = c.tasks[&TaskId(1)].node.unwrap();
+        assert_ne!(n0, n1, "distinct systems must use distinct silo nodes");
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let topo = presets::server_cluster(1, 1);
+        // One serial chain on a 16-slot server: utilization ~ 1/16.
+        let mut tasks = vec![TaskSpec::new(0, 10_000.0, 1 << 10)];
+        for i in 1..4u64 {
+            tasks.push(TaskSpec::new(i, 10_000.0, 1 << 10).after(TaskId(i - 1), 1 << 10));
+        }
+        let job = Job::new("serial", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&job).unwrap();
+        assert!(stats.utilization > 0.0);
+        assert!(
+            stats.utilization <= 1.0 / 16.0 + 1e-6,
+            "{}",
+            stats.utilization
+        );
+    }
+
+    #[test]
+    fn mixed_backends_complete_on_device_rack() {
+        let topo = presets::device_rack();
+        let tasks = vec![
+            TaskSpec::new(0, 500.0, 1 << 16),
+            TaskSpec::new(1, 500.0, 1 << 16)
+                .after(TaskId(0), 1 << 16)
+                .on(Backend::Gpu),
+            TaskSpec::new(2, 500.0, 1 << 16)
+                .after(TaskId(1), 1 << 16)
+                .on(Backend::Fpga),
+            TaskSpec::new(3, 500.0, 1 << 16).after(TaskId(2), 1 << 16),
+        ];
+        let job = Job::new("hetero", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&job).unwrap();
+        assert_eq!(stats.finished, 4);
+        // Tasks landed on the matching device classes.
+        let gpu_node = c.tasks[&TaskId(1)].node.unwrap();
+        let fpga_node = c.tasks[&TaskId(2)].node.unwrap();
+        assert!(matches!(
+            c.topo.node(gpu_node).kind,
+            NodeKind::AccelDevice(AccelKind::Gpu, _)
+        ));
+        assert!(matches!(
+            c.topo.node(fpga_node).kind,
+            NodeKind::AccelDevice(AccelKind::Fpga, _)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod pass_by_value_tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use skadi_dcsim::topology::presets;
+
+    fn tiny_chain(n: u64) -> Job {
+        let mut tasks = vec![TaskSpec::new(0, 20.0, 256)];
+        for i in 1..n {
+            tasks.push(TaskSpec::new(i, 20.0, 256).after(TaskId(i - 1), 256));
+        }
+        Job::new("tiny-chain", tasks).unwrap()
+    }
+
+    #[test]
+    fn inlining_removes_resolution_for_small_values() {
+        let topo = presets::small_disagg_cluster();
+        let mut by_ref = Cluster::new(&topo, RuntimeConfig::skadi_gen1());
+        let r = by_ref.run(&tiny_chain(16)).unwrap();
+        let mut cfg = RuntimeConfig::skadi_gen1();
+        cfg.pass_by_value_max = 1024;
+        let mut by_val = Cluster::new(&topo, cfg);
+        let v = by_val.run(&tiny_chain(16)).unwrap();
+        assert_eq!(v.metrics.counter("inlined_values"), 15);
+        assert_eq!(v.stall_total, SimDuration::ZERO);
+        assert!(
+            v.makespan < r.makespan,
+            "by-value {} vs by-reference {}",
+            v.makespan,
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn large_values_still_go_by_reference() {
+        let topo = presets::small_disagg_cluster();
+        let mut cfg = RuntimeConfig::skadi_gen1();
+        cfg.pass_by_value_max = 1024;
+        let job = Job::new(
+            "big-edge",
+            vec![
+                TaskSpec::new(0, 20.0, 1 << 20),
+                TaskSpec::new(1, 20.0, 256).after(TaskId(0), 1 << 20),
+            ],
+        )
+        .unwrap();
+        let mut c = Cluster::new(&topo, cfg);
+        let stats = c.run(&job).unwrap();
+        assert_eq!(stats.metrics.counter("inlined_values"), 0);
+    }
+}
+
+#[cfg(test)]
+mod multi_job_tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use skadi_dcsim::topology::presets;
+
+    fn job(name: &str, n: u64, compute_us: f64) -> Job {
+        let tasks = (0..n)
+            .map(|i| TaskSpec::new(i, compute_us, 1 << 12))
+            .collect();
+        Job::new(name, tasks).unwrap()
+    }
+
+    #[test]
+    fn staggered_jobs_respect_arrivals() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let (per_job, stats) = c
+            .run_jobs(
+                &[
+                    (job("a", 8, 1000.0), SimTime::ZERO),
+                    (job("b", 8, 1000.0), SimTime::from_millis(5)),
+                ],
+                &FailurePlan::none(),
+            )
+            .unwrap();
+        assert_eq!(stats.finished, 16);
+        assert_eq!(per_job.len(), 2);
+        assert_eq!(per_job[1].arrival, SimTime::from_millis(5));
+        // Job b's tasks started only after its arrival.
+        // (Its completion is measured from arrival, so it is comparable
+        // to job a's.)
+        assert!(stats.makespan >= SimDuration::from_millis(5));
+        assert!(per_job[0].completion > SimDuration::ZERO);
+        assert!(per_job[1].completion > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sharing_beats_silos_under_asymmetric_load() {
+        // The consolidation argument: a burst can borrow the capacity a
+        // siloed neighbor would leave idle.
+        let topo = presets::small_disagg_cluster();
+        let big = job("big", 256, 2000.0);
+        let small = job("small", 32, 2000.0);
+        // Shared: both jobs on the full cluster; the small one arrives
+        // while the big one is draining.
+        let mut shared = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let (per_job, _) = shared
+            .run_jobs(
+                &[
+                    (big.clone(), SimTime::ZERO),
+                    (small.clone(), SimTime::from_millis(5)),
+                ],
+                &FailurePlan::none(),
+            )
+            .unwrap();
+        // Siloed: each job owns half the servers (1 rack each).
+        let half = presets::server_cluster(1, 4);
+        let mut silo_a = Cluster::new(&half, RuntimeConfig::skadi_gen2());
+        let sa = silo_a.run(&big).unwrap();
+        let mut silo_b = Cluster::new(&half, RuntimeConfig::skadi_gen2());
+        let sb = silo_b.run(&small).unwrap();
+        let shared_worst = per_job.iter().map(|p| p.completion).max().unwrap();
+        let silo_worst = sa.makespan.max(sb.makespan);
+        assert!(
+            shared_worst < silo_worst,
+            "shared {shared_worst} vs silo {silo_worst}"
+        );
+    }
+
+    #[test]
+    fn multi_job_with_failure_recovers_both() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let plan = FailurePlan::none().kill(topo.servers()[1], SimTime::from_millis(2));
+        let (per_job, stats) = c
+            .run_jobs(
+                &[
+                    (job("a", 16, 3000.0), SimTime::ZERO),
+                    (job("b", 16, 3000.0), SimTime::from_millis(1)),
+                ],
+                &plan,
+            )
+            .unwrap();
+        assert_eq!(stats.finished, 32);
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(per_job.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod rack_failure_tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use skadi_dcsim::topology::presets;
+
+    #[test]
+    fn rack_diverse_replication_survives_whole_rack_loss() {
+        let topo = presets::small_disagg_cluster();
+        let mut tasks = vec![TaskSpec::new(0, 3000.0, 4 << 20)];
+        for i in 1..8u64 {
+            tasks.push(TaskSpec::new(i, 3000.0, 4 << 20).after(TaskId(i - 1), 4 << 20));
+        }
+        let job = Job::new("rack-chain", tasks).unwrap();
+        let rack = topo.rack_of(topo.servers()[0]);
+        let plan = FailurePlan::none().kill_rack(&topo, rack, SimTime::from_millis(8));
+        let mut c = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2().with_ft(FtMode::Replication(2)),
+        );
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 8);
+        assert_eq!(stats.abandoned, 0);
+        // Replicas are placed rack-diverse, so at most the in-flight task
+        // re-runs per loss; lineage would recompute ancestors too.
+        let mut lineage = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let l = lineage.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(l.finished, 8);
+        assert!(stats.retries <= l.retries);
+    }
+
+    #[test]
+    fn losing_the_durable_rack_is_survivable_for_skadi() {
+        // Skadi never touches durable storage, so killing its (synthetic)
+        // rack changes nothing.
+        let topo = presets::small_disagg_cluster();
+        let durable = topo.durable_storage().unwrap();
+        let rack = topo.rack_of(durable);
+        let job = Job::new(
+            "no-durable",
+            (0..6).map(|i| TaskSpec::new(i, 1000.0, 1 << 16)).collect(),
+        )
+        .unwrap();
+        let plan = FailurePlan::none().kill_rack(&topo, rack, SimTime::from_micros(10));
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 6);
+        assert_eq!(stats.durable_trips, 0);
+    }
+}

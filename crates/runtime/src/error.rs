@@ -1,0 +1,53 @@
+//! Error type for the runtime.
+
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors from job construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A task references an unknown dependency.
+    UnknownDependency {
+        /// The dependent task.
+        task: TaskId,
+        /// The missing producer.
+        dep: TaskId,
+    },
+    /// The job's dependency graph has a cycle.
+    CyclicJob,
+    /// No node in the topology can run a task (e.g. a GPU task in a
+    /// server-only cluster with CPU fallback disabled).
+    NoEligibleNode(TaskId),
+    /// The simulation reached its event budget without draining — almost
+    /// always a livelock bug.
+    Livelock {
+        /// Events processed before giving up.
+        events: u64,
+    },
+    /// A task failed more times than the retry budget allows.
+    TaskAbandoned(TaskId),
+    /// Job state is internally inconsistent.
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownDependency { task, dep } => {
+                write!(f, "task {task} depends on unknown task {dep}")
+            }
+            RuntimeError::CyclicJob => f.write_str("job dependency graph is cyclic"),
+            RuntimeError::NoEligibleNode(t) => {
+                write!(f, "no node can run task {t}")
+            }
+            RuntimeError::Livelock { events } => {
+                write!(f, "simulation did not drain after {events} events")
+            }
+            RuntimeError::TaskAbandoned(t) => write!(f, "task {t} exceeded its retry budget"),
+            RuntimeError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,118 @@
+//! Failure injection.
+//!
+//! Experiments schedule node failures at fixed virtual times (optionally
+//! with recovery) so fault-tolerance comparisons are reproducible.
+
+use skadi_dcsim::time::SimTime;
+use skadi_dcsim::topology::{NodeId, RackId, Topology};
+
+/// One injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// When the node dies.
+    pub at: SimTime,
+    /// Which node dies.
+    pub node: NodeId,
+    /// When (if ever) the node rejoins, empty-handed.
+    pub recovers_at: Option<SimTime>,
+}
+
+/// A deterministic failure schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    failures: Vec<Failure>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Adds a permanent failure.
+    pub fn kill(mut self, node: NodeId, at: SimTime) -> Self {
+        self.failures.push(Failure {
+            at,
+            node,
+            recovers_at: None,
+        });
+        self
+    }
+
+    /// Adds a failure with later recovery.
+    pub fn kill_and_recover(mut self, node: NodeId, at: SimTime, recovers_at: SimTime) -> Self {
+        assert!(recovers_at > at, "recovery must follow the failure");
+        self.failures.push(Failure {
+            at,
+            node,
+            recovers_at: Some(recovers_at),
+        });
+        self
+    }
+
+    /// Kills every node of a rack at once (correlated failure: ToR
+    /// switch or power domain loss).
+    pub fn kill_rack(mut self, topo: &Topology, rack: RackId, at: SimTime) -> Self {
+        for node in topo.nodes() {
+            if node.rack == rack {
+                self.failures.push(Failure {
+                    at,
+                    node: node.id,
+                    recovers_at: None,
+                });
+            }
+        }
+        self
+    }
+
+    /// All failures, in injection order.
+    pub fn failures(&self) -> &[Failure] {
+        &self.failures
+    }
+
+    /// True if no failures are planned.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_schedules() {
+        let plan = FailurePlan::none()
+            .kill(NodeId(1), SimTime::from_millis(5))
+            .kill_and_recover(NodeId(2), SimTime::from_millis(7), SimTime::from_millis(9));
+        assert_eq!(plan.failures().len(), 2);
+        assert_eq!(plan.failures()[0].recovers_at, None);
+        assert!(plan.failures()[1].recovers_at.is_some());
+        assert!(!plan.is_empty());
+        assert!(FailurePlan::none().is_empty());
+    }
+
+    #[test]
+    fn kill_rack_expands_to_members() {
+        use skadi_dcsim::topology::presets;
+        let topo = presets::small_disagg_cluster();
+        let rack = topo.rack_of(topo.servers()[0]);
+        let plan = FailurePlan::none().kill_rack(&topo, rack, SimTime::from_millis(1));
+        let members = topo.nodes().iter().filter(|n| n.rack == rack).count();
+        assert_eq!(plan.failures().len(), members);
+        assert!(plan
+            .failures()
+            .iter()
+            .all(|f| f.at == SimTime::from_millis(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow")]
+    fn recovery_before_failure_rejected() {
+        let _ = FailurePlan::none().kill_and_recover(
+            NodeId(0),
+            SimTime::from_millis(9),
+            SimTime::from_millis(7),
+        );
+    }
+}

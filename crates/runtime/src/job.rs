@@ -1,0 +1,217 @@
+//! Jobs (validated task DAGs) and run statistics.
+
+use std::collections::{BTreeMap, HashMap};
+
+use skadi_dcsim::network::NetStats;
+use skadi_dcsim::time::SimDuration;
+use skadi_dcsim::trace::Metrics;
+use skadi_flowgraph::physical::PhysicalGraph;
+
+use crate::error::RuntimeError;
+use crate::task::{TaskId, TaskSpec};
+
+/// A validated set of tasks forming a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Job name (reporting).
+    pub name: String,
+    /// The tasks, keyed by ID.
+    pub tasks: BTreeMap<TaskId, TaskSpec>,
+}
+
+impl Job {
+    /// Builds a job, validating that every dependency exists and the
+    /// graph is acyclic.
+    pub fn new(name: &str, tasks: Vec<TaskSpec>) -> Result<Job, RuntimeError> {
+        let map: BTreeMap<TaskId, TaskSpec> = tasks.into_iter().map(|t| (t.id, t)).collect();
+        for t in map.values() {
+            for dep in t.inputs.keys() {
+                if !map.contains_key(dep) {
+                    return Err(RuntimeError::UnknownDependency {
+                        task: t.id,
+                        dep: *dep,
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm for cycle detection.
+        let mut indeg: HashMap<TaskId, usize> =
+            map.values().map(|t| (t.id, t.inputs.len())).collect();
+        let mut ready: Vec<TaskId> = indeg
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(t, _)| *t)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(t) = ready.pop() {
+            seen += 1;
+            for candidate in map.values() {
+                if candidate.inputs.contains_key(&t) {
+                    let d = indeg.get_mut(&candidate.id).expect("task indexed");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(candidate.id);
+                    }
+                }
+            }
+        }
+        if seen != map.len() {
+            return Err(RuntimeError::CyclicJob);
+        }
+        Ok(Job {
+            name: name.to_string(),
+            tasks: map,
+        })
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the job has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total bytes carried by all edges.
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.tasks.values().flat_map(|t| t.inputs.values()).sum()
+    }
+
+    /// Total compute across all tasks, microseconds.
+    pub fn total_compute_us(&self) -> f64 {
+        self.tasks.values().map(|t| t.compute_us).sum()
+    }
+}
+
+/// Converts a physical sharded graph into a job: one task per physical
+/// vertex, labeled as belonging to `system`.
+pub fn job_from_physical(name: &str, g: &PhysicalGraph, system: &str) -> Result<Job, RuntimeError> {
+    let mut tasks = Vec::with_capacity(g.len());
+    for v in g.vertices() {
+        // Sinks hold the job result but declare no output of their own;
+        // size them by their inflow so downstream consumers (pipeline
+        // bridges, durable bounces) move the real result.
+        let inflow: u64 = g.in_edges(v.id).iter().map(|e| e.bytes).sum();
+        let out = match v.kind {
+            skadi_flowgraph::physical::PVertexKind::Sink => v.output_bytes.max(inflow),
+            _ => v.output_bytes,
+        };
+        let mut spec = TaskSpec::new(v.id.0 as u64, v.compute_us, out.max(1))
+            .on(v.backend)
+            .in_system(system)
+            .named(&v.op);
+        for e in g.in_edges(v.id) {
+            spec = spec.after(TaskId(e.from.0 as u64), e.bytes.max(1));
+        }
+        tasks.push(spec);
+    }
+    Job::new(name, tasks)
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Wall-clock (virtual) job completion time.
+    pub makespan: SimDuration,
+    /// Tasks that reached `Finished`.
+    pub finished: u64,
+    /// Task executions beyond the first attempt (lineage re-runs).
+    pub retries: u64,
+    /// Tasks abandoned after exhausting retries (0 on success).
+    pub abandoned: u64,
+    /// Network traffic by hop class.
+    pub net: NetStats,
+    /// Trips to durable storage (reads + writes).
+    pub durable_trips: u64,
+    /// Total protocol-induced stall across all input resolutions.
+    pub stall_total: SimDuration,
+    /// Total busy compute time across all tasks.
+    pub compute_total: SimDuration,
+    /// Monetary-ish cost in abstract units (deployment-dependent model).
+    pub cost_units: f64,
+    /// Mean compute-slot utilization over the job's makespan, in [0, 1]
+    /// (busy slot-time / total slot-time across compute-capable nodes).
+    pub utilization: f64,
+    /// Objects spilled by the caching layer.
+    pub spills: u64,
+    /// Bytes spilled.
+    pub spill_bytes: u64,
+    /// Full metric sink (histograms: `stall`, `task.wait`, `task.run`;
+    /// counters: `control_msgs`, `cold_starts`, ...).
+    pub metrics: Metrics,
+}
+
+impl JobStats {
+    /// Mean protocol stall per resolved input edge.
+    pub fn mean_stall(&self) -> SimDuration {
+        match self.metrics.histogram("stall") {
+            Some(h) if !h.is_empty() => h.mean(),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skadi_flowgraph::logical::FlowGraph;
+    use skadi_flowgraph::lower::{lower_graph, LowerConfig};
+    use skadi_ir::BackendPolicy;
+
+    #[test]
+    fn job_validates_dependencies() {
+        let err = Job::new("bad", vec![TaskSpec::new(0, 1.0, 1).after(TaskId(9), 10)]).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownDependency { .. }));
+    }
+
+    #[test]
+    fn job_rejects_cycles() {
+        let err = Job::new(
+            "cyclic",
+            vec![
+                TaskSpec::new(0, 1.0, 1).after(TaskId(1), 1),
+                TaskSpec::new(1, 1.0, 1).after(TaskId(0), 1),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, RuntimeError::CyclicJob);
+    }
+
+    #[test]
+    fn job_aggregates() {
+        let job = Job::new(
+            "ok",
+            vec![
+                TaskSpec::new(0, 10.0, 100),
+                TaskSpec::new(1, 20.0, 100).after(TaskId(0), 64),
+            ],
+        )
+        .unwrap();
+        assert_eq!(job.len(), 2);
+        assert_eq!(job.total_edge_bytes(), 64);
+        assert!((job.total_compute_us() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physical_graph_converts() {
+        let mut g = FlowGraph::new();
+        let src = g.add_source("in", 1 << 20, 8 << 20);
+        let filt = g.add_ir_op("rel.filter", 1 << 20, 4 << 20);
+        let agg = g.add_ir_op("rel.aggregate", 1 << 20, 1024);
+        g.connect(src, filt).unwrap();
+        g.connect_keyed(filt, agg, "k").unwrap();
+        let phys = lower_graph(&g, &LowerConfig::new(4, BackendPolicy::cost_based())).unwrap();
+        let job = job_from_physical("pipeline", &phys, "sql").unwrap();
+        assert_eq!(job.len(), phys.len());
+        // Shuffle edges: 4 producers x 4 consumers on each agg task.
+        let agg_task = job
+            .tasks
+            .values()
+            .find(|t| t.op == "rel.aggregate")
+            .unwrap();
+        assert_eq!(agg_task.inputs.len(), 4);
+        assert!(job.tasks.values().all(|t| t.system == "sql"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Lineage tracking and recovery planning.
+//!
+//! §2.1: "Skadi handles failures in two ways: (1) re-executes the graph
+//! using lineage, or (2) uses a reliable caching layer with data
+//! replication or EC." This module is mechanism (1): it records how every
+//! object was produced and, when objects are lost, computes the minimal
+//! transitive set of tasks to re-execute.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::task::{TaskId, TaskSpec};
+
+/// The lineage log: object provenance for every task output.
+///
+/// Task outputs and objects are 1:1 in this runtime, so lineage is keyed
+/// by producing task.
+#[derive(Debug, Clone, Default)]
+pub struct LineageLog {
+    /// task -> its spec (inputs define the lineage edges).
+    specs: HashMap<TaskId, TaskSpec>,
+}
+
+impl LineageLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        LineageLog::default()
+    }
+
+    /// Records a task spec.
+    pub fn record(&mut self, spec: TaskSpec) {
+        self.specs.insert(spec.id, spec);
+    }
+
+    /// The spec for a task, if recorded.
+    pub fn spec(&self, id: TaskId) -> Option<&TaskSpec> {
+        self.specs.get(&id)
+    }
+
+    /// Number of recorded tasks.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Computes the tasks to re-execute when the outputs of `lost` are
+    /// gone, given a predicate telling whether a task's output is still
+    /// available somewhere.
+    ///
+    /// The plan is transitively closed: if a lost task's *input* is also
+    /// unavailable, its producer joins the plan, and so on. The returned
+    /// set is sorted (deterministic) and respects dependency order when
+    /// re-submitted (producers sort before consumers because recovery
+    /// re-runs through the normal readiness machinery).
+    pub fn recovery_plan(
+        &self,
+        lost: &[TaskId],
+        available: impl Fn(TaskId) -> bool,
+    ) -> Vec<TaskId> {
+        let mut plan: BTreeSet<TaskId> = BTreeSet::new();
+        let mut stack: Vec<TaskId> = lost.to_vec();
+        while let Some(t) = stack.pop() {
+            if plan.contains(&t) {
+                continue;
+            }
+            let Some(spec) = self.specs.get(&t) else {
+                continue;
+            };
+            plan.insert(t);
+            for dep in spec.inputs.keys() {
+                if !available(*dep) && !plan.contains(dep) {
+                    stack.push(*dep);
+                }
+            }
+        }
+        plan.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain: 0 -> 1 -> 2 -> 3.
+    fn chain() -> LineageLog {
+        let mut log = LineageLog::new();
+        log.record(TaskSpec::new(0, 1.0, 10));
+        log.record(TaskSpec::new(1, 1.0, 10).after(TaskId(0), 10));
+        log.record(TaskSpec::new(2, 1.0, 10).after(TaskId(1), 10));
+        log.record(TaskSpec::new(3, 1.0, 10).after(TaskId(2), 10));
+        log
+    }
+
+    #[test]
+    fn direct_loss_with_available_inputs() {
+        let log = chain();
+        // Only task 2's output lost; task 1's output still cached.
+        let plan = log.recovery_plan(&[TaskId(2)], |t| t != TaskId(2));
+        assert_eq!(plan, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn transitive_loss_recomputes_ancestors() {
+        let log = chain();
+        // Outputs of 1 and 2 both lost: recovering 2 needs 1 first.
+        let gone = [TaskId(1), TaskId(2)];
+        let plan = log.recovery_plan(&[TaskId(2)], |t| !gone.contains(&t));
+        assert_eq!(plan, vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn whole_chain_loss() {
+        let log = chain();
+        let plan = log.recovery_plan(&[TaskId(3)], |_| false);
+        assert_eq!(plan, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn diamond_recovers_both_parents() {
+        let mut log = LineageLog::new();
+        log.record(TaskSpec::new(0, 1.0, 10));
+        log.record(TaskSpec::new(1, 1.0, 10).after(TaskId(0), 1));
+        log.record(TaskSpec::new(2, 1.0, 10).after(TaskId(0), 1));
+        log.record(
+            TaskSpec::new(3, 1.0, 10)
+                .after(TaskId(1), 1)
+                .after(TaskId(2), 1),
+        );
+        let gone = [TaskId(1), TaskId(2), TaskId(3)];
+        let plan = log.recovery_plan(&[TaskId(3)], |t| !gone.contains(&t));
+        assert_eq!(plan, vec![TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn unknown_tasks_ignored() {
+        let log = chain();
+        let plan = log.recovery_plan(&[TaskId(99)], |_| false);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let log = chain();
+        let plan = log.recovery_plan(&[TaskId(2), TaskId(2)], |t| t != TaskId(2));
+        assert_eq!(plan, vec![TaskId(2)]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Task placement, gang scheduling, and device autoscaling.
+//!
+//! §2.3: the control plane "embraces data-centric scheduling for higher
+//! utilization" (citing Whiz); "if necessary, it could also integrate
+//! gang-scheduling to support SPMD-style sub-graph" (citing Pathways);
+//! and §1 notes that "the auto-scaling of DSAs is almost non-existent" in
+//! today's serverless — so Skadi provides one.
+
+use std::collections::HashMap;
+
+use skadi_dcsim::time::{SimDuration, SimTime};
+use skadi_dcsim::topology::NodeId;
+
+use crate::config::AutoscaleConfig;
+use crate::task::{GangId, TaskId};
+
+/// How the centralized scheduler places a ready task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Move compute to data: prefer the node holding the most input
+    /// bytes, then the least-loaded (the paper's data-centric
+    /// scheduling).
+    DataCentric,
+    /// Ignore data location: least-loaded node first.
+    LoadOnly,
+    /// Blind rotation (the pathological baseline).
+    RoundRobin,
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlacementPolicy::DataCentric => "data-centric",
+            PlacementPolicy::LoadOnly => "load-only",
+            PlacementPolicy::RoundRobin => "round-robin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node facts the placement decision reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFacts {
+    /// Bytes of the task's inputs already resident on the node.
+    pub local_input_bytes: u64,
+    /// Tasks queued or running on the node.
+    pub load: u32,
+    /// Free execution slots right now.
+    pub free_slots: u32,
+}
+
+/// The centralized placement engine.
+#[derive(Debug, Clone)]
+pub struct Placer {
+    policy: PlacementPolicy,
+    rr_cursor: usize,
+}
+
+impl Placer {
+    /// Creates a placer with the given policy.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        Placer {
+            policy,
+            rr_cursor: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Picks a node among `eligible` (must be non-empty to return Some).
+    /// `facts` supplies per-node information.
+    pub fn place(
+        &mut self,
+        eligible: &[NodeId],
+        facts: impl Fn(NodeId) -> NodeFacts,
+    ) -> Option<NodeId> {
+        if eligible.is_empty() {
+            return None;
+        }
+        match self.policy {
+            PlacementPolicy::RoundRobin => {
+                let n = eligible[self.rr_cursor % eligible.len()];
+                self.rr_cursor += 1;
+                Some(n)
+            }
+            PlacementPolicy::LoadOnly => eligible.iter().copied().min_by_key(|n| {
+                let f = facts(*n);
+                (f.load, std::cmp::Reverse(f.free_slots), *n)
+            }),
+            PlacementPolicy::DataCentric => eligible.iter().copied().min_by_key(|n| {
+                let f = facts(*n);
+                // Most local bytes first; break ties by load, then ID.
+                (std::cmp::Reverse(f.local_input_bytes), f.load, *n)
+            }),
+        }
+    }
+}
+
+/// Tracks gang membership so gang-labeled tasks release together.
+#[derive(Debug, Clone, Default)]
+pub struct GangTracker {
+    sizes: HashMap<GangId, usize>,
+    waiting: HashMap<GangId, Vec<TaskId>>,
+}
+
+impl GangTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        GangTracker::default()
+    }
+
+    /// Declares that `gang` has `size` members (called at job submit).
+    pub fn declare(&mut self, gang: GangId, size: usize) {
+        *self.sizes.entry(gang).or_insert(0) += size;
+    }
+
+    /// Records that a gang member became ready. Returns the whole gang
+    /// when this was the last member (they release together), `None`
+    /// otherwise.
+    pub fn member_ready(&mut self, gang: GangId, task: TaskId) -> Option<Vec<TaskId>> {
+        let waiting = self.waiting.entry(gang).or_default();
+        waiting.push(task);
+        let size = self.sizes.get(&gang).copied().unwrap_or(0);
+        if waiting.len() >= size {
+            let mut all = self.waiting.remove(&gang).unwrap_or_default();
+            all.sort();
+            Some(all)
+        } else {
+            None
+        }
+    }
+
+    /// Members currently waiting in a gang.
+    pub fn waiting_in(&self, gang: GangId) -> usize {
+        self.waiting.get(&gang).map_or(0, Vec::len)
+    }
+
+    /// Re-arms a gang after a failure re-execution (members will report
+    /// ready again).
+    pub fn reset(&mut self, gang: GangId) {
+        self.waiting.remove(&gang);
+    }
+}
+
+/// One autoscaler decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No change.
+    Hold,
+    /// Provision this many more devices (usable after the provision
+    /// delay).
+    Up(u32),
+    /// Retire this many idle devices.
+    Down(u32),
+}
+
+/// Scales the warm accelerator-device pool with queue depth.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscaleConfig,
+    warm: u32,
+    /// Device-microseconds of warm capacity accumulated (the cost the
+    /// experiments report).
+    warm_device_us: f64,
+    last_eval: SimTime,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler starting at the minimum pool size.
+    pub fn new(cfg: AutoscaleConfig) -> Self {
+        Autoscaler {
+            warm: cfg.min_devices,
+            cfg,
+            warm_device_us: 0.0,
+            last_eval: SimTime::ZERO,
+        }
+    }
+
+    /// Devices currently warm.
+    pub fn warm(&self) -> u32 {
+        self.warm
+    }
+
+    /// Accumulated warm device-time in microseconds.
+    pub fn warm_device_us(&self) -> f64 {
+        self.warm_device_us
+    }
+
+    /// The evaluation interval.
+    pub fn interval(&self) -> SimDuration {
+        self.cfg.interval
+    }
+
+    /// The provision delay for newly added devices.
+    pub fn provision_delay(&self) -> SimDuration {
+        self.cfg.provision_delay
+    }
+
+    /// Re-evaluates at `now` given the accelerator queue depth and the
+    /// number of currently busy devices.
+    pub fn evaluate(&mut self, now: SimTime, queue: u32, busy: u32) -> ScaleDecision {
+        // Accrue cost for the elapsed window at the current pool size.
+        let dt = now.saturating_since(self.last_eval);
+        self.warm_device_us += self.warm as f64 * dt.as_micros_f64();
+        self.last_eval = now;
+
+        let per_device = queue as f64 / self.warm.max(1) as f64;
+        if per_device > self.cfg.scale_up_queue && self.warm < self.cfg.max_devices {
+            let want = ((queue as f64 / self.cfg.scale_up_queue).ceil() as u32)
+                .clamp(self.warm + 1, self.cfg.max_devices);
+            let add = want - self.warm;
+            self.warm = want;
+            ScaleDecision::Up(add)
+        } else if queue == 0 && busy < self.warm && self.warm > self.cfg.min_devices {
+            let idle = self.warm - busy;
+            let drop = idle.min(self.warm - self.cfg.min_devices);
+            if drop > 0 {
+                self.warm -= drop;
+                ScaleDecision::Down(drop)
+            } else {
+                ScaleDecision::Hold
+            }
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn data_centric_follows_bytes() {
+        let mut p = Placer::new(PlacementPolicy::DataCentric);
+        let picked = p
+            .place(&nodes(3), |n| NodeFacts {
+                local_input_bytes: if n == NodeId(1) { 1000 } else { 0 },
+                load: 5,
+                free_slots: 1,
+            })
+            .unwrap();
+        assert_eq!(picked, NodeId(1));
+    }
+
+    #[test]
+    fn data_centric_breaks_ties_by_load() {
+        let mut p = Placer::new(PlacementPolicy::DataCentric);
+        let picked = p
+            .place(&nodes(3), |n| NodeFacts {
+                local_input_bytes: 0,
+                load: if n == NodeId(2) { 0 } else { 9 },
+                free_slots: 1,
+            })
+            .unwrap();
+        assert_eq!(picked, NodeId(2));
+    }
+
+    #[test]
+    fn load_only_ignores_bytes() {
+        let mut p = Placer::new(PlacementPolicy::LoadOnly);
+        let picked = p
+            .place(&nodes(2), |n| NodeFacts {
+                local_input_bytes: if n == NodeId(0) { 10_000 } else { 0 },
+                load: if n == NodeId(0) { 3 } else { 1 },
+                free_slots: 1,
+            })
+            .unwrap();
+        assert_eq!(picked, NodeId(1));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut p = Placer::new(PlacementPolicy::RoundRobin);
+        let f = |_| NodeFacts {
+            local_input_bytes: 0,
+            load: 0,
+            free_slots: 1,
+        };
+        let seq: Vec<NodeId> = (0..4).map(|_| p.place(&nodes(2), f).unwrap()).collect();
+        assert_eq!(seq, vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_eligible_returns_none() {
+        let mut p = Placer::new(PlacementPolicy::LoadOnly);
+        assert!(p
+            .place(&[], |_| NodeFacts {
+                local_input_bytes: 0,
+                load: 0,
+                free_slots: 0
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn gang_releases_when_complete() {
+        let mut g = GangTracker::new();
+        let gang = GangId(1);
+        g.declare(gang, 3);
+        assert!(g.member_ready(gang, TaskId(5)).is_none());
+        assert!(g.member_ready(gang, TaskId(3)).is_none());
+        assert_eq!(g.waiting_in(gang), 2);
+        let all = g.member_ready(gang, TaskId(8)).unwrap();
+        assert_eq!(all, vec![TaskId(3), TaskId(5), TaskId(8)]);
+        assert_eq!(g.waiting_in(gang), 0);
+    }
+
+    #[test]
+    fn gang_reset_rearms() {
+        let mut g = GangTracker::new();
+        let gang = GangId(2);
+        g.declare(gang, 2);
+        g.member_ready(gang, TaskId(0));
+        g.reset(gang);
+        assert!(g.member_ready(gang, TaskId(0)).is_none());
+        assert!(g.member_ready(gang, TaskId(1)).is_some());
+    }
+
+    #[test]
+    fn autoscaler_scales_up_under_pressure() {
+        let mut a = Autoscaler::new(AutoscaleConfig {
+            min_devices: 1,
+            max_devices: 8,
+            scale_up_queue: 2.0,
+            interval: SimDuration::from_millis(10),
+            provision_delay: SimDuration::from_millis(50),
+        });
+        match a.evaluate(SimTime::from_millis(10), 10, 1) {
+            ScaleDecision::Up(n) => assert!(n >= 1),
+            other => panic!("expected Up, got {other:?}"),
+        }
+        assert!(a.warm() > 1);
+    }
+
+    #[test]
+    fn autoscaler_respects_max_and_min() {
+        let cfg = AutoscaleConfig {
+            min_devices: 2,
+            max_devices: 4,
+            scale_up_queue: 1.0,
+            interval: SimDuration::from_millis(10),
+            provision_delay: SimDuration::from_millis(50),
+        };
+        let mut a = Autoscaler::new(cfg);
+        a.evaluate(SimTime::from_millis(10), 100, 2);
+        assert_eq!(a.warm(), 4);
+        // Queue drains: scale back down, but never below min.
+        a.evaluate(SimTime::from_millis(20), 0, 0);
+        assert_eq!(a.warm(), 2);
+        assert!(matches!(
+            a.evaluate(SimTime::from_millis(30), 0, 0),
+            ScaleDecision::Hold
+        ));
+    }
+
+    #[test]
+    fn autoscaler_accrues_cost() {
+        let mut a = Autoscaler::new(AutoscaleConfig::default());
+        a.evaluate(SimTime::from_millis(10), 0, 0);
+        let c1 = a.warm_device_us();
+        a.evaluate(SimTime::from_millis(20), 0, 0);
+        assert!(a.warm_device_us() > c1);
+        // 1 device x 10 ms = 10_000 device-us per window.
+        assert!((a.warm_device_us() - 20_000.0).abs() < 1.0);
+    }
+}

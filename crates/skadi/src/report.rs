@@ -1,0 +1,112 @@
+//! Job reports: what a submission compiled to and how it ran.
+
+use std::fmt;
+
+use skadi_flowgraph::optimize::OptimizeReport;
+use skadi_ir::Backend;
+use skadi_runtime::JobStats;
+
+/// Per-backend physical vertex counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendCounts {
+    /// CPU kernels.
+    pub cpu: usize,
+    /// GPU kernels.
+    pub gpu: usize,
+    /// FPGA kernels.
+    pub fpga: usize,
+}
+
+impl BackendCounts {
+    /// Adds one vertex on the given backend.
+    pub fn add(&mut self, b: Backend) {
+        match b {
+            Backend::Cpu => self.cpu += 1,
+            Backend::Gpu => self.gpu += 1,
+            Backend::Fpga => self.fpga += 1,
+        }
+    }
+
+    /// Total counted vertices.
+    pub fn total(&self) -> usize {
+        self.cpu + self.gpu + self.fpga
+    }
+}
+
+/// The result of compiling and running one declaration (or pipeline).
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Logical vertices before optimization.
+    pub logical_vertices_before: usize,
+    /// Logical vertices after optimization.
+    pub logical_vertices_after: usize,
+    /// What the graph optimizer did.
+    pub optimize: OptimizeReport,
+    /// Physical vertices (tasks).
+    pub physical_vertices: usize,
+    /// Physical edges (transfers).
+    pub physical_edges: usize,
+    /// Backend assignment of the physical vertices.
+    pub backends: BackendCounts,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+impl fmt::Display for JobReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "job {}", self.name)?;
+        writeln!(
+            f,
+            "  access layer: {} -> {} logical vertices ({} fused, {} pruned)",
+            self.logical_vertices_before,
+            self.logical_vertices_after,
+            self.optimize.fused,
+            self.optimize.pruned
+        )?;
+        writeln!(
+            f,
+            "  physical: {} tasks / {} edges (cpu {}, gpu {}, fpga {})",
+            self.physical_vertices,
+            self.physical_edges,
+            self.backends.cpu,
+            self.backends.gpu,
+            self.backends.fpga
+        )?;
+        writeln!(
+            f,
+            "  run: makespan {}  tasks {}  retries {}  stall {}  cost {:.4}",
+            self.stats.makespan,
+            self.stats.finished,
+            self.stats.retries,
+            self.stats.stall_total,
+            self.stats.cost_units
+        )?;
+        write!(
+            f,
+            "  data: intra-rack {} B, cross-rack {} B, durable {} B ({} trips), spilled {} B",
+            self.stats.net.intra_rack_bytes,
+            self.stats.net.cross_rack_bytes,
+            self.stats.net.durable_bytes,
+            self.stats.durable_trips,
+            self.stats.spill_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_counts() {
+        let mut b = BackendCounts::default();
+        b.add(Backend::Cpu);
+        b.add(Backend::Gpu);
+        b.add(Backend::Gpu);
+        assert_eq!(b.cpu, 1);
+        assert_eq!(b.gpu, 2);
+        assert_eq!(b.total(), 3);
+    }
+}

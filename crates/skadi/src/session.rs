@@ -1,0 +1,356 @@
+//! The Skadi session: one runtime for all declarations.
+//!
+//! "Skadi enables users to use only one runtime to express all of their
+//! programs" (§2.1). A [`Session`] owns the simulated cluster topology,
+//! a table catalog, the access-layer configuration (parallelism, backend
+//! policy), and the runtime configuration; every declarative submission
+//! goes through the same path:
+//!
+//! 1. frontend parses the declaration onto a logical FlowGraph;
+//! 2. the graph optimizer applies predefined rules (fusion, pruning);
+//! 3. lowering shards the graph and picks hardware backends;
+//! 4. the stateful serverless runtime executes the physical graph.
+
+use std::fmt;
+
+use skadi_dcsim::topology::Topology;
+use skadi_flowgraph::logical::FlowGraph;
+use skadi_flowgraph::lower::{lower_graph, LowerConfig};
+use skadi_flowgraph::optimize::optimize_graph;
+use skadi_frontends::catalog::Catalog;
+use skadi_frontends::graph::VertexProgram;
+use skadi_frontends::mapreduce::MapReduceJob;
+use skadi_frontends::ml::TrainingPipeline;
+use skadi_frontends::sql;
+use skadi_frontends::streaming::StreamJob;
+use skadi_ir::BackendPolicy;
+use skadi_runtime::{job_from_physical, Cluster, FailurePlan, Job, RuntimeConfig, RuntimeError};
+
+use crate::pipeline::PipelineBuilder;
+use crate::report::{BackendCounts, JobReport};
+
+/// Errors surfaced by the session API.
+#[derive(Debug)]
+pub enum SkadiError {
+    /// The SQL frontend rejected the statement.
+    Sql(sql::SqlError),
+    /// Graph construction or lowering failed.
+    Graph(skadi_flowgraph::GraphError),
+    /// Execution failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for SkadiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkadiError::Sql(e) => write!(f, "sql: {e}"),
+            SkadiError::Graph(e) => write!(f, "graph: {e}"),
+            SkadiError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SkadiError {}
+
+impl From<sql::SqlError> for SkadiError {
+    fn from(e: sql::SqlError) -> Self {
+        SkadiError::Sql(e)
+    }
+}
+
+impl From<skadi_flowgraph::GraphError> for SkadiError {
+    fn from(e: skadi_flowgraph::GraphError) -> Self {
+        SkadiError::Graph(e)
+    }
+}
+
+impl From<RuntimeError> for SkadiError {
+    fn from(e: RuntimeError) -> Self {
+        SkadiError::Runtime(e)
+    }
+}
+
+/// Builder for [`Session`].
+pub struct SessionBuilder {
+    topology: Option<Topology>,
+    catalog: Catalog,
+    runtime: RuntimeConfig,
+    parallelism: u32,
+    policy: BackendPolicy,
+    optimize: bool,
+}
+
+impl SessionBuilder {
+    /// Sets the (simulated) cluster topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Sets the table catalog.
+    pub fn catalog(mut self, c: Catalog) -> Self {
+        self.catalog = c;
+        self
+    }
+
+    /// Sets the runtime configuration (defaults to Skadi Gen-2).
+    pub fn runtime(mut self, cfg: RuntimeConfig) -> Self {
+        self.runtime = cfg;
+        self
+    }
+
+    /// Sets the default degree of parallelism (defaults to 4).
+    pub fn parallelism(mut self, p: u32) -> Self {
+        self.parallelism = p.max(1);
+        self
+    }
+
+    /// Sets the backend-selection policy (defaults to cost-based).
+    pub fn backend_policy(mut self, p: BackendPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Disables the graph optimizer (the E10 ablation).
+    pub fn without_optimizer(mut self) -> Self {
+        self.optimize = false;
+        self
+    }
+
+    /// Finalizes the session.
+    pub fn build(self) -> Session {
+        Session {
+            topology: self
+                .topology
+                .unwrap_or_else(skadi_dcsim::topology::presets::small_disagg_cluster),
+            catalog: self.catalog,
+            runtime: self.runtime,
+            parallelism: self.parallelism,
+            policy: self.policy,
+            optimize: self.optimize,
+        }
+    }
+}
+
+/// A Skadi session: the entry point of the public API.
+pub struct Session {
+    pub(crate) topology: Topology,
+    pub(crate) catalog: Catalog,
+    pub(crate) runtime: RuntimeConfig,
+    pub(crate) parallelism: u32,
+    pub(crate) policy: BackendPolicy,
+    pub(crate) optimize: bool,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            topology: None,
+            catalog: Catalog::new(),
+            runtime: RuntimeConfig::skadi_gen2(),
+            parallelism: 4,
+            policy: BackendPolicy::cost_based(),
+            optimize: true,
+        }
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The runtime configuration.
+    pub fn runtime_config(&self) -> &RuntimeConfig {
+        &self.runtime
+    }
+
+    /// Runs a SQL statement.
+    pub fn sql(&self, statement: &str) -> Result<JobReport, SkadiError> {
+        let (g, _sink) = sql::plan_sql(statement, &self.catalog)?;
+        self.run_graph("sql", g, "sql")
+    }
+
+    /// Runs a MapReduce job.
+    pub fn mapreduce(&self, job: &MapReduceJob) -> Result<JobReport, SkadiError> {
+        let (g, _sink) = job.to_flowgraph()?;
+        self.run_graph("mapreduce", g, "dp")
+    }
+
+    /// Runs an iterative vertex program.
+    pub fn vertex_program(&self, prog: &VertexProgram) -> Result<JobReport, SkadiError> {
+        let (g, _sink) = prog.to_flowgraph()?;
+        self.run_graph("graph", g, "graph")
+    }
+
+    /// Runs a training pipeline.
+    pub fn train(&self, pipeline: &TrainingPipeline) -> Result<JobReport, SkadiError> {
+        let (g, _sink) = pipeline.to_flowgraph()?;
+        self.run_graph("train", g, "ml")
+    }
+
+    /// Runs a micro-batch streaming job.
+    pub fn stream(&self, job: &StreamJob) -> Result<JobReport, SkadiError> {
+        let (g, _sink) = job.to_flowgraph()?;
+        self.run_graph("stream", g, "streaming")
+    }
+
+    /// Starts an integrated multi-system pipeline.
+    pub fn pipeline(&self) -> PipelineBuilder<'_> {
+        PipelineBuilder::new(self)
+    }
+
+    /// Compiles and runs an arbitrary FlowGraph under the given system
+    /// label.
+    pub fn run_graph(
+        &self,
+        name: &str,
+        graph: FlowGraph,
+        system: &str,
+    ) -> Result<JobReport, SkadiError> {
+        self.run_graph_with_failures(name, graph, system, &FailurePlan::none())
+    }
+
+    /// [`Session::run_graph`] under a failure schedule.
+    pub fn run_graph_with_failures(
+        &self,
+        name: &str,
+        mut graph: FlowGraph,
+        system: &str,
+        failures: &FailurePlan,
+    ) -> Result<JobReport, SkadiError> {
+        let before = graph.len();
+        let optimize = if self.optimize {
+            optimize_graph(&mut graph)
+        } else {
+            Default::default()
+        };
+        let (job, counts, pv, pe) = self.compile(&graph, system)?;
+        let mut cluster = Cluster::new(&self.topology, self.runtime.clone());
+        let stats = cluster.run_with_failures(&job, failures)?;
+        Ok(JobReport {
+            name: name.to_string(),
+            logical_vertices_before: before,
+            logical_vertices_after: graph.len(),
+            optimize,
+            physical_vertices: pv,
+            physical_edges: pe,
+            backends: counts,
+            stats,
+        })
+    }
+
+    /// Lowers a logical graph to a runnable job plus physical summary.
+    pub(crate) fn compile(
+        &self,
+        graph: &FlowGraph,
+        system: &str,
+    ) -> Result<(Job, BackendCounts, usize, usize), SkadiError> {
+        let cfg = LowerConfig::new(self.parallelism, self.policy.clone());
+        let phys = lower_graph(graph, &cfg)?;
+        let mut counts = BackendCounts::default();
+        for v in phys.vertices() {
+            counts.add(v.backend);
+        }
+        let job = job_from_physical(system, &phys, system)?;
+        Ok((job, counts, phys.len(), phys.edges().len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skadi_dcsim::topology::presets;
+    use skadi_runtime::Deployment;
+
+    fn session() -> Session {
+        Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .catalog(Catalog::demo())
+            .build()
+    }
+
+    #[test]
+    fn sql_end_to_end() {
+        let r = session()
+            .sql("SELECT kind, sum(value) FROM events WHERE value > 0.5 GROUP BY kind")
+            .unwrap();
+        assert!(r.stats.finished > 0);
+        assert_eq!(r.stats.abandoned, 0);
+        assert!(r.stats.makespan.as_nanos() > 0);
+        assert!(r.physical_vertices >= r.logical_vertices_after);
+    }
+
+    #[test]
+    fn sql_errors_propagate() {
+        let err = session().sql("SELECT FROM nothing").unwrap_err();
+        assert!(matches!(err, SkadiError::Sql(_)));
+    }
+
+    #[test]
+    fn mapreduce_end_to_end() {
+        let job = MapReduceJob::new("logs", 1 << 20, 64 << 20, "word");
+        let r = session().mapreduce(&job).unwrap();
+        assert!(r.stats.finished > 0);
+    }
+
+    #[test]
+    fn training_uses_gpus() {
+        let p = TrainingPipeline::new("mnist", 1 << 14, 8 << 20, 4 << 20).steps(2);
+        let r = session().train(&p).unwrap();
+        assert!(r.backends.gpu > 0, "matmuls should land on GPUs: {r}");
+        assert!(r.stats.finished > 0);
+    }
+
+    #[test]
+    fn vertex_program_end_to_end() {
+        let prog = VertexProgram::pagerank("web", 100_000, 1_000_000, 3);
+        let r = session().vertex_program(&prog).unwrap();
+        assert!(r.stats.finished > 0);
+    }
+
+    #[test]
+    fn optimizer_ablation_changes_plan() {
+        // filter + project fuse into one kernel when the optimizer runs.
+        let q = "SELECT user_id FROM events WHERE value > 0.5";
+        let with = session().sql(q).unwrap();
+        let without = Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .catalog(Catalog::demo())
+            .without_optimizer()
+            .build()
+            .sql(q)
+            .unwrap();
+        assert!(with.optimize.fused > 0);
+        assert!(with.logical_vertices_after < without.logical_vertices_after);
+    }
+
+    #[test]
+    fn deployment_config_flows_through() {
+        let s = Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .catalog(Catalog::demo())
+            .runtime(RuntimeConfig::stateless_serverless())
+            .build();
+        assert_eq!(
+            s.runtime_config().deployment,
+            Deployment::StatelessServerless
+        );
+        let r = s.sql("SELECT user_id FROM events").unwrap();
+        assert!(r.stats.durable_trips > 0);
+    }
+
+    #[test]
+    fn report_display_is_complete() {
+        let r = session().sql("SELECT user_id FROM events").unwrap();
+        let text = r.to_string();
+        assert!(text.contains("access layer"));
+        assert!(text.contains("makespan"));
+        assert!(text.contains("durable"));
+    }
+}

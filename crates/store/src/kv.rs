@@ -1,0 +1,332 @@
+//! Per-node object store with capacity accounting and eviction.
+//!
+//! One [`LocalStore`] models one plasma-like store: the object table of a
+//! server's DRAM, a device's HBM, a memory blade's pool, or the durable
+//! backstop. The cluster-wide view lives in
+//! [`crate::placement::CachingLayer`].
+
+use std::collections::HashMap;
+
+use skadi_dcsim::time::SimTime;
+use skadi_dcsim::topology::NodeId;
+
+use crate::error::StoreError;
+use crate::object::{ObjectId, ObjectMeta};
+use crate::policy::EvictionPolicy;
+use crate::tier::Tier;
+
+/// One stored object: metadata plus an optional real payload (experiments
+/// usually track only sizes; examples store actual bytes).
+#[derive(Debug, Clone)]
+struct Slot {
+    meta: ObjectMeta,
+    payload: Option<Vec<u8>>,
+}
+
+/// A single node's object store.
+#[derive(Debug, Clone)]
+pub struct LocalStore {
+    node: NodeId,
+    tier: Tier,
+    capacity: u64,
+    used: u64,
+    policy: EvictionPolicy,
+    slots: HashMap<ObjectId, Slot>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LocalStore {
+    /// Creates a store of `capacity` bytes on `node` at the given tier.
+    pub fn new(node: NodeId, tier: Tier, capacity: u64, policy: EvictionPolicy) -> Self {
+        LocalStore {
+            node,
+            tier,
+            capacity,
+            used: 0,
+            policy,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The node this store lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The memory tier this store represents.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// (hits, misses, evictions) since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// True if the object is present.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.slots.contains_key(&id)
+    }
+
+    /// Inserts an object, evicting colder objects if necessary.
+    ///
+    /// Returns the metadata of every evicted object (in eviction order) so
+    /// the caching layer can spill them to a colder tier rather than lose
+    /// them.
+    pub fn put(
+        &mut self,
+        id: ObjectId,
+        size: u64,
+        payload: Option<Vec<u8>>,
+        now: SimTime,
+    ) -> Result<Vec<ObjectMeta>, StoreError> {
+        if self.slots.contains_key(&id) {
+            return Err(StoreError::Duplicate(id));
+        }
+        if size > self.capacity {
+            return Err(StoreError::OutOfCapacity {
+                id,
+                requested: size,
+                capacity: self.capacity,
+                tier: self.tier,
+            });
+        }
+        let mut evicted = Vec::new();
+        if self.used + size > self.capacity {
+            let need = self.used + size - self.capacity;
+            let candidates: Vec<ObjectMeta> = {
+                let mut c: Vec<ObjectMeta> = self
+                    .slots
+                    .values()
+                    .filter(|s| !s.meta.pinned)
+                    .map(|s| s.meta.clone())
+                    .collect();
+                // HashMap iteration order is nondeterministic; sort so the
+                // policy sees a canonical candidate list.
+                c.sort_by_key(|m| m.id);
+                c
+            };
+            let victims = self.policy.victims(&candidates, need);
+            let mut freed = 0u64;
+            for v in victims {
+                if let Some(slot) = self.slots.remove(&v) {
+                    freed += slot.meta.size;
+                    self.used -= slot.meta.size;
+                    self.evictions += 1;
+                    evicted.push(slot.meta);
+                }
+            }
+            if freed < need {
+                // Roll back: re-inserting evicted objects keeps the store
+                // consistent when the put is impossible (all pinned).
+                for meta in evicted {
+                    self.used += meta.size;
+                    self.slots.insert(
+                        meta.id,
+                        Slot {
+                            meta,
+                            payload: None,
+                        },
+                    );
+                }
+                return Err(StoreError::OutOfCapacity {
+                    id,
+                    requested: size,
+                    capacity: self.capacity,
+                    tier: self.tier,
+                });
+            }
+        }
+        self.used += size;
+        self.slots.insert(
+            id,
+            Slot {
+                meta: ObjectMeta::new(id, size, now),
+                payload,
+            },
+        );
+        Ok(evicted)
+    }
+
+    /// Looks up an object, updating recency/frequency. Returns its
+    /// metadata.
+    pub fn get(&mut self, id: ObjectId, now: SimTime) -> Result<ObjectMeta, StoreError> {
+        match self.slots.get_mut(&id) {
+            Some(slot) => {
+                slot.meta.touch(now);
+                self.hits += 1;
+                Ok(slot.meta.clone())
+            }
+            None => {
+                self.misses += 1;
+                Err(StoreError::NotFound(id))
+            }
+        }
+    }
+
+    /// Reads an object's payload bytes, if a payload was stored.
+    pub fn payload(&self, id: ObjectId) -> Option<&[u8]> {
+        self.slots.get(&id).and_then(|s| s.payload.as_deref())
+    }
+
+    /// Removes an object, returning its metadata.
+    pub fn delete(&mut self, id: ObjectId) -> Result<ObjectMeta, StoreError> {
+        match self.slots.remove(&id) {
+            Some(slot) => {
+                self.used -= slot.meta.size;
+                Ok(slot.meta)
+            }
+            None => Err(StoreError::NotFound(id)),
+        }
+    }
+
+    /// Pins or unpins an object (pinned objects are never evicted).
+    pub fn set_pinned(&mut self, id: ObjectId, pinned: bool) -> Result<(), StoreError> {
+        match self.slots.get_mut(&id) {
+            Some(slot) => {
+                slot.meta.pinned = pinned;
+                Ok(())
+            }
+            None => Err(StoreError::NotFound(id)),
+        }
+    }
+
+    /// Metadata of every resident object, sorted by ID (deterministic).
+    pub fn metas(&self) -> Vec<ObjectMeta> {
+        let mut v: Vec<ObjectMeta> = self.slots.values().map(|s| s.meta.clone()).collect();
+        v.sort_by_key(|m| m.id);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(cap: u64) -> LocalStore {
+        LocalStore::new(NodeId(0), Tier::HostDram, cap, EvictionPolicy::Lru)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = store(100);
+        s.put(ObjectId(1), 40, None, SimTime::ZERO).unwrap();
+        assert_eq!(s.used(), 40);
+        let m = s.get(ObjectId(1), SimTime::from_micros(1)).unwrap();
+        assert_eq!(m.size, 40);
+        assert_eq!(m.access_count, 1);
+        s.delete(ObjectId(1)).unwrap();
+        assert_eq!(s.used(), 0);
+        assert!(s.get(ObjectId(1), SimTime::from_micros(2)).is_err());
+    }
+
+    #[test]
+    fn duplicate_put_rejected() {
+        let mut s = store(100);
+        s.put(ObjectId(1), 10, None, SimTime::ZERO).unwrap();
+        assert!(matches!(
+            s.put(ObjectId(1), 10, None, SimTime::ZERO),
+            Err(StoreError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn eviction_makes_room_lru() {
+        let mut s = store(100);
+        s.put(ObjectId(1), 50, None, SimTime::ZERO).unwrap();
+        s.put(ObjectId(2), 50, None, SimTime::ZERO).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        s.get(ObjectId(1), SimTime::from_micros(5)).unwrap();
+        let evicted = s
+            .put(ObjectId(3), 50, None, SimTime::from_micros(6))
+            .unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].id, ObjectId(2));
+        assert!(s.contains(ObjectId(1)));
+        assert!(s.contains(ObjectId(3)));
+        assert_eq!(s.used(), 100);
+    }
+
+    #[test]
+    fn pinned_objects_survive_eviction() {
+        let mut s = store(100);
+        s.put(ObjectId(1), 60, None, SimTime::ZERO).unwrap();
+        s.set_pinned(ObjectId(1), true).unwrap();
+        s.put(ObjectId(2), 40, None, SimTime::ZERO).unwrap();
+        // Needs 60 freed but only obj2 (40) is evictable: put must fail and
+        // the store must stay consistent.
+        let err = s.put(ObjectId(3), 100, None, SimTime::from_micros(1));
+        assert!(matches!(err, Err(StoreError::OutOfCapacity { .. })));
+        assert!(s.contains(ObjectId(1)));
+        assert!(s.contains(ObjectId(2)));
+        assert_eq!(s.used(), 100);
+    }
+
+    #[test]
+    fn oversized_object_rejected_outright() {
+        let mut s = store(100);
+        assert!(matches!(
+            s.put(ObjectId(1), 101, None, SimTime::ZERO),
+            Err(StoreError::OutOfCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let mut s = store(100);
+        s.put(ObjectId(1), 3, Some(vec![1, 2, 3]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(s.payload(ObjectId(1)), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.payload(ObjectId(9)), None);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions() {
+        let mut s = store(10);
+        s.put(ObjectId(1), 10, None, SimTime::ZERO).unwrap();
+        let _ = s.get(ObjectId(1), SimTime::ZERO);
+        let _ = s.get(ObjectId(2), SimTime::ZERO);
+        s.put(ObjectId(3), 10, None, SimTime::from_micros(1))
+            .unwrap();
+        assert_eq!(s.stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn metas_sorted_by_id() {
+        let mut s = store(100);
+        s.put(ObjectId(5), 10, None, SimTime::ZERO).unwrap();
+        s.put(ObjectId(2), 10, None, SimTime::ZERO).unwrap();
+        let ids: Vec<u64> = s.metas().iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Eviction policies.
+//!
+//! The paper leaves tiering policy open ("the caching layer is responsible
+//! for managing data locations, replication, tiering policies etc."), so
+//! the store is parameterized over a policy and experiment E3 compares
+//! them.
+
+use std::fmt;
+
+use crate::object::{ObjectId, ObjectMeta};
+
+/// Which objects to sacrifice when a tier is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict least-recently-used first.
+    Lru,
+    /// Evict least-frequently-used first.
+    Lfu,
+    /// Evict the worst bytes-per-access objects first (big, cold objects
+    /// go early).
+    CostAware,
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::CostAware => "cost-aware",
+        };
+        f.write_str(s)
+    }
+}
+
+impl EvictionPolicy {
+    /// Chooses victims among `candidates` (already filtered to unpinned
+    /// objects) until their cumulative size reaches `need` bytes.
+    ///
+    /// Returns the chosen IDs in eviction order. If the candidates cannot
+    /// cover `need`, everything is returned — the caller decides whether
+    /// partial eviction is useful.
+    pub fn victims(self, candidates: &[ObjectMeta], need: u64) -> Vec<ObjectId> {
+        let mut order: Vec<&ObjectMeta> = candidates.iter().collect();
+        match self {
+            EvictionPolicy::Lru => {
+                order.sort_by_key(|m| (m.last_access, m.id));
+            }
+            EvictionPolicy::Lfu => {
+                order.sort_by_key(|m| (m.access_count, m.last_access, m.id));
+            }
+            EvictionPolicy::CostAware => {
+                // Lowest accesses-per-byte first; ties by recency then ID.
+                order.sort_by(|a, b| {
+                    let ka = (a.access_count + 1) as f64 / a.size.max(1) as f64;
+                    let kb = (b.access_count + 1) as f64 / b.size.max(1) as f64;
+                    ka.partial_cmp(&kb)
+                        .expect("finite keys")
+                        .then_with(|| a.last_access.cmp(&b.last_access))
+                        .then_with(|| a.id.cmp(&b.id))
+                });
+            }
+        }
+        let mut out = Vec::new();
+        let mut freed = 0u64;
+        for m in order {
+            if freed >= need {
+                break;
+            }
+            out.push(m.id);
+            freed += m.size;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skadi_dcsim::time::SimTime;
+
+    fn meta(id: u64, size: u64, last_us: u64, count: u64) -> ObjectMeta {
+        let mut m = ObjectMeta::new(ObjectId(id), size, SimTime::ZERO);
+        m.last_access = SimTime::from_micros(last_us);
+        m.access_count = count;
+        m
+    }
+
+    #[test]
+    fn lru_prefers_stale() {
+        let c = vec![meta(1, 10, 100, 5), meta(2, 10, 10, 5), meta(3, 10, 50, 5)];
+        let v = EvictionPolicy::Lru.victims(&c, 10);
+        assert_eq!(v, vec![ObjectId(2)]);
+        let v = EvictionPolicy::Lru.victims(&c, 20);
+        assert_eq!(v, vec![ObjectId(2), ObjectId(3)]);
+    }
+
+    #[test]
+    fn lfu_prefers_cold() {
+        let c = vec![meta(1, 10, 1, 9), meta(2, 10, 2, 1), meta(3, 10, 3, 4)];
+        let v = EvictionPolicy::Lfu.victims(&c, 10);
+        assert_eq!(v, vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn cost_aware_prefers_big_cold_objects() {
+        // Object 1: huge, rarely used. Object 2: tiny, often used.
+        let c = vec![meta(1, 1_000_000, 5, 1), meta(2, 10, 5, 1)];
+        let v = EvictionPolicy::CostAware.victims(&c, 100);
+        assert_eq!(v, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn victims_accumulate_until_need_met() {
+        let c = vec![meta(1, 30, 1, 0), meta(2, 30, 2, 0), meta(3, 30, 3, 0)];
+        let v = EvictionPolicy::Lru.victims(&c, 50);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn insufficient_candidates_returns_all() {
+        let c = vec![meta(1, 10, 1, 0)];
+        let v = EvictionPolicy::Lru.victims(&c, 1000);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let c = vec![meta(2, 10, 5, 1), meta(1, 10, 5, 1)];
+        let v1 = EvictionPolicy::Lru.victims(&c, 10);
+        let v2 = EvictionPolicy::Lfu.victims(&c, 10);
+        assert_eq!(v1, vec![ObjectId(1)]);
+        assert_eq!(v2, vec![ObjectId(1)]);
+    }
+}

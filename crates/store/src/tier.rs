@@ -1,0 +1,109 @@
+//! Memory tiers of the caching layer.
+//!
+//! The paper's caching layer (Figure 2, red boxes) manages host DRAM, HBM
+//! on heterogeneous devices, and disaggregated memory behind one KV API;
+//! durable cloud storage is the backstop. Tiers are ordered by access
+//! cost, and the placement logic spills cold data *down* the order.
+
+use std::fmt;
+
+use skadi_dcsim::time::SimDuration;
+
+/// One tier of the memory hierarchy, cheapest-to-access first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// HBM on an accelerator device — fastest for the device's own ops.
+    DeviceHbm,
+    /// DRAM on a regular server.
+    HostDram,
+    /// A disaggregated memory blade across the fabric.
+    DisaggMemory,
+    /// Durable cloud storage (S3-class).
+    Durable,
+}
+
+impl Tier {
+    /// All tiers, fastest first.
+    pub const ALL: [Tier; 4] = [
+        Tier::DeviceHbm,
+        Tier::HostDram,
+        Tier::DisaggMemory,
+        Tier::Durable,
+    ];
+
+    /// The next slower tier, if any.
+    pub fn next_colder(self) -> Option<Tier> {
+        match self {
+            Tier::DeviceHbm => Some(Tier::HostDram),
+            Tier::HostDram => Some(Tier::DisaggMemory),
+            Tier::DisaggMemory => Some(Tier::Durable),
+            Tier::Durable => None,
+        }
+    }
+
+    /// Nominal access latency for a small read hitting this tier. These
+    /// feed the cache experiments; bulk transfers are priced by the
+    /// network model instead.
+    pub fn access_latency(self) -> SimDuration {
+        match self {
+            Tier::DeviceHbm => SimDuration::from_nanos(300),
+            Tier::HostDram => SimDuration::from_nanos(100),
+            Tier::DisaggMemory => SimDuration::from_micros(4),
+            Tier::Durable => SimDuration::from_millis(10),
+        }
+    }
+
+    /// Nominal bandwidth for bulk reads from this tier, bytes/second.
+    pub fn bandwidth_bps(self) -> u64 {
+        match self {
+            Tier::DeviceHbm => 800 << 30,
+            Tier::HostDram => 100 << 30,
+            Tier::DisaggMemory => 12 << 30,
+            Tier::Durable => 100 << 20,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::DeviceHbm => "device-hbm",
+            Tier::HostDram => "host-dram",
+            Tier::DisaggMemory => "disagg-memory",
+            Tier::Durable => "durable",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colder_chain_terminates() {
+        let mut t = Tier::DeviceHbm;
+        let mut steps = 0;
+        while let Some(next) = t.next_colder() {
+            t = next;
+            steps += 1;
+        }
+        assert_eq!(t, Tier::Durable);
+        assert_eq!(steps, 3);
+    }
+
+    #[test]
+    fn latency_monotone_down_the_hierarchy() {
+        // DRAM and HBM are both "fast"; everything past them must be
+        // strictly slower.
+        assert!(Tier::DisaggMemory.access_latency() > Tier::HostDram.access_latency());
+        assert!(Tier::Durable.access_latency() > Tier::DisaggMemory.access_latency());
+    }
+
+    #[test]
+    fn bandwidth_monotone() {
+        assert!(Tier::DeviceHbm.bandwidth_bps() > Tier::HostDram.bandwidth_bps());
+        assert!(Tier::HostDram.bandwidth_bps() > Tier::DisaggMemory.bandwidth_bps());
+        assert!(Tier::DisaggMemory.bandwidth_bps() > Tier::Durable.bandwidth_bps());
+    }
+}

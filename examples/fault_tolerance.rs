@@ -1,0 +1,90 @@
+//! Fault tolerance (§2.1): lineage re-execution vs a reliable caching
+//! layer with replication or erasure coding, under an injected node
+//! failure.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use skadi::dcsim::time::SimTime;
+use skadi::prelude::*;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+use skadi::store::ec::EcConfig;
+
+/// A diamond-heavy DAG with real compute so a mid-job failure hurts.
+fn job() -> Job {
+    let mut tasks = Vec::new();
+    // 4 independent chains of 6 stages, joined at the end.
+    let (chains, stages) = (4u64, 6u64);
+    for c in 0..chains {
+        for s in 0..stages {
+            let id = c * stages + s;
+            let mut t = TaskSpec::new(id, 4_000.0, 8 << 20).named(&format!("c{c}s{s}"));
+            if s > 0 {
+                t = t.after(TaskId(id - 1), 8 << 20);
+            }
+            tasks.push(t);
+        }
+    }
+    let mut join = TaskSpec::new(chains * stages, 8_000.0, 1 << 20).named("join");
+    for c in 0..chains {
+        join = join.after(TaskId(c * stages + stages - 1), 8 << 20);
+    }
+    tasks.push(join);
+    Job::new("diamond", tasks).expect("valid job")
+}
+
+fn run(label: &str, ft: FtMode, topo: &Topology) -> JobStats {
+    // Kill the scheduler-adjacent server mid-job; everything it computed
+    // and cached dies with it.
+    let victim = topo.servers()[1];
+    let failures = FailurePlan::none().kill(victim, SimTime::from_millis(12));
+    let mut cluster = Cluster::new(topo, RuntimeConfig::skadi_gen2().with_ft(ft));
+    let stats = cluster
+        .run_with_failures(&job(), &failures)
+        .expect("job completes");
+    println!(
+        "{label:<22} makespan {:>12}  re-executions {:>3}  extra bytes {:>12}",
+        stats.makespan.to_string(),
+        stats.retries,
+        stats.metrics.counter("replica_bytes") + stats.metrics.counter("ec_bytes"),
+    );
+    stats
+}
+
+fn main() {
+    let topo = presets::small_disagg_cluster();
+    println!("cluster: {}", topo.summary());
+    println!("failure: one server killed at t=12ms\n");
+
+    let baseline = {
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        c.run(&job()).expect("clean run")
+    };
+    println!(
+        "{:<22} makespan {:>12}  (no failure)",
+        "clean run",
+        baseline.makespan.to_string()
+    );
+
+    let lineage = run("lineage", FtMode::Lineage, &topo);
+    let repl = run("replication x2", FtMode::Replication(2), &topo);
+    let ec = run(
+        "erasure coding 4+2",
+        FtMode::ErasureCoding(EcConfig::RS_4_2),
+        &topo,
+    );
+
+    println!();
+    println!(
+        "lineage pays {} re-executions; replication pays {:.1}x storage; EC pays {:.1}x.",
+        lineage.retries,
+        2.0,
+        EcConfig::RS_4_2.overhead()
+    );
+    println!(
+        "recovery overhead vs clean: lineage +{:.1}%, replication +{:.1}%, EC +{:.1}%",
+        100.0 * (lineage.makespan.as_secs_f64() / baseline.makespan.as_secs_f64() - 1.0),
+        100.0 * (repl.makespan.as_secs_f64() / baseline.makespan.as_secs_f64() - 1.0),
+        100.0 * (ec.makespan.as_secs_f64() / baseline.makespan.as_secs_f64() - 1.0),
+    );
+}

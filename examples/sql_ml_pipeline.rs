@@ -1,0 +1,48 @@
+//! Integrated pipeline (the paper's Figure 1): ingestion -> SQL
+//! analytics -> ML training, run under all three deployment models to
+//! show why the distributed runtime wins.
+//!
+//! Run with: `cargo run --example sql_ml_pipeline`
+
+use skadi::pipeline::fig1_pipeline;
+use skadi::prelude::*;
+
+fn run(deployment: &str, cfg: RuntimeConfig) -> Result<JobStats, SkadiError> {
+    let session = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .runtime(cfg)
+        .build();
+    let report = fig1_pipeline(&session, 1)?.run()?;
+    println!(
+        "{deployment:<22} makespan {:>12}  durable trips {:>4}  network {:>12} B  cost {:>9.3}",
+        report.stats.makespan.to_string(),
+        report.stats.durable_trips,
+        report.stats.net.network_bytes(),
+        report.stats.cost_units,
+    );
+    Ok(report.stats)
+}
+
+fn main() -> Result<(), SkadiError> {
+    println!("Figure 1: one integrated pipeline (ingest -> SQL -> ML), three deployments\n");
+
+    let serverful = run("serverful (1a)", RuntimeConfig::serverful())?;
+    let stateless = run(
+        "stateless serverless (1b)",
+        RuntimeConfig::stateless_serverless(),
+    )?;
+    let skadi = run("distributed runtime (1c)", RuntimeConfig::skadi_gen2())?;
+
+    println!();
+    println!(
+        "stateless bounces every intermediate through durable storage: {} trips vs {} (skadi)",
+        stateless.durable_trips, skadi.durable_trips
+    );
+    println!(
+        "skadi speedup: {:.1}x over stateless, {:.1}x over serverful",
+        stateless.makespan.as_secs_f64() / skadi.makespan.as_secs_f64(),
+        serverful.makespan.as_secs_f64() / skadi.makespan.as_secs_f64(),
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Micro-batch streaming on the distributed runtime: windowed
+//! aggregations whose state flows batch-to-batch through the caching
+//! layer (one of the execution models the paper's runtime must host).
+//!
+//! Run with: `cargo run --example streaming_windows`
+
+use skadi::prelude::*;
+
+fn main() -> Result<(), SkadiError> {
+    let session = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .runtime(RuntimeConfig::skadi_gen2())
+        .build();
+
+    println!("micro-batch stream: per-batch transform + keyed window aggregation\n");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>10}",
+        "batches", "makespan", "per-batch", "net MB", "stall"
+    );
+    for batches in [2u32, 4, 8, 16] {
+        let job = StreamJob::new("clicks", 1 << 18, 32 << 20, "user_id")
+            .batches(batches)
+            .transform_selectivity(0.4);
+        let report = session.stream(&job)?;
+        println!(
+            "{:>8} {:>12} {:>14} {:>12.1} {:>10}",
+            batches,
+            report.stats.makespan.to_string(),
+            (report.stats.makespan / batches as u64).to_string(),
+            report.stats.net.network_bytes() as f64 / 1e6,
+            report.stats.stall_total.to_string(),
+        );
+    }
+
+    println!(
+        "\nWindow state chains batch to batch over keyed edges; because the\n\
+         runtime resolves those futures through the caching layer, batch k+1's\n\
+         transform overlaps batch k's window — per-batch cost stays flat as\n\
+         the stream lengthens."
+    );
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Workspace umbrella crate hosting the cross-crate integration tests and
+//! runnable examples. The public API lives in the [`skadi`] crate.

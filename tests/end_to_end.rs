@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: declarations in, measured execution
+//! out, across every tier of the stack.
+
+use skadi::pipeline::fig1_pipeline;
+use skadi::prelude::*;
+
+fn session() -> Session {
+    Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .build()
+}
+
+#[test]
+fn sql_through_the_whole_stack() {
+    let report = session()
+        .sql(
+            "SELECT country, sum(value) AS total FROM events \
+             JOIN users ON user_id = user_id \
+             WHERE value > 0.5 GROUP BY country ORDER BY total DESC LIMIT 10",
+        )
+        .expect("query runs");
+    assert!(report.stats.finished > 0);
+    assert_eq!(report.stats.abandoned, 0);
+    // A join + aggregate + sort query must shuffle.
+    assert!(report.physical_edges > report.physical_vertices);
+}
+
+#[test]
+fn all_four_frontends_share_one_runtime() {
+    let s = session();
+    let sql = s.sql("SELECT user_id FROM events").unwrap();
+    let mr = s
+        .mapreduce(&MapReduceJob::new("logs", 1 << 18, 16 << 20, "key"))
+        .unwrap();
+    let ml = s
+        .train(&TrainingPipeline::new("data", 1 << 12, 1 << 20, 1 << 18).steps(2))
+        .unwrap();
+    let gr = s
+        .vertex_program(&VertexProgram::pagerank("g", 10_000, 100_000, 3))
+        .unwrap();
+    for r in [&sql, &mr, &ml, &gr] {
+        assert!(r.stats.finished > 0, "{}", r.name);
+        assert_eq!(r.stats.abandoned, 0, "{}", r.name);
+    }
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let a = session()
+        .sql("SELECT kind, sum(value) FROM events GROUP BY kind")
+        .unwrap();
+    let b = session()
+        .sql("SELECT kind, sum(value) FROM events GROUP BY kind")
+        .unwrap();
+    assert_eq!(a.stats.makespan, b.stats.makespan);
+    assert_eq!(a.stats.net, b.stats.net);
+    assert_eq!(a.stats.cost_units, b.stats.cost_units);
+    assert_eq!(a.stats.stall_total, b.stats.stall_total);
+}
+
+#[test]
+fn figure1_ordering_holds() {
+    let run = |cfg: RuntimeConfig| {
+        let s = Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .catalog(Catalog::demo())
+            .runtime(cfg)
+            .build();
+        fig1_pipeline(&s, 1).unwrap().run().unwrap().stats
+    };
+    let serverful = run(RuntimeConfig::serverful());
+    let stateless = run(RuntimeConfig::stateless_serverless());
+    let skadi = run(RuntimeConfig::skadi_gen2());
+
+    // The paper's Figure-1 ordering: Skadi avoids durable bounces
+    // entirely, stateless pays them on every edge.
+    assert_eq!(skadi.durable_trips, 0);
+    assert!(serverful.durable_trips > 0);
+    assert!(stateless.durable_trips > serverful.durable_trips);
+    assert!(skadi.makespan < stateless.makespan);
+    // Pay-as-you-go beats reservation on cost.
+    assert!(skadi.cost_units < serverful.cost_units);
+}
+
+#[test]
+fn generation_ordering_holds_for_short_ops() {
+    use skadi::runtime::task::TaskSpec;
+    use skadi::runtime::{Cluster, Job, TaskId};
+    let topo = presets::device_rack();
+    let mut tasks = vec![TaskSpec::new(0, 20.0, 4 << 10).on(Backend::Gpu)];
+    for i in 1..24 {
+        tasks.push(
+            TaskSpec::new(i, 20.0, 4 << 10)
+                .after(TaskId(i - 1), 4 << 10)
+                .on(Backend::Gpu),
+        );
+    }
+    let job = Job::new("short", tasks).unwrap();
+    let mut g1 = Cluster::new(&topo, RuntimeConfig::skadi_gen1());
+    let mut g2 = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+    let s1 = g1.run(&job).unwrap();
+    let s2 = g2.run(&job).unwrap();
+    assert!(s2.makespan < s1.makespan);
+}
+
+#[test]
+fn parallelism_speeds_up_wide_queries_until_overhead_wins() {
+    let run = |p: u32| {
+        Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .catalog(Catalog::demo())
+            .parallelism(p)
+            .build()
+            .sql("SELECT kind, sum(value) FROM events WHERE value > 0.1 GROUP BY kind")
+            .unwrap()
+            .stats
+            .makespan
+    };
+    let p1 = run(1);
+    let p4 = run(4);
+    assert!(p4 < p1, "4-way {} vs 1-way {}", p4, p1);
+}
+
+#[test]
+fn failure_during_pipeline_recovers_via_lineage() {
+    use skadi::dcsim::time::SimTime;
+    let topo = presets::small_disagg_cluster();
+    let victim = topo.servers()[2];
+    let s = Session::builder()
+        .topology(topo)
+        .catalog(Catalog::demo())
+        .build();
+    let failures = FailurePlan::none().kill(victim, SimTime::from_millis(5));
+    let report = fig1_pipeline(&s, 1)
+        .unwrap()
+        .run_with_failures(&failures)
+        .unwrap();
+    assert_eq!(report.stats.abandoned, 0, "lineage must recover everything");
+    assert!(report.stats.finished > 0);
+}
+
+#[test]
+fn ir_fusion_survives_the_full_path() {
+    // A fused query still returns the same *structure* of results (we
+    // check compiled shape and clean execution with and without fusion).
+    let q = "SELECT user_id FROM events WHERE value > 0.5";
+    let fused = session().sql(q).unwrap();
+    let unfused = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .without_optimizer()
+        .build()
+        .sql(q)
+        .unwrap();
+    assert!(fused.optimize.fused > 0);
+    assert!(fused.physical_vertices < unfused.physical_vertices);
+    assert_eq!(fused.stats.abandoned, 0);
+    assert_eq!(unfused.stats.abandoned, 0);
+}

@@ -1,0 +1,396 @@
+//! Property-based tests over the core substrates' invariants.
+
+use proptest::prelude::*;
+
+use skadi::arrow::prelude::*;
+use skadi::arrow::{ipc, marshal};
+use skadi::dcsim::engine::EventQueue;
+use skadi::dcsim::time::SimTime;
+use skadi::flowgraph::partition::Partitioner;
+use skadi::ownership::table::OwnershipTable;
+use skadi::store::ec::{decode, encode, EcConfig};
+use skadi::store::kv::LocalStore;
+use skadi::store::object::ObjectId;
+use skadi::store::policy::EvictionPolicy;
+use skadi::store::tier::Tier;
+use skadi_dcsim::topology::NodeId;
+
+proptest! {
+    /// The event queue delivers in non-decreasing time order, FIFO per
+    /// instant, for any schedule.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// Reed-Solomon round-trips under any erasure pattern that leaves at
+    /// least k shards.
+    #[test]
+    fn ec_round_trips_any_recoverable_erasure(
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+        erasures in prop::collection::vec(0usize..6, 0..2),
+    ) {
+        let cfg = EcConfig::RS_4_2;
+        let enc = encode(&payload, cfg).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            enc.shards.iter().cloned().map(Some).collect();
+        for e in &erasures {
+            shards[*e] = None;
+        }
+        let got = decode(&shards, enc.original_len, cfg).unwrap();
+        prop_assert_eq!(got, payload);
+    }
+
+    /// IPC round-trips arbitrary typed batches.
+    #[test]
+    fn ipc_round_trips(
+        ints in prop::collection::vec(prop::option::of(any::<i64>()), 0..100),
+        strings in prop::collection::vec(prop::option::of("[a-z0-9]{0,12}"), 0..100),
+    ) {
+        let n = ints.len().min(strings.len());
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int64, true),
+            Field::new("s", DataType::Utf8, true),
+        ]);
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![
+                Array::from_opt_i64(ints[..n].to_vec()),
+                Array::from_opt_utf8(strings[..n].iter().map(|o| o.as_deref())),
+            ],
+        ).unwrap();
+        let back = ipc::decode(ipc::encode(&batch)).unwrap();
+        prop_assert_eq!(&back, &batch);
+        // The marshalling baseline must agree too.
+        let back2 = marshal::from_rows(&marshal::to_rows(&batch)).unwrap();
+        prop_assert_eq!(&back2, &batch);
+    }
+
+    /// Hash partitioning is stable and total: same key -> same shard;
+    /// every row lands somewhere valid.
+    #[test]
+    fn partitioner_stable_and_total(
+        keys in prop::collection::vec("[a-z]{1,8}", 1..100),
+        parts in 1u32..16,
+    ) {
+        let p = Partitioner::Hash;
+        for (i, k) in keys.iter().enumerate() {
+            let a = p.assign(k.as_bytes(), i as u64, parts);
+            let b = p.assign(k.as_bytes(), (i + 7) as u64, parts);
+            prop_assert_eq!(a, b);
+            prop_assert!(a < parts);
+        }
+    }
+
+    /// The local store never exceeds capacity and never loses bytes:
+    /// used == sum of resident object sizes after any operation sequence.
+    #[test]
+    fn store_capacity_invariant(ops in prop::collection::vec((0u64..20, 1u64..40), 1..100)) {
+        let mut store = LocalStore::new(NodeId(0), Tier::HostDram, 200, EvictionPolicy::Lru);
+        let mut t = 0u64;
+        for (id, size) in ops {
+            t += 1;
+            let _ = store.put(ObjectId(id), size, None, SimTime::from_micros(t));
+            prop_assert!(store.used() <= store.capacity());
+            let expected: u64 = store.metas().iter().map(|m| m.size).sum();
+            prop_assert_eq!(store.used(), expected);
+        }
+    }
+
+    /// Ownership refcounts never go negative and the entry disappears
+    /// exactly when the count hits zero.
+    #[test]
+    fn ownership_refcount_invariant(increfs in 0u32..20) {
+        let mut table = OwnershipTable::new();
+        let id = ObjectId(1);
+        table.register(id, NodeId(0)).unwrap();
+        for _ in 0..increfs {
+            table.incref(id).unwrap();
+        }
+        // Registration grants one reference.
+        for i in 0..increfs + 1 {
+            let freed = table.decref(id).unwrap();
+            prop_assert_eq!(freed, i == increfs);
+        }
+        prop_assert!(table.get(id).is_err());
+        prop_assert!(table.decref(id).is_err());
+    }
+
+    /// SQL round-trip: any query we can render from a template parses and
+    /// plans without panicking.
+    #[test]
+    fn sql_template_never_panics(
+        val in 0i64..1000,
+        limit in 1i64..100,
+        desc in any::<bool>(),
+        with_group in any::<bool>(),
+    ) {
+        use skadi::frontends::catalog::Catalog;
+        use skadi::frontends::sql::plan_sql;
+        let agg = if with_group { "kind, sum(value)" } else { "user_id" };
+        let group = if with_group { "GROUP BY kind" } else { "" };
+        let dir = if desc { "DESC" } else { "ASC" };
+        let order_col = if with_group { "kind" } else { "user_id" };
+        let q = format!(
+            "SELECT {agg} FROM events WHERE value > {val} {group} ORDER BY {order_col} {dir} LIMIT {limit}"
+        );
+        let (g, _) = plan_sql(&q, &Catalog::demo()).unwrap();
+        g.validate().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end determinism: any seed produces identical repeat runs.
+    #[test]
+    fn runs_are_deterministic_for_any_seed(seed in 0u64..1000) {
+        use skadi::prelude::*;
+        use skadi::runtime::task::TaskSpec;
+        use skadi::runtime::{Cluster, Job, TaskId};
+        let topo = presets::small_disagg_cluster();
+        let mut cfg = RuntimeConfig::skadi_gen2();
+        cfg.seed = seed;
+        let job = Job::new(
+            "p",
+            vec![
+                TaskSpec::new(0, 500.0, 1 << 16),
+                TaskSpec::new(1, 500.0, 1 << 16).after(TaskId(0), 1 << 16),
+                TaskSpec::new(2, 500.0, 1 << 16).after(TaskId(0), 1 << 16),
+            ],
+        ).unwrap();
+        let a = Cluster::new(&topo, cfg.clone()).run(&job).unwrap();
+        let b = Cluster::new(&topo, cfg).run(&job).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.net, b.net);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IR fusion preserves the op sequence: the fused kernel's body,
+    /// flattened, is exactly the original chain, and the module stays
+    /// verifiable with the same output value count.
+    #[test]
+    fn ir_fusion_preserves_chain(ops in prop::collection::vec(0u8..3, 1..8)) {
+        use skadi::ir::dialect::{rel, tensor};
+        use skadi::ir::{Module, PassManager};
+        use skadi::ir::types::{frame_ty, ScalarType};
+
+        let mut m = Module::new();
+        let mut v = rel::scan(&mut m, "t", frame_ty(&[("a", ScalarType::I64)]));
+        let mut expect: Vec<String> = Vec::new();
+        for op in &ops {
+            v = match op {
+                0 => {
+                    expect.push("rel.filter".into());
+                    rel::filter(&mut m, v, "a > 0")
+                }
+                1 => {
+                    expect.push("rel.project".into());
+                    rel::project(&mut m, v, &["a"])
+                }
+                _ => {
+                    expect.push("tensor.map".into());
+                    tensor::map(&mut m, v, "f")
+                }
+            };
+        }
+        m.mark_output(v);
+        let before_outputs = m.outputs().len();
+        PassManager::standard().run(&mut m).unwrap();
+        m.verify().unwrap();
+        prop_assert_eq!(m.outputs().len(), before_outputs);
+        // Everything per-row fused into one kernel (chains of length >= 2).
+        if ops.len() >= 2 {
+            let fused: Vec<_> = m
+                .ops()
+                .iter()
+                .filter(|o| o.name == "kernel.fused")
+                .collect();
+            prop_assert_eq!(fused.len(), 1);
+            let body = fused[0]
+                .attr("body")
+                .and_then(skadi::ir::Attr::as_str_list)
+                .unwrap()
+                .to_vec();
+            prop_assert_eq!(body, expect);
+        }
+    }
+
+    /// Physical lowering always produces the requested shard counts and
+    /// an acyclic graph, for random linear pipelines.
+    #[test]
+    fn lowering_shard_counts_hold(
+        par in 1u32..12,
+        stages in 1usize..6,
+        keyed in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        use skadi::flowgraph::{lower_graph, FlowGraph, LowerConfig};
+        use skadi::ir::BackendPolicy;
+
+        let mut g = FlowGraph::new();
+        let mut prev = g.add_source("in", 1 << 16, 1 << 20);
+        let mut vertices = vec![prev];
+        for keyed_edge in keyed.iter().take(stages) {
+            let v = g.add_ir_op("rel.filter", 1 << 16, 1 << 20);
+            if *keyed_edge {
+                g.connect_keyed(prev, v, "k").unwrap();
+            } else {
+                g.connect(prev, v).unwrap();
+            }
+            vertices.push(v);
+            prev = v;
+        }
+        let sink = g.add_sink("out");
+        g.connect(prev, sink).unwrap();
+        let phys = lower_graph(&g, &LowerConfig::new(par, BackendPolicy::cost_based())).unwrap();
+        for v in &vertices {
+            prop_assert_eq!(phys.shards_of(*v).len(), par as usize);
+        }
+        prop_assert_eq!(phys.shards_of(sink).len(), 1);
+        phys.topo_order().unwrap();
+    }
+
+    /// Any small random DAG completes on the cluster with every task
+    /// finished, and the makespan is at least the critical-path compute.
+    #[test]
+    fn random_dags_complete(
+        n in 2u64..12,
+        edges in prop::collection::vec((0u64..12, 1u64..12), 0..20),
+        compute_us in 10.0f64..5000.0,
+    ) {
+        use skadi::prelude::*;
+        use skadi::runtime::task::TaskSpec;
+        use skadi::runtime::{Cluster, Job, TaskId};
+
+        let mut tasks: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec::new(i, compute_us, 1 << 12))
+            .collect();
+        for (a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            // Forward edges only: guarantees a DAG.
+            if a < b {
+                tasks[b as usize].inputs.insert(TaskId(a), 1 << 12);
+            }
+        }
+        let job = Job::new("random", tasks).unwrap();
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&job).unwrap();
+        prop_assert_eq!(stats.finished, n);
+        prop_assert_eq!(stats.abandoned, 0);
+        prop_assert!(
+            stats.makespan.as_secs_f64() * 1e6 >= compute_us,
+            "makespan {} < one task {}us",
+            stats.makespan,
+            compute_us
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SQL executor agrees with a naive row-at-a-time reference model
+    /// on filter + projection over random data.
+    #[test]
+    fn sql_exec_matches_reference_model(
+        ids in prop::collection::vec(0i64..50, 1..60),
+        vals in prop::collection::vec(-100.0f64..100.0, 1..60),
+        threshold in -100i64..100,
+    ) {
+        use skadi::arrow::array::{Array, Value};
+        use skadi::arrow::batch::RecordBatch;
+        use skadi::arrow::datatype::DataType;
+        use skadi::arrow::schema::{Field, Schema};
+        use skadi::frontends::exec::MemDb;
+
+        let n = ids.len().min(vals.len());
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("v", DataType::Float64, false),
+            ]),
+            vec![
+                Array::from_i64(ids[..n].to_vec()),
+                Array::from_f64(vals[..n].to_vec()),
+            ],
+        )
+        .unwrap();
+        let db = MemDb::new().register("t", batch);
+        let out = db
+            .query(&format!("SELECT id FROM t WHERE v > {threshold}"))
+            .unwrap();
+
+        // Reference: plain Rust filter.
+        let expect: Vec<i64> = ids[..n]
+            .iter()
+            .zip(&vals[..n])
+            .filter(|(_, v)| **v > threshold as f64)
+            .map(|(i, _)| *i)
+            .collect();
+        prop_assert_eq!(out.num_rows(), expect.len());
+        for (r, want) in expect.iter().enumerate() {
+            prop_assert_eq!(out.column(0).value_at(r), Value::I64(*want));
+        }
+    }
+
+    /// Grouped sums agree with a reference accumulation.
+    #[test]
+    fn sql_group_sum_matches_reference(
+        keys in prop::collection::vec(0i64..5, 1..60),
+        vals in prop::collection::vec(-10.0f64..10.0, 1..60),
+    ) {
+        use skadi::arrow::array::{Array, Value};
+        use skadi::arrow::batch::RecordBatch;
+        use skadi::arrow::datatype::DataType;
+        use skadi::arrow::schema::{Field, Schema};
+        use skadi::frontends::exec::MemDb;
+        use std::collections::BTreeMap;
+
+        let n = keys.len().min(vals.len());
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("v", DataType::Float64, false),
+            ]),
+            vec![
+                Array::from_i64(keys[..n].to_vec()),
+                Array::from_f64(vals[..n].to_vec()),
+            ],
+        )
+        .unwrap();
+        let db = MemDb::new().register("t", batch);
+        let out = db
+            .query("SELECT k, sum(v) AS s FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+
+        let mut expect: BTreeMap<i64, f64> = BTreeMap::new();
+        for (k, v) in keys[..n].iter().zip(&vals[..n]) {
+            *expect.entry(*k).or_insert(0.0) += v;
+        }
+        prop_assert_eq!(out.num_rows(), expect.len());
+        for (r, (k, s)) in expect.iter().enumerate() {
+            prop_assert_eq!(out.column_by_name("k").unwrap().value_at(r), Value::I64(*k));
+            match out.column_by_name("s").unwrap().value_at(r) {
+                Value::F64(got) => prop_assert!((got - s).abs() < 1e-6),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Scale/stress tests: the simulator must handle jobs far larger than the
+//! experiments use, deterministically, in sane wall-clock time.
+
+use skadi::prelude::*;
+use skadi::runtime::task::TaskSpec;
+use skadi::runtime::{Cluster, Job, TaskId};
+
+/// A layered DAG: `layers` x `width` tasks, each consuming two parents.
+fn layered_job(layers: u64, width: u64) -> Job {
+    let mut tasks = Vec::new();
+    for l in 0..layers {
+        for w in 0..width {
+            let id = l * width + w;
+            let mut t = TaskSpec::new(id, 200.0, 1 << 12);
+            if l > 0 {
+                let p1 = (l - 1) * width + w;
+                let p2 = (l - 1) * width + (w + 1) % width;
+                t = t.after(TaskId(p1), 1 << 12).after(TaskId(p2), 1 << 12);
+            }
+            tasks.push(t);
+        }
+    }
+    Job::new("layered", tasks).expect("valid layered job")
+}
+
+#[test]
+fn two_thousand_task_job_completes() {
+    let topo = presets::small_disagg_cluster();
+    let job = layered_job(50, 40); // 2000 tasks, ~4000 edges.
+    let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+    let stats = c.run(&job).expect("large job runs");
+    assert_eq!(stats.finished, 2000);
+    assert_eq!(stats.abandoned, 0);
+    assert!(stats.utilization > 0.0);
+}
+
+#[test]
+fn large_job_is_deterministic() {
+    let topo = presets::small_disagg_cluster();
+    let job = layered_job(20, 25);
+    let a = Cluster::new(&topo, RuntimeConfig::skadi_gen2())
+        .run(&job)
+        .unwrap();
+    let b = Cluster::new(&topo, RuntimeConfig::skadi_gen2())
+        .run(&job)
+        .unwrap();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.net, b.net);
+    assert_eq!(a.stall_total, b.stall_total);
+}
+
+#[test]
+fn large_job_survives_two_failures() {
+    use skadi::dcsim::time::SimTime;
+    let topo = presets::small_disagg_cluster();
+    let job = layered_job(30, 20); // 600 tasks.
+    let servers = topo.servers();
+    let plan = FailurePlan::none()
+        .kill(servers[2], SimTime::from_millis(2))
+        .kill(servers[5], SimTime::from_millis(5));
+    let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+    let stats = c.run_with_failures(&job, &plan).expect("survives");
+    assert_eq!(stats.finished, 600);
+    assert_eq!(stats.abandoned, 0);
+    assert!(
+        stats.retries > 0,
+        "failures mid-job must force re-execution"
+    );
+}
+
+#[test]
+fn deep_chain_does_not_blow_the_stack() {
+    // Lineage recovery recurses producer-by-producer; a 500-deep chain
+    // with a late failure exercises that path.
+    use skadi::dcsim::time::SimTime;
+    let topo = presets::small_disagg_cluster();
+    let mut tasks = vec![TaskSpec::new(0, 100.0, 1 << 10)];
+    for i in 1..500u64 {
+        tasks.push(TaskSpec::new(i, 100.0, 1 << 10).after(TaskId(i - 1), 1 << 10));
+    }
+    let job = Job::new("deep", tasks).unwrap();
+    let victim = topo.servers()[0];
+    let plan = FailurePlan::none().kill(victim, SimTime::from_millis(30));
+    let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+    let stats = c
+        .run_with_failures(&job, &plan)
+        .expect("deep chain survives");
+    assert_eq!(stats.finished, 500);
+}
