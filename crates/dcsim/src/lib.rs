@@ -17,7 +17,9 @@
 //! - [`resources`]: compute-slot and memory accounting per node.
 //! - [`rng`]: seeded random sources and workload samplers (Zipf,
 //!   exponential) so every experiment is bit-reproducible.
-//! - [`trace`]: counters and histograms for measurement.
+//! - [`trace`]: labeled counters, histograms, and windowed gauges.
+//! - [`span`]: causal span tracing over virtual time, with Chrome
+//!   `trace_event` export and critical-path analysis.
 //!
 //! The simulator is single-threaded by design: determinism is a core
 //! requirement of the reproduction (identical seeds must produce identical
@@ -51,6 +53,7 @@ pub mod engine;
 pub mod network;
 pub mod resources;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -58,6 +61,7 @@ pub mod trace;
 pub use engine::EventQueue;
 pub use network::{LinkParams, Network, Transfer};
 pub use resources::NodeResources;
+pub use span::{Category, Span, SpanId, Trace, Tracer};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     AccelKind, AccelSpec, DurableSpec, MemoryBladeSpec, NodeClass, NodeId, RackId, ServerSpec,
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use crate::network::{LinkParams, Network, Transfer};
     pub use crate::resources::NodeResources;
     pub use crate::rng::DetRng;
+    pub use crate::span::{Category, Span, SpanId, Trace, Tracer};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{
         AccelKind, AccelSpec, DurableSpec, MemoryBladeSpec, NodeClass, NodeId, RackId, ServerSpec,

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// A latency histogram backed by raw samples.
 #[derive(Debug, Clone, Default)]
@@ -49,10 +49,20 @@ impl Histogram {
         SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
     }
 
-    /// Sum of all samples.
-    pub fn total(&self) -> SimDuration {
-        let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
-        SimDuration::from_nanos(u64::try_from(sum).unwrap_or(u64::MAX))
+    /// Exact sum of all samples, in nanoseconds.
+    ///
+    /// Returned as `u128`: long simulations can accumulate more than
+    /// `u64::MAX` nanoseconds of samples, and the old `SimDuration`
+    /// return silently saturated there.
+    pub fn total(&self) -> u128 {
+        self.samples.iter().map(|s| *s as u128).sum()
+    }
+
+    /// The sum as a `SimDuration`, or `None` if it overflows one.
+    pub fn checked_total(&self) -> Option<SimDuration> {
+        u64::try_from(self.total())
+            .ok()
+            .map(SimDuration::from_nanos)
     }
 
     /// Largest sample, or zero if empty.
@@ -68,16 +78,31 @@ impl Histogram {
     /// Exact percentile (`q` in `[0, 100]`) by nearest-rank, or zero if
     /// empty.
     pub fn percentile(&mut self, q: f64) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
         if !self.sorted {
             self.samples.sort_unstable();
             self.sorted = true;
         }
+        Self::percentile_of_sorted(&self.samples, q)
+    }
+
+    /// Percentile without requiring `&mut self`; sorts a copy when the
+    /// samples are not already sorted (used by `Display`).
+    pub fn percentile_ref(&self, q: f64) -> SimDuration {
+        if self.sorted {
+            return Self::percentile_of_sorted(&self.samples, q);
+        }
+        let mut copy = self.samples.clone();
+        copy.sort_unstable();
+        Self::percentile_of_sorted(&copy, q)
+    }
+
+    fn percentile_of_sorted(sorted: &[u64], q: f64) -> SimDuration {
+        if sorted.is_empty() {
+            return SimDuration::ZERO;
+        }
         let q = q.clamp(0.0, 100.0);
-        let rank = ((q / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
-        SimDuration::from_nanos(self.samples[rank])
+        let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        SimDuration::from_nanos(sorted[rank])
     }
 
     /// Median sample.
@@ -91,11 +116,113 @@ impl Histogram {
     }
 }
 
-/// A named collection of counters and histograms.
+/// A windowed time-series gauge over `SimTime` buckets.
+///
+/// Samples recorded at a virtual time land in `floor(t / bucket)`; each
+/// bucket keeps the sum and count, so readers get the bucket mean. Used
+/// for quantities that vary over a run (device utilization, queue depth)
+/// where one whole-job histogram would hide the shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    points: BTreeMap<u64, (f64, u64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(bucket > SimDuration::ZERO, "zero-width gauge bucket");
+        TimeSeries {
+            bucket,
+            points: BTreeMap::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Records one sample at virtual time `t`.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let idx = t.as_nanos() / self.bucket.as_nanos();
+        let slot = self.points.entry(idx).or_insert((0.0, 0));
+        slot.0 += value;
+        slot.1 += 1;
+    }
+
+    /// Number of non-empty buckets.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates `(bucket_start, mean)` in time order.
+    pub fn means(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().map(|(idx, (sum, n))| {
+            (
+                SimTime::from_nanos(idx * self.bucket.as_nanos()),
+                sum / (*n).max(1) as f64,
+            )
+        })
+    }
+
+    /// Mean over every recorded sample, or zero if empty.
+    pub fn overall_mean(&self) -> f64 {
+        let (sum, n) = self
+            .points
+            .values()
+            .fold((0.0, 0u64), |(s, c), (ps, pc)| (s + ps, c + pc));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Renders a label set as a canonical `{k=v,k2=v2}` suffix. Labels are
+/// sorted by key so the same set always produces the same metric key.
+fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort();
+    let mut key = String::with_capacity(name.len() + 16);
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key.push('}');
+    key
+}
+
+/// A named collection of counters, histograms, and windowed gauges.
+///
+/// Counters and histograms may carry **labels** (per-tier, per-node,
+/// per-backend, ...): a labeled series is stored under the canonical key
+/// `name{k=v,...}`, so it sorts next to its base name in listings and
+/// merges across sinks like any other series.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, TimeSeries>,
 }
 
 impl Metrics {
@@ -137,12 +264,80 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Adds `delta` to a labeled counter.
+    pub fn add_labeled(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(labeled_key(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Increments a labeled counter by one.
+    pub fn bump_labeled(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.add_labeled(name, labels, 1);
+    }
+
+    /// Reads a labeled counter (zero if never touched).
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&labeled_key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sums a counter across every label combination (`name` and all
+    /// `name{...}` series).
+    pub fn counter_across_labels(&self, name: &str) -> u64 {
+        let prefix = format!("{name}{{");
+        self.counters
+            .iter()
+            .filter(|(k, _)| *k == name || k.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Records a duration sample into a labeled histogram.
+    pub fn observe_labeled(&mut self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        self.histograms
+            .entry(labeled_key(name, labels))
+            .or_default()
+            .record(d);
+    }
+
+    /// Read access to a labeled histogram, if it exists.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&labeled_key(name, labels))
+    }
+
+    /// Records a gauge sample at virtual time `t`; the series is created
+    /// with `bucket` width on first use (later `bucket` values are
+    /// ignored for an existing series).
+    pub fn gauge_record(&mut self, name: &str, bucket: SimDuration, t: SimTime, value: f64) {
+        self.gauges
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(bucket))
+            .record(t, value);
+    }
+
+    /// Read access to a gauge series, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<&TimeSeries> {
+        self.gauges.get(name)
+    }
+
     /// All counter names, sorted.
     pub fn counter_names(&self) -> Vec<&str> {
         self.counters.keys().map(String::as_str).collect()
     }
 
-    /// Merges another sink into this one (counters add, samples append).
+    /// All histogram names, sorted.
+    pub fn histogram_names(&self) -> Vec<&str> {
+        self.histograms.keys().map(String::as_str).collect()
+    }
+
+    /// All gauge names, sorted.
+    pub fn gauge_names(&self) -> Vec<&str> {
+        self.gauges.keys().map(String::as_str).collect()
+    }
+
+    /// Merges another sink into this one (counters add, samples append,
+    /// gauge buckets combine).
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -151,6 +346,17 @@ impl Metrics {
             let mine = self.histograms.entry(k.clone()).or_default();
             mine.samples.extend_from_slice(&h.samples);
             mine.sorted = false;
+        }
+        for (k, g) in &other.gauges {
+            let mine = self
+                .gauges
+                .entry(k.clone())
+                .or_insert_with(|| TimeSeries::new(g.bucket));
+            for (idx, (sum, n)) in &g.points {
+                let slot = mine.points.entry(*idx).or_insert((0.0, 0));
+                slot.0 += sum;
+                slot.1 += n;
+            }
         }
     }
 }
@@ -161,7 +367,24 @@ impl fmt::Display for Metrics {
             writeln!(f, "{k}: {v}")?;
         }
         for (k, h) in &self.histograms {
-            writeln!(f, "{k}: n={} mean={} max={}", h.count(), h.mean(), h.max())?;
+            writeln!(
+                f,
+                "{k}: n={} mean={} p50={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.percentile_ref(50.0),
+                h.percentile_ref(99.0),
+                h.max()
+            )?;
+        }
+        for (k, g) in &self.gauges {
+            writeln!(
+                f,
+                "{k}: buckets={} bucket_width={} mean={:.3}",
+                g.len(),
+                g.bucket(),
+                g.overall_mean()
+            )?;
         }
         Ok(())
     }
@@ -191,7 +414,26 @@ mod tests {
         assert_eq!(h.min().as_micros(), 1);
         assert_eq!(h.max().as_micros(), 100);
         assert_eq!(h.p50().as_micros(), 3);
-        assert_eq!(h.total().as_micros(), 110);
+        assert_eq!(h.total(), SimDuration::from_micros(110).as_nanos() as u128);
+        assert_eq!(h.checked_total(), Some(SimDuration::from_micros(110)));
+    }
+
+    #[test]
+    fn total_does_not_saturate_past_u64() {
+        // Regression: the old implementation clamped the sum to
+        // u64::MAX nanoseconds, silently corrupting long-run totals.
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.record(SimDuration::from_nanos(u64::MAX / 2));
+        }
+        let expected = (u64::MAX / 2) as u128 * 4;
+        assert!(expected > u64::MAX as u128);
+        assert_eq!(h.total(), expected);
+        assert_eq!(h.checked_total(), None);
+        // Small totals still fit.
+        let mut small = Histogram::new();
+        small.record(SimDuration::from_nanos(7));
+        assert_eq!(small.checked_total(), Some(SimDuration::from_nanos(7)));
     }
 
     #[test]
@@ -243,5 +485,81 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("c: 7"));
         assert!(s.contains("h: n=1"));
+    }
+
+    #[test]
+    fn display_includes_percentiles() {
+        let mut m = Metrics::new();
+        for us in 1..=100u64 {
+            m.observe("lat", SimDuration::from_micros(us));
+        }
+        let s = m.to_string();
+        assert!(s.contains("p50=51.000us"), "missing p50 in {s:?}");
+        assert!(s.contains("p99=99.000us"), "missing p99 in {s:?}");
+    }
+
+    #[test]
+    fn histogram_names_listed() {
+        let mut m = Metrics::new();
+        m.observe("b", SimDuration::from_micros(1));
+        m.observe("a", SimDuration::from_micros(1));
+        m.bump("c");
+        assert_eq!(m.histogram_names(), vec!["a", "b"]);
+        assert_eq!(m.counter_names(), vec!["c"]);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series() {
+        let mut m = Metrics::new();
+        m.bump_labeled("tier.hit", &[("tier", "hbm")]);
+        m.add_labeled("tier.hit", &[("tier", "pooled")], 2);
+        m.bump_labeled("tier.hit", &[("tier", "hbm")]);
+        assert_eq!(m.counter_labeled("tier.hit", &[("tier", "hbm")]), 2);
+        assert_eq!(m.counter_labeled("tier.hit", &[("tier", "pooled")]), 2);
+        assert_eq!(m.counter_labeled("tier.hit", &[("tier", "local")]), 0);
+        assert_eq!(m.counter_across_labels("tier.hit"), 4);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut m = Metrics::new();
+        m.bump_labeled("x", &[("b", "2"), ("a", "1")]);
+        m.bump_labeled("x", &[("a", "1"), ("b", "2")]);
+        assert_eq!(m.counter_labeled("x", &[("a", "1"), ("b", "2")]), 2);
+        assert_eq!(m.counter_names(), vec!["x{a=1,b=2}"]);
+    }
+
+    #[test]
+    fn labeled_histograms_record() {
+        let mut m = Metrics::new();
+        m.observe_labeled("stall", &[("node", "3")], SimDuration::from_micros(4));
+        let h = m.histogram_labeled("stall", &[("node", "3")]).unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(m.histogram_labeled("stall", &[("node", "4")]).is_none());
+    }
+
+    #[test]
+    fn gauge_buckets_by_time() {
+        let mut m = Metrics::new();
+        let bucket = SimDuration::from_millis(1);
+        m.gauge_record("util", bucket, SimTime::from_micros(100), 0.5);
+        m.gauge_record("util", bucket, SimTime::from_micros(200), 1.0);
+        m.gauge_record("util", bucket, SimTime::from_micros(1500), 0.0);
+        let g = m.gauge("util").unwrap();
+        assert_eq!(g.len(), 2);
+        let means: Vec<(u64, f64)> = g.means().map(|(t, v)| (t.as_millis(), v)).collect();
+        assert_eq!(means, vec![(0, 0.75), (1, 0.0)]);
+        assert!((g.overall_mean() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_gauges() {
+        let bucket = SimDuration::from_millis(1);
+        let mut a = Metrics::new();
+        a.gauge_record("g", bucket, SimTime::from_micros(10), 1.0);
+        let mut b = Metrics::new();
+        b.gauge_record("g", bucket, SimTime::from_micros(20), 3.0);
+        a.merge(&b);
+        assert!((a.gauge("g").unwrap().overall_mean() - 2.0).abs() < 1e-9);
     }
 }

@@ -14,6 +14,7 @@
 //! them directly.
 
 use skadi_dcsim::network::Network;
+use skadi_dcsim::span::{Category, SpanId, Tracer};
 use skadi_dcsim::time::{SimDuration, SimTime};
 use skadi_dcsim::topology::NodeId;
 
@@ -135,7 +136,41 @@ fn data_msg(
     t.arrival + route.endpoint_overhead(net, to)
 }
 
-/// Prices a pull-based resolution (Ray's ownership protocol):
+/// Where resolution spans hang in the caller's span tree.
+///
+/// Consumer-side spans (the round trip and its steps) nest under
+/// `parent` — typically the consuming task's umbrella span, whose
+/// interval starts no later than `consumer_ready`. Producer-side spans
+/// that can predate the consumer's window (the asynchronous ownership
+/// update, an early push) nest under `root` — typically the job root,
+/// which covers the whole run. With a disabled tracer both ids are the
+/// sentinel and nothing is recorded.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveSpanCtx<'a> {
+    /// Consumer-side parent span (task umbrella).
+    pub parent: SpanId,
+    /// Fallback parent for spans starting before `consumer_ready`.
+    pub root: SpanId,
+    /// Component (track) name for the consumer-side round trip.
+    pub component: &'a str,
+    /// Label of the input being resolved (producer task name).
+    pub input: &'a str,
+}
+
+impl ResolveSpanCtx<'_> {
+    /// A context for untraced callers.
+    pub fn detached() -> ResolveSpanCtx<'static> {
+        ResolveSpanCtx {
+            parent: SpanId::NONE,
+            root: SpanId::NONE,
+            component: "",
+            input: "",
+        }
+    }
+}
+
+/// Prices a pull-based resolution (Ray's ownership protocol), recording
+/// one span per protocol state transition into `tracer`:
 ///
 /// 1. producer -> owner: "value ready at my store" (table update);
 /// 2. consumer -> owner: "where is the value?" (at `consumer_ready`);
@@ -143,61 +178,197 @@ fn data_msg(
 ///    arrives early — this wait is the pull stall the paper calls out);
 /// 4. consumer -> producer: fetch request;
 /// 5. producer -> consumer: bulk data.
-pub fn resolve_pull(net: &mut Network, s: &ResolveScenario, route: &RoutePolicy) -> ResolveOutcome {
+pub fn resolve_pull_traced(
+    net: &mut Network,
+    s: &ResolveScenario,
+    route: &RoutePolicy,
+    tracer: &mut Tracer,
+    ctx: &ResolveSpanCtx,
+) -> ResolveOutcome {
     // Step 1: the owner learns of readiness only after this arrives.
     let owner_knows = control_msg(net, s.value_ready, s.producer, s.owner, route);
+    // The consumer-side round trip starts when the consumer asks.
+    let rt = tracer.open(
+        "resolve.pull",
+        ctx.component,
+        Category::Resolve,
+        Some(ctx.parent),
+        s.consumer_ready,
+    );
+    tracer.span(
+        "resolve.update",
+        "net",
+        Category::Control,
+        Some(ctx.root),
+        s.value_ready,
+        owner_knows,
+        &[("input", ctx.input), ("step", "producer->owner")],
+    );
     // Step 2: consumer asks.
     let ask_arrives = control_msg(net, s.consumer_ready, s.consumer, s.owner, route);
+    tracer.span(
+        "resolve.ask",
+        "net",
+        Category::Control,
+        Some(rt),
+        s.consumer_ready,
+        ask_arrives,
+        &[("input", ctx.input), ("step", "consumer->owner")],
+    );
     // Step 3: owner replies once it both has the ask and knows the value.
     let reply_departs = ask_arrives.max(owner_knows);
     let reply_arrives = control_msg(net, reply_departs, s.owner, s.consumer, route);
+    tracer.span(
+        "resolve.reply",
+        "net",
+        Category::Control,
+        Some(rt),
+        reply_departs,
+        reply_arrives,
+        &[("input", ctx.input), ("step", "owner->consumer")],
+    );
     // Step 4: fetch request to the holder.
     let fetch_arrives = control_msg(net, reply_arrives, s.consumer, s.producer, route);
+    tracer.span(
+        "resolve.fetch",
+        "net",
+        Category::Control,
+        Some(rt),
+        reply_arrives,
+        fetch_arrives,
+        &[("input", ctx.input), ("step", "consumer->producer")],
+    );
     // Step 5: bulk data.
     let input_available = data_msg(net, fetch_arrives, s.producer, s.consumer, s.bytes, route);
+    tracer.span(
+        "resolve.data",
+        "net",
+        Category::Data,
+        Some(rt),
+        fetch_arrives,
+        input_available,
+        &[("input", ctx.input), ("bytes", &s.bytes.to_string())],
+    );
 
     let intrinsic = s.value_ready.max(s.consumer_ready);
+    let stall = input_available.saturating_since(intrinsic);
+    tracer.close(rt, input_available);
+    tracer.attr(rt, "input", ctx.input);
+    tracer.attr(rt, "stall", &stall.to_string());
     ResolveOutcome {
         input_available,
-        stall: input_available.saturating_since(intrinsic),
+        stall,
         control_msgs: 4,
         data_bytes: s.bytes,
     }
 }
 
-/// Prices a push-based resolution (Skadi's addition):
+/// Prices a push-based resolution (Skadi's addition), recording spans
+/// for the proactive data send and the off-path table update:
 ///
 /// 1. producer -> consumer: bulk data, sent proactively at `value_ready`
 ///    (the producer knows the consumer from the physical graph);
 /// 2. producer -> owner: asynchronous table update, off the critical
 ///    path (still counted as a control message).
-pub fn resolve_push(net: &mut Network, s: &ResolveScenario, route: &RoutePolicy) -> ResolveOutcome {
-    let input_available = data_msg(net, s.value_ready, s.producer, s.consumer, s.bytes, route);
+pub fn resolve_push_traced(
+    net: &mut Network,
+    s: &ResolveScenario,
+    route: &RoutePolicy,
+    tracer: &mut Tracer,
+    ctx: &ResolveSpanCtx,
+) -> ResolveOutcome {
+    let rt = tracer.open(
+        "resolve.push",
+        ctx.component,
+        Category::Resolve,
+        Some(ctx.parent),
+        s.consumer_ready,
+    );
+    let data_arrives = data_msg(net, s.value_ready, s.producer, s.consumer, s.bytes, route);
+    // An early push predates the consumer's window; hang it off the root.
+    let data_parent = if s.value_ready >= s.consumer_ready {
+        rt
+    } else {
+        ctx.root
+    };
+    tracer.span(
+        "resolve.data",
+        "net",
+        Category::Data,
+        Some(data_parent),
+        s.value_ready,
+        data_arrives,
+        &[("input", ctx.input), ("bytes", &s.bytes.to_string())],
+    );
     // Off-critical-path ownership update.
-    let _ = control_msg(net, s.value_ready, s.producer, s.owner, route);
+    let update_arrives = control_msg(net, s.value_ready, s.producer, s.owner, route);
+    tracer.span(
+        "resolve.update",
+        "net",
+        Category::Control,
+        Some(ctx.root),
+        s.value_ready,
+        update_arrives,
+        &[("input", ctx.input), ("step", "producer->owner")],
+    );
 
     let intrinsic = s.value_ready.max(s.consumer_ready);
+    // The consumer can only start once it is itself ready.
+    let input_available = data_arrives.max(s.consumer_ready);
+    let stall = input_available.saturating_since(intrinsic);
+    tracer.close(rt, input_available);
+    tracer.attr(rt, "input", ctx.input);
+    tracer.attr(rt, "stall", &stall.to_string());
     ResolveOutcome {
-        // The consumer can only start once it is itself ready.
-        input_available: input_available.max(s.consumer_ready),
-        stall: input_available
-            .max(s.consumer_ready)
-            .saturating_since(intrinsic),
+        input_available,
+        stall,
         control_msgs: 1,
         data_bytes: s.bytes,
     }
 }
 
-/// Dispatches on the mode.
+/// Pull pricing without tracing.
+pub fn resolve_pull(net: &mut Network, s: &ResolveScenario, route: &RoutePolicy) -> ResolveOutcome {
+    let mut tracer = Tracer::new(false);
+    resolve_pull_traced(net, s, route, &mut tracer, &ResolveSpanCtx::detached())
+}
+
+/// Push pricing without tracing.
+pub fn resolve_push(net: &mut Network, s: &ResolveScenario, route: &RoutePolicy) -> ResolveOutcome {
+    let mut tracer = Tracer::new(false);
+    resolve_push_traced(net, s, route, &mut tracer, &ResolveSpanCtx::detached())
+}
+
+/// Dispatches on the mode, without tracing.
 pub fn resolve(
     mode: ResolutionMode,
     net: &mut Network,
     s: &ResolveScenario,
     route: &RoutePolicy,
 ) -> ResolveOutcome {
+    let mut tracer = Tracer::new(false);
+    resolve_traced(
+        mode,
+        net,
+        s,
+        route,
+        &mut tracer,
+        &ResolveSpanCtx::detached(),
+    )
+}
+
+/// Dispatches on the mode, recording protocol spans into `tracer`.
+pub fn resolve_traced(
+    mode: ResolutionMode,
+    net: &mut Network,
+    s: &ResolveScenario,
+    route: &RoutePolicy,
+    tracer: &mut Tracer,
+    ctx: &ResolveSpanCtx,
+) -> ResolveOutcome {
     match mode {
-        ResolutionMode::Pull => resolve_pull(net, s, route),
-        ResolutionMode::Push => resolve_push(net, s, route),
+        ResolutionMode::Pull => resolve_pull_traced(net, s, route, tracer, ctx),
+        ResolutionMode::Push => resolve_push_traced(net, s, route, tracer, ctx),
     }
 }
 
@@ -312,6 +483,112 @@ mod tests {
             RoutePolicy::GEN2.endpoint_overhead(&net, dev)
                 < RoutePolicy::GEN1.endpoint_overhead(&net, dev)
         );
+    }
+
+    #[test]
+    fn traced_pull_records_protocol_steps() {
+        let (topo, mut net) = setup();
+        let s = scenario(&topo, 4 << 10);
+        let mut tracer = Tracer::new(true);
+        let root = tracer.open(
+            "job",
+            "driver",
+            Category::Job,
+            None,
+            skadi_dcsim::time::SimTime::ZERO,
+        );
+        let task = tracer.open(
+            "task",
+            "n",
+            Category::Task,
+            Some(root),
+            SimTime::from_micros(50),
+        );
+        let ctx = ResolveSpanCtx {
+            parent: task,
+            root,
+            component: "n",
+            input: "x",
+        };
+        let out = resolve_pull_traced(&mut net, &s, &RoutePolicy::GEN1, &mut tracer, &ctx);
+        tracer.close(task, out.input_available);
+        let end = tracer.latest_end();
+        tracer.close(root, end);
+        let trace = tracer.finish();
+        trace.validate().expect("well-formed trace");
+        // 4 control messages: update, ask, reply, fetch.
+        assert_eq!(trace.count_category(Category::Control), 4);
+        assert_eq!(trace.count_category(Category::Data), 1);
+        assert_eq!(trace.count_category(Category::Resolve), 1);
+        let rt = trace
+            .spans()
+            .iter()
+            .find(|sp| sp.name == "resolve.pull")
+            .unwrap();
+        assert_eq!(rt.attr("input"), Some("x"));
+        assert_eq!(rt.end, out.input_available);
+    }
+
+    #[test]
+    fn traced_push_records_single_control_msg() {
+        let (topo, mut net) = setup();
+        let mut s = scenario(&topo, 4 << 10);
+        // Early push: value ready before the consumer exists.
+        s.value_ready = SimTime::from_micros(10);
+        s.consumer_ready = SimTime::from_micros(200);
+        let mut tracer = Tracer::new(true);
+        let root = tracer.open(
+            "job",
+            "driver",
+            Category::Job,
+            None,
+            skadi_dcsim::time::SimTime::ZERO,
+        );
+        let task = tracer.open(
+            "task",
+            "n",
+            Category::Task,
+            Some(root),
+            SimTime::from_micros(150),
+        );
+        let ctx = ResolveSpanCtx {
+            parent: task,
+            root,
+            component: "n",
+            input: "y",
+        };
+        let out = resolve_push_traced(&mut net, &s, &RoutePolicy::GEN2, &mut tracer, &ctx);
+        tracer.close(task, out.input_available.max(SimTime::from_micros(150)));
+        let end = tracer.latest_end();
+        tracer.close(root, end);
+        let trace = tracer.finish();
+        trace.validate().expect("well-formed trace");
+        assert_eq!(trace.count_category(Category::Control), 1);
+        assert_eq!(trace.count_category(Category::Data), 1);
+    }
+
+    #[test]
+    fn untraced_and_traced_price_identically() {
+        let (topo, _) = setup();
+        let s = scenario(&topo, 64 << 10);
+        for (mode, route) in [
+            (ResolutionMode::Pull, RoutePolicy::GEN1),
+            (ResolutionMode::Push, RoutePolicy::GEN2),
+        ] {
+            let mut n1 = Network::new(&topo, LinkParams::default());
+            let mut n2 = Network::new(&topo, LinkParams::default());
+            let plain = resolve(mode, &mut n1, &s, &route);
+            let mut tracer = Tracer::new(true);
+            let ctx = ResolveSpanCtx {
+                parent: SpanId::NONE,
+                root: SpanId::NONE,
+                component: "n",
+                input: "z",
+            };
+            let traced = resolve_traced(mode, &mut n2, &s, &route, &mut tracer, &ctx);
+            assert_eq!(plain, traced, "tracing must not change pricing");
+            assert!(!tracer.is_empty());
+        }
     }
 
     #[test]

@@ -34,11 +34,12 @@ use skadi_dcsim::engine::EventQueue;
 use skadi_dcsim::network::{LinkParams, Network};
 use skadi_dcsim::resources::NodeResources;
 use skadi_dcsim::rng::DetRng;
+use skadi_dcsim::span::{Category, SpanId, Tracer};
 use skadi_dcsim::time::{SimDuration, SimTime};
 use skadi_dcsim::topology::{AccelKind, NodeClass, NodeId, NodeKind, Topology};
 use skadi_dcsim::trace::Metrics;
 use skadi_ir::Backend;
-use skadi_ownership::resolve::{resolve, ResolveScenario};
+use skadi_ownership::resolve::{resolve_traced, ResolveScenario, ResolveSpanCtx};
 use skadi_ownership::table::{DeviceHandle, DeviceSlot, OwnershipTable};
 use skadi_store::ec::EcConfig;
 use skadi_store::object::{ObjectId, ObjectIdGen};
@@ -116,6 +117,10 @@ pub struct Cluster {
     gangs: GangTracker,
     lineage: LineageLog,
     metrics: Metrics,
+    tracer: Tracer,
+    job_root: SpanId,
+    task_span: HashMap<TaskId, SpanId>,
+    input_ready_at: HashMap<TaskId, SimTime>,
     failed_nodes: HashSet<NodeId>,
     node_load: HashMap<NodeId, u32>,
     scheduler_node: NodeId,
@@ -181,6 +186,10 @@ impl Cluster {
             gangs: GangTracker::new(),
             lineage: LineageLog::new(),
             metrics: Metrics::new(),
+            tracer: Tracer::new(cfg.tracing),
+            job_root: SpanId::NONE,
+            task_span: HashMap::new(),
+            input_ready_at: HashMap::new(),
             failed_nodes: HashSet::new(),
             node_load: HashMap::new(),
             scheduler_node,
@@ -350,6 +359,12 @@ impl Cluster {
         } else {
             (busy_us / (total_slots * makespan.as_micros_f64())).clamp(0.0, 1.0)
         };
+        // Fold the caching layer's tier counters into the job's sink and
+        // seal the trace: the job root covers every recorded span.
+        self.metrics.merge(&self.cache.take_metrics());
+        self.tracer.close(self.job_root, self.tracer.latest_end());
+        self.job_root = SpanId::NONE;
+        let trace = std::mem::replace(&mut self.tracer, Tracer::new(self.cfg.tracing)).finish();
         Ok(JobStats {
             makespan,
             finished: self.finished,
@@ -364,6 +379,7 @@ impl Cluster {
             spills: self.cache.spill_stats().0,
             spill_bytes: self.cache.spill_stats().1,
             metrics: std::mem::take(&mut self.metrics),
+            trace,
         })
     }
 
@@ -376,6 +392,13 @@ impl Cluster {
         self.tasks.clear();
         self.consumers.clear();
         self.epochs.clear();
+        self.task_span.clear();
+        self.input_ready_at.clear();
+        self.tracer = Tracer::new(self.cfg.tracing);
+        self.job_root = self
+            .tracer
+            .open("job", "job", Category::Job, None, SimTime::ZERO);
+        self.tracer.attr(self.job_root, "name", &job.name);
         self.build_system_pools(job);
         for spec in job.tasks.values() {
             self.lineage.record(spec.clone());
@@ -449,6 +472,62 @@ impl Cluster {
 
     fn epoch(&self, t: TaskId) -> u32 {
         self.epochs.get(&t).copied().unwrap_or(0)
+    }
+
+    // ---- tracing ---------------------------------------------------------
+
+    /// The task's umbrella span, opened on first use. Carries the `task`
+    /// and `deps` attributes the critical-path walker keys on.
+    fn ensure_task_span(&mut self, now: SimTime, t: TaskId) -> SpanId {
+        if !self.tracer.enabled() {
+            return SpanId::NONE;
+        }
+        if let Some(&s) = self.task_span.get(&t) {
+            return s;
+        }
+        let spec = &self.tasks[&t].spec;
+        let name = spec.op.clone();
+        let task = format!("t{}", t.0);
+        let deps: Vec<String> = spec.inputs.keys().map(|p| format!("t{}", p.0)).collect();
+        let deps = deps.join(",");
+        let backend = format!("{:?}", spec.backend);
+        let attempt = self.epoch(t).to_string();
+        let s = self.tracer.span(
+            &name,
+            "tasks",
+            Category::Task,
+            Some(self.job_root),
+            now,
+            now,
+            &[
+                ("task", &task),
+                ("deps", &deps),
+                ("backend", &backend),
+                ("attempt", &attempt),
+            ],
+        );
+        self.task_span.insert(t, s);
+        s
+    }
+
+    /// Device-pool utilization sample: busy accel devices over all accel
+    /// devices, recorded into a 1 ms-bucketed gauge at task start/finish
+    /// edges (the only instants it can change).
+    fn record_device_gauge(&mut self, now: SimTime) {
+        let devices = self.topo.accel_devices(None);
+        if devices.is_empty() {
+            return;
+        }
+        let busy = devices
+            .iter()
+            .filter(|d| self.node_load.get(d).copied().unwrap_or(0) > 0)
+            .count();
+        self.metrics.gauge_record(
+            "device.util",
+            SimDuration::from_millis(1),
+            now,
+            busy as f64 / devices.len() as f64,
+        );
     }
 
     fn handle(&mut self, now: SimTime, ev: Event, queue: &mut EventQueue<Event>) {
@@ -542,6 +621,7 @@ impl Cluster {
             rec.state = TaskState::Ready;
             rec.ready_at = Some(now);
         }
+        self.ensure_task_span(now, t);
         // Gang gating: hold members until the whole gang is ready.
         let gang = self.tasks[&t].spec.gang;
         if self.cfg.gang_scheduling {
@@ -628,6 +708,43 @@ impl Cluster {
             Some(at) => arrive.max(*at),
             None => arrive,
         };
+        if self.tracer.enabled() {
+            let parent = self.ensure_task_span(now, t);
+            let chosen = format!("node{}", node.0);
+            let candidates = eligible.len().to_string();
+            let considered: Vec<String> = eligible
+                .iter()
+                .take(8)
+                .map(|n| format!("node{}", n.0))
+                .collect();
+            let considered = considered.join(",");
+            let policy = format!("{:?}", self.cfg.placement);
+            self.tracer.span(
+                "place",
+                "scheduler",
+                Category::Placement,
+                Some(parent),
+                now,
+                now,
+                &[
+                    ("chosen", &chosen),
+                    ("candidates", &candidates),
+                    ("considered", &considered),
+                    ("policy", &policy),
+                    ("fallback", if fallback { "true" } else { "false" }),
+                ],
+            );
+            self.tracer.span(
+                "dispatch",
+                "net",
+                Category::Dispatch,
+                Some(parent),
+                now,
+                arrive,
+                &[("to", &chosen)],
+            );
+            self.tracer.cover(parent, arrive);
+        }
         let e = self.epoch(t);
         queue.schedule_at(arrive, Event::Arrive(t, e));
     }
@@ -680,8 +797,12 @@ impl Cluster {
         }
 
         let route = self.cfg.generation.route_policy();
+        let umbrella = self.task_span.get(&t).copied().unwrap_or(SpanId::NONE);
+        let comp = format!("node{}", node.0);
         let mut available = now;
         for (p, bytes) in inputs {
+            let input = format!("t{}", p.0);
+            let bytes_s = bytes.to_string();
             let t_in = if self.via_durable(p, t) {
                 // Durable read: first-byte latency + stream.
                 let write_done = self.durable_ready[&p];
@@ -692,6 +813,16 @@ impl Cluster {
                 let tr = self.net.transfer(now.max(write_done), durable, node, bytes);
                 self.durable_trips += 1;
                 self.metrics.bump("durable_reads");
+                self.tracer.span(
+                    "durable.read",
+                    "net",
+                    Category::Data,
+                    Some(umbrella),
+                    now.max(write_done),
+                    tr.arrival,
+                    &[("input", &input), ("bytes", &bytes_s)],
+                );
+                self.tracer.cover(umbrella, tr.arrival);
                 tr.arrival
             } else if bytes <= self.cfg.pass_by_value_max && !self.ec_placements.contains_key(&p) {
                 // Pass-by-value: the bytes rode inline in the dispatch
@@ -711,7 +842,20 @@ impl Cluster {
                     last = last.max(tr.arrival);
                 }
                 // Decode at ~10 GiB/s.
-                last + SimDuration::from_secs_f64(ec.size as f64 / (10.0 * (1u64 << 30) as f64))
+                let done = last
+                    + SimDuration::from_secs_f64(ec.size as f64 / (10.0 * (1u64 << 30) as f64));
+                let shards = k.to_string();
+                self.tracer.span(
+                    "ec.fetch",
+                    "net",
+                    Category::Data,
+                    Some(umbrella),
+                    now,
+                    done,
+                    &[("input", &input), ("bytes", &bytes_s), ("shards", &shards)],
+                );
+                self.tracer.cover(umbrella, done);
+                done
             } else {
                 // The caching layer tells us where the best copy is.
                 let obj = self.object_of[&p];
@@ -719,6 +863,20 @@ impl Cluster {
                     .cache
                     .get(obj, node, now)
                     .expect("availability checked above");
+                self.tracer.span(
+                    "tier.get",
+                    "store",
+                    Category::TierAccess,
+                    Some(umbrella),
+                    now,
+                    now + loc.tier.access_latency(),
+                    &[
+                        ("input", &input),
+                        ("tier", loc.tier.label()),
+                        ("local", if loc.local { "true" } else { "false" }),
+                    ],
+                );
+                self.tracer.cover(umbrella, now + loc.tier.access_latency());
                 let producer_node = loc.node;
                 let owner = self.own.owner_of(obj).unwrap_or(self.scheduler_node);
                 let scenario = ResolveScenario {
@@ -729,7 +887,21 @@ impl Cluster {
                     value_ready: self.value_ready.get(&p).copied().unwrap_or(now),
                     consumer_ready: now,
                 };
-                let out = resolve(self.cfg.resolution, &mut self.net, &scenario, &route);
+                let ctx = ResolveSpanCtx {
+                    parent: umbrella,
+                    root: self.job_root,
+                    component: &comp,
+                    input: &input,
+                };
+                let out = resolve_traced(
+                    self.cfg.resolution,
+                    &mut self.net,
+                    &scenario,
+                    &route,
+                    &mut self.tracer,
+                    &ctx,
+                );
+                self.tracer.cover(umbrella, out.input_available);
                 self.stall_total += out.stall;
                 self.metrics.observe("stall", out.stall);
                 // The fetched bytes now also live in the consumer's local
@@ -748,10 +920,22 @@ impl Cluster {
 
         // Serverless cold start.
         if self.cfg.deployment == Deployment::StatelessServerless {
-            available += self.cfg.cold_start;
+            let warm = available + self.cfg.cold_start;
+            self.tracer.span(
+                "coldstart",
+                &comp,
+                Category::ColdStart,
+                Some(umbrella),
+                available,
+                warm,
+                &[],
+            );
+            self.tracer.cover(umbrella, warm);
+            available = warm;
             self.metrics.bump("cold_starts");
         }
 
+        self.input_ready_at.insert(t, available);
         let e = self.epoch(t);
         queue.schedule_at(available, Event::TryStart(t, e));
     }
@@ -775,6 +959,19 @@ impl Cluster {
             return;
         }
         self.metrics.bump("lineage_recoveries");
+        if self.tracer.enabled() {
+            let task = format!("t{}", consumer.0);
+            let lost = missing.len().to_string();
+            self.tracer.span(
+                "recovery",
+                "own",
+                Category::Recovery,
+                Some(self.job_root),
+                now,
+                now,
+                &[("task", &task), ("missing", &lost)],
+            );
+        }
         let _ = missing; // Re-derived inside reset_task.
                          // Reset the consumer: it re-blocks on the missing producers, and
                          // reset_task re-drives those producers transitively (the same
@@ -789,6 +986,12 @@ impl Cluster {
         let e = self.epochs.entry(t).or_insert(0);
         *e += 1;
         let epoch = *e;
+        // Seal the aborted attempt's span; the retry opens a fresh one.
+        if let Some(s) = self.task_span.remove(&t) {
+            self.tracer.attr(s, "aborted", "true");
+            self.tracer.close(s, now);
+        }
+        self.input_ready_at.remove(&t);
         // Drop stale output bookkeeping.
         if let Some(obj) = self.object_of.remove(&t) {
             let _ = self.cache.delete(obj);
@@ -898,6 +1101,31 @@ impl Cluster {
             if let Some(r) = rec.ready_at {
                 self.metrics.observe("task.wait", now.saturating_since(r));
             }
+            if self.tracer.enabled() {
+                let umbrella = self.task_span.get(&t).copied().unwrap_or(SpanId::NONE);
+                let comp = format!("node{}", node.0);
+                let inputs_ready = self.input_ready_at.get(&t).copied().unwrap_or(now).min(now);
+                self.tracer.span(
+                    "wait",
+                    &comp,
+                    Category::Wait,
+                    Some(umbrella),
+                    inputs_ready,
+                    now,
+                    &[],
+                );
+                self.tracer.span(
+                    "run",
+                    &comp,
+                    Category::Run,
+                    Some(umbrella),
+                    now,
+                    now + dur,
+                    &[],
+                );
+                self.tracer.cover(umbrella, now + dur);
+            }
+            self.record_device_gauge(now);
             let e = self.epoch(t);
             queue.schedule_at(now + dur, Event::Finish(t, e));
         } else {
@@ -943,10 +1171,24 @@ impl Cluster {
             self.serverless_task_cost += dur.as_secs_f64() * node_rate(&self.topo, node) + 0.0001;
         }
 
+        self.record_device_gauge(now);
         self.store_output(now, t, node, out_bytes, backend);
 
         // Notify the scheduler (owner) and wake consumers.
         let notify = self.net.control(now, node, self.scheduler_node);
+        if self.tracer.enabled() {
+            let umbrella = self.task_span.get(&t).copied().unwrap_or(SpanId::NONE);
+            self.tracer.span(
+                "notify",
+                "net",
+                Category::Control,
+                Some(umbrella),
+                now,
+                notify,
+                &[],
+            );
+            self.tracer.cover(umbrella, notify);
+        }
         let consumers: Vec<TaskId> = self.consumers.get(&t).cloned().unwrap_or_default();
         for c in consumers {
             let rec = self.tasks.get_mut(&c).expect("known consumer");
@@ -988,6 +1230,19 @@ impl Cluster {
             let tr = self.net.transfer(now, node, durable, bytes);
             self.durable_trips += 1;
             self.metrics.bump("durable_writes");
+            if self.tracer.enabled() {
+                let task = format!("t{}", t.0);
+                let bytes_s = bytes.to_string();
+                self.tracer.span(
+                    "durable.write",
+                    "net",
+                    Category::Data,
+                    Some(self.job_root),
+                    now,
+                    tr.arrival,
+                    &[("task", &task), ("bytes", &bytes_s)],
+                );
+            }
             self.durable_ready.insert(t, tr.arrival);
         }
         if self.cfg.deployment == Deployment::StatelessServerless {
@@ -1018,6 +1273,20 @@ impl Cluster {
                     nodes.push(h);
                 }
                 self.metrics.add("ec_bytes", shard * total as u64);
+                if self.tracer.enabled() {
+                    let task = format!("t{}", t.0);
+                    let shards = total.to_string();
+                    let bytes_s = (shard * total as u64).to_string();
+                    self.tracer.span(
+                        "ec.write",
+                        "store",
+                        Category::EcWrite,
+                        Some(self.job_root),
+                        now,
+                        last,
+                        &[("task", &task), ("shards", &shards), ("bytes", &bytes_s)],
+                    );
+                }
                 self.ec_placements.insert(
                     t,
                     EcPlacement {
@@ -1045,9 +1314,23 @@ impl Cluster {
                         for s in &report.spilled {
                             match s.to {
                                 SpillTarget::Node(dest) | SpillTarget::Durable(dest) => {
-                                    let _ = self.net.transfer(now, s.from, dest, s.bytes);
+                                    let tr = self.net.transfer(now, s.from, dest, s.bytes);
                                     if matches!(s.to, SpillTarget::Durable(_)) {
                                         self.durable_trips += 1;
+                                    }
+                                    if self.tracer.enabled() {
+                                        let from = format!("node{}", s.from.0);
+                                        let to = format!("node{}", dest.0);
+                                        let bytes_s = s.bytes.to_string();
+                                        self.tracer.span(
+                                            "spill",
+                                            "store",
+                                            Category::Spill,
+                                            Some(self.job_root),
+                                            now,
+                                            tr.arrival,
+                                            &[("from", &from), ("to", &to), ("bytes", &bytes_s)],
+                                        );
                                     }
                                 }
                                 SpillTarget::Drop => {}
@@ -1084,9 +1367,23 @@ impl Cluster {
                                 .replicate(obj, (n - 1) as usize, &candidates, now)
                         {
                             for dest in added {
-                                let _ = self.net.transfer(now, node, dest, bytes);
+                                let tr = self.net.transfer(now, node, dest, bytes);
                                 let _ = self.own.add_location(obj, dest);
                                 self.metrics.add("replica_bytes", bytes);
+                                if self.tracer.enabled() {
+                                    let task = format!("t{}", t.0);
+                                    let to = format!("node{}", dest.0);
+                                    let bytes_s = bytes.to_string();
+                                    self.tracer.span(
+                                        "replicate",
+                                        "store",
+                                        Category::Replicate,
+                                        Some(self.job_root),
+                                        now,
+                                        tr.arrival,
+                                        &[("task", &task), ("to", &to), ("bytes", &bytes_s)],
+                                    );
+                                }
                             }
                         }
                     }
@@ -1210,6 +1507,18 @@ impl Cluster {
                 for d in cold.into_iter().take(n as usize) {
                     self.device_available_at.insert(d, now + delay);
                     self.metrics.bump("devices_provisioned");
+                    if self.tracer.enabled() {
+                        let dev = format!("node{}", d.0);
+                        self.tracer.span(
+                            "provision",
+                            "autoscaler",
+                            Category::Autoscale,
+                            Some(self.job_root),
+                            now,
+                            now + delay,
+                            &[("device", &dev)],
+                        );
+                    }
                 }
             }
             ScaleDecision::Down(n) => {
@@ -1223,6 +1532,18 @@ impl Cluster {
                 for d in idle.into_iter().take(n as usize) {
                     self.device_available_at.remove(&d);
                     self.metrics.bump("devices_retired");
+                    if self.tracer.enabled() {
+                        let dev = format!("node{}", d.0);
+                        self.tracer.span(
+                            "retire",
+                            "autoscaler",
+                            Category::Autoscale,
+                            Some(self.job_root),
+                            now,
+                            now,
+                            &[("device", &dev)],
+                        );
+                    }
                 }
             }
             ScaleDecision::Hold => {}
@@ -2027,5 +2348,154 @@ mod rack_failure_tests {
         let stats = c.run_with_failures(&job, &plan).unwrap();
         assert_eq!(stats.finished, 6);
         assert_eq!(stats.durable_trips, 0);
+    }
+}
+
+#[cfg(test)]
+mod tracing_tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use skadi_dcsim::topology::presets;
+
+    fn chain(n: u64, compute_us: f64, bytes: u64) -> Job {
+        let mut tasks = vec![TaskSpec::new(0, compute_us, bytes)];
+        for i in 1..n {
+            tasks.push(TaskSpec::new(i, compute_us, bytes).after(TaskId(i - 1), bytes));
+        }
+        Job::new("chain", tasks).unwrap()
+    }
+
+    fn short_gpu_ops(n: u64) -> Job {
+        let mut tasks = vec![TaskSpec::new(0, 10.0, 4 << 10).on(Backend::Gpu)];
+        for i in 1..n {
+            tasks.push(
+                TaskSpec::new(i, 10.0, 4 << 10)
+                    .after(TaskId(i - 1), 4 << 10)
+                    .on(Backend::Gpu),
+            );
+        }
+        Job::new("short-ops", tasks).unwrap()
+    }
+
+    #[test]
+    fn untraced_runs_produce_empty_traces() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2());
+        let stats = c.run(&chain(5, 100.0, 1 << 10)).unwrap();
+        assert!(stats.trace.is_empty());
+    }
+
+    #[test]
+    fn traced_chain_is_wellformed_and_covers_the_lifecycle() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_tracing(true));
+        let stats = c.run(&chain(6, 100.0, 1 << 16)).unwrap();
+        let trace = &stats.trace;
+        trace.validate().expect("well-formed span tree");
+        assert_eq!(trace.count_category(Category::Job), 1);
+        assert_eq!(trace.count_category(Category::Task), 6);
+        assert_eq!(trace.count_category(Category::Run), 6);
+        assert_eq!(trace.count_category(Category::Wait), 6);
+        assert_eq!(trace.count_category(Category::Dispatch), 6);
+        assert_eq!(trace.count_category(Category::Placement), 6);
+        // 5 resolved edges, each a consumer-side round trip.
+        assert_eq!(trace.count_category(Category::Resolve), 5);
+        assert_eq!(trace.count_category(Category::TierAccess), 5);
+        assert!(trace.count_category(Category::Control) > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_simulation() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain(8, 250.0, 1 << 18);
+        let mut plain = Cluster::new(&topo, RuntimeConfig::skadi_gen1());
+        let a = plain.run(&job).unwrap();
+        let mut traced = Cluster::new(&topo, RuntimeConfig::skadi_gen1().with_tracing(true));
+        let b = traced.run(&job).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.stall_total, b.stall_total);
+        assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn same_seed_traces_are_identical() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain(6, 100.0, 1 << 16);
+        let run = || {
+            let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_tracing(true));
+            c.run(&job).unwrap().trace
+        };
+        let (t1, t2) = (run(), run());
+        assert_eq!(t1, t2);
+        assert_eq!(t1.to_chrome_json(), t2.to_chrome_json());
+    }
+
+    #[test]
+    fn gen1_spends_more_control_messages_per_short_op_than_gen2() {
+        // The paper's observation: on Gen-1 every short-lived device op
+        // pays a multi-message pull round trip through the DPU, while
+        // Gen-2's push resolution collapses it to one update.
+        let topo = presets::device_rack();
+        let job = short_gpu_ops(20);
+        let trace_of = |cfg: RuntimeConfig| {
+            let mut c = Cluster::new(&topo, cfg.with_tracing(true));
+            c.run(&job).unwrap().trace
+        };
+        let g1 = trace_of(RuntimeConfig::skadi_gen1());
+        let g2 = trace_of(RuntimeConfig::skadi_gen2());
+        g1.validate().unwrap();
+        g2.validate().unwrap();
+        let ops = 19.0; // resolved edges
+        let g1_per_op = g1.count_category(Category::Control) as f64 / ops;
+        let g2_per_op = g2.count_category(Category::Control) as f64 / ops;
+        assert!(
+            g1_per_op > g2_per_op,
+            "gen1 {g1_per_op} control spans/op should exceed gen2 {g2_per_op}"
+        );
+    }
+
+    #[test]
+    fn critical_path_summary_names_the_chain() {
+        let topo = presets::small_disagg_cluster();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_tracing(true));
+        let stats = c.run(&chain(5, 500.0, 1 << 16)).unwrap();
+        let path = stats.trace.critical_path();
+        assert_eq!(path.len(), 5, "a chain's critical path is every task");
+        let summary = stats.trace.critical_path_summary(5);
+        assert!(summary.contains("critical path: 5 tasks"));
+    }
+
+    #[test]
+    fn spills_and_device_utilization_are_recorded() {
+        let topo = presets::small_disagg_cluster();
+        let gpu_mem = topo
+            .accel_devices(None)
+            .iter()
+            .map(|d| topo.node(*d).kind.memory_bytes())
+            .min()
+            .unwrap();
+        // GPU tasks whose outputs overflow HBM force spills.
+        let mut tasks = vec![TaskSpec::new(0, 100.0, gpu_mem / 2).on(Backend::Gpu)];
+        for i in 1..4 {
+            tasks.push(
+                TaskSpec::new(i, 100.0, gpu_mem / 2)
+                    .after(TaskId(i - 1), 1 << 10)
+                    .on(Backend::Gpu),
+            );
+        }
+        let job = Job::new("hbm-overflow", tasks).unwrap();
+        let mut c = Cluster::new(&topo, RuntimeConfig::skadi_gen2().with_tracing(true));
+        let stats = c.run(&job).unwrap();
+        assert!(stats.spills > 0, "outputs should overflow HBM");
+        assert_eq!(
+            stats.trace.count_category(Category::Spill) as u64,
+            stats.spills
+        );
+        // Tier counters from the caching layer are folded into the sink.
+        assert!(stats.metrics.counter_across_labels("tier.put") > 0);
+        assert!(stats.metrics.counter_across_labels("tier.evict") > 0);
+        // The device pool saw busy time.
+        let util = stats.metrics.gauge("device.util").expect("gauge recorded");
+        assert!(util.overall_mean() > 0.0);
     }
 }

@@ -150,6 +150,10 @@ pub struct RuntimeConfig {
     pub max_attempts: u32,
     /// RNG seed for any stochastic tie-breaks.
     pub seed: u64,
+    /// Record causal spans for every control message and data transfer.
+    /// Off by default: tracing allocates per-event, and most experiments
+    /// only need the aggregate metrics.
+    pub tracing: bool,
 }
 
 impl RuntimeConfig {
@@ -169,6 +173,7 @@ impl RuntimeConfig {
             cache_fetched_copies: true,
             max_attempts: 5,
             seed: 42,
+            tracing: false,
         }
     }
 
@@ -259,6 +264,12 @@ impl RuntimeConfig {
     /// Enables autoscaling.
     pub fn with_autoscale(mut self, cfg: AutoscaleConfig) -> Self {
         self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Enables causal span tracing.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 }

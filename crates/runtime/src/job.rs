@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use skadi_dcsim::network::NetStats;
+use skadi_dcsim::span::Trace;
 use skadi_dcsim::time::SimDuration;
 use skadi_dcsim::trace::Metrics;
 use skadi_flowgraph::physical::PhysicalGraph;
@@ -141,6 +142,9 @@ pub struct JobStats {
     /// Full metric sink (histograms: `stall`, `task.wait`, `task.run`;
     /// counters: `control_msgs`, `cold_starts`, ...).
     pub metrics: Metrics,
+    /// Causal span trace of the run. Empty unless the config enabled
+    /// [`RuntimeConfig::tracing`](crate::config::RuntimeConfig::tracing).
+    pub trace: Trace,
 }
 
 impl JobStats {

@@ -6,6 +6,16 @@
 //! ```text
 //! cargo run -p skadi --bin skadi-cli -- "SELECT kind, sum(value) FROM events GROUP BY kind"
 //! cargo run -p skadi --bin skadi-cli            # runs a demo query set
+//! cargo run -p skadi --bin skadi-cli -- trace   # trace the quickstart pipeline
+//! ```
+//!
+//! The `trace` subcommand runs the Figure-1 integrated pipeline with
+//! causal span tracing enabled, writes a Chrome `trace_event` JSON file
+//! (open it at <https://ui.perfetto.dev>), and prints the per-job
+//! critical-path summary:
+//!
+//! ```text
+//! cargo run -p skadi --bin skadi-cli -- trace my-trace.json
 //! ```
 
 use skadi::arrow::array::Array;
@@ -95,8 +105,38 @@ fn run_query(db: &MemDb, session: &Session, sql: &str) {
     }
 }
 
+/// `skadi-cli trace [output.json]`: run the quickstart pipeline with
+/// tracing on, export Chrome trace_event JSON, print the critical path.
+fn run_trace(out_path: &str) {
+    let session = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .runtime(RuntimeConfig::skadi_gen2().with_tracing(true))
+        .build();
+    let report = skadi::pipeline::fig1_pipeline(&session, 1)
+        .expect("quickstart pipeline builds")
+        .run()
+        .expect("quickstart pipeline runs");
+
+    let json = report.chrome_trace();
+    let spans = report.stats.trace.len();
+    std::fs::write(out_path, &json).expect("write trace file");
+    println!("{report}\n");
+    println!("{}", report.critical_path_summary(5));
+    println!("\nwrote {spans} spans ({} bytes) to {out_path}", json.len());
+    println!("open it at https://ui.perfetto.dev (or chrome://tracing)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        let out = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("skadi-trace.json");
+        run_trace(out);
+        return;
+    }
     let db = demo_db(10_000);
     let session = Session::builder()
         .topology(presets::small_disagg_cluster())

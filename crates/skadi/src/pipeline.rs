@@ -236,6 +236,7 @@ fn empty_stats() -> skadi_runtime::JobStats {
         spills: 0,
         spill_bytes: 0,
         metrics: Default::default(),
+        trace: Default::default(),
     }
 }
 

@@ -54,6 +54,26 @@ pub struct JobReport {
     pub stats: JobStats,
 }
 
+impl JobReport {
+    /// True if the run recorded spans (requires
+    /// `RuntimeConfig::with_tracing(true)`).
+    pub fn has_trace(&self) -> bool {
+        !self.stats.trace.is_empty()
+    }
+
+    /// The run's spans as Chrome `trace_event` JSON, loadable in
+    /// Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        self.stats.trace.to_chrome_json()
+    }
+
+    /// Plain-text critical-path summary: end-to-end time split into
+    /// compute and the top `top` stall contributors.
+    pub fn critical_path_summary(&self, top: usize) -> String {
+        self.stats.trace.critical_path_summary(top)
+    }
+}
+
 impl fmt::Display for JobReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "job {}", self.name)?;

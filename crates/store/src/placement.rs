@@ -11,6 +11,7 @@ use std::collections::HashSet;
 
 use skadi_dcsim::time::SimTime;
 use skadi_dcsim::topology::{NodeClass, NodeId, Topology};
+use skadi_dcsim::trace::Metrics;
 
 use crate::error::StoreError;
 use crate::kv::LocalStore;
@@ -65,6 +66,7 @@ pub struct CachingLayer {
     topo: Topology,
     spill_count: u64,
     spill_bytes: u64,
+    metrics: Metrics,
 }
 
 /// The tier implied by a node's hardware class.
@@ -100,7 +102,18 @@ impl CachingLayer {
             topo: topo.clone(),
             spill_count: 0,
             spill_bytes: 0,
+            metrics: Metrics::new(),
         }
+    }
+
+    /// Tier hit/miss/eviction counters, labeled per tier.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Drains the accumulated metrics (for merging into a job's sink).
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
     }
 
     /// The per-node store (read-only).
@@ -147,12 +160,31 @@ impl CachingLayer {
         let tier = self.stores[node.index()].tier();
         let evicted = self.stores[node.index()].put(id, size, None, now)?;
         self.index.add(id, node);
+        self.metrics
+            .bump_labeled("tier.put", &[("tier", tier.label())]);
+        let spilled = self.rehome_evicted(node, evicted, now)?;
+        Ok(PutReport {
+            node,
+            tier,
+            spilled,
+        })
+    }
+
+    /// Re-homes objects evicted from `origin` via the spill planner.
+    /// Spills can cascade one level further (e.g. blade eviction lands on
+    /// durable), handled by the queue.
+    fn rehome_evicted(
+        &mut self,
+        origin: NodeId,
+        evicted: Vec<ObjectMeta>,
+        now: SimTime,
+    ) -> Result<Vec<SpillEvent>, StoreError> {
         let mut spilled = Vec::new();
-        // Re-home evicted objects; spills can cascade one level further
-        // (e.g. blade eviction lands on durable), handled by the queue.
-        let mut queue: Vec<(NodeId, ObjectMeta)> = evicted.into_iter().map(|m| (node, m)).collect();
+        let mut queue: Vec<(NodeId, ObjectMeta)> =
+            evicted.into_iter().map(|m| (origin, m)).collect();
         while let Some((from, meta)) = queue.pop() {
             self.index.remove(meta.id, from);
+            let from_tier = self.stores[from.index()].tier();
             let from_rack = self.topo.rack_of(from).0;
             let target = self.planner.plan(from_rack, meta.size, false, |blade| {
                 self.stores[blade.index()].free()
@@ -175,8 +207,16 @@ impl CachingLayer {
                     }
                     self.spill_count += 1;
                     self.spill_bytes += meta.size;
+                    let to_tier = self.stores[dest.index()].tier();
+                    self.metrics.bump_labeled(
+                        "tier.evict",
+                        &[("from", from_tier.label()), ("to", to_tier.label())],
+                    );
                 }
-                SpillTarget::Drop => {}
+                SpillTarget::Drop => {
+                    self.metrics
+                        .bump_labeled("tier.evict", &[("from", from_tier.label()), ("to", "drop")]);
+                }
             }
             spilled.push(SpillEvent {
                 id: meta.id,
@@ -185,11 +225,7 @@ impl CachingLayer {
                 bytes: meta.size,
             });
         }
-        Ok(PutReport {
-            node,
-            tier,
-            spilled,
-        })
+        Ok(spilled)
     }
 
     /// Finds the best copy of `id` for a reader on `reader`: local first,
@@ -203,6 +239,7 @@ impl CachingLayer {
     ) -> Result<Location, StoreError> {
         let holders = self.index.holders(id);
         if holders.is_empty() {
+            self.metrics.bump("tier.miss");
             return Err(StoreError::NotFound(id));
         }
         let mut ranked: Vec<(u8, Tier, NodeId)> = holders
@@ -223,6 +260,15 @@ impl CachingLayer {
         ranked.sort();
         let (dist, tier, node) = ranked[0];
         self.stores[node.index()].get(id, now)?;
+        let locality = match dist {
+            0 => "local",
+            1 => "rack",
+            _ => "remote",
+        };
+        self.metrics.bump_labeled(
+            "tier.hit",
+            &[("tier", tier.label()), ("locality", locality)],
+        );
         Ok(Location {
             node,
             tier,
@@ -250,36 +296,12 @@ impl CachingLayer {
         match self.stores[reader.index()].put(id, size, None, now) {
             Ok(evicted) => {
                 self.index.add(id, reader);
-                let mut queue: Vec<(NodeId, ObjectMeta)> =
-                    evicted.into_iter().map(|m| (reader, m)).collect();
-                while let Some((from, meta)) = queue.pop() {
-                    self.index.remove(meta.id, from);
-                    let from_rack = self.topo.rack_of(from).0;
-                    let target = self.planner.plan(from_rack, meta.size, false, |blade| {
-                        self.stores[blade.index()].free()
-                    });
-                    match target {
-                        SpillTarget::Node(dest) | SpillTarget::Durable(dest) => {
-                            match self.stores[dest.index()].put(meta.id, meta.size, None, now) {
-                                Ok(more) => {
-                                    self.index.add(meta.id, dest);
-                                    for m in more {
-                                        queue.push((dest, m));
-                                    }
-                                }
-                                Err(StoreError::Duplicate(_)) => {
-                                    self.index.add(meta.id, dest);
-                                }
-                                Err(e) => return Err(e),
-                            }
-                            self.spill_count += 1;
-                            self.spill_bytes += meta.size;
-                        }
-                        SpillTarget::Drop => {}
-                    }
-                }
+                self.rehome_evicted(reader, evicted, now)?;
                 let _ = self.stores[loc.node.index()].delete(id);
                 self.index.remove(id, loc.node);
+                let to_tier = self.stores[reader.index()].tier();
+                self.metrics
+                    .bump_labeled("tier.promote", &[("to", to_tier.label())]);
                 Ok((loc, true))
             }
             // Reader full of pinned data or object too large: serve remote.
@@ -473,6 +495,63 @@ mod tests {
         assert!(!promoted);
         // The blade copy is gone (move, not copy).
         assert_eq!(cl.locations(ObjectId(1)), &[gpu]);
+    }
+
+    #[test]
+    fn metrics_label_hits_misses_and_evictions() {
+        let (topo, mut cl) = layer();
+        let gpu = topo.accel_devices(None)[0];
+        let hbm = cl.store(gpu).capacity();
+        cl.put(ObjectId(1), hbm / 2 + 1, gpu, SimTime::ZERO)
+            .unwrap();
+        cl.put(ObjectId(2), hbm / 2 + 1, gpu, SimTime::from_micros(1))
+            .unwrap();
+        // Second put evicted object 1 from HBM to the blade.
+        let m = cl.metrics();
+        assert_eq!(
+            m.counter_labeled(
+                "tier.evict",
+                &[("from", "device-hbm"), ("to", "disagg-memory")]
+            ),
+            1
+        );
+        assert_eq!(m.counter_across_labels("tier.put"), 2);
+
+        // Hit on the blade copy, remote from the GPU's perspective.
+        cl.get(ObjectId(1), gpu, SimTime::from_micros(2)).unwrap();
+        assert_eq!(
+            cl.metrics().counter_labeled(
+                "tier.hit",
+                &[("tier", "disagg-memory"), ("locality", "rack")]
+            ) + cl.metrics().counter_labeled(
+                "tier.hit",
+                &[("tier", "disagg-memory"), ("locality", "remote")]
+            ),
+            1
+        );
+
+        // Miss on an unknown object.
+        assert!(cl.get(ObjectId(99), gpu, SimTime::from_micros(3)).is_err());
+        assert_eq!(cl.metrics().counter("tier.miss"), 1);
+    }
+
+    #[test]
+    fn metrics_count_promotions() {
+        let (topo, mut cl) = layer();
+        let gpu = topo.accel_devices(None)[0];
+        let blade = topo.memory_blades()[0];
+        cl.put(ObjectId(1), 1 << 20, blade, SimTime::ZERO).unwrap();
+        cl.get_promote(ObjectId(1), gpu, SimTime::from_micros(1))
+            .unwrap();
+        assert_eq!(
+            cl.metrics()
+                .counter_labeled("tier.promote", &[("to", "device-hbm")]),
+            1
+        );
+        // take_metrics drains the sink.
+        let taken = cl.take_metrics();
+        assert_eq!(taken.counter_across_labels("tier.promote"), 1);
+        assert_eq!(cl.metrics().counter_across_labels("tier.promote"), 0);
     }
 
     #[test]

@@ -62,17 +62,21 @@ impl Tier {
             Tier::Durable => 100 << 20,
         }
     }
-}
 
-impl fmt::Display for Tier {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable lowercase name, used as a metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
             Tier::DeviceHbm => "device-hbm",
             Tier::HostDram => "host-dram",
             Tier::DisaggMemory => "disagg-memory",
             Tier::Durable => "durable",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -158,3 +158,68 @@ fn ir_fusion_survives_the_full_path() {
     assert_eq!(fused.stats.abandoned, 0);
     assert_eq!(unfused.stats.abandoned, 0);
 }
+
+#[test]
+fn quickstart_trace_exports_valid_chrome_json() {
+    use skadi::dcsim::span::{json_is_wellformed, Category};
+    let s = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .runtime(RuntimeConfig::skadi_gen2().with_tracing(true))
+        .build();
+    let report = fig1_pipeline(&s, 1).unwrap().run().unwrap();
+    let trace = &report.stats.trace;
+    trace.validate().expect("span tree is well-formed");
+    assert!(report.has_trace());
+    assert!(
+        trace.len() > 100,
+        "quickstart pipeline should emit >100 spans, got {}",
+        trace.len()
+    );
+    // The trace covers the full task lifecycle plus the data plane.
+    assert!(trace.count_category(Category::Task) > 0);
+    assert!(trace.count_category(Category::Run) > 0);
+    assert!(trace.count_category(Category::Wait) > 0);
+    assert!(trace.count_category(Category::Resolve) > 0);
+    assert!(trace.count_category(Category::TierAccess) > 0);
+    assert!(trace.count_category(Category::Control) > 0);
+    assert!(trace.count_category(Category::Data) > 0);
+    // The export is parseable JSON with one event per span (plus
+    // metadata records naming processes/threads).
+    let json = report.chrome_trace();
+    assert!(json_is_wellformed(&json), "chrome export must parse");
+    assert!(json.matches("\"ph\":\"X\"").count() == trace.len());
+    // And the critical-path summary names its stall contributors.
+    let summary = report.critical_path_summary(5);
+    assert!(summary.contains("critical path:"), "{summary}");
+    assert!(summary.contains("stall contributors"), "{summary}");
+}
+
+#[test]
+fn gen1_pays_more_control_spans_per_op_than_gen2() {
+    use skadi::dcsim::span::Category;
+    let run = |cfg: RuntimeConfig| {
+        let s = Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .catalog(Catalog::demo())
+            .runtime(cfg.with_tracing(true))
+            .build();
+        fig1_pipeline(&s, 1).unwrap().run().unwrap()
+    };
+    let g1 = run(RuntimeConfig::skadi_gen1());
+    let g2 = run(RuntimeConfig::skadi_gen2());
+    g1.stats.trace.validate().unwrap();
+    g2.stats.trace.validate().unwrap();
+    // Same job, same resolved edge count: pull pays a multi-message
+    // round trip per edge, push a single ownership update.
+    let per_op = |r: &JobReport| {
+        r.stats.trace.count_category(Category::Control) as f64
+            / r.stats.trace.count_category(Category::Resolve).max(1) as f64
+    };
+    assert!(
+        per_op(&g1) > per_op(&g2),
+        "gen1 {:.2} control spans/op should exceed gen2 {:.2}",
+        per_op(&g1),
+        per_op(&g2)
+    );
+}

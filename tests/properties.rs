@@ -394,3 +394,60 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any layered DAG, traced, yields a well-formed span tree, and two
+    /// identical runs export byte-identical Chrome JSON.
+    #[test]
+    fn traced_runs_are_wellformed_and_byte_reproducible(
+        widths in prop::collection::vec(1u64..4, 1..4),
+        compute in 10.0f64..500.0,
+        bytes_pow in 8u32..18,
+        gen2 in any::<bool>(),
+    ) {
+        use skadi::dcsim::topology::presets;
+        use skadi::runtime::task::TaskSpec;
+        use skadi::runtime::{Cluster, Job, RuntimeConfig};
+
+        // Layered DAG: each task consumes every task of the previous
+        // layer (shuffle-like), so resolution, tiering, and scheduling
+        // all fire.
+        let bytes = 1u64 << bytes_pow;
+        let mut tasks = Vec::new();
+        let mut prev = Vec::new();
+        let mut id = 0u64;
+        for w in &widths {
+            let mut layer = Vec::new();
+            for _ in 0..*w {
+                let mut s = TaskSpec::new(id, compute, bytes);
+                for p in &prev {
+                    s = s.after(*p, bytes);
+                }
+                layer.push(s.id);
+                tasks.push(s);
+                id += 1;
+            }
+            prev = layer;
+        }
+        let job = Job::new("layered", tasks).unwrap();
+        let topo = presets::small_disagg_cluster();
+        let cfg = if gen2 {
+            RuntimeConfig::skadi_gen2()
+        } else {
+            RuntimeConfig::skadi_gen1()
+        };
+        let run = || {
+            let mut c = Cluster::new(&topo, cfg.clone().with_tracing(true));
+            c.run(&job).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(a.trace.validate().is_ok(), "{:?}", a.trace.validate());
+        prop_assert_eq!(a.trace.to_chrome_json(), b.trace.to_chrome_json());
+        // Every finished task has its umbrella span.
+        use skadi::dcsim::span::Category;
+        prop_assert_eq!(a.trace.count_category(Category::Task) as u64, a.finished);
+    }
+}
