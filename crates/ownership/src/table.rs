@@ -227,6 +227,13 @@ impl OwnershipTable {
         Ok(false)
     }
 
+    /// Drops an entry outright, returning it if it existed. Used when a
+    /// task is reset for re-execution: its old output registration is
+    /// stale and the re-run will register the object afresh.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Entry> {
+        self.entries.remove(&id)
+    }
+
     /// All objects owned by workers on `node` (used when a node fails:
     /// these futures lose their owner and must be re-driven by lineage).
     pub fn owned_by(&self, node: NodeId) -> Vec<ObjectId> {

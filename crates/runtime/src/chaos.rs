@@ -1,0 +1,313 @@
+//! Chaos-schedule fault harness.
+//!
+//! Property-style fault testing for the runtime: generate a seeded random
+//! job (mixed plain tasks, a gang, an actor chain), a seeded random
+//! failure schedule (kill/recover cycles, correlated rack loss, straggler
+//! windows), run the job under the schedule with the debug invariant
+//! checker on, and assert that the run either completes with *exactly*
+//! the outputs of a failure-free run or fails with a clean error — never
+//! a hang, never silent loss.
+//!
+//! The harness keeps one *safe harbor* node (the first server, which
+//! hosts the centralized scheduler in the model) out of every kill set so
+//! schedules remain survivable by construction; everything else is fair
+//! game. All injected kills recover, so with a generous retry budget a
+//! correct runtime must converge to the failure-free manifest.
+//!
+//! Used by `tests/chaos.rs` (the ≥200-schedule property driver) and the
+//! `skadi-cli chaos --seed N` replay subcommand.
+
+use skadi_dcsim::rng::DetRng;
+use skadi_dcsim::time::SimTime;
+use skadi_dcsim::topology::{NodeId, Topology};
+
+use crate::cluster::Cluster;
+use crate::config::{FtMode, RuntimeConfig};
+use crate::error::RuntimeError;
+use crate::failure::FailurePlan;
+use crate::job::{Job, JobStats};
+use crate::task::{ActorId, GangId, TaskId, TaskSpec};
+
+/// Outcome of one chaos run, compared against its failure-free twin.
+#[derive(Debug, Clone)]
+pub struct ChaosVerdict {
+    /// The schedule that was injected.
+    pub plan: FailurePlan,
+    /// Stats from the chaos run.
+    pub stats: JobStats,
+    /// `(task, finished, output_bytes)` manifest of the failure-free run.
+    pub baseline: Vec<(TaskId, bool, u64)>,
+    /// Manifest of the chaos run.
+    pub chaotic: Vec<(TaskId, bool, u64)>,
+}
+
+impl ChaosVerdict {
+    /// True when the chaos run produced byte-for-byte the same outputs
+    /// as the failure-free run.
+    pub fn equivalent(&self) -> bool {
+        self.baseline == self.chaotic
+    }
+}
+
+/// The topology every chaos run uses: two racks of servers + devices,
+/// one memory blade, durable storage.
+pub fn chaos_topology() -> Topology {
+    skadi_dcsim::topology::presets::small_disagg_cluster()
+}
+
+/// Runtime config for chaos runs: invariant checking on, gang scheduling
+/// on, and a retry budget generous enough that any survivable schedule
+/// must converge rather than abandon tasks.
+pub fn chaos_config(ft: FtMode) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::skadi_gen1()
+        .with_ft(ft)
+        .with_gang(true)
+        .with_debug_invariants(true);
+    cfg.max_attempts = 50;
+    cfg
+}
+
+/// Generates a seeded random job of up to ~30 CPU tasks: a few sources,
+/// a fan-out middle layer, one gang (2-4 members), one actor method
+/// chain (3-5 calls), and a sink depending on every leaf.
+pub fn chaos_job(seed: u64) -> Job {
+    let mut rng = DetRng::seed(seed ^ 0x6a6f_625f); // "job_"
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    let mut next_id = 0u64;
+
+    // Sources: independent roots.
+    let n_sources = rng.range(2, 5);
+    for _ in 0..n_sources {
+        let spec = TaskSpec::new(
+            next_id,
+            rng.range(500, 3_000) as f64,
+            rng.range(1, 64) << 10,
+        )
+        .named("chaos.source");
+        tasks.push(spec);
+        next_id += 1;
+    }
+
+    // Fan-out layer: each task reads 1-2 earlier tasks.
+    let n_mid = rng.range(4, 11);
+    for _ in 0..n_mid {
+        let mut spec = TaskSpec::new(
+            next_id,
+            rng.range(800, 5_000) as f64,
+            rng.range(1, 32) << 10,
+        )
+        .named("chaos.map");
+        let deps = rng.range(1, 3) as usize;
+        for _ in 0..deps {
+            let dep = TaskId(rng.below(next_id));
+            spec = spec.after(dep, rng.range(1, 16) << 10);
+        }
+        tasks.push(spec);
+        next_id += 1;
+    }
+
+    // One gang: members start together, each reading one earlier task.
+    let gang_size = rng.range(2, 5);
+    let gang_first = next_id;
+    for _ in 0..gang_size {
+        let dep = TaskId(rng.below(gang_first));
+        let spec = TaskSpec::new(
+            next_id,
+            rng.range(1_000, 4_000) as f64,
+            rng.range(1, 16) << 10,
+        )
+        .named("chaos.gang")
+        .in_gang(GangId(1))
+        .after(dep, rng.range(1, 8) << 10);
+        tasks.push(spec);
+        next_id += 1;
+    }
+
+    // One actor chain: serialized methods, each feeding the next.
+    let chain = rng.range(3, 6);
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..chain {
+        let mut spec = TaskSpec::new(next_id, rng.range(600, 2_500) as f64, rng.range(1, 8) << 10)
+            .named("chaos.actor")
+            .on_actor(ActorId(1));
+        match prev {
+            Some(p) => spec = spec.after(p, rng.range(1, 8) << 10),
+            None => {
+                let dep = TaskId(rng.below(gang_first));
+                spec = spec.after(dep, rng.range(1, 8) << 10);
+            }
+        }
+        prev = Some(TaskId(next_id));
+        tasks.push(spec);
+        next_id += 1;
+    }
+
+    // Sink: depends on every task nothing else consumes.
+    let consumed: std::collections::BTreeSet<TaskId> = tasks
+        .iter()
+        .flat_map(|t| t.inputs.keys().copied())
+        .collect();
+    let mut sink =
+        TaskSpec::new(next_id, rng.range(500, 2_000) as f64, 1 << 10).named("chaos.sink");
+    for t in &tasks {
+        if !consumed.contains(&t.id) {
+            sink = sink.after(t.id, rng.range(1, 8) << 10);
+        }
+    }
+    tasks.push(sink);
+
+    Job::new(&format!("chaos-{seed}"), tasks).expect("generator builds acyclic jobs")
+}
+
+/// Generates a seeded random failure schedule against `topo`.
+///
+/// The first server is a safe harbor and is never killed (and its rack is
+/// never the target of correlated rack loss). 1-3 victims each suffer 1-2
+/// kill/recover cycles; with some probability a whole non-safe rack dies
+/// mid-recovery and rejoins; 0-2 straggler windows slow random nodes.
+/// Every kill recovers, so the schedule is survivable by construction.
+pub fn chaos_plan(topo: &Topology, seed: u64) -> FailurePlan {
+    let mut rng = DetRng::seed(seed ^ 0x706c_616e); // "plan"
+    let servers = topo.servers();
+    let safe = servers[0];
+    let safe_rack = topo.rack_of(safe);
+    let mut pool: Vec<NodeId> = servers[1..].to_vec();
+    pool.extend(topo.memory_blades());
+
+    let mut plan = FailurePlan::none();
+
+    let n_victims = rng.range(1, 4).min(pool.len() as u64);
+    rng.shuffle(&mut pool);
+    // Injection times target the first few milliseconds: chaos jobs
+    // finish in ~1-4 ms of virtual time, so kills must land while tasks
+    // are actually in flight to exercise recovery (not after the job).
+    for victim in pool.iter().take(n_victims as usize).copied() {
+        let cycles = rng.range(1, 3);
+        let mut t = rng.range(200, 6_000);
+        for _ in 0..cycles {
+            let down = rng.range(500, 3_000);
+            plan = plan.kill_and_recover(
+                victim,
+                SimTime::from_micros(t),
+                SimTime::from_micros(t + down),
+            );
+            // Next cycle strikes again after the node has been back a while.
+            t += down + rng.range(1_000, 5_000);
+        }
+    }
+
+    // Correlated rack loss mid-recovery, avoiding the safe rack.
+    if rng.chance(0.3) {
+        let racks: Vec<u16> = (0..topo.rack_count())
+            .filter(|r| skadi_dcsim::topology::RackId(*r) != safe_rack)
+            .collect();
+        if !racks.is_empty() {
+            let rack = skadi_dcsim::topology::RackId(*rng.pick(&racks));
+            let at = rng.range(1_000, 6_000);
+            let down = rng.range(1_000, 3_000);
+            plan = plan.kill_rack_and_recover(
+                topo,
+                rack,
+                SimTime::from_micros(at),
+                SimTime::from_micros(at + down),
+            );
+        }
+    }
+
+    // Straggler windows: slow, not dead.
+    let n_slow = rng.below(3);
+    let all: Vec<NodeId> = servers.into_iter().chain(topo.memory_blades()).collect();
+    for _ in 0..n_slow {
+        let node = *rng.pick(&all);
+        let from = rng.range(0, 6_000);
+        let len = rng.range(1_000, 8_000);
+        let factor = 1.5 + rng.unit() * 4.5;
+        plan = plan.slow(
+            node,
+            SimTime::from_micros(from),
+            SimTime::from_micros(from + len),
+            factor,
+        );
+    }
+
+    plan
+}
+
+/// Runs seed `seed` under `ft`: failure-free baseline first, then the
+/// chaos schedule on a fresh cluster, with invariant checking on in both.
+///
+/// Returns `Err` when either run errors (livelock, stall, invariant
+/// violation, abandoned task) — the property driver treats any `Err` on a
+/// survivable schedule as a bug.
+pub fn run_chaos(seed: u64, ft: FtMode) -> Result<ChaosVerdict, RuntimeError> {
+    run_chaos_with(seed, ft, false)
+}
+
+/// [`run_chaos`] with optional span tracing (used by `skadi-cli chaos`).
+pub fn run_chaos_with(seed: u64, ft: FtMode, tracing: bool) -> Result<ChaosVerdict, RuntimeError> {
+    let topo = chaos_topology();
+    let job = chaos_job(seed);
+    let cfg = chaos_config(ft).with_tracing(tracing);
+
+    let mut calm = Cluster::new(&topo, cfg.clone());
+    calm.run(&job)?;
+    let baseline = calm.output_manifest();
+
+    let plan = chaos_plan(&topo, seed);
+    let mut stormy = Cluster::new(&topo, cfg);
+    let stats = stormy.run_with_failures(&job, &plan)?;
+    let chaotic = stormy.output_manifest();
+
+    Ok(ChaosVerdict {
+        plan,
+        stats,
+        baseline,
+        chaotic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_generator_is_deterministic_and_valid() {
+        let a = chaos_job(7);
+        let b = chaos_job(7);
+        assert_eq!(a, b);
+        assert!(a.len() >= 10 && a.len() <= 30, "job size {}", a.len());
+        assert!(a.tasks.values().any(|t| t.gang.is_some()));
+        assert!(a.tasks.values().any(|t| t.actor.is_some()));
+        // Different seed, different job.
+        assert_ne!(chaos_job(8), a);
+    }
+
+    #[test]
+    fn plan_generator_spares_the_safe_harbor() {
+        let topo = chaos_topology();
+        let safe = topo.servers()[0];
+        for seed in 0..50 {
+            let plan = chaos_plan(&topo, seed);
+            assert!(
+                plan.failures().iter().all(|f| f.node != safe),
+                "seed {seed} kills the safe harbor"
+            );
+            assert!(
+                plan.failures().iter().all(|f| f.recovers_at.is_some()),
+                "seed {seed} has an unrecoverable kill"
+            );
+            assert_eq!(
+                plan,
+                chaos_plan(&topo, seed),
+                "seed {seed} not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_run_matches_failure_free_run() {
+        let v = run_chaos(1, FtMode::Lineage).expect("survivable schedule must complete");
+        assert!(v.equivalent(), "manifests diverged: {:?}", v.plan);
+        assert!(v.baseline.iter().all(|(_, done, _)| *done));
+    }
+}

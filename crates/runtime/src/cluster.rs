@@ -43,7 +43,7 @@ use skadi_ownership::resolve::{resolve_traced, ResolveScenario, ResolveSpanCtx};
 use skadi_ownership::table::{DeviceHandle, DeviceSlot, OwnershipTable};
 use skadi_store::ec::EcConfig;
 use skadi_store::object::{ObjectId, ObjectIdGen};
-use skadi_store::placement::CachingLayer;
+use skadi_store::placement::{CachingLayer, SpillEvent};
 use skadi_store::policy::EvictionPolicy;
 use skadi_store::spill::{SpillPolicy, SpillTarget};
 
@@ -129,6 +129,13 @@ pub struct Cluster {
     autoscaler: Option<Autoscaler>,
     device_available_at: HashMap<NodeId, SimTime>,
 
+    /// The failure schedule of the run in progress (straggler windows are
+    /// consulted at every task start).
+    active_plan: FailurePlan,
+    /// A fatal condition raised inside an event handler (e.g. a task
+    /// exhausting its retry budget); surfaced as the run's error.
+    fatal: Option<RuntimeError>,
+
     /// Where each actor lives (pinned at first placement).
     actor_node: HashMap<ActorId, NodeId>,
     /// Until when each actor is busy executing a method.
@@ -196,6 +203,8 @@ impl Cluster {
             system_pools: HashMap::new(),
             autoscaler,
             device_available_at: HashMap::new(),
+            active_plan: FailurePlan::none(),
+            fatal: None,
             actor_node: HashMap::new(),
             actor_busy_until: HashMap::new(),
             busy_us_by_node: HashMap::new(),
@@ -303,6 +312,7 @@ impl Cluster {
     ) -> Result<JobStats, RuntimeError> {
         let mut queue: EventQueue<Event> = EventQueue::new();
         self.init_job(job, &mut queue, releases)?;
+        self.active_plan = failures.clone();
         for f in failures.failures() {
             queue.schedule_at(f.at, Event::Fail(f.node));
             if let Some(r) = f.recovers_at {
@@ -321,6 +331,16 @@ impl Cluster {
                 return Err(RuntimeError::Livelock { events: processed });
             }
             self.handle(now, ev, &mut queue);
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
+            }
+            if self.cfg.debug_invariants {
+                if let Err(msg) = self.check_invariants(&queue) {
+                    return Err(RuntimeError::InvariantViolation(format!(
+                        "after {ev:?} at {now}: {msg}"
+                    )));
+                }
+            }
             // Stop pumping pure-timer events once the job is done.
             if self.job_done() && !queue.is_empty() {
                 let only_timers = {
@@ -331,6 +351,24 @@ impl Cluster {
                     break;
                 }
             }
+        }
+        // The queue drained (or only timers remained): every task must be
+        // terminal, otherwise the run would silently report partial
+        // results while tasks sit stranded.
+        if !self.job_done() {
+            let finished = self
+                .tasks
+                .values()
+                .filter(|t| t.state == TaskState::Finished)
+                .count() as u64;
+            let stuck = self.tasks.len() as u64
+                - finished
+                - self
+                    .tasks
+                    .values()
+                    .filter(|t| t.state == TaskState::Failed)
+                    .count() as u64;
+            return Err(RuntimeError::Stalled { finished, stuck });
         }
 
         let makespan = self
@@ -394,6 +432,18 @@ impl Cluster {
         self.epochs.clear();
         self.task_span.clear();
         self.input_ready_at.clear();
+        // Output bookkeeping and scheduling latches are per-run state; a
+        // second run on the same cluster must not see the previous job's
+        // objects, gang progress, or actor pins.
+        self.object_of.clear();
+        self.value_ready.clear();
+        self.durable_ready.clear();
+        self.ec_placements.clear();
+        self.gangs = GangTracker::new();
+        self.actor_node.clear();
+        self.actor_busy_until.clear();
+        self.fatal = None;
+        self.active_plan = FailurePlan::none();
         self.tracer = Tracer::new(self.cfg.tracing);
         self.job_root = self
             .tracer
@@ -652,6 +702,7 @@ impl Cluster {
             }
             self.abandoned += 1;
             self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+            self.abandon_consumers(t);
             return;
         }
         // Gather placement facts.
@@ -909,8 +960,13 @@ impl Cluster {
                 // nearest copy instead of re-crossing the fabric.
                 if !loc.local && self.cfg.cache_fetched_copies {
                     let size = self.tasks[&p].spec.output_bytes.max(1);
-                    if self.cache.put(obj, size, node, now).is_ok() {
+                    if let Ok(report) = self.cache.put(obj, size, node, now) {
                         let _ = self.own.add_location(obj, node);
+                        // A fetched copy can displace colder objects; those
+                        // moves must be priced and the ownership table kept
+                        // in step, same as producer-side spills.
+                        let spilled = report.spilled;
+                        self.sync_spills(now, &spilled);
                     }
                 }
                 out.input_available
@@ -950,12 +1006,14 @@ impl Cluster {
         if self.cfg.ft == FtMode::None {
             self.abandoned += 1;
             let rec = self.tasks.get_mut(&consumer).expect("known");
-            if let Some(node) = rec.node {
+            let node = rec.node;
+            rec.state = TaskState::Failed;
+            if let Some(node) = node {
                 if let Some(l) = self.node_load.get_mut(&node) {
                     *l = l.saturating_sub(1);
                 }
             }
-            rec.state = TaskState::Failed;
+            self.abandon_consumers(consumer);
             return;
         }
         self.metrics.bump("lineage_recoveries");
@@ -992,9 +1050,13 @@ impl Cluster {
             self.tracer.close(s, now);
         }
         self.input_ready_at.remove(&t);
-        // Drop stale output bookkeeping.
+        // Drop stale output bookkeeping. The ownership row goes with the
+        // cached copies: the re-run registers the object afresh, and a
+        // stale row would otherwise keep advertising holders that no
+        // longer exist.
         if let Some(obj) = self.object_of.remove(&t) {
             let _ = self.cache.delete(obj);
+            self.own.remove(obj);
         }
         self.value_ready.remove(&t);
         self.durable_ready.remove(&t);
@@ -1022,8 +1084,23 @@ impl Cluster {
         }
         if let Some(g) = self.tasks[&t].spec.gang {
             if self.cfg.gang_scheduling {
-                self.gangs.reset(g);
+                // Forget only this member's readiness. Wiping the whole
+                // gang here would discard peers already gathered — after
+                // the gang's first collective launch a lone re-executed
+                // member could then never reach the release threshold.
+                self.gangs.remove_waiting(g, t);
             }
+        }
+        // Retry budget: a task that keeps getting reset (e.g. its node
+        // dies every attempt) must eventually surface a clean error
+        // instead of looping until the event budget trips.
+        if self.tasks[&t].attempts > self.cfg.max_attempts {
+            self.tasks.get_mut(&t).expect("known task").state = TaskState::Failed;
+            self.abandoned += 1;
+            if self.fatal.is_none() {
+                self.fatal = Some(RuntimeError::TaskAbandoned(t));
+            }
+            return;
         }
         let missing: Vec<TaskId> = {
             let inputs: Vec<TaskId> = self.tasks[&t].spec.inputs.keys().copied().collect();
@@ -1075,7 +1152,10 @@ impl Cluster {
         } else {
             1.0
         };
-        let dur = SimDuration::from_secs_f64(rec.spec.compute_us * slowdown / 1e6);
+        // Straggler injection: compute started inside a slowdown window
+        // runs the whole task at the degraded rate.
+        let straggle = self.active_plan.slowdown_factor(node, now);
+        let dur = SimDuration::from_secs_f64(rec.spec.compute_us * slowdown * straggle / 1e6);
         // Actor methods execute one at a time, in readiness order.
         if let Some(actor) = rec.spec.actor {
             let busy_until = self
@@ -1263,6 +1343,28 @@ impl Cluster {
                     .collect();
                 holders.sort();
                 let total = config.total();
+                if holders.is_empty() {
+                    // Every server and blade is down (e.g. correlated rack
+                    // loss): the only write target left is durable storage.
+                    // Without the guard the shard loop below would divide
+                    // by zero picking holders.
+                    if let Some(d) = self.topo.durable_storage() {
+                        let tr = self.net.transfer(now, node, d, bytes);
+                        self.durable_trips += 1;
+                        self.ec_placements.insert(
+                            t,
+                            EcPlacement {
+                                shard_nodes: vec![d; total],
+                                size: bytes,
+                                config,
+                            },
+                        );
+                        self.value_ready.insert(t, tr.arrival);
+                    }
+                    // No durable either: leave no placement; consumers
+                    // will drive recovery until the retry budget errors.
+                    return;
+                }
                 let shard = (bytes / config.data as u64).max(1);
                 let mut nodes = Vec::with_capacity(total);
                 let mut last = now;
@@ -1311,41 +1413,22 @@ impl Cluster {
                 let put = self.cache.put(obj, bytes.max(1), node, now);
                 match put {
                     Ok(report) => {
-                        for s in &report.spilled {
-                            match s.to {
-                                SpillTarget::Node(dest) | SpillTarget::Durable(dest) => {
-                                    let tr = self.net.transfer(now, s.from, dest, s.bytes);
-                                    if matches!(s.to, SpillTarget::Durable(_)) {
-                                        self.durable_trips += 1;
-                                    }
-                                    if self.tracer.enabled() {
-                                        let from = format!("node{}", s.from.0);
-                                        let to = format!("node{}", dest.0);
-                                        let bytes_s = s.bytes.to_string();
-                                        self.tracer.span(
-                                            "spill",
-                                            "store",
-                                            Category::Spill,
-                                            Some(self.job_root),
-                                            now,
-                                            tr.arrival,
-                                            &[("from", &from), ("to", &to), ("bytes", &bytes_s)],
-                                        );
-                                    }
-                                }
-                                SpillTarget::Drop => {}
-                            }
-                        }
                         let tier = report.tier;
                         let _ = self.own.mark_ready(obj, bytes, node, device);
+                        self.sync_spills(now, &report.spilled);
                         self.value_ready.insert(t, now + tier.access_latency());
                     }
                     Err(_) => {
                         // Cannot fit anywhere in memory: durable backstop.
                         if let Some(d) = self.topo.durable_storage() {
                             let tr = self.net.transfer(now, node, d, bytes);
-                            let _ = self.cache.put(obj, bytes.max(1), d, now);
-                            let _ = self.own.mark_ready(obj, bytes, d, None);
+                            // Only record the durable location if the bytes
+                            // actually landed — the ownership table must
+                            // never advertise holders the stores disown.
+                            if let Ok(report) = self.cache.put(obj, bytes.max(1), d, now) {
+                                let _ = self.own.mark_ready(obj, bytes, d, None);
+                                self.sync_spills(now, &report.spilled);
+                            }
                             self.durable_trips += 1;
                             self.value_ready.insert(t, tr.arrival);
                         }
@@ -1362,11 +1445,12 @@ impl Cluster {
                             .chain(self.topo.memory_blades())
                             .filter(|x| !self.failed_nodes.contains(x))
                             .collect();
-                        if let Ok(added) =
+                        if let Ok(rep) =
                             self.cache
                                 .replicate(obj, (n - 1) as usize, &candidates, now)
                         {
-                            for dest in added {
+                            self.sync_spills(now, &rep.spilled);
+                            for dest in rep.added {
                                 let tr = self.net.transfer(now, node, dest, bytes);
                                 let _ = self.own.add_location(obj, dest);
                                 self.metrics.add("replica_bytes", bytes);
@@ -1401,6 +1485,17 @@ impl Cluster {
         }
         self.failed_nodes.insert(node);
         self.metrics.bump("node_failures");
+
+        // A crashed accelerator leaves the warm pool immediately:
+        // otherwise the autoscaler keeps counting it as provisioned
+        // capacity and never scales up a replacement. On recovery the
+        // device is cold again and re-enters through normal provisioning.
+        if self.device_available_at.remove(&node).is_some() {
+            if let Some(s) = self.autoscaler.as_mut() {
+                s.device_lost(now);
+            }
+            self.metrics.bump("devices_lost");
+        }
 
         // Actors living on the node restart elsewhere (their pin clears;
         // the next method placement re-pins).
@@ -1445,10 +1540,18 @@ impl Cluster {
             }
             if self.cfg.ft == FtMode::None {
                 self.abandoned += 1;
+                let was_running = self.tasks[&t].state == TaskState::Running;
                 self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+                if was_running {
+                    // The aborted task's compute slot must come back: a
+                    // node that later rejoins "empty-handed" would
+                    // otherwise still report the dead task's claim.
+                    let _ = self.res.release_slot(node);
+                }
                 if let Some(l) = self.node_load.get_mut(&node) {
                     *l = l.saturating_sub(1);
                 }
+                self.abandon_consumers(t);
             } else {
                 self.retries += 1;
                 self.reset_task(t, queue, now);
@@ -1501,7 +1604,11 @@ impl Cluster {
                     .topo
                     .accel_devices(None)
                     .into_iter()
-                    .filter(|d| !self.device_available_at.contains_key(d))
+                    .filter(|d| {
+                        // Dead devices cannot be provisioned; they become
+                        // candidates again once they recover.
+                        !self.device_available_at.contains_key(d) && !self.failed_nodes.contains(d)
+                    })
                     .collect();
                 cold.sort();
                 for d in cold.into_iter().take(n as usize) {
@@ -1552,6 +1659,182 @@ impl Cluster {
             let interval = self.autoscaler.as_ref().expect("present").interval();
             queue.schedule_at(now + interval, Event::Autoscale);
         }
+    }
+
+    // ---- bookkeeping helpers -----------------------------------------------
+
+    /// Prices, traces, and ownership-syncs the spills induced by a cache
+    /// insertion. Every path that puts bytes into the caching layer must
+    /// route its report through here, or the ownership table and the
+    /// spill trace drift from what the stores actually hold.
+    fn sync_spills(&mut self, now: SimTime, spilled: &[SpillEvent]) {
+        for s in spilled {
+            match s.to {
+                SpillTarget::Node(dest) | SpillTarget::Durable(dest) => {
+                    let tr = self.net.transfer(now, s.from, dest, s.bytes);
+                    if matches!(s.to, SpillTarget::Durable(_)) {
+                        self.durable_trips += 1;
+                    }
+                    // Add before remove: dropping the old location first
+                    // could transiently fail the value while the new copy
+                    // already exists.
+                    let _ = self.own.add_location(s.id, dest);
+                    let _ = self.own.remove_location(s.id, s.from);
+                    if self.tracer.enabled() {
+                        let from = format!("node{}", s.from.0);
+                        let to = format!("node{}", dest.0);
+                        let bytes_s = s.bytes.to_string();
+                        self.tracer.span(
+                            "spill",
+                            "store",
+                            Category::Spill,
+                            Some(self.job_root),
+                            now,
+                            tr.arrival,
+                            &[("from", &from), ("to", &to), ("bytes", &bytes_s)],
+                        );
+                    }
+                }
+                SpillTarget::Drop => {
+                    let _ = self.own.remove_location(s.id, s.from);
+                }
+            }
+        }
+    }
+
+    /// `FtMode::None`: a failed task's transitive consumers can never
+    /// run; fail them now so the job terminates cleanly instead of
+    /// stranding `Blocked` tasks after the event queue drains.
+    fn abandon_consumers(&mut self, root: TaskId) {
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            let consumers: Vec<TaskId> = self.consumers.get(&t).cloned().unwrap_or_default();
+            for c in consumers {
+                let rec = self.tasks.get_mut(&c).expect("known consumer");
+                if rec.state == TaskState::Blocked {
+                    rec.state = TaskState::Failed;
+                    self.abandoned += 1;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    /// Per-task outcome digest of the last run: `(task, finished, output
+    /// bytes)`, sorted. Two runs of the same job are output-equivalent
+    /// iff their manifests are equal — the chaos harness compares a
+    /// failure-injected run against the failure-free baseline with this.
+    pub fn output_manifest(&self) -> Vec<(TaskId, bool, u64)> {
+        let mut v: Vec<(TaskId, bool, u64)> = self
+            .tasks
+            .values()
+            .map(|r| {
+                (
+                    r.spec.id,
+                    r.state == TaskState::Finished,
+                    r.spec.output_bytes,
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The debug invariant checker (`RuntimeConfig::debug_invariants`):
+    /// runs after every event and cross-checks the cluster's redundant
+    /// bookkeeping. Any `Err` means a recovery-path bug, not a user
+    /// error.
+    fn check_invariants(&self, queue: &EventQueue<Event>) -> Result<(), String> {
+        // No task may sit Dispatched/Running on a failed node, and the
+        // per-node load/slot counters must match the task table.
+        let mut expect_load: HashMap<NodeId, u32> = HashMap::new();
+        let mut expect_running: HashMap<NodeId, u32> = HashMap::new();
+        for r in self.tasks.values() {
+            let resident = matches!(r.state, TaskState::Dispatched | TaskState::Running);
+            if !resident {
+                continue;
+            }
+            let n = match r.node {
+                Some(n) => n,
+                None => {
+                    return Err(format!(
+                        "task {} is {:?} without a node",
+                        r.spec.id, r.state
+                    ))
+                }
+            };
+            if self.failed_nodes.contains(&n) {
+                return Err(format!(
+                    "task {} is {:?} on failed node {}",
+                    r.spec.id, r.state, n.0
+                ));
+            }
+            *expect_load.entry(n).or_insert(0) += 1;
+            if r.state == TaskState::Running {
+                *expect_running.entry(n).or_insert(0) += 1;
+            }
+        }
+        let mut nodes: Vec<NodeId> = self
+            .node_load
+            .keys()
+            .chain(expect_load.keys())
+            .copied()
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        for n in nodes {
+            let have = self.node_load.get(&n).copied().unwrap_or(0);
+            let want = expect_load.get(&n).copied().unwrap_or(0);
+            if have != want {
+                return Err(format!(
+                    "node {} records load {have} but {want} resident tasks",
+                    n.0
+                ));
+            }
+            let claimed = self
+                .res
+                .total_slots(n)
+                .saturating_sub(self.res.free_slots(n));
+            let running = expect_running.get(&n).copied().unwrap_or(0);
+            if claimed != running {
+                return Err(format!(
+                    "node {} has {claimed} claimed slots but {running} running tasks",
+                    n.0
+                ));
+            }
+        }
+        // The ownership table and the caching layer must agree on who
+        // holds each live object.
+        let mut objs: Vec<(TaskId, ObjectId)> =
+            self.object_of.iter().map(|(t, o)| (*t, *o)).collect();
+        objs.sort();
+        for (t, obj) in objs {
+            let mut cached: Vec<NodeId> = self.cache.locations(obj).to_vec();
+            cached.sort();
+            let mut owned: Vec<NodeId> = self
+                .own
+                .get(obj)
+                .map(|e| e.locations.clone())
+                .unwrap_or_default();
+            owned.sort();
+            if cached != owned {
+                return Err(format!(
+                    "object {} of task {} held by {cached:?} per cache but {owned:?} per ownership",
+                    obj, t
+                ));
+            }
+        }
+        // A crashed device must not linger in the provisioned pool.
+        for n in &self.failed_nodes {
+            if self.device_available_at.contains_key(n) {
+                return Err(format!("failed device {} still provisioned", n.0));
+            }
+        }
+        // Progress: an empty queue with non-terminal tasks is a stall.
+        if queue.is_empty() && !self.job_done() {
+            return Err("event queue empty while tasks are unfinished".to_string());
+        }
+        Ok(())
     }
 
     // ---- cost --------------------------------------------------------------
@@ -1896,6 +2179,100 @@ mod tests {
         assert_eq!(stats.finished, 24);
         assert!(stats.metrics.counter("devices_provisioned") > 0);
     }
+
+    /// Regression: aborting a Running task on a failed node (FtMode::None)
+    /// must hand its compute slot back. Before the fix the slot stayed
+    /// claimed forever, so the invariant checker trips right after the
+    /// Fail event.
+    #[test]
+    fn aborted_task_releases_its_compute_slot() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(6, 5000.0, 1 << 16);
+        let victim = topo.servers()[0];
+        let plan = FailurePlan::none().kill_and_recover(
+            victim,
+            SimTime::from_millis(6),
+            SimTime::from_millis(8),
+        );
+        let mut c = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2()
+                .with_ft(FtMode::None)
+                .with_debug_invariants(true),
+        );
+        let res = c.run_with_failures(&job, &plan);
+        assert!(res.is_ok(), "slot accounting broke after abort: {res:?}");
+    }
+
+    /// Regression: a crashed accelerator must leave the warm-device pool
+    /// (both `device_available_at` and the autoscaler's busy count) so
+    /// the autoscaler can provision a replacement. Before the fix the
+    /// dead device stayed schedulable and warm.
+    #[test]
+    fn autoscaler_replaces_crashed_device() {
+        let topo = presets::device_rack();
+        let mut tasks = Vec::new();
+        for i in 0..24u64 {
+            tasks.push(TaskSpec::new(i, 5_000.0, 1 << 10).on(Backend::Gpu));
+        }
+        let job = Job::new("burst", tasks).unwrap();
+        let victim = topo.accel_devices(Some(AccelKind::Gpu))[0];
+        let plan = FailurePlan::none().kill_and_recover(
+            victim,
+            SimTime::from_millis(8),
+            SimTime::from_millis(30),
+        );
+        let mut c = Cluster::new(
+            &topo,
+            RuntimeConfig::skadi_gen2()
+                .with_debug_invariants(true)
+                .with_autoscale(crate::config::AutoscaleConfig {
+                    min_devices: 0,
+                    max_devices: 4,
+                    scale_up_queue: 1.0,
+                    interval: SimDuration::from_millis(1),
+                    provision_delay: SimDuration::from_millis(5),
+                }),
+        );
+        let stats = c.run_with_failures(&job, &plan).unwrap();
+        assert_eq!(stats.finished, 24);
+        assert!(stats.metrics.counter("devices_lost") > 0);
+    }
+
+    /// Killing and recovering a node mid-job must leave the output
+    /// manifest byte-identical to a failure-free run, under every
+    /// masking fault-tolerance mode.
+    #[test]
+    fn kill_and_recover_preserves_outputs_across_ft_modes() {
+        let topo = presets::small_disagg_cluster();
+        let job = fanout_job(12, 3000.0, 1 << 14);
+        let victim = topo.servers()[1];
+        let plan = FailurePlan::none().kill_and_recover(
+            victim,
+            SimTime::from_millis(2),
+            SimTime::from_millis(5),
+        );
+        for ft in [
+            FtMode::Lineage,
+            FtMode::Replication(2),
+            FtMode::ErasureCoding(EcConfig::RS_4_2),
+        ] {
+            let cfg = RuntimeConfig::skadi_gen2()
+                .with_ft(ft)
+                .with_debug_invariants(true);
+            let mut calm = Cluster::new(&topo, cfg.clone());
+            calm.run(&job).unwrap();
+            let mut stormy = Cluster::new(&topo, cfg);
+            stormy
+                .run_with_failures(&job, &plan)
+                .unwrap_or_else(|e| panic!("{ft:?}: chaos run failed: {e}"));
+            assert_eq!(
+                calm.output_manifest(),
+                stormy.output_manifest(),
+                "{ft:?}: outputs diverged after kill+recover"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1987,6 +2364,49 @@ mod actor_tests {
         // Methods re-run after the failure live on a different node.
         let last_node = c.tasks[&TaskId(5)].node.unwrap();
         assert_ne!(last_node, pinned);
+    }
+
+    /// Killing the actor's node mid-chain and recovering it must leave
+    /// the output manifest identical to a failure-free run, per FT mode.
+    #[test]
+    fn actor_chain_outputs_survive_kill_and_recover() {
+        let topo = presets::small_disagg_cluster();
+        let actor = ActorId(1);
+        let mut tasks = vec![TaskSpec::new(0, 3000.0, 1 << 12).on_actor(actor)];
+        for i in 1..6 {
+            tasks.push(
+                TaskSpec::new(i, 3000.0, 1 << 12)
+                    .after(TaskId(i - 1), 1 << 12)
+                    .on_actor(actor),
+            );
+        }
+        let job = Job::new("actor-chain", tasks).unwrap();
+        for ft in [
+            FtMode::Lineage,
+            FtMode::Replication(2),
+            FtMode::ErasureCoding(EcConfig::RS_4_2),
+        ] {
+            let cfg = RuntimeConfig::skadi_gen2()
+                .with_ft(ft)
+                .with_debug_invariants(true);
+            let mut calm = Cluster::new(&topo, cfg.clone());
+            calm.run(&job).unwrap();
+            let pinned = calm.tasks[&TaskId(0)].node.unwrap();
+            let mut stormy = Cluster::new(&topo, cfg);
+            let plan = FailurePlan::none().kill_and_recover(
+                pinned,
+                SimTime::from_millis(7),
+                SimTime::from_millis(10),
+            );
+            stormy
+                .run_with_failures(&job, &plan)
+                .unwrap_or_else(|e| panic!("{ft:?}: actor chaos run failed: {e}"));
+            assert_eq!(
+                calm.output_manifest(),
+                stormy.output_manifest(),
+                "{ft:?}: actor outputs diverged after kill+recover"
+            );
+        }
     }
 }
 

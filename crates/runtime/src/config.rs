@@ -154,6 +154,11 @@ pub struct RuntimeConfig {
     /// Off by default: tracing allocates per-event, and most experiments
     /// only need the aggregate metrics.
     pub tracing: bool,
+    /// Run the cluster's internal invariant checker after every event
+    /// (slot accounting, ownership/cache agreement, no tasks resident on
+    /// failed nodes, ...). Off by default: it is O(cluster) per event and
+    /// meant for the chaos harness and debugging, not experiments.
+    pub debug_invariants: bool,
 }
 
 impl RuntimeConfig {
@@ -174,6 +179,7 @@ impl RuntimeConfig {
             max_attempts: 5,
             seed: 42,
             tracing: false,
+            debug_invariants: false,
         }
     }
 
@@ -270,6 +276,12 @@ impl RuntimeConfig {
     /// Enables causal span tracing.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enables per-event invariant checking (chaos/debug builds).
+    pub fn with_debug_invariants(mut self, on: bool) -> Self {
+        self.debug_invariants = on;
         self
     }
 }

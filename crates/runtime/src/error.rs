@@ -27,6 +27,18 @@ pub enum RuntimeError {
     },
     /// A task failed more times than the retry budget allows.
     TaskAbandoned(TaskId),
+    /// The event queue drained while tasks were still pending — the job
+    /// neither finished nor failed cleanly. Previously this surfaced as
+    /// silently-partial [`crate::job::JobStats`]; now it is an error.
+    Stalled {
+        /// Tasks that reached `Finished`.
+        finished: u64,
+        /// Tasks stuck in a non-terminal state.
+        stuck: u64,
+    },
+    /// The debug invariant checker found inconsistent cluster state
+    /// (enabled via `RuntimeConfig::debug_invariants`).
+    InvariantViolation(String),
     /// Job state is internally inconsistent.
     Internal(String),
 }
@@ -45,6 +57,15 @@ impl fmt::Display for RuntimeError {
                 write!(f, "simulation did not drain after {events} events")
             }
             RuntimeError::TaskAbandoned(t) => write!(f, "task {t} exceeded its retry budget"),
+            RuntimeError::Stalled { finished, stuck } => {
+                write!(
+                    f,
+                    "event queue drained with {stuck} tasks pending ({finished} finished)"
+                )
+            }
+            RuntimeError::InvariantViolation(msg) => {
+                write!(f, "cluster invariant violated: {msg}")
+            }
             RuntimeError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
         }
     }

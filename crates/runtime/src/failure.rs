@@ -17,10 +17,26 @@ pub struct Failure {
     pub recovers_at: Option<SimTime>,
 }
 
+/// A compute slowdown window (straggler injection): tasks *started* on
+/// `node` while the window is open run `factor` times slower than their
+/// nominal duration. Overlapping windows compound multiplicatively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// The straggling node.
+    pub node: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Duration multiplier, > 1.0 for a straggler.
+    pub factor: f64,
+}
+
 /// A deterministic failure schedule.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FailurePlan {
     failures: Vec<Failure>,
+    slowdowns: Vec<Slowdown>,
 }
 
 impl FailurePlan {
@@ -65,14 +81,65 @@ impl FailurePlan {
         self
     }
 
+    /// Kills every node of a rack at once, all rejoining together at
+    /// `recovers_at` (transient correlated failure — the interesting case
+    /// is scheduling this *during* another node's recovery window).
+    pub fn kill_rack_and_recover(
+        mut self,
+        topo: &Topology,
+        rack: RackId,
+        at: SimTime,
+        recovers_at: SimTime,
+    ) -> Self {
+        assert!(recovers_at > at, "recovery must follow the failure");
+        for node in topo.nodes() {
+            if node.rack == rack {
+                self.failures.push(Failure {
+                    at,
+                    node: node.id,
+                    recovers_at: Some(recovers_at),
+                });
+            }
+        }
+        self
+    }
+
+    /// Adds a compute slowdown window on `node` over `[from, until)`.
+    pub fn slow(mut self, node: NodeId, from: SimTime, until: SimTime, factor: f64) -> Self {
+        assert!(until > from, "slowdown window must be non-empty");
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.slowdowns.push(Slowdown {
+            node,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
     /// All failures, in injection order.
     pub fn failures(&self) -> &[Failure] {
         &self.failures
     }
 
-    /// True if no failures are planned.
+    /// All slowdown windows, in injection order.
+    pub fn slowdowns(&self) -> &[Slowdown] {
+        &self.slowdowns
+    }
+
+    /// The combined slowdown multiplier for a task starting on `node` at
+    /// `at` (1.0 when no window applies).
+    pub fn slowdown_factor(&self, node: NodeId, at: SimTime) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|s| s.node == node && s.from <= at && at < s.until)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// True if no failures or slowdowns are planned.
     pub fn is_empty(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.slowdowns.is_empty()
     }
 }
 
@@ -104,6 +171,65 @@ mod tests {
             .failures()
             .iter()
             .all(|f| f.at == SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn slowdown_windows_compound() {
+        let plan = FailurePlan::none()
+            .slow(
+                NodeId(3),
+                SimTime::from_millis(1),
+                SimTime::from_millis(5),
+                2.0,
+            )
+            .slow(
+                NodeId(3),
+                SimTime::from_millis(4),
+                SimTime::from_millis(8),
+                3.0,
+            );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.slowdowns().len(), 2);
+        // Outside any window, and on other nodes: no slowdown.
+        assert_eq!(plan.slowdown_factor(NodeId(3), SimTime::ZERO), 1.0);
+        assert_eq!(
+            plan.slowdown_factor(NodeId(4), SimTime::from_millis(2)),
+            1.0
+        );
+        // Single window.
+        assert_eq!(
+            plan.slowdown_factor(NodeId(3), SimTime::from_millis(2)),
+            2.0
+        );
+        // Overlap compounds multiplicatively.
+        assert_eq!(
+            plan.slowdown_factor(NodeId(3), SimTime::from_millis(4)),
+            6.0
+        );
+        // `until` is exclusive.
+        assert_eq!(
+            plan.slowdown_factor(NodeId(3), SimTime::from_millis(8)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn kill_rack_and_recover_rejoins_members() {
+        use skadi_dcsim::topology::presets;
+        let topo = presets::small_disagg_cluster();
+        let rack = topo.rack_of(topo.servers()[0]);
+        let plan = FailurePlan::none().kill_rack_and_recover(
+            &topo,
+            rack,
+            SimTime::from_millis(1),
+            SimTime::from_millis(4),
+        );
+        let members = topo.nodes().iter().filter(|n| n.rack == rack).count();
+        assert_eq!(plan.failures().len(), members);
+        assert!(plan
+            .failures()
+            .iter()
+            .all(|f| f.recovers_at == Some(SimTime::from_millis(4))));
     }
 
     #[test]

@@ -29,7 +29,10 @@
 //! - [`cluster`]: the event-driven cluster simulation ([`Cluster`]).
 //! - [`job`]: physical-graph-to-job conversion and [`JobStats`].
 //! - [`failure`]: failure injection plans.
+//! - [`chaos`]: seeded chaos-schedule fault harness (random jobs +
+//!   random survivable failure schedules + invariant checks).
 
+pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod error;
@@ -39,10 +42,11 @@ pub mod lineage;
 pub mod scheduler;
 pub mod task;
 
+pub use chaos::{run_chaos, run_chaos_with, ChaosVerdict};
 pub use cluster::{Cluster, PerJobStats};
 pub use config::{AutoscaleConfig, Deployment, FtMode, Generation, RuntimeConfig};
 pub use error::RuntimeError;
-pub use failure::FailurePlan;
+pub use failure::{FailurePlan, Slowdown};
 pub use job::{job_from_physical, Job, JobStats};
 pub use scheduler::PlacementPolicy;
 pub use task::{ActorId, TaskId, TaskSpec, TaskState};

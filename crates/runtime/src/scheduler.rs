@@ -104,6 +104,7 @@ impl Placer {
 pub struct GangTracker {
     sizes: HashMap<GangId, usize>,
     waiting: HashMap<GangId, Vec<TaskId>>,
+    released: std::collections::HashSet<GangId>,
 }
 
 impl GangTracker {
@@ -117,16 +118,24 @@ impl GangTracker {
         *self.sizes.entry(gang).or_insert(0) += size;
     }
 
-    /// Records that a gang member became ready. Returns the whole gang
-    /// when this was the last member (they release together), `None`
-    /// otherwise.
+    /// Records that a gang member became ready. Returns the tasks to
+    /// release: the whole gang when this was the last member (they start
+    /// together), just this task if the gang already launched once (a
+    /// failure re-execution must not wait for peers that will never
+    /// re-gather), `None` otherwise.
     pub fn member_ready(&mut self, gang: GangId, task: TaskId) -> Option<Vec<TaskId>> {
+        if self.released.contains(&gang) {
+            return Some(vec![task]);
+        }
         let waiting = self.waiting.entry(gang).or_default();
-        waiting.push(task);
+        if !waiting.contains(&task) {
+            waiting.push(task);
+        }
         let size = self.sizes.get(&gang).copied().unwrap_or(0);
         if waiting.len() >= size {
             let mut all = self.waiting.remove(&gang).unwrap_or_default();
             all.sort();
+            self.released.insert(gang);
             Some(all)
         } else {
             None
@@ -138,10 +147,30 @@ impl GangTracker {
         self.waiting.get(&gang).map_or(0, Vec::len)
     }
 
-    /// Re-arms a gang after a failure re-execution (members will report
-    /// ready again).
+    /// True once the gang has launched together at least once.
+    pub fn has_released(&self, gang: GangId) -> bool {
+        self.released.contains(&gang)
+    }
+
+    /// Re-arms a gang from scratch (members gather and release together
+    /// again). Used when an entire gang is re-submitted.
     pub fn reset(&mut self, gang: GangId) {
         self.waiting.remove(&gang);
+        self.released.remove(&gang);
+    }
+
+    /// Forgets a single waiting member (its task was reset by failure
+    /// recovery and will report ready again). Unlike [`reset`], peers
+    /// already gathered keep waiting and the release latch is untouched.
+    ///
+    /// [`reset`]: GangTracker::reset
+    pub fn remove_waiting(&mut self, gang: GangId, task: TaskId) {
+        if let Some(w) = self.waiting.get_mut(&gang) {
+            w.retain(|t| *t != task);
+            if w.is_empty() {
+                self.waiting.remove(&gang);
+            }
+        }
     }
 }
 
@@ -197,6 +226,20 @@ impl Autoscaler {
     /// The provision delay for newly added devices.
     pub fn provision_delay(&self) -> SimDuration {
         self.cfg.provision_delay
+    }
+
+    /// Records that a warm device crashed: the pool shrinks immediately
+    /// (the device no longer accrues cost and no longer counts toward
+    /// capacity), so the next [`evaluate`] sees the real queue pressure
+    /// and can provision a replacement.
+    ///
+    /// [`evaluate`]: Autoscaler::evaluate
+    pub fn device_lost(&mut self, now: SimTime) {
+        // Settle cost at the old pool size up to the crash instant.
+        let dt = now.saturating_since(self.last_eval);
+        self.warm_device_us += self.warm as f64 * dt.as_micros_f64();
+        self.last_eval = now;
+        self.warm = self.warm.saturating_sub(1);
     }
 
     /// Re-evaluates at `now` given the accelerator queue depth and the
@@ -322,6 +365,71 @@ mod tests {
         g.reset(gang);
         assert!(g.member_ready(gang, TaskId(0)).is_none());
         assert!(g.member_ready(gang, TaskId(1)).is_some());
+    }
+
+    #[test]
+    fn gang_member_ready_dedups() {
+        let mut g = GangTracker::new();
+        let gang = GangId(3);
+        g.declare(gang, 2);
+        // The same member reporting twice must not fill the gang.
+        assert!(g.member_ready(gang, TaskId(0)).is_none());
+        assert!(g.member_ready(gang, TaskId(0)).is_none());
+        assert_eq!(g.waiting_in(gang), 1);
+        assert!(g.member_ready(gang, TaskId(1)).is_some());
+    }
+
+    #[test]
+    fn gang_released_members_restart_solo() {
+        // Regression: after a gang launched, a single member reset by
+        // failure recovery used to wait forever for peers that will never
+        // re-gather.
+        let mut g = GangTracker::new();
+        let gang = GangId(4);
+        g.declare(gang, 2);
+        g.member_ready(gang, TaskId(0));
+        let all = g.member_ready(gang, TaskId(1)).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(g.has_released(gang));
+        // One member re-runs after a node failure: it releases alone.
+        assert_eq!(g.member_ready(gang, TaskId(1)), Some(vec![TaskId(1)]));
+    }
+
+    #[test]
+    fn gang_remove_waiting_keeps_peers() {
+        let mut g = GangTracker::new();
+        let gang = GangId(5);
+        g.declare(gang, 3);
+        g.member_ready(gang, TaskId(0));
+        g.member_ready(gang, TaskId(1));
+        // Member 1 is reset by recovery; member 0 keeps waiting.
+        g.remove_waiting(gang, TaskId(1));
+        assert_eq!(g.waiting_in(gang), 1);
+        assert!(g.member_ready(gang, TaskId(1)).is_none());
+        assert!(g.member_ready(gang, TaskId(2)).is_some());
+    }
+
+    #[test]
+    fn autoscaler_sheds_lost_devices() {
+        let cfg = AutoscaleConfig {
+            min_devices: 1,
+            max_devices: 8,
+            scale_up_queue: 2.0,
+            interval: SimDuration::from_millis(10),
+            provision_delay: SimDuration::from_millis(50),
+        };
+        let mut a = Autoscaler::new(cfg);
+        a.evaluate(SimTime::from_millis(10), 100, 1);
+        let before = a.warm();
+        assert!(before > 1);
+        a.device_lost(SimTime::from_millis(15));
+        assert_eq!(a.warm(), before - 1);
+        // With the pool shrunk, sustained queue pressure provisions a
+        // replacement instead of holding.
+        match a.evaluate(SimTime::from_millis(20), 100, a.warm()) {
+            ScaleDecision::Up(n) => assert!(n >= 1),
+            other => panic!("expected Up after device loss, got {other:?}"),
+        }
     }
 
     #[test]

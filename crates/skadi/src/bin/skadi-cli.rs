@@ -17,6 +17,15 @@
 //! ```text
 //! cargo run -p skadi --bin skadi-cli -- trace my-trace.json
 //! ```
+//!
+//! The `chaos` subcommand replays one seeded schedule from the chaos
+//! fault harness (the same generator `tests/chaos.rs` drives) with
+//! tracing on, prints the injected schedule and the verdict, and writes
+//! the traced chaos run as Chrome JSON:
+//!
+//! ```text
+//! cargo run -p skadi --bin skadi-cli -- chaos --seed 17 [--ft lineage|repl|ec] [out.json]
+//! ```
 
 use skadi::arrow::array::Array;
 use skadi::arrow::batch::RecordBatch;
@@ -127,8 +136,100 @@ fn run_trace(out_path: &str) {
     println!("open it at https://ui.perfetto.dev (or chrome://tracing)");
 }
 
+/// `skadi-cli chaos --seed N [--ft MODE] [out.json]`: replay one chaos
+/// schedule with tracing and invariant checks on.
+fn run_chaos_replay(args: &[String]) {
+    use skadi::runtime::chaos::{chaos_job, chaos_plan, chaos_topology, run_chaos_with};
+    use skadi::runtime::config::FtMode;
+
+    let mut seed = 0u64;
+    let mut ft = FtMode::Lineage;
+    let mut out = "skadi-chaos.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes a number");
+            }
+            "--ft" => {
+                ft = match it.next().map(String::as_str) {
+                    Some("lineage") => FtMode::Lineage,
+                    Some("repl") | Some("replication") => FtMode::Replication(2),
+                    Some("ec") | Some("rs") => {
+                        FtMode::ErasureCoding(skadi::store::ec::EcConfig::RS_4_2)
+                    }
+                    other => panic!("--ft takes lineage|repl|ec, got {other:?}"),
+                };
+            }
+            path => out = path.to_string(),
+        }
+    }
+
+    let topo = chaos_topology();
+    let job = chaos_job(seed);
+    let plan = chaos_plan(&topo, seed);
+    println!("chaos seed {seed} under {ft:?}: {} tasks", job.len());
+    for f in plan.failures() {
+        match f.recovers_at {
+            Some(r) => println!("  kill node {} at {} (recovers {r})", f.node.0, f.at),
+            None => println!("  kill node {} at {}", f.node.0, f.at),
+        }
+    }
+    for s in plan.slowdowns() {
+        println!(
+            "  slow node {} x{:.1} during [{}, {})",
+            s.node.0, s.factor, s.from, s.until
+        );
+    }
+
+    match run_chaos_with(seed, ft, true) {
+        Ok(v) => {
+            println!(
+                "verdict: {} ({} finished, {} retries, makespan {})",
+                if v.equivalent() {
+                    "EQUIVALENT to failure-free run"
+                } else {
+                    "DIVERGED from failure-free run"
+                },
+                v.stats.finished,
+                v.stats.retries,
+                v.stats.makespan,
+            );
+            if !v.equivalent() {
+                for (b, c) in v.baseline.iter().zip(v.chaotic.iter()) {
+                    if b != c {
+                        println!("  {b:?} vs {c:?}");
+                    }
+                }
+            }
+            let json = v.stats.trace.to_chrome_json();
+            std::fs::write(&out, &json).expect("write trace file");
+            println!(
+                "wrote {} spans ({} bytes) to {out}",
+                v.stats.trace.len(),
+                json.len()
+            );
+            println!("open it at https://ui.perfetto.dev (or chrome://tracing)");
+            if !v.equivalent() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            println!("verdict: RUN FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("chaos") {
+        run_chaos_replay(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("trace") {
         let out = args
             .get(1)

@@ -121,7 +121,7 @@ impl LocalStore {
                 tier: self.tier,
             });
         }
-        let mut evicted = Vec::new();
+        let mut evicted: Vec<Slot> = Vec::new();
         if self.used + size > self.capacity {
             let need = self.used + size - self.capacity;
             let candidates: Vec<ObjectMeta> = {
@@ -143,21 +143,17 @@ impl LocalStore {
                     freed += slot.meta.size;
                     self.used -= slot.meta.size;
                     self.evictions += 1;
-                    evicted.push(slot.meta);
+                    evicted.push(slot);
                 }
             }
             if freed < need {
-                // Roll back: re-inserting evicted objects keeps the store
-                // consistent when the put is impossible (all pinned).
-                for meta in evicted {
-                    self.used += meta.size;
-                    self.slots.insert(
-                        meta.id,
-                        Slot {
-                            meta,
-                            payload: None,
-                        },
-                    );
+                // Roll back: re-inserting evicted objects (payloads
+                // included) keeps the store consistent when the put is
+                // impossible (all pinned).
+                for slot in evicted {
+                    self.used += slot.meta.size;
+                    self.evictions -= 1;
+                    self.slots.insert(slot.meta.id, slot);
                 }
                 return Err(StoreError::OutOfCapacity {
                     id,
@@ -175,7 +171,7 @@ impl LocalStore {
                 payload,
             },
         );
-        Ok(evicted)
+        Ok(evicted.into_iter().map(|s| s.meta).collect())
     }
 
     /// Looks up an object, updating recency/frequency. Returns its
@@ -290,6 +286,24 @@ mod tests {
         assert!(s.contains(ObjectId(1)));
         assert!(s.contains(ObjectId(2)));
         assert_eq!(s.used(), 100);
+    }
+
+    #[test]
+    fn failed_put_rollback_preserves_payloads() {
+        // Regression: the rollback path used to re-insert evicted objects
+        // with `payload: None`, silently destroying their bytes.
+        let mut s = store(100);
+        s.put(ObjectId(1), 60, None, SimTime::ZERO).unwrap();
+        s.set_pinned(ObjectId(1), true).unwrap();
+        s.put(ObjectId(2), 4, Some(vec![9, 8, 7, 6]), SimTime::ZERO)
+            .unwrap();
+        // Needs 64 freed but only obj2 (4 bytes) is evictable: the put
+        // fails, obj2 is evicted then rolled back — its payload must
+        // survive the round trip, and the eviction must not be counted.
+        let err = s.put(ObjectId(3), 100, None, SimTime::from_micros(1));
+        assert!(matches!(err, Err(StoreError::OutOfCapacity { .. })));
+        assert_eq!(s.payload(ObjectId(2)), Some(&[9u8, 8, 7, 6][..]));
+        assert_eq!(s.stats().2, 0, "rolled-back evictions not counted");
     }
 
     #[test]

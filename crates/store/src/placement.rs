@@ -46,6 +46,16 @@ pub struct PutReport {
     pub spilled: Vec<SpillEvent>,
 }
 
+/// Result of a `replicate`: which nodes received new copies and what had
+/// to move to make room for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateReport {
+    /// Nodes that received a new replica.
+    pub added: Vec<NodeId>,
+    /// Cascading spills triggered while placing the replicas.
+    pub spilled: Vec<SpillEvent>,
+}
+
 /// Where a read was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Location {
@@ -310,27 +320,37 @@ impl CachingLayer {
     }
 
     /// Adds `extra` replicas of `id` on rack-diverse nodes drawn from
-    /// `candidates`. Returns the nodes that received new copies.
+    /// `candidates`. Destinations that cannot take the copy (full of
+    /// pinned data) are skipped rather than aborting the whole operation,
+    /// and anything their stores evicted to make room is re-homed like any
+    /// other spill — partial failure must never leave an object in a
+    /// store without an index entry, or vice versa.
     pub fn replicate(
         &mut self,
         id: ObjectId,
         extra: usize,
         candidates: &[NodeId],
         now: SimTime,
-    ) -> Result<Vec<NodeId>, StoreError> {
+    ) -> Result<ReplicateReport, StoreError> {
         let primary = self.index.any_holder(id)?;
         let size = self.size_of(id)?;
         let picks = choose_replica_nodes(&self.topo, candidates, primary, extra);
         let mut added = Vec::new();
+        let mut spilled = Vec::new();
         for dest in picks {
             if self.index.holders(id).contains(&dest) {
                 continue;
             }
-            self.stores[dest.index()].put(id, size, None, now)?;
-            self.index.add(id, dest);
-            added.push(dest);
+            match self.stores[dest.index()].put(id, size, None, now) {
+                Ok(evicted) => {
+                    self.index.add(id, dest);
+                    added.push(dest);
+                    spilled.extend(self.rehome_evicted(dest, evicted, now)?);
+                }
+                Err(_) => continue,
+            }
         }
-        Ok(added)
+        Ok(ReplicateReport { added, spilled })
     }
 
     /// Deletes every copy of `id`.
@@ -431,12 +451,43 @@ mod tests {
         cl.put(ObjectId(1), 100, servers[0], SimTime::ZERO).unwrap();
         let added = cl
             .replicate(ObjectId(1), 2, &servers, SimTime::ZERO)
-            .unwrap();
+            .unwrap()
+            .added;
         assert_eq!(added.len(), 2);
         for a in &added {
             assert!(!topo.same_rack(*a, servers[0]));
         }
         assert_eq!(cl.locations(ObjectId(1)).len(), 3);
+    }
+
+    #[test]
+    fn replicate_rehomes_displaced_objects() {
+        // Regression: replica placement used to discard the destination
+        // store's eviction list, leaving displaced objects indexed as
+        // present but physically gone (a later `get` then failed on an
+        // "available" object).
+        let (topo, mut cl) = layer();
+        let servers = topo.servers();
+        // Pick a destination on another rack and nearly fill it so the
+        // incoming replica forces an eviction there.
+        let dest = *servers
+            .iter()
+            .find(|s| !topo.same_rack(**s, servers[0]))
+            .unwrap();
+        let cap = cl.store(dest).capacity();
+        cl.put(ObjectId(7), cap - 100, dest, SimTime::ZERO).unwrap();
+        cl.put(ObjectId(1), 200, servers[0], SimTime::from_micros(1))
+            .unwrap();
+        let report = cl
+            .replicate(ObjectId(1), 1, &[dest], SimTime::from_micros(2))
+            .unwrap();
+        assert_eq!(report.added, vec![dest]);
+        // The displaced object moved somewhere and is still readable.
+        assert!(report.spilled.iter().any(|s| s.id == ObjectId(7)));
+        assert!(cl.contains(ObjectId(7)));
+        assert!(cl
+            .get(ObjectId(7), servers[0], SimTime::from_micros(3))
+            .is_ok());
     }
 
     #[test]

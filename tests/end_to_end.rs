@@ -223,3 +223,54 @@ fn gen1_pays_more_control_spans_per_op_than_gen2() {
         per_op(&g2)
     );
 }
+
+#[test]
+fn gang_job_outputs_survive_kill_and_recover() {
+    use skadi::dcsim::time::SimTime;
+    use skadi::runtime::task::{GangId, TaskSpec};
+    use skadi::runtime::{Cluster, Job, TaskId};
+
+    // A source feeding a 4-member gang feeding a sink: collective start
+    // plus failure mid-gang exercises the release/restart path.
+    let mut tasks = vec![TaskSpec::new(0, 500.0, 1 << 14)];
+    for i in 1..=4u64 {
+        tasks.push(
+            TaskSpec::new(i, 4000.0, 1 << 12)
+                .after(TaskId(0), 1 << 12)
+                .in_gang(GangId(1)),
+        );
+    }
+    let mut sink = TaskSpec::new(5, 500.0, 1 << 10);
+    for i in 1..=4u64 {
+        sink = sink.after(TaskId(i), 1 << 10);
+    }
+    tasks.push(sink);
+    let job = Job::new("gang-chaos", tasks).unwrap();
+
+    let topo = presets::small_disagg_cluster();
+    for ft in [FtMode::Lineage, FtMode::Replication(2)] {
+        let cfg = RuntimeConfig::skadi_gen2()
+            .with_ft(ft)
+            .with_gang(true)
+            .with_debug_invariants(true);
+        let mut calm = Cluster::new(&topo, cfg.clone());
+        calm.run(&job).unwrap();
+
+        // Kill a node while the gang is in flight, then bring it back.
+        let victim = topo.servers()[1];
+        let plan = FailurePlan::none().kill_and_recover(
+            victim,
+            SimTime::from_millis(2),
+            SimTime::from_millis(6),
+        );
+        let mut stormy = Cluster::new(&topo, cfg);
+        stormy
+            .run_with_failures(&job, &plan)
+            .unwrap_or_else(|e| panic!("{ft:?}: gang chaos run failed: {e}"));
+        assert_eq!(
+            calm.output_manifest(),
+            stormy.output_manifest(),
+            "{ft:?}: gang outputs diverged after kill+recover"
+        );
+    }
+}
