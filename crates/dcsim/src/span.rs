@@ -93,6 +93,8 @@ pub enum Category {
     Placement,
     /// Autoscaler provisioning or retiring devices.
     Autoscale,
+    /// Control-plane failover: scheduler election + state reconstruction.
+    Election,
 }
 
 impl Category {
@@ -115,6 +117,7 @@ impl Category {
             Category::ColdStart => "coldstart",
             Category::Placement => "placement",
             Category::Autoscale => "autoscale",
+            Category::Election => "election",
         }
     }
 }

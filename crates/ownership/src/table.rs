@@ -247,6 +247,22 @@ impl OwnershipTable {
         v
     }
 
+    /// Re-registers every row owned by `from` under `to`, returning the
+    /// affected objects (sorted). Used at control-plane failover: the
+    /// rows the dead scheduler hosted are reconstructed on the newly
+    /// elected node from what the surviving raylets report.
+    pub fn rehome_owner(&mut self, from: NodeId, to: NodeId) -> Vec<ObjectId> {
+        let mut moved = Vec::new();
+        for e in self.entries.values_mut() {
+            if e.owner == from {
+                e.owner = to;
+                moved.push(e.id);
+            }
+        }
+        moved.sort();
+        moved
+    }
+
     /// Handles a node failure: removes the node from all location lists
     /// and returns `(objects_now_unavailable, objects_whose_owner_died)`.
     pub fn fail_node(&mut self, node: NodeId) -> (Vec<ObjectId>, Vec<ObjectId>) {
@@ -365,5 +381,20 @@ mod tests {
         assert!(t.get(ObjectId(9)).is_err());
         assert!(t.incref(ObjectId(9)).is_err());
         assert!(t.mark_ready(ObjectId(9), 1, N0, None).is_err());
+    }
+
+    #[test]
+    fn rehome_owner_moves_only_the_dead_nodes_rows() {
+        let mut t = OwnershipTable::new();
+        t.register(ObjectId(1), N0).unwrap();
+        t.register(ObjectId(2), N0).unwrap();
+        t.register(ObjectId(3), N1).unwrap();
+        let moved = t.rehome_owner(N0, N2);
+        assert_eq!(moved, vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(t.owner_of(ObjectId(1)).unwrap(), N2);
+        assert_eq!(t.owner_of(ObjectId(2)).unwrap(), N2);
+        assert_eq!(t.owner_of(ObjectId(3)).unwrap(), N1);
+        // Idempotent once rehomed.
+        assert!(t.rehome_owner(N0, N2).is_empty());
     }
 }

@@ -8,20 +8,27 @@
 //! the outputs of a failure-free run or fails with a clean error — never
 //! a hang, never silent loss.
 //!
-//! The harness keeps one *safe harbor* node (the first server, which
-//! hosts the centralized scheduler in the model) out of every kill set so
-//! schedules remain survivable by construction; everything else is fair
-//! game. All injected kills recover, so with a generous retry budget a
-//! correct runtime must converge to the failure-free manifest.
+//! Every node is fair game — including the first server, which hosts the
+//! scheduler at boot. Killing it exercises the control-plane failover
+//! path: a surviving server wins the election and reconstructs placement,
+//! gang, and ownership state from the raylets. All kills in the standard
+//! generator recover, so with a generous retry budget a correct runtime
+//! must converge to the failure-free manifest.
+//!
+//! Two harder generators ride along: [`chaos_plan_permanent`] kills a
+//! random subset of nodes *forever* (runs must either still converge or
+//! fail cleanly with `TaskAbandoned`/`Stalled` — never hang), and
+//! [`chaos_jobs`] produces staggered multi-job workloads so failures land
+//! while several jobs share the cluster.
 //!
 //! Used by `tests/chaos.rs` (the ≥200-schedule property driver) and the
 //! `skadi-cli chaos --seed N` replay subcommand.
 
 use skadi_dcsim::rng::DetRng;
-use skadi_dcsim::time::SimTime;
+use skadi_dcsim::time::{SimDuration, SimTime};
 use skadi_dcsim::topology::{NodeId, Topology};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, PerJobStats};
 use crate::config::{FtMode, RuntimeConfig};
 use crate::error::RuntimeError;
 use crate::failure::FailurePlan;
@@ -161,17 +168,17 @@ pub fn chaos_job(seed: u64) -> Job {
 
 /// Generates a seeded random failure schedule against `topo`.
 ///
-/// The first server is a safe harbor and is never killed (and its rack is
-/// never the target of correlated rack loss). 1-3 victims each suffer 1-2
-/// kill/recover cycles; with some probability a whole non-safe rack dies
-/// mid-recovery and rejoins; 0-2 straggler windows slow random nodes.
-/// Every kill recovers, so the schedule is survivable by construction.
+/// Every server and memory blade — including the scheduler's boot node —
+/// is a candidate victim. 1-3 victims each suffer 1-2 kill/recover
+/// cycles; with some probability a whole rack dies and rejoins (scheduled
+/// after every per-victim window has closed, so windows never overlap);
+/// 0-2 straggler windows slow random nodes. Every kill recovers, so the
+/// schedule is survivable by construction — even when the control plane
+/// itself goes down and a new scheduler must be elected.
 pub fn chaos_plan(topo: &Topology, seed: u64) -> FailurePlan {
     let mut rng = DetRng::seed(seed ^ 0x706c_616e); // "plan"
     let servers = topo.servers();
-    let safe = servers[0];
-    let safe_rack = topo.rack_of(safe);
-    let mut pool: Vec<NodeId> = servers[1..].to_vec();
+    let mut pool: Vec<NodeId> = servers.clone();
     pool.extend(topo.memory_blades());
 
     let mut plan = FailurePlan::none();
@@ -196,21 +203,22 @@ pub fn chaos_plan(topo: &Topology, seed: u64) -> FailurePlan {
         }
     }
 
-    // Correlated rack loss mid-recovery, avoiding the safe rack.
+    // Correlated rack loss: the whole rack dies and rejoins. Placed
+    // strictly after the latest per-victim recovery so it cannot overlap
+    // an existing window ([`FailurePlan`] rejects overlapping entries).
     if rng.chance(0.3) {
-        let racks: Vec<u16> = (0..topo.rack_count())
-            .filter(|r| skadi_dcsim::topology::RackId(*r) != safe_rack)
-            .collect();
+        let racks: Vec<u16> = (0..topo.rack_count()).collect();
         if !racks.is_empty() {
             let rack = skadi_dcsim::topology::RackId(*rng.pick(&racks));
-            let at = rng.range(1_000, 6_000);
-            let down = rng.range(1_000, 3_000);
-            plan = plan.kill_rack_and_recover(
-                topo,
-                rack,
-                SimTime::from_micros(at),
-                SimTime::from_micros(at + down),
-            );
+            let clear = plan
+                .failures()
+                .iter()
+                .filter_map(|f| f.recovers_at)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let at = clear + SimDuration::from_micros(rng.range(500, 3_000));
+            let down = SimDuration::from_micros(rng.range(1_000, 3_000));
+            plan = plan.kill_rack_and_recover(topo, rack, at, at + down);
         }
     }
 
@@ -231,6 +239,61 @@ pub fn chaos_plan(topo: &Topology, seed: u64) -> FailurePlan {
     }
 
     plan
+}
+
+/// Generates a seeded *permanent-loss* schedule: a random non-empty
+/// subset of servers and memory blades dies forever, possibly including
+/// the scheduler's boot node and possibly the entire pool.
+///
+/// Unlike [`chaos_plan`], these schedules are *not* survivable by
+/// construction. The property a run must satisfy is weaker and sharper:
+/// converge to the failure-free manifest, or fail cleanly with
+/// `TaskAbandoned`/`Stalled` — never hang, never return a silently
+/// partial `Ok`.
+pub fn chaos_plan_permanent(topo: &Topology, seed: u64) -> FailurePlan {
+    let mut rng = DetRng::seed(seed ^ 0x7065_726d); // "perm"
+    let mut pool: Vec<NodeId> = topo.servers();
+    pool.extend(topo.memory_blades());
+    rng.shuffle(&mut pool);
+    let n_victims = rng.range(1, pool.len() as u64 + 1);
+
+    let mut plan = FailurePlan::none();
+    for victim in pool.into_iter().take(n_victims as usize) {
+        plan = plan.kill(victim, SimTime::from_micros(rng.range(200, 6_000)));
+    }
+    plan
+}
+
+/// Generates 2-3 seeded jobs with staggered arrivals for multi-job chaos
+/// runs ([`Cluster::run_jobs`] under a failure schedule).
+///
+/// `run_jobs` renumbers task IDs into one combined space but does *not*
+/// touch gang or actor IDs, so the generator remaps each job's gangs and
+/// actors into a disjoint range — otherwise two jobs' gangs would merge
+/// into one bogus barrier.
+pub fn chaos_jobs(seed: u64) -> Vec<(Job, SimTime)> {
+    let mut rng = DetRng::seed(seed ^ 0x6d6a_6f62); // "mjob"
+    let n_jobs = rng.range(2, 4);
+    let mut jobs = Vec::new();
+    let mut at = 0u64;
+    for i in 0..n_jobs {
+        let base = chaos_job(seed.wrapping_mul(1_009).wrapping_add(i));
+        let specs: Vec<TaskSpec> = base
+            .tasks
+            .values()
+            .cloned()
+            .map(|mut spec| {
+                spec.gang = spec.gang.map(|g| GangId(g.0 + 100 * i as u32));
+                spec.actor = spec.actor.map(|a| ActorId(a.0 + 100 * i));
+                spec
+            })
+            .collect();
+        let job = Job::new(&format!("chaos-multi-{seed}-{i}"), specs)
+            .expect("remapping ids preserves the DAG");
+        jobs.push((job, SimTime::from_micros(at)));
+        at += rng.range(300, 2_500);
+    }
+    jobs
 }
 
 /// Runs seed `seed` under `ft`: failure-free baseline first, then the
@@ -266,6 +329,104 @@ pub fn run_chaos_with(seed: u64, ft: FtMode, tracing: bool) -> Result<ChaosVerdi
     })
 }
 
+/// Runs seed `seed` under a *permanent-loss* schedule
+/// ([`chaos_plan_permanent`]): the failure-free baseline first, then the
+/// unrecoverable schedule on a fresh cluster.
+///
+/// `Ok` means the run survived the loss and its manifest should match the
+/// baseline; `Err(TaskAbandoned | Stalled)` is the *expected* clean
+/// failure when the schedule destroys needed capacity. Any other error —
+/// or a hang — is a runtime bug.
+pub fn run_chaos_permanent(seed: u64, ft: FtMode) -> Result<ChaosVerdict, RuntimeError> {
+    run_chaos_permanent_with(seed, ft, false)
+}
+
+/// [`run_chaos_permanent`] with optional span tracing (`skadi-cli`).
+pub fn run_chaos_permanent_with(
+    seed: u64,
+    ft: FtMode,
+    tracing: bool,
+) -> Result<ChaosVerdict, RuntimeError> {
+    let topo = chaos_topology();
+    let job = chaos_job(seed);
+    let cfg = chaos_config(ft).with_tracing(tracing);
+
+    let mut calm = Cluster::new(&topo, cfg.clone());
+    calm.run(&job)?;
+    let baseline = calm.output_manifest();
+
+    let plan = chaos_plan_permanent(&topo, seed);
+    let mut stormy = Cluster::new(&topo, cfg);
+    let stats = stormy.run_with_failures(&job, &plan)?;
+    let chaotic = stormy.output_manifest();
+
+    Ok(ChaosVerdict {
+        plan,
+        stats,
+        baseline,
+        chaotic,
+    })
+}
+
+/// Outcome of one multi-job chaos run ([`run_chaos_multi`]).
+#[derive(Debug, Clone)]
+pub struct MultiChaosVerdict {
+    /// The schedule that was injected.
+    pub plan: FailurePlan,
+    /// Per-job completion stats from the chaos run.
+    pub per_job: Vec<PerJobStats>,
+    /// Combined stats from the chaos run.
+    pub stats: JobStats,
+    /// Manifest of the failure-free run (combined task-ID space).
+    pub baseline: Vec<(TaskId, bool, u64)>,
+    /// Manifest of the chaos run.
+    pub chaotic: Vec<(TaskId, bool, u64)>,
+}
+
+impl MultiChaosVerdict {
+    /// True when the chaos run produced byte-for-byte the same outputs
+    /// as the failure-free run.
+    pub fn equivalent(&self) -> bool {
+        self.baseline == self.chaotic
+    }
+}
+
+/// Runs the seeded multi-job workload ([`chaos_jobs`]) failure-free, then
+/// again under the seeded survivable schedule ([`chaos_plan`]) — failures
+/// land while several jobs share the cluster, so recovery must not leak
+/// state across job boundaries.
+pub fn run_chaos_multi(seed: u64, ft: FtMode) -> Result<MultiChaosVerdict, RuntimeError> {
+    run_chaos_multi_with(seed, ft, false)
+}
+
+/// [`run_chaos_multi`] with optional span tracing (`skadi-cli`).
+pub fn run_chaos_multi_with(
+    seed: u64,
+    ft: FtMode,
+    tracing: bool,
+) -> Result<MultiChaosVerdict, RuntimeError> {
+    let topo = chaos_topology();
+    let jobs = chaos_jobs(seed);
+    let cfg = chaos_config(ft).with_tracing(tracing);
+
+    let mut calm = Cluster::new(&topo, cfg.clone());
+    calm.run_jobs(&jobs, &FailurePlan::none())?;
+    let baseline = calm.output_manifest();
+
+    let plan = chaos_plan(&topo, seed);
+    let mut stormy = Cluster::new(&topo, cfg);
+    let (per_job, stats) = stormy.run_jobs(&jobs, &plan)?;
+    let chaotic = stormy.output_manifest();
+
+    Ok(MultiChaosVerdict {
+        plan,
+        per_job,
+        stats,
+        baseline,
+        chaotic,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,24 +444,79 @@ mod tests {
     }
 
     #[test]
-    fn plan_generator_spares_the_safe_harbor() {
+    fn plan_generator_recovers_everything_and_hunts_the_scheduler() {
         let topo = chaos_topology();
-        let safe = topo.servers()[0];
+        let head = topo.servers()[0];
+        let mut head_killed = false;
         for seed in 0..50 {
             let plan = chaos_plan(&topo, seed);
-            assert!(
-                plan.failures().iter().all(|f| f.node != safe),
-                "seed {seed} kills the safe harbor"
-            );
             assert!(
                 plan.failures().iter().all(|f| f.recovers_at.is_some()),
                 "seed {seed} has an unrecoverable kill"
             );
+            head_killed |= plan.failures().iter().any(|f| f.node == head);
             assert_eq!(
                 plan,
                 chaos_plan(&topo, seed),
                 "seed {seed} not deterministic"
             );
+        }
+        // No safe harbor: the scheduler's boot node must be in the kill
+        // pool, or the failover path is never exercised.
+        assert!(head_killed, "no seed in 0..50 kills the scheduler node");
+    }
+
+    #[test]
+    fn permanent_plan_generator_never_recovers() {
+        let topo = chaos_topology();
+        let pool_size = topo.servers().len() + topo.memory_blades().len();
+        let mut total_loss_seen = false;
+        for seed in 0..50 {
+            let plan = chaos_plan_permanent(&topo, seed);
+            assert!(!plan.failures().is_empty(), "seed {seed} kills nobody");
+            assert!(
+                plan.failures().iter().all(|f| f.recovers_at.is_none()),
+                "seed {seed} has a recovering kill in a permanent plan"
+            );
+            total_loss_seen |= plan.failures().len() == pool_size;
+            assert_eq!(
+                plan,
+                chaos_plan_permanent(&topo, seed),
+                "seed {seed} not deterministic"
+            );
+        }
+        assert!(
+            total_loss_seen,
+            "no seed in 0..50 destroys the whole pool — the stall path is untested"
+        );
+    }
+
+    #[test]
+    fn multi_job_generator_keeps_gangs_and_actors_disjoint() {
+        let jobs = chaos_jobs(5);
+        assert_eq!(jobs, chaos_jobs(5), "generator not deterministic");
+        assert!((2..=3).contains(&jobs.len()), "{} jobs", jobs.len());
+        let mut last = SimTime::ZERO;
+        let mut gangs_seen: std::collections::BTreeSet<GangId> = Default::default();
+        let mut actors_seen: std::collections::BTreeSet<ActorId> = Default::default();
+        for (job, at) in &jobs {
+            assert!(*at >= last, "arrivals must be non-decreasing");
+            last = *at;
+            let gangs: std::collections::BTreeSet<GangId> =
+                job.tasks.values().filter_map(|t| t.gang).collect();
+            let actors: std::collections::BTreeSet<ActorId> =
+                job.tasks.values().filter_map(|t| t.actor).collect();
+            assert!(!gangs.is_empty() && !actors.is_empty());
+            assert!(
+                gangs.is_disjoint(&gangs_seen),
+                "gang ids collide across jobs: {gangs:?}"
+            );
+            assert!(
+                actors.is_disjoint(&actors_seen),
+                "actor ids collide across jobs: {actors:?}"
+            );
+            gangs_seen.extend(gangs);
+            actors_seen.extend(actors);
         }
     }
 
@@ -309,5 +525,12 @@ mod tests {
         let v = run_chaos(1, FtMode::Lineage).expect("survivable schedule must complete");
         assert!(v.equivalent(), "manifests diverged: {:?}", v.plan);
         assert!(v.baseline.iter().all(|(_, done, _)| *done));
+    }
+
+    #[test]
+    fn multi_job_chaos_smoke() {
+        let v = run_chaos_multi(1, FtMode::Lineage).expect("survivable schedule must complete");
+        assert!(v.equivalent(), "manifests diverged: {:?}", v.plan);
+        assert_eq!(v.per_job.len(), chaos_jobs(1).len());
     }
 }

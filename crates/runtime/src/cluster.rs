@@ -9,10 +9,10 @@
 //! ## Execution model
 //!
 //! Tasks move through `Blocked -> Ready -> Dispatched -> Running ->
-//! Finished`. The centralized scheduler (resident on the first server,
-//! like Ray's head node) learns of readiness via control messages,
-//! places tasks with the configured policy, and dispatches them to the
-//! target node's raylet. At the raylet, each input edge is resolved with
+//! Finished`. The centralized scheduler (initially resident on the first
+//! server, like Ray's head node) learns of readiness via control
+//! messages, places tasks with the configured policy, and dispatches
+//! them to the target node's raylet. At the raylet, each input edge is resolved with
 //! the configured protocol (pull or push, routed per Gen-1 or Gen-2);
 //! the task starts when its inputs have arrived and an execution slot is
 //! free, and finishes after its backend-specific compute time. Outputs
@@ -27,6 +27,17 @@
 //! per the configured [`FtMode`]: lineage re-execution, replication
 //! (loss masked by surviving copies), or erasure coding (loss masked
 //! while at least `k` shards survive).
+//!
+//! The control plane itself is re-electable: when the scheduler's node
+//! dies, readiness notifications park until a surviving server wins a
+//! deterministic election (after `RuntimeConfig::election_delay`) and
+//! reconstructs placement, gang, autoscaler, and ownership state by
+//! querying every surviving raylet — each query a priced round trip, so
+//! failover cost shows up in traces and stats. Control messages always
+//! follow the *currently elected* scheduler. When capacity is lost
+//! permanently (no recovery scheduled, nothing procurable), affected
+//! tasks surface clean `TaskAbandoned`/`Stalled` errors instead of
+//! hanging or panicking.
 
 use std::collections::{HashMap, HashSet};
 
@@ -73,6 +84,8 @@ enum Event {
     Recover(NodeId),
     /// Autoscaler tick.
     Autoscale,
+    /// Scheduler election fires (the failover delay elapsed).
+    Elect,
 }
 
 /// Per-object erasure-coding placement.
@@ -124,6 +137,10 @@ pub struct Cluster {
     failed_nodes: HashSet<NodeId>,
     node_load: HashMap<NodeId, u32>,
     scheduler_node: NodeId,
+    /// False between the scheduler node's death and the election of a
+    /// successor; readiness notifications park while the control plane
+    /// is down.
+    scheduler_alive: bool,
     system_pools: HashMap<String, Vec<NodeId>>,
 
     autoscaler: Option<Autoscaler>,
@@ -200,6 +217,7 @@ impl Cluster {
             failed_nodes: HashSet::new(),
             node_load: HashMap::new(),
             scheduler_node,
+            scheduler_alive: true,
             system_pools: HashMap::new(),
             autoscaler,
             device_available_at: HashMap::new(),
@@ -334,6 +352,13 @@ impl Cluster {
             if let Some(err) = self.fatal.take() {
                 return Err(err);
             }
+            // A drained queue with unfinished tasks (e.g. permanent loss
+            // of every server leaves the cluster headless) surfaces as a
+            // clean `Stalled` below; break before the invariant checker
+            // reports the same condition as a violation.
+            if queue.is_empty() && !self.job_done() {
+                break;
+            }
             if self.cfg.debug_invariants {
                 if let Err(msg) = self.check_invariants(&queue) {
                     return Err(RuntimeError::InvariantViolation(format!(
@@ -444,6 +469,21 @@ impl Cluster {
         self.actor_busy_until.clear();
         self.fatal = None;
         self.active_plan = FailurePlan::none();
+        // If the previous run left the elected scheduler on a node that
+        // is still down, re-seat it on a surviving server before any
+        // control message is priced against a corpse.
+        self.scheduler_alive = true;
+        if self.failed_nodes.contains(&self.scheduler_node) {
+            match self
+                .topo
+                .servers()
+                .into_iter()
+                .find(|n| !self.failed_nodes.contains(n))
+            {
+                Some(w) => self.scheduler_node = w,
+                None => self.scheduler_alive = false,
+            }
+        }
         self.tracer = Tracer::new(self.cfg.tracing);
         self.job_root = self
             .tracer
@@ -591,6 +631,7 @@ impl Cluster {
                 self.failed_nodes.remove(&n);
             }
             Event::Autoscale => self.on_autoscale(now, queue),
+            Event::Elect => self.on_elect(now, queue),
             // Stale task event from a superseded attempt.
             _ => {}
         }
@@ -672,18 +713,30 @@ impl Cluster {
             rec.ready_at = Some(now);
         }
         self.ensure_task_span(now, t);
+        // Control plane down: the notification is parked (the task stays
+        // `Ready`) and re-driven once a new scheduler is elected and has
+        // reconstructed its state.
+        if !self.scheduler_alive {
+            return;
+        }
         // Gang gating: hold members until the whole gang is ready.
         let gang = self.tasks[&t].spec.gang;
         if self.cfg.gang_scheduling {
             if let Some(g) = gang {
                 match self.gangs.member_ready(g, t) {
-                    Some(members) => {
+                    Ok(Some(members)) => {
                         for m in members {
                             self.place(now, m, queue);
                         }
                         return;
                     }
-                    None => return,
+                    Ok(None) => return,
+                    Err(undeclared) => {
+                        if self.fatal.is_none() {
+                            self.fatal = Some(RuntimeError::UndeclaredGang(undeclared.0));
+                        }
+                        return;
+                    }
                 }
             }
         }
@@ -693,16 +746,7 @@ impl Cluster {
     fn place(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
         let (eligible, fallback) = self.eligible_nodes(t);
         if eligible.is_empty() {
-            if let Some(scaler) = &self.autoscaler {
-                // Wait for the autoscaler to warm a device.
-                let interval = scaler.interval();
-                let e = self.epoch(t);
-                queue.schedule_at(now + interval, Event::Ready(t, e));
-                return;
-            }
-            self.abandoned += 1;
-            self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
-            self.abandon_consumers(t);
+            self.no_eligible_node(now, t, queue);
             return;
         }
         // Gather placement facts.
@@ -716,26 +760,30 @@ impl Cluster {
         let object_of = &self.object_of;
         let node_load = &self.node_load;
         let res = &self.res;
-        let node = self
-            .placer
-            .place(&eligible, |n| {
-                let local: u64 = inputs
-                    .iter()
-                    .filter(|(p, _)| {
-                        object_of
-                            .get(p)
-                            .map(|o| cache.locations(*o).contains(&n))
-                            .unwrap_or(false)
-                    })
-                    .map(|(_, b)| *b)
-                    .sum();
-                NodeFacts {
-                    local_input_bytes: local,
-                    load: node_load.get(&n).copied().unwrap_or(0),
-                    free_slots: res.free_slots(n),
-                }
-            })
-            .expect("eligible non-empty");
+        let placed = self.placer.place(&eligible, |n| {
+            let local: u64 = inputs
+                .iter()
+                .filter(|(p, _)| {
+                    object_of
+                        .get(p)
+                        .map(|o| cache.locations(*o).contains(&n))
+                        .unwrap_or(false)
+                })
+                .map(|(_, b)| *b)
+                .sum();
+            NodeFacts {
+                local_input_bytes: local,
+                load: node_load.get(&n).copied().unwrap_or(0),
+                free_slots: res.free_slots(n),
+            }
+        });
+        let Some(node) = placed else {
+            // Unreachable with a non-empty eligible set today, but a
+            // placement policy declining to choose must degrade like an
+            // empty set — never panic mid-simulation.
+            self.no_eligible_node(now, t, queue);
+            return;
+        };
 
         {
             let rec = self.tasks.get_mut(&t).expect("known");
@@ -798,6 +846,53 @@ impl Cluster {
         }
         let e = self.epoch(t);
         queue.schedule_at(arrive, Event::Arrive(t, e));
+    }
+
+    /// No node can currently run `t`. Park it when capacity is due back
+    /// (an autoscaler can warm a device, or a candidate node is scheduled
+    /// to recover); otherwise the loss is permanent and the task fails
+    /// cleanly — under a recovery-capable FT mode that is fatal for the
+    /// run, never a silent partial result (and never a panic).
+    fn no_eligible_node(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
+        let spec = &self.tasks[&t].spec;
+        let mut candidates: Vec<NodeId> = match spec.backend {
+            Backend::Cpu => self.topo.servers(),
+            Backend::Gpu => self.topo.accel_devices(Some(AccelKind::Gpu)),
+            Backend::Fpga => self.topo.accel_devices(Some(AccelKind::Fpga)),
+        };
+        let any_alive = candidates.iter().any(|n| !self.failed_nodes.contains(n));
+        if any_alive {
+            if let Some(scaler) = &self.autoscaler {
+                // Wait for the autoscaler to warm a device.
+                let interval = scaler.interval();
+                let e = self.epoch(t);
+                queue.schedule_at(now + interval, Event::Ready(t, e));
+                return;
+            }
+        }
+        // Accel tasks with CPU fallback also come back when a server does.
+        if spec.backend != Backend::Cpu && self.cfg.cpu_fallback_slowdown.is_some() {
+            candidates.extend(self.topo.servers());
+        }
+        if let Some(at) = self.active_plan.next_recovery_of(&candidates, now) {
+            // Every candidate is down but one is scheduled to rejoin:
+            // retry right after it does (same-instant FIFO delivers the
+            // earlier-scheduled `Recover` before this `Ready`).
+            self.metrics.bump("placement_waits");
+            let e = self.epoch(t);
+            queue.schedule_at(at, Event::Ready(t, e));
+            return;
+        }
+        // Permanent loss of every candidate.
+        self.abandoned += 1;
+        self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+        if self.cfg.ft == FtMode::None {
+            self.abandon_consumers(t);
+            return;
+        }
+        if self.fatal.is_none() {
+            self.fatal = Some(RuntimeError::TaskAbandoned(t));
+        }
     }
 
     // ---- input resolution ------------------------------------------------
@@ -929,7 +1024,22 @@ impl Cluster {
                 );
                 self.tracer.cover(umbrella, now + loc.tier.access_latency());
                 let producer_node = loc.node;
-                let owner = self.own.owner_of(obj).unwrap_or(self.scheduler_node);
+                // The owner row must exist for any live object; rows the
+                // dead scheduler hosted were rehomed to the elected one.
+                // Fabricating an owner would silently misprice the
+                // resolution, so under `debug_invariants` it is an error.
+                let owner = match self.own.owner_of(obj) {
+                    Ok(o) => o,
+                    Err(_) => {
+                        if self.cfg.debug_invariants && self.fatal.is_none() {
+                            self.fatal = Some(RuntimeError::InvariantViolation(format!(
+                                "object {obj} of input t{} has no owner row",
+                                p.0
+                            )));
+                        }
+                        self.scheduler_node
+                    }
+                };
                 let scenario = ResolveScenario {
                     owner,
                     producer: producer_node,
@@ -1254,9 +1364,16 @@ impl Cluster {
         self.record_device_gauge(now);
         self.store_output(now, t, node, out_bytes, backend);
 
-        // Notify the scheduler (owner) and wake consumers.
-        let notify = self.net.control(now, node, self.scheduler_node);
-        if self.tracer.enabled() {
+        // Notify the scheduler (owner) and wake consumers. With the
+        // control plane down the message is lost on the wire; the
+        // completion is re-learned during election-time reconstruction,
+        // so consumers park at `now` and wait for the new scheduler.
+        let notify = if self.scheduler_alive {
+            self.net.control(now, node, self.scheduler_node)
+        } else {
+            now
+        };
+        if self.tracer.enabled() && self.scheduler_alive {
             let umbrella = self.task_span.get(&t).copied().unwrap_or(SpanId::NONE);
             self.tracer.span(
                 "notify",
@@ -1486,6 +1603,15 @@ impl Cluster {
         self.failed_nodes.insert(node);
         self.metrics.bump("node_failures");
 
+        // Control-plane death: park scheduling and hold an election once
+        // the failover delay elapses. A surviving server wins and
+        // reconstructs the dead scheduler's state (see `on_elect`).
+        if node == self.scheduler_node && self.scheduler_alive {
+            self.scheduler_alive = false;
+            self.metrics.bump("scheduler_failures");
+            queue.schedule_at(now + self.cfg.election_delay, Event::Elect);
+        }
+
         // A crashed accelerator leaves the warm pool immediately:
         // otherwise the autoscaler keeps counting it as provisioned
         // capacity and never scales up a replacement. On recovery the
@@ -1578,7 +1704,142 @@ impl Cluster {
         }
     }
 
+    /// Holds the scheduler election: the lowest-numbered surviving
+    /// server wins, reconstructs control-plane state by querying every
+    /// surviving raylet (placement facts, gang membership, task
+    /// completions, and the ownership rows the dead node hosted — each
+    /// query a priced round trip), then re-drives every parked readiness
+    /// notification once reconstruction completes.
+    fn on_elect(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        if self.scheduler_alive {
+            // Stale: a previous election already installed a leader (or
+            // the same node failed and recovered between schedulings).
+            return;
+        }
+        let winner = self
+            .topo
+            .servers()
+            .into_iter()
+            .find(|n| !self.failed_nodes.contains(n));
+        let Some(winner) = winner else {
+            // No server survives. If one is scheduled to rejoin, hold the
+            // election then; otherwise the cluster stays headless and the
+            // run ends in a clean `Stalled`/`TaskAbandoned`.
+            if let Some(at) = self.active_plan.next_recovery_of(&self.topo.servers(), now) {
+                queue.schedule_at(at, Event::Elect);
+            }
+            return;
+        };
+        let old = self.scheduler_node;
+        self.scheduler_node = winner;
+        self.scheduler_alive = true;
+        self.metrics.bump("elections");
+
+        // Reconstruction cost: one query/response round trip per
+        // surviving peer raylet; the new scheduler is fully up once the
+        // last response lands.
+        let mut peers: Vec<NodeId> = self
+            .topo
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|n| *n != winner && !self.failed_nodes.contains(n))
+            .collect();
+        peers.sort();
+        let n_peers = peers.len();
+        let mut done = now;
+        for p in peers {
+            let query = self.net.control(now, winner, p);
+            let response = self.net.control(query, p, winner);
+            done = done.max(response);
+        }
+        self.metrics
+            .add("failover_reconstruct_msgs", 2 * n_peers as u64);
+
+        // Ownership rows the dead node hosted re-register under the
+        // winner (their holders re-report them during reconstruction).
+        let rehomed = self.own.rehome_owner(old, winner);
+        self.metrics
+            .add("failover_rehomed_rows", rehomed.len() as u64);
+
+        // Placement state is rebuilt fresh; the round-robin cursor is the
+        // one piece of soft state genuinely lost to the failover.
+        self.placer = Placer::new(self.cfg.placement);
+        // The autoscaler resumes from what the surviving raylets report
+        // as the provisioned pool; the cost ledger carries over.
+        let provisioned = self.device_available_at.len() as u32;
+        if let Some(s) = self.autoscaler.as_mut() {
+            s.resync(provisioned, now);
+        }
+        // Gang membership: re-declare from the specs; gangs with members
+        // already dispatched provably launched, so their release latch is
+        // restored and lone re-executions will not wait for peers.
+        if self.cfg.gang_scheduling {
+            let mut rebuilt = GangTracker::new();
+            let mut launched: Vec<crate::task::GangId> = Vec::new();
+            for r in self.tasks.values() {
+                if let Some(g) = r.spec.gang {
+                    rebuilt.declare(g, 1);
+                    if matches!(
+                        r.state,
+                        TaskState::Dispatched | TaskState::Running | TaskState::Finished
+                    ) {
+                        launched.push(g);
+                    }
+                }
+            }
+            launched.sort();
+            launched.dedup();
+            for g in launched {
+                rebuilt.mark_released(g);
+            }
+            self.gangs = rebuilt;
+        }
+
+        if self.tracer.enabled() {
+            let w = format!("node{}", winner.0);
+            let rows = rehomed.len().to_string();
+            let peers_s = n_peers.to_string();
+            self.tracer.span(
+                "elect",
+                "scheduler",
+                Category::Election,
+                Some(self.job_root),
+                now,
+                done,
+                &[("winner", &w), ("rehomed_rows", &rows), ("peers", &peers_s)],
+            );
+        }
+
+        // Re-drive every parked readiness notification at reconstruction
+        // completion (gang gating dedups members already gathered).
+        let mut parked: Vec<TaskId> = self
+            .tasks
+            .values()
+            .filter(|r| r.state == TaskState::Ready)
+            .map(|r| r.spec.id)
+            .collect();
+        parked.sort();
+        for t in parked {
+            let e = self.epoch(t);
+            queue.schedule_at(done, Event::Ready(t, e));
+        }
+    }
+
     fn on_autoscale(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        if self.autoscaler.is_none() {
+            return;
+        }
+        // The autoscaler is scheduler-resident: ticks elapse without
+        // decisions while the control plane is down (the elected
+        // scheduler resyncs the pool when it takes over).
+        if !self.scheduler_alive {
+            let interval = self.autoscaler.as_ref().expect("present").interval();
+            if !self.job_done() {
+                queue.schedule_at(now + interval, Event::Autoscale);
+            }
+            return;
+        }
         let Some(scaler) = self.autoscaler.as_mut() else {
             return;
         };
@@ -1828,6 +2089,27 @@ impl Cluster {
         for n in &self.failed_nodes {
             if self.device_available_at.contains_key(n) {
                 return Err(format!("failed device {} still provisioned", n.0));
+            }
+        }
+        // A live control plane must sit on a live node; ownership rows
+        // must be homed on the current scheduler (rows created during an
+        // interregnum keep the dead scheduler as owner until the election
+        // rehomes them, but `scheduler_node` only advances atomically
+        // with that rehoming, so the identity holds at every event).
+        if self.scheduler_alive && self.failed_nodes.contains(&self.scheduler_node) {
+            return Err(format!(
+                "scheduler marked alive on failed node {}",
+                self.scheduler_node.0
+            ));
+        }
+        for (t, obj) in self.object_of.iter() {
+            if let Ok(e) = self.own.get(*obj) {
+                if e.owner != self.scheduler_node {
+                    return Err(format!(
+                        "object {} of task {} owned by node {} but scheduler is node {}",
+                        obj, t, e.owner.0, self.scheduler_node.0
+                    ));
+                }
             }
         }
         // Progress: an empty queue with non-terminal tasks is a stall.
@@ -2271,6 +2553,151 @@ mod tests {
                 stormy.output_manifest(),
                 "{ft:?}: outputs diverged after kill+recover"
             );
+        }
+    }
+
+    /// Killing the node hosting the scheduler mid-job must trigger an
+    /// election; once a survivor takes over and reconstructs state, the
+    /// run must converge to the failure-free manifest.
+    #[test]
+    fn scheduler_death_elects_new_leader_and_converges() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(8, 500.0, 1 << 12);
+        let head = topo.servers()[0];
+        let plan = FailurePlan::none().kill_and_recover(
+            head,
+            SimTime::from_micros(700),
+            SimTime::from_micros(2_500),
+        );
+        for ft in [
+            FtMode::Lineage,
+            FtMode::Replication(2),
+            FtMode::ErasureCoding(EcConfig::RS_4_2),
+        ] {
+            let cfg = RuntimeConfig::skadi_gen2()
+                .with_ft(ft)
+                .with_debug_invariants(true);
+            let mut calm = Cluster::new(&topo, cfg.clone());
+            calm.run(&job).unwrap();
+            let mut stormy = Cluster::new(&topo, cfg);
+            let stats = stormy
+                .run_with_failures(&job, &plan)
+                .unwrap_or_else(|e| panic!("{ft:?}: scheduler-kill run failed: {e}"));
+            assert!(
+                stats.metrics.counter("elections") >= 1,
+                "{ft:?}: no election recorded"
+            );
+            assert!(
+                stats.metrics.counter("failover_reconstruct_msgs") > 0,
+                "{ft:?}: reconstruction was free"
+            );
+            assert_eq!(
+                calm.output_manifest(),
+                stormy.output_manifest(),
+                "{ft:?}: outputs diverged after scheduler failover"
+            );
+        }
+    }
+
+    /// Destroying every server and device forever must end in a clean
+    /// `TaskAbandoned`/`Stalled`, not a hang and not a silently-partial
+    /// `Ok` (which is what the pre-failover runtime returned).
+    #[test]
+    fn permanent_total_loss_fails_cleanly() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(6, 500.0, 1 << 12);
+        let mut plan = FailurePlan::none();
+        let mut victims = topo.servers();
+        victims.extend(topo.memory_blades());
+        victims.extend(topo.accel_devices(None));
+        for (i, v) in victims.into_iter().enumerate() {
+            // Stagger kills so no two share an instant (saves nothing
+            // semantically, but keeps the trace readable when replayed).
+            plan = plan.kill(v, SimTime::from_micros(300 + i as u64));
+        }
+        let cfg = RuntimeConfig::skadi_gen2()
+            .with_ft(FtMode::Lineage)
+            .with_debug_invariants(true);
+        let mut c = Cluster::new(&topo, cfg);
+        let err = c
+            .run_with_failures(&job, &plan)
+            .expect_err("total permanent loss must not report success");
+        assert!(
+            matches!(
+                err,
+                RuntimeError::TaskAbandoned(_) | RuntimeError::Stalled { .. }
+            ),
+            "expected TaskAbandoned/Stalled, got {err:?}"
+        );
+    }
+
+    /// When every server is down at election time, the cluster stays
+    /// headless until one recovers, then elects it and finishes the job.
+    #[test]
+    fn election_waits_for_server_recovery() {
+        let topo = presets::small_disagg_cluster();
+        let job = chain_job(6, 500.0, 1 << 12);
+        let servers = topo.servers();
+        let mut plan = FailurePlan::none();
+        for (i, s) in servers.iter().copied().enumerate() {
+            if i == 1 {
+                // The sole survivor-to-be: down with the rest, back first.
+                plan = plan.kill_and_recover(
+                    s,
+                    SimTime::from_micros(500),
+                    SimTime::from_micros(2_000),
+                );
+            } else {
+                plan = plan.kill_and_recover(
+                    s,
+                    SimTime::from_micros(500),
+                    SimTime::from_micros(6_000),
+                );
+            }
+        }
+        let cfg = RuntimeConfig::skadi_gen2()
+            .with_ft(FtMode::Lineage)
+            .with_debug_invariants(true);
+        let mut c = Cluster::new(&topo, cfg);
+        let stats = c
+            .run_with_failures(&job, &plan)
+            .expect("job must finish once a server returns");
+        assert_eq!(stats.finished, 6);
+        assert!(stats.metrics.counter("elections") >= 1);
+    }
+
+    /// A live object losing its owner row is a recovery-path bug; under
+    /// `debug_invariants` the consumer's resolution must flag it instead
+    /// of silently repricing against the scheduler node.
+    #[test]
+    fn missing_owner_row_is_an_invariant_violation() {
+        let topo = presets::small_disagg_cluster();
+        let cfg = RuntimeConfig::skadi_gen2().with_debug_invariants(true);
+        let mut c = Cluster::new(&topo, cfg);
+        let job = chain_job(3, 500.0, 1 << 12);
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        c.init_job(&job, &mut queue, &HashMap::new()).unwrap();
+        let mut dropped = false;
+        let mut steps = 0u32;
+        while let Some((now, ev)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 10_000, "white-box pump did not terminate");
+            c.handle(now, ev, &mut queue);
+            if !dropped && c.tasks[&TaskId(0)].state == TaskState::Finished {
+                let obj = c.object_of[&TaskId(0)];
+                c.own.remove(obj).expect("finished task must own a row");
+                dropped = true;
+            }
+            if c.fatal.is_some() {
+                break;
+            }
+        }
+        assert!(dropped, "producer never finished");
+        match c.fatal {
+            Some(RuntimeError::InvariantViolation(ref msg)) => {
+                assert!(msg.contains("no owner row"), "unexpected message: {msg}");
+            }
+            ref other => panic!("expected InvariantViolation, got {other:?}"),
         }
     }
 }

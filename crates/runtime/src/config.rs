@@ -148,6 +148,11 @@ pub struct RuntimeConfig {
     pub cache_fetched_copies: bool,
     /// Retry budget per task under lineage recovery.
     pub max_attempts: u32,
+    /// How long after the scheduler's node dies a surviving server wins
+    /// the (simulated, deterministic) election and becomes the new
+    /// scheduler. State reconstruction — querying every surviving raylet
+    /// — is priced on the network on top of this.
+    pub election_delay: SimDuration,
     /// RNG seed for any stochastic tie-breaks.
     pub seed: u64,
     /// Record causal spans for every control message and data transfer.
@@ -177,6 +182,7 @@ impl RuntimeConfig {
             pass_by_value_max: 0,
             cache_fetched_copies: true,
             max_attempts: 5,
+            election_delay: SimDuration::from_micros(500),
             seed: 42,
             tracing: false,
             debug_invariants: false,
@@ -276,6 +282,12 @@ impl RuntimeConfig {
     /// Enables causal span tracing.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Overrides the control-plane failover election delay.
+    pub fn with_election_delay(mut self, d: SimDuration) -> Self {
+        self.election_delay = d;
         self
     }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::task::TaskId;
+use crate::task::{GangId, TaskId};
 
 /// Errors from job construction and execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,10 @@ pub enum RuntimeError {
         /// Tasks stuck in a non-terminal state.
         stuck: u64,
     },
+    /// A gang member reported ready for a gang that was never declared —
+    /// releasing it alone as "the whole gang" would silently break the
+    /// start-together guarantee, so it is a hard error.
+    UndeclaredGang(GangId),
     /// The debug invariant checker found inconsistent cluster state
     /// (enabled via `RuntimeConfig::debug_invariants`).
     InvariantViolation(String),
@@ -62,6 +66,9 @@ impl fmt::Display for RuntimeError {
                     f,
                     "event queue drained with {stuck} tasks pending ({finished} finished)"
                 )
+            }
+            RuntimeError::UndeclaredGang(g) => {
+                write!(f, "gang {:?} was never declared", g)
             }
             RuntimeError::InvariantViolation(msg) => {
                 write!(f, "cluster invariant violated: {msg}")

@@ -45,24 +45,48 @@ impl FailurePlan {
         FailurePlan::default()
     }
 
-    /// Adds a permanent failure.
-    pub fn kill(mut self, node: NodeId, at: SimTime) -> Self {
+    /// Appends a validated failure entry: two down-windows of the same
+    /// node must not overlap (a node cannot die while already dead —
+    /// such plans used to build silently and confuse recovery
+    /// bookkeeping, e.g. a `Recover` event rejoining a node mid-way
+    /// through its *other* down-window).
+    fn push_failure(&mut self, node: NodeId, at: SimTime, recovers_at: Option<SimTime>) {
+        if let Some(r) = recovers_at {
+            assert!(r > at, "recovery must follow the failure");
+        }
+        for f in &self.failures {
+            if f.node != node {
+                continue;
+            }
+            // Half-open windows [at, recovers_at), None = forever.
+            let old_before_new_ends = recovers_at.is_none_or(|end| f.at < end);
+            let new_before_old_ends = f.recovers_at.is_none_or(|end| at < end);
+            assert!(
+                !(old_before_new_ends && new_before_old_ends),
+                "overlapping failure windows for node {}: [{}, {:?}) and [{}, {:?})",
+                node.0,
+                f.at,
+                f.recovers_at,
+                at,
+                recovers_at,
+            );
+        }
         self.failures.push(Failure {
             at,
             node,
-            recovers_at: None,
+            recovers_at,
         });
+    }
+
+    /// Adds a permanent failure.
+    pub fn kill(mut self, node: NodeId, at: SimTime) -> Self {
+        self.push_failure(node, at, None);
         self
     }
 
     /// Adds a failure with later recovery.
     pub fn kill_and_recover(mut self, node: NodeId, at: SimTime, recovers_at: SimTime) -> Self {
-        assert!(recovers_at > at, "recovery must follow the failure");
-        self.failures.push(Failure {
-            at,
-            node,
-            recovers_at: Some(recovers_at),
-        });
+        self.push_failure(node, at, Some(recovers_at));
         self
     }
 
@@ -71,11 +95,7 @@ impl FailurePlan {
     pub fn kill_rack(mut self, topo: &Topology, rack: RackId, at: SimTime) -> Self {
         for node in topo.nodes() {
             if node.rack == rack {
-                self.failures.push(Failure {
-                    at,
-                    node: node.id,
-                    recovers_at: None,
-                });
+                self.push_failure(node.id, at, None);
             }
         }
         self
@@ -91,14 +111,9 @@ impl FailurePlan {
         at: SimTime,
         recovers_at: SimTime,
     ) -> Self {
-        assert!(recovers_at > at, "recovery must follow the failure");
         for node in topo.nodes() {
             if node.rack == rack {
-                self.failures.push(Failure {
-                    at,
-                    node: node.id,
-                    recovers_at: Some(recovers_at),
-                });
+                self.push_failure(node.id, at, Some(recovers_at));
             }
         }
         self
@@ -135,6 +150,19 @@ impl FailurePlan {
             .filter(|s| s.node == node && s.from <= at && at < s.until)
             .map(|s| s.factor)
             .product()
+    }
+
+    /// The earliest scheduled recovery strictly after `after` among
+    /// `nodes`, or `None` when none of them ever rejoins. Lets the
+    /// scheduler park a task that currently has no eligible node until
+    /// capacity is due back, instead of abandoning it (or spinning).
+    pub fn next_recovery_of(&self, nodes: &[NodeId], after: SimTime) -> Option<SimTime> {
+        self.failures
+            .iter()
+            .filter(|f| nodes.contains(&f.node))
+            .filter_map(|f| f.recovers_at)
+            .filter(|r| *r > after)
+            .min()
     }
 
     /// True if no failures or slowdowns are planned.
@@ -239,6 +267,62 @@ mod tests {
             NodeId(0),
             SimTime::from_millis(9),
             SimTime::from_millis(7),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping failure windows")]
+    fn duplicate_kill_rejected() {
+        // Two permanent kills of the same node: both windows run forever.
+        let _ = FailurePlan::none()
+            .kill(NodeId(3), SimTime::from_millis(2))
+            .kill(NodeId(3), SimTime::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping failure windows")]
+    fn kill_then_interleaved_recover_rejected() {
+        // A permanent kill at 2 ms overlaps a kill/recover cycle at 4-6 ms.
+        let _ = FailurePlan::none()
+            .kill(NodeId(7), SimTime::from_millis(2))
+            .kill_and_recover(NodeId(7), SimTime::from_millis(4), SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn back_to_back_windows_allowed() {
+        // Half-open windows: a node may die again the instant it rejoins,
+        // and different nodes never conflict.
+        let plan = FailurePlan::none()
+            .kill_and_recover(NodeId(1), SimTime::from_millis(1), SimTime::from_millis(3))
+            .kill_and_recover(NodeId(1), SimTime::from_millis(3), SimTime::from_millis(5))
+            .kill(NodeId(2), SimTime::from_millis(2));
+        assert_eq!(plan.failures().len(), 3);
+    }
+
+    #[test]
+    fn next_recovery_skips_permanent_and_foreign_nodes() {
+        let plan = FailurePlan::none()
+            .kill(NodeId(1), SimTime::from_millis(1))
+            .kill_and_recover(NodeId(2), SimTime::from_millis(1), SimTime::from_millis(4))
+            .kill_and_recover(NodeId(3), SimTime::from_millis(1), SimTime::from_millis(8));
+        let watch = [NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(
+            plan.next_recovery_of(&watch, SimTime::from_millis(2)),
+            Some(SimTime::from_millis(4))
+        );
+        // Strictly after: a recovery at exactly `after` does not count.
+        assert_eq!(
+            plan.next_recovery_of(&watch, SimTime::from_millis(4)),
+            Some(SimTime::from_millis(8))
+        );
+        // Node 1 never recovers; watching only it yields nothing.
+        assert_eq!(
+            plan.next_recovery_of(&[NodeId(1)], SimTime::from_millis(0)),
+            None
+        );
+        assert_eq!(
+            plan.next_recovery_of(&[NodeId(9)], SimTime::from_millis(0)),
+            None
         );
     }
 }

@@ -99,6 +99,18 @@ impl Placer {
     }
 }
 
+/// A gang member reported ready for a gang nobody declared. Releasing
+/// it anyway would treat the lone member as "the whole gang" (declared
+/// size defaults to zero) — a scheduling bug, not a recoverable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndeclaredGang(pub GangId);
+
+impl std::fmt::Display for UndeclaredGang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gang {:?} was never declared", self.0)
+    }
+}
+
 /// Tracks gang membership so gang-labeled tasks release together.
 #[derive(Debug, Clone, Default)]
 pub struct GangTracker {
@@ -122,23 +134,29 @@ impl GangTracker {
     /// release: the whole gang when this was the last member (they start
     /// together), just this task if the gang already launched once (a
     /// failure re-execution must not wait for peers that will never
-    /// re-gather), `None` otherwise.
-    pub fn member_ready(&mut self, gang: GangId, task: TaskId) -> Option<Vec<TaskId>> {
+    /// re-gather), `None` otherwise. An undeclared gang is an error.
+    pub fn member_ready(
+        &mut self,
+        gang: GangId,
+        task: TaskId,
+    ) -> Result<Option<Vec<TaskId>>, UndeclaredGang> {
         if self.released.contains(&gang) {
-            return Some(vec![task]);
+            return Ok(Some(vec![task]));
         }
+        let Some(size) = self.sizes.get(&gang).copied() else {
+            return Err(UndeclaredGang(gang));
+        };
         let waiting = self.waiting.entry(gang).or_default();
         if !waiting.contains(&task) {
             waiting.push(task);
         }
-        let size = self.sizes.get(&gang).copied().unwrap_or(0);
         if waiting.len() >= size {
             let mut all = self.waiting.remove(&gang).unwrap_or_default();
             all.sort();
             self.released.insert(gang);
-            Some(all)
+            Ok(Some(all))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -153,10 +171,23 @@ impl GangTracker {
     }
 
     /// Re-arms a gang from scratch (members gather and release together
-    /// again). Used when an entire gang is re-submitted.
+    /// again). Used when an entire gang is re-submitted; the re-submission
+    /// re-declares its members, so the size is forgotten too — `declare`
+    /// accumulates, and a stale size would inflate on re-declaration
+    /// until the gang can never fill.
     pub fn reset(&mut self, gang: GangId) {
+        self.sizes.remove(&gang);
         self.waiting.remove(&gang);
         self.released.remove(&gang);
+    }
+
+    /// Marks a gang as already launched without replaying its gather.
+    /// Used when a newly elected scheduler rebuilds gang state: members
+    /// observed `Dispatched`/`Running`/`Finished` prove the collective
+    /// launch happened, so later lone re-executions must release solo.
+    pub fn mark_released(&mut self, gang: GangId) {
+        self.waiting.remove(&gang);
+        self.released.insert(gang);
     }
 
     /// Forgets a single waiting member (its task was reset by failure
@@ -240,6 +271,18 @@ impl Autoscaler {
         self.warm_device_us += self.warm as f64 * dt.as_micros_f64();
         self.last_eval = now;
         self.warm = self.warm.saturating_sub(1);
+    }
+
+    /// Rebuilds the autoscaler on a newly elected scheduler node: cost
+    /// accrued so far is settled at the old pool size, then the pool is
+    /// reset to what the surviving raylets actually report (`warm`
+    /// provisioned devices). The cost ledger survives — it models the
+    /// bill, not scheduler-resident soft state.
+    pub fn resync(&mut self, warm: u32, now: SimTime) {
+        let dt = now.saturating_since(self.last_eval);
+        self.warm_device_us += self.warm as f64 * dt.as_micros_f64();
+        self.last_eval = now;
+        self.warm = warm.clamp(self.cfg.min_devices, self.cfg.max_devices);
     }
 
     /// Re-evaluates at `now` given the accelerator queue depth and the
@@ -348,10 +391,10 @@ mod tests {
         let mut g = GangTracker::new();
         let gang = GangId(1);
         g.declare(gang, 3);
-        assert!(g.member_ready(gang, TaskId(5)).is_none());
-        assert!(g.member_ready(gang, TaskId(3)).is_none());
+        assert!(g.member_ready(gang, TaskId(5)).unwrap().is_none());
+        assert!(g.member_ready(gang, TaskId(3)).unwrap().is_none());
         assert_eq!(g.waiting_in(gang), 2);
-        let all = g.member_ready(gang, TaskId(8)).unwrap();
+        let all = g.member_ready(gang, TaskId(8)).unwrap().unwrap();
         assert_eq!(all, vec![TaskId(3), TaskId(5), TaskId(8)]);
         assert_eq!(g.waiting_in(gang), 0);
     }
@@ -361,10 +404,46 @@ mod tests {
         let mut g = GangTracker::new();
         let gang = GangId(2);
         g.declare(gang, 2);
-        g.member_ready(gang, TaskId(0));
+        g.member_ready(gang, TaskId(0)).unwrap();
         g.reset(gang);
-        assert!(g.member_ready(gang, TaskId(0)).is_none());
-        assert!(g.member_ready(gang, TaskId(1)).is_some());
+        // A reset gang is undeclared until the re-submission declares it.
+        g.declare(gang, 2);
+        assert!(g.member_ready(gang, TaskId(0)).unwrap().is_none());
+        assert!(g.member_ready(gang, TaskId(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn gang_resubmission_redeclares_from_zero() {
+        // Regression: `declare` accumulates (one call per member at job
+        // submit) but `reset` used to keep the old size, so a re-declared
+        // gang doubled its threshold and could never fill again.
+        let mut g = GangTracker::new();
+        let gang = GangId(7);
+        g.declare(gang, 1);
+        g.declare(gang, 1);
+        g.member_ready(gang, TaskId(0)).unwrap();
+        g.member_ready(gang, TaskId(1)).unwrap().expect("released");
+        g.reset(gang);
+        g.declare(gang, 1);
+        g.declare(gang, 1);
+        assert!(g.member_ready(gang, TaskId(0)).unwrap().is_none());
+        let all = g
+            .member_ready(gang, TaskId(1))
+            .unwrap()
+            .expect("re-declared gang of 2 releases at 2 members");
+        assert_eq!(all, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn undeclared_gang_is_an_error() {
+        // Regression: an undeclared gang's size defaulted to 0, so the
+        // first member to report was released alone as "the whole gang".
+        let mut g = GangTracker::new();
+        assert_eq!(
+            g.member_ready(GangId(9), TaskId(0)),
+            Err(UndeclaredGang(GangId(9)))
+        );
+        assert_eq!(g.waiting_in(GangId(9)), 0);
     }
 
     #[test]
@@ -373,10 +452,10 @@ mod tests {
         let gang = GangId(3);
         g.declare(gang, 2);
         // The same member reporting twice must not fill the gang.
-        assert!(g.member_ready(gang, TaskId(0)).is_none());
-        assert!(g.member_ready(gang, TaskId(0)).is_none());
+        assert!(g.member_ready(gang, TaskId(0)).unwrap().is_none());
+        assert!(g.member_ready(gang, TaskId(0)).unwrap().is_none());
         assert_eq!(g.waiting_in(gang), 1);
-        assert!(g.member_ready(gang, TaskId(1)).is_some());
+        assert!(g.member_ready(gang, TaskId(1)).unwrap().is_some());
     }
 
     #[test]
@@ -387,12 +466,24 @@ mod tests {
         let mut g = GangTracker::new();
         let gang = GangId(4);
         g.declare(gang, 2);
-        g.member_ready(gang, TaskId(0));
-        let all = g.member_ready(gang, TaskId(1)).unwrap();
+        g.member_ready(gang, TaskId(0)).unwrap();
+        let all = g.member_ready(gang, TaskId(1)).unwrap().unwrap();
         assert_eq!(all.len(), 2);
         assert!(g.has_released(gang));
         // One member re-runs after a node failure: it releases alone.
-        assert_eq!(g.member_ready(gang, TaskId(1)), Some(vec![TaskId(1)]));
+        assert_eq!(g.member_ready(gang, TaskId(1)), Ok(Some(vec![TaskId(1)])));
+    }
+
+    #[test]
+    fn gang_mark_released_skips_the_gather() {
+        // A newly elected scheduler infers launched gangs from member
+        // states; re-reported members then release solo.
+        let mut g = GangTracker::new();
+        let gang = GangId(6);
+        g.declare(gang, 3);
+        g.mark_released(gang);
+        assert!(g.has_released(gang));
+        assert_eq!(g.member_ready(gang, TaskId(2)), Ok(Some(vec![TaskId(2)])));
     }
 
     #[test]
@@ -400,13 +491,13 @@ mod tests {
         let mut g = GangTracker::new();
         let gang = GangId(5);
         g.declare(gang, 3);
-        g.member_ready(gang, TaskId(0));
-        g.member_ready(gang, TaskId(1));
+        g.member_ready(gang, TaskId(0)).unwrap();
+        g.member_ready(gang, TaskId(1)).unwrap();
         // Member 1 is reset by recovery; member 0 keeps waiting.
         g.remove_waiting(gang, TaskId(1));
         assert_eq!(g.waiting_in(gang), 1);
-        assert!(g.member_ready(gang, TaskId(1)).is_none());
-        assert!(g.member_ready(gang, TaskId(2)).is_some());
+        assert!(g.member_ready(gang, TaskId(1)).unwrap().is_none());
+        assert!(g.member_ready(gang, TaskId(2)).unwrap().is_some());
     }
 
     #[test]
@@ -467,6 +558,32 @@ mod tests {
             a.evaluate(SimTime::from_millis(30), 0, 0),
             ScaleDecision::Hold
         ));
+    }
+
+    #[test]
+    fn autoscaler_resync_keeps_the_bill() {
+        let cfg = AutoscaleConfig {
+            min_devices: 1,
+            max_devices: 8,
+            scale_up_queue: 2.0,
+            interval: SimDuration::from_millis(10),
+            provision_delay: SimDuration::from_millis(50),
+        };
+        let mut a = Autoscaler::new(cfg);
+        a.evaluate(SimTime::from_millis(10), 100, 1);
+        let before_warm = a.warm();
+        assert!(before_warm > 1);
+        // A failover rebuilds the pool from what raylets report (here: 2
+        // provisioned devices); accrued cost is settled, not discarded.
+        a.resync(2, SimTime::from_millis(20));
+        assert_eq!(a.warm(), 2);
+        let billed = a.warm_device_us();
+        assert!(billed >= before_warm as f64 * 10_000.0 - 1.0);
+        // Bounds still hold.
+        a.resync(0, SimTime::from_millis(21));
+        assert_eq!(a.warm(), cfg.min_devices);
+        a.resync(99, SimTime::from_millis(22));
+        assert_eq!(a.warm(), cfg.max_devices);
     }
 
     #[test]

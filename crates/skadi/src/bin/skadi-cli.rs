@@ -21,10 +21,12 @@
 //! The `chaos` subcommand replays one seeded schedule from the chaos
 //! fault harness (the same generator `tests/chaos.rs` drives) with
 //! tracing on, prints the injected schedule and the verdict, and writes
-//! the traced chaos run as Chrome JSON:
+//! the traced chaos run as Chrome JSON. `--permanent` switches to the
+//! unrecoverable-loss generator and `--multi` to the staggered
+//! multi-job workload:
 //!
 //! ```text
-//! cargo run -p skadi --bin skadi-cli -- chaos --seed 17 [--ft lineage|repl|ec] [out.json]
+//! cargo run -p skadi --bin skadi-cli -- chaos --seed 17 [--ft lineage|repl|ec] [--permanent | --multi] [out.json]
 //! ```
 
 use skadi::arrow::array::Array;
@@ -136,14 +138,23 @@ fn run_trace(out_path: &str) {
     println!("open it at https://ui.perfetto.dev (or chrome://tracing)");
 }
 
-/// `skadi-cli chaos --seed N [--ft MODE] [out.json]`: replay one chaos
-/// schedule with tracing and invariant checks on.
+/// `skadi-cli chaos --seed N [--ft MODE] [--permanent | --multi]
+/// [out.json]`: replay one chaos schedule with tracing and invariant
+/// checks on. `--permanent` replays the unrecoverable-loss generator
+/// (clean `TaskAbandoned`/`Stalled` counts as a pass); `--multi` replays
+/// the staggered multi-job workload under the survivable generator.
 fn run_chaos_replay(args: &[String]) {
-    use skadi::runtime::chaos::{chaos_job, chaos_plan, chaos_topology, run_chaos_with};
+    use skadi::runtime::chaos::{
+        chaos_job, chaos_jobs, chaos_plan, chaos_plan_permanent, chaos_topology,
+        run_chaos_multi_with, run_chaos_permanent_with, run_chaos_with,
+    };
     use skadi::runtime::config::FtMode;
+    use skadi::runtime::error::RuntimeError;
 
     let mut seed = 0u64;
     let mut ft = FtMode::Lineage;
+    let mut permanent = false;
+    let mut multi = false;
     let mut out = "skadi-chaos.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -164,18 +175,44 @@ fn run_chaos_replay(args: &[String]) {
                     other => panic!("--ft takes lineage|repl|ec, got {other:?}"),
                 };
             }
+            "--permanent" => permanent = true,
+            "--multi" => multi = true,
             path => out = path.to_string(),
         }
     }
+    assert!(
+        !(permanent && multi),
+        "--permanent and --multi are separate suites"
+    );
 
     let topo = chaos_topology();
-    let job = chaos_job(seed);
-    let plan = chaos_plan(&topo, seed);
-    println!("chaos seed {seed} under {ft:?}: {} tasks", job.len());
+    let plan = if permanent {
+        chaos_plan_permanent(&topo, seed)
+    } else {
+        chaos_plan(&topo, seed)
+    };
+    if multi {
+        let jobs = chaos_jobs(seed);
+        let total: usize = jobs.iter().map(|(j, _)| j.len()).sum();
+        println!(
+            "chaos seed {seed} under {ft:?}: {} jobs, {total} tasks",
+            jobs.len()
+        );
+        for (j, at) in &jobs {
+            println!("  job '{}' arrives at {at} ({} tasks)", j.name, j.len());
+        }
+    } else {
+        let job = chaos_job(seed);
+        println!(
+            "chaos seed {seed} under {ft:?}{}: {} tasks",
+            if permanent { " (permanent loss)" } else { "" },
+            job.len()
+        );
+    }
     for f in plan.failures() {
         match f.recovers_at {
             Some(r) => println!("  kill node {} at {} (recovers {r})", f.node.0, f.at),
-            None => println!("  kill node {} at {}", f.node.0, f.at),
+            None => println!("  kill node {} at {} (permanent)", f.node.0, f.at),
         }
     }
     for s in plan.slowdowns() {
@@ -185,37 +222,62 @@ fn run_chaos_replay(args: &[String]) {
         );
     }
 
-    match run_chaos_with(seed, ft, true) {
-        Ok(v) => {
+    // Normalize the three suites into one (verdict-line, stats, diff)
+    // shape so the reporting below is shared.
+    let outcome = if multi {
+        run_chaos_multi_with(seed, ft, true).map(|v| {
+            let eq = v.equivalent();
+            (eq, v.stats, v.baseline, v.chaotic)
+        })
+    } else if permanent {
+        run_chaos_permanent_with(seed, ft, true).map(|v| {
+            let eq = v.equivalent();
+            (eq, v.stats, v.baseline, v.chaotic)
+        })
+    } else {
+        run_chaos_with(seed, ft, true).map(|v| {
+            let eq = v.equivalent();
+            (eq, v.stats, v.baseline, v.chaotic)
+        })
+    };
+
+    match outcome {
+        Ok((equivalent, stats, baseline, chaotic)) => {
             println!(
-                "verdict: {} ({} finished, {} retries, makespan {})",
-                if v.equivalent() {
+                "verdict: {} ({} finished, {} retries, {} elections, makespan {})",
+                if equivalent {
                     "EQUIVALENT to failure-free run"
                 } else {
                     "DIVERGED from failure-free run"
                 },
-                v.stats.finished,
-                v.stats.retries,
-                v.stats.makespan,
+                stats.finished,
+                stats.retries,
+                stats.metrics.counter("elections"),
+                stats.makespan,
             );
-            if !v.equivalent() {
-                for (b, c) in v.baseline.iter().zip(v.chaotic.iter()) {
+            if !equivalent {
+                for (b, c) in baseline.iter().zip(chaotic.iter()) {
                     if b != c {
                         println!("  {b:?} vs {c:?}");
                     }
                 }
             }
-            let json = v.stats.trace.to_chrome_json();
+            let json = stats.trace.to_chrome_json();
             std::fs::write(&out, &json).expect("write trace file");
             println!(
                 "wrote {} spans ({} bytes) to {out}",
-                v.stats.trace.len(),
+                stats.trace.len(),
                 json.len()
             );
             println!("open it at https://ui.perfetto.dev (or chrome://tracing)");
-            if !v.equivalent() {
+            if !equivalent {
                 std::process::exit(1);
             }
+        }
+        Err(e @ (RuntimeError::TaskAbandoned(_) | RuntimeError::Stalled { .. })) if permanent => {
+            // Unrecoverable schedules are allowed — required, when they
+            // destroy needed capacity — to end in these two errors.
+            println!("verdict: CLEAN FAILURE under permanent loss: {e}");
         }
         Err(e) => {
             println!("verdict: RUN FAILED: {e}");

@@ -2,19 +2,35 @@
 //! against seeded random jobs (plain tasks + a gang + an actor chain),
 //! under each fault-tolerance mode, with the debug invariant checker on.
 //!
-//! Every schedule is survivable by construction (the scheduler's node is
-//! never killed and every kill recovers), so the property is strict: the
-//! run must complete with *exactly* the outputs of the failure-free run.
-//! Any error — livelock, stall, invariant violation, abandoned task — or
-//! any manifest divergence is a recovery-path bug.
+//! Three suites:
 //!
-//! Replay one schedule with `skadi-cli chaos --seed N` to debug.
+//! - **Survivable** ([`run_chaos`]): every kill recovers — including
+//!   kills of the scheduler's own node, which force a control-plane
+//!   election mid-job. The property is strict: the run must complete
+//!   with *exactly* the outputs of the failure-free run. Any error —
+//!   livelock, stall, invariant violation, abandoned task — or any
+//!   manifest divergence is a recovery-path bug.
+//! - **Permanent loss** ([`run_chaos_permanent`]): a random subset of
+//!   nodes (possibly all of them) dies forever. The run must either
+//!   still converge to the failure-free manifest or fail cleanly with
+//!   `TaskAbandoned`/`Stalled` — never hang, never return a silently
+//!   partial `Ok`.
+//! - **Multi-job** ([`run_chaos_multi`]): 2-3 staggered jobs share the
+//!   cluster while a survivable schedule fires; recovery must not leak
+//!   state across job boundaries, so the combined manifest must match
+//!   the failure-free run exactly.
+//!
+//! Replay one schedule with `skadi-cli chaos --seed N` (add
+//! `--permanent` / `--multi` for the other suites) to debug.
 
-use skadi_runtime::chaos::run_chaos;
+use skadi_runtime::chaos::{run_chaos, run_chaos_multi, run_chaos_permanent};
 use skadi_runtime::config::FtMode;
+use skadi_runtime::error::RuntimeError;
 use skadi_store::ec::EcConfig;
 
-const SEEDS: u64 = 68; // x3 modes = 204 schedules
+const SEEDS: u64 = 68; // x3 modes = 204 survivable schedules
+const PERM_SEEDS: u64 = 32; // x3 modes = 96 permanent-loss schedules
+const MULTI_SEEDS: u64 = 24; // x3 modes = 72 multi-job schedules
 
 fn drive(ft: FtMode, label: &str) {
     let mut bad = Vec::new();
@@ -46,6 +62,54 @@ fn drive(ft: FtMode, label: &str) {
     );
 }
 
+/// Permanent-loss property: `Ok` must be byte-identical to the baseline;
+/// `Err` must be the *clean* capacity-loss errors, nothing else. The
+/// pre-failover runtime failed this suite by returning partial `Ok`s
+/// (finished: 0) when every node died.
+fn drive_permanent(ft: FtMode, label: &str) {
+    let mut bad = Vec::new();
+    for seed in 0..PERM_SEEDS {
+        match run_chaos_permanent(seed, ft) {
+            Ok(v) if v.equivalent() => {}
+            Ok(v) => bad.push(format!(
+                "seed {seed}: partial Ok — {} baseline rows vs {} chaotic, plan {:?}",
+                v.baseline.len(),
+                v.chaotic.len(),
+                v.plan
+            )),
+            Err(RuntimeError::TaskAbandoned(_)) | Err(RuntimeError::Stalled { .. }) => {}
+            Err(e) => bad.push(format!("seed {seed}: unclean failure: {e}")),
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "{label}: {}/{PERM_SEEDS} permanent-loss schedules failed:\n{}",
+        bad.len(),
+        bad.join("\n")
+    );
+}
+
+fn drive_multi(ft: FtMode, label: &str) {
+    let mut bad = Vec::new();
+    for seed in 0..MULTI_SEEDS {
+        match run_chaos_multi(seed, ft) {
+            Ok(v) if v.equivalent() => {}
+            Ok(v) => bad.push(format!(
+                "seed {seed}: multi-job manifests diverge ({} vs {} rows finished)",
+                v.baseline.iter().filter(|(_, done, _)| *done).count(),
+                v.chaotic.iter().filter(|(_, done, _)| *done).count()
+            )),
+            Err(e) => bad.push(format!("seed {seed}: {e}")),
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "{label}: {}/{MULTI_SEEDS} multi-job schedules failed:\n{}",
+        bad.len(),
+        bad.join("\n")
+    );
+}
+
 #[test]
 fn chaos_schedules_converge_under_lineage() {
     drive(FtMode::Lineage, "lineage");
@@ -59,4 +123,91 @@ fn chaos_schedules_converge_under_replication() {
 #[test]
 fn chaos_schedules_converge_under_erasure_coding() {
     drive(FtMode::ErasureCoding(EcConfig::RS_4_2), "rs(4,2)");
+}
+
+#[test]
+fn permanent_loss_ends_cleanly_under_lineage() {
+    drive_permanent(FtMode::Lineage, "lineage");
+}
+
+#[test]
+fn permanent_loss_ends_cleanly_under_replication() {
+    drive_permanent(FtMode::Replication(2), "replication(2)");
+}
+
+#[test]
+fn permanent_loss_ends_cleanly_under_erasure_coding() {
+    drive_permanent(FtMode::ErasureCoding(EcConfig::RS_4_2), "rs(4,2)");
+}
+
+/// `FtMode::None` makes no recovery promise: permanent loss may abandon
+/// dependents (`abandoned > 0` in an `Ok`), but it must still terminate
+/// cleanly rather than hang or violate invariants.
+#[test]
+fn permanent_loss_terminates_without_ft() {
+    for seed in 0..PERM_SEEDS {
+        match run_chaos_permanent(seed, FtMode::None) {
+            Ok(_) => {}
+            Err(RuntimeError::TaskAbandoned(_)) | Err(RuntimeError::Stalled { .. }) => {}
+            Err(e) => panic!("seed {seed}: unclean failure without FT: {e}"),
+        }
+    }
+}
+
+#[test]
+fn multi_job_chaos_converges_under_lineage() {
+    drive_multi(FtMode::Lineage, "lineage");
+}
+
+#[test]
+fn multi_job_chaos_converges_under_replication() {
+    drive_multi(FtMode::Replication(2), "replication(2)");
+}
+
+#[test]
+fn multi_job_chaos_converges_under_erasure_coding() {
+    drive_multi(FtMode::ErasureCoding(EcConfig::RS_4_2), "rs(4,2)");
+}
+
+/// The headline failover scenario, spelled out: kill the scheduler's
+/// boot node mid-job and bring it back. A survivor must win the
+/// election, reconstruct state from the raylets, and converge to the
+/// failure-free manifest under every masking FT mode.
+#[test]
+fn scheduler_kill_and_recover_converges_across_modes() {
+    use skadi_dcsim::time::SimTime;
+    use skadi_runtime::chaos::{chaos_config, chaos_job, chaos_topology};
+    use skadi_runtime::cluster::Cluster;
+    use skadi_runtime::failure::FailurePlan;
+
+    let topo = chaos_topology();
+    let head = topo.servers()[0];
+    let job = chaos_job(3);
+    let plan = FailurePlan::none().kill_and_recover(
+        head,
+        SimTime::from_micros(900),
+        SimTime::from_micros(3_000),
+    );
+    for ft in [
+        FtMode::Lineage,
+        FtMode::Replication(2),
+        FtMode::ErasureCoding(EcConfig::RS_4_2),
+    ] {
+        let cfg = chaos_config(ft);
+        let mut calm = Cluster::new(&topo, cfg.clone());
+        calm.run(&job).unwrap();
+        let mut stormy = Cluster::new(&topo, cfg);
+        let stats = stormy
+            .run_with_failures(&job, &plan)
+            .unwrap_or_else(|e| panic!("{ft:?}: scheduler-kill run failed: {e}"));
+        assert!(
+            stats.metrics.counter("elections") >= 1,
+            "{ft:?}: scheduler died but no election ran"
+        );
+        assert_eq!(
+            calm.output_manifest(),
+            stormy.output_manifest(),
+            "{ft:?}: outputs diverged after control-plane failover"
+        );
+    }
 }
