@@ -118,6 +118,54 @@ impl Int64Array {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// Iterates the raw values without consulting validity (null slots
+    /// yield their placeholder `0`). The vectorized kernels pair this
+    /// with [`Int64Array::validity`] to keep the inner loop branch-free.
+    pub fn iter_raw(&self) -> impl Iterator<Item = i64> + '_ {
+        self.values.iter_i64(self.len)
+    }
+
+    /// Gathers the rows at `indices` into a new array (typed `take`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take_rows(&self, indices: &[usize]) -> Int64Array {
+        match &self.validity {
+            None => {
+                let raw: Vec<i64> = indices
+                    .iter()
+                    .map(|&i| {
+                        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+                        self.values.get_i64(i)
+                    })
+                    .collect();
+                Int64Array::new(raw)
+            }
+            Some(v) => {
+                let mut raw = Vec::with_capacity(indices.len());
+                let mut valid = Vec::with_capacity(indices.len());
+                let mut any_null = false;
+                for &i in indices {
+                    assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+                    if v.get(i) {
+                        raw.push(self.values.get_i64(i));
+                        valid.push(true);
+                    } else {
+                        raw.push(0);
+                        valid.push(false);
+                        any_null = true;
+                    }
+                }
+                Int64Array {
+                    values: raw.into(),
+                    validity: any_null.then(|| Bitmap::from_bools(&valid)),
+                    len: indices.len(),
+                }
+            }
+        }
+    }
+
     /// The raw values buffer.
     pub fn values(&self) -> &Buffer {
         &self.values
@@ -208,6 +256,53 @@ impl Float64Array {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// Iterates the raw values without consulting validity (null slots
+    /// yield their placeholder `0.0`).
+    pub fn iter_raw(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter_f64(self.len)
+    }
+
+    /// Gathers the rows at `indices` into a new array (typed `take`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take_rows(&self, indices: &[usize]) -> Float64Array {
+        match &self.validity {
+            None => {
+                let raw: Vec<f64> = indices
+                    .iter()
+                    .map(|&i| {
+                        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+                        self.values.get_f64(i)
+                    })
+                    .collect();
+                Float64Array::new(raw)
+            }
+            Some(v) => {
+                let mut raw = Vec::with_capacity(indices.len());
+                let mut valid = Vec::with_capacity(indices.len());
+                let mut any_null = false;
+                for &i in indices {
+                    assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+                    if v.get(i) {
+                        raw.push(self.values.get_f64(i));
+                        valid.push(true);
+                    } else {
+                        raw.push(0.0);
+                        valid.push(false);
+                        any_null = true;
+                    }
+                }
+                Float64Array {
+                    values: raw.into(),
+                    validity: any_null.then(|| Bitmap::from_bools(&valid)),
+                    len: indices.len(),
+                }
+            }
+        }
+    }
+
     /// The raw values buffer.
     pub fn values(&self) -> &Buffer {
         &self.values
@@ -272,6 +367,12 @@ impl BoolArray {
     /// Iterates all values.
     pub fn iter(&self) -> impl Iterator<Item = Option<bool>> + '_ {
         (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Gathers the rows at `indices` into a new array (typed `take`).
+    pub fn take_rows(&self, indices: &[usize]) -> BoolArray {
+        let opts: Vec<Option<bool>> = indices.iter().map(|&i| self.get(i)).collect();
+        BoolArray::from_options(opts)
     }
 
     /// The packed value bits.
@@ -379,6 +480,43 @@ impl Utf8Array {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// Gathers the rows at `indices` into a new array (typed `take`):
+    /// string bytes are copied slice-to-slice, never through an owned
+    /// `String`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take_rows(&self, indices: &[usize]) -> Utf8Array {
+        let mut offsets: Vec<i32> = Vec::with_capacity(indices.len() + 1);
+        offsets.push(0);
+        let mut data: Vec<u8> = Vec::new();
+        let mut valid = Vec::with_capacity(indices.len());
+        let mut any_null = false;
+        let bytes = self.data.as_slice();
+        for &i in indices {
+            assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+            let is_valid = self.validity.as_ref().is_none_or(|v| v.get(i));
+            if is_valid {
+                let start = self.offsets.get_i32(i) as usize;
+                let end = self.offsets.get_i32(i + 1) as usize;
+                data.extend_from_slice(&bytes[start..end]);
+                valid.push(true);
+            } else {
+                valid.push(false);
+                any_null = true;
+            }
+            let end = i32::try_from(data.len()).expect("utf8 data exceeds 2 GiB");
+            offsets.push(end);
+        }
+        Utf8Array {
+            offsets: offsets.into(),
+            data: Buffer::from_vec(data),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+            len: indices.len(),
+        }
+    }
+
     /// The offsets buffer.
     pub fn offsets(&self) -> &Buffer {
         &self.offsets
@@ -477,9 +615,25 @@ impl Array {
         self.len() == 0
     }
 
-    /// True if row `i` is null.
+    /// The validity bitmap, if any rows are null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Array::Int64(a) => a.validity(),
+            Array::Float64(a) => a.validity(),
+            Array::Bool(a) => a.validity(),
+            Array::Utf8(a) => a.validity(),
+        }
+    }
+
+    /// True if row `i` is null. Consults the validity bitmap directly —
+    /// no [`Value`] boxing (a `Utf8` `value_at` would allocate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
     pub fn is_null(&self, i: usize) -> bool {
-        self.value_at(i) == Value::Null
+        assert!(i < self.len(), "index {i} out of bounds for {}", self.len());
+        self.validity().is_some_and(|v| !v.get(i))
     }
 
     /// Number of null rows.
@@ -506,6 +660,22 @@ impl Array {
                 .get(i)
                 .map(|s| Value::Str(s.to_string()))
                 .unwrap_or(Value::Null),
+        }
+    }
+
+    /// Gathers the rows at `indices` into a new column of the same type,
+    /// dispatching on the variant once and gathering through typed slices
+    /// (no per-row [`Value`] boxing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take_rows(&self, indices: &[usize]) -> Array {
+        match self {
+            Array::Int64(a) => Array::Int64(a.take_rows(indices)),
+            Array::Float64(a) => Array::Float64(a.take_rows(indices)),
+            Array::Bool(a) => Array::Bool(a.take_rows(indices)),
+            Array::Utf8(a) => Array::Utf8(a.take_rows(indices)),
         }
     }
 

@@ -142,14 +142,39 @@ impl RecordBatch {
         }
         let mut columns = Vec::with_capacity(schema.len());
         for c in 0..schema.len() {
-            let dt = schema.field(c).data_type;
-            let mut values = Vec::new();
-            for b in batches {
-                for r in 0..b.num_rows() {
-                    values.push(b.column(c).value_at(r));
+            // Typed concatenation: chain each batch's typed iterator, no
+            // per-row `Value` boxing.
+            let col = match batches[0].column(c) {
+                Array::Int64(_) => {
+                    let mut out = Vec::new();
+                    for b in batches {
+                        out.extend(b.column(c).as_i64()?.iter());
+                    }
+                    Array::from_opt_i64(out)
                 }
-            }
-            columns.push(Array::from_values(dt, &values)?);
+                Array::Float64(_) => {
+                    let mut out = Vec::new();
+                    for b in batches {
+                        out.extend(b.column(c).as_f64()?.iter());
+                    }
+                    Array::from_opt_f64(out)
+                }
+                Array::Bool(_) => {
+                    let mut out = Vec::new();
+                    for b in batches {
+                        out.extend(b.column(c).as_bool()?.iter());
+                    }
+                    Array::from_opt_bool(out)
+                }
+                Array::Utf8(_) => {
+                    let mut out = Vec::new();
+                    for b in batches {
+                        out.extend(b.column(c).as_utf8()?.iter());
+                    }
+                    Array::Utf8(crate::array::Utf8Array::from_options(out))
+                }
+            };
+            columns.push(col);
         }
         RecordBatch::try_new(schema, columns)
     }

@@ -78,6 +78,22 @@ impl Buffer {
         let start = i * 4;
         i32::from_le_bytes(self.data[start..start + 4].try_into().expect("4 bytes"))
     }
+
+    /// Iterates the first `len` elements as i64 (little-endian), in one
+    /// pass over the raw bytes — the tight-loop form the vectorized
+    /// kernels use instead of per-element `get_i64` calls.
+    pub fn iter_i64(&self, len: usize) -> impl Iterator<Item = i64> + '_ {
+        self.data[..len * 8]
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+    }
+
+    /// Iterates the first `len` elements as f64 (little-endian).
+    pub fn iter_f64(&self, len: usize) -> impl Iterator<Item = f64> + '_ {
+        self.data[..len * 8]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+    }
 }
 
 impl From<Vec<i64>> for Buffer {
@@ -178,9 +194,21 @@ impl Bitmap {
         self.bits.as_slice()[i / 8] & (1 << (i % 8)) != 0
     }
 
-    /// Number of set bits.
+    /// Number of set bits. Counts whole bytes via `count_ones`, masking
+    /// the padding bits of the final byte (which `all_set` leaves set).
     pub fn count_set(&self) -> usize {
-        (0..self.len).filter(|i| self.get(*i)).count()
+        let full_bytes = self.len / 8;
+        let bytes = self.bits.as_slice();
+        let mut n: usize = bytes[..full_bytes]
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum();
+        let tail = self.len % 8;
+        if tail > 0 {
+            let mask = (1u16 << tail) as u8 - 1;
+            n += (bytes[full_bytes] & mask).count_ones() as usize;
+        }
+        n
     }
 
     /// The packed backing buffer.

@@ -4,6 +4,12 @@
 //! an experiment actually materializes data (most experiments only *price*
 //! data movement, but the examples and the SQL frontend run real queries
 //! end-to-end on small inputs).
+//!
+//! Kernels are *vectorized*: each matches on the array variant once and
+//! then runs a tight loop over raw values with bitmap validity, instead
+//! of round-tripping every row through the boxed [`Value`] enum. Row
+//! selections travel as `&[usize]` selection vectors ([`mask_to_indices`]
+//! / [`take_indices`]) so operator chains can late-materialize.
 
 use crate::array::{Array, Value};
 use crate::batch::RecordBatch;
@@ -12,7 +18,6 @@ use crate::error::ArrowError;
 
 /// Selects the rows of `batch` where `mask` is true (null mask = false).
 pub fn filter(batch: &RecordBatch, mask: &Array) -> Result<RecordBatch, ArrowError> {
-    let mask = mask.as_bool()?;
     if mask.len() != batch.num_rows() {
         return Err(ArrowError::ShapeMismatch(format!(
             "mask has {} rows, batch has {}",
@@ -20,10 +25,36 @@ pub fn filter(batch: &RecordBatch, mask: &Array) -> Result<RecordBatch, ArrowErr
             batch.num_rows()
         )));
     }
-    let indices: Vec<usize> = (0..mask.len())
-        .filter(|i| mask.get(*i) == Some(true))
-        .collect();
-    take_indices(batch, &indices)
+    take_indices(batch, &mask_to_indices(mask)?)
+}
+
+/// Converts a boolean mask into a selection vector of the row indices
+/// where it is true (null = false). The selection can be applied with
+/// [`take_indices`], letting filter→filter→join chains gather once
+/// instead of rebuilding a batch per step.
+pub fn mask_to_indices(mask: &Array) -> Result<Vec<usize>, ArrowError> {
+    let mask = mask.as_bool()?;
+    let n = mask.len();
+    let mut out = Vec::new();
+    match mask.validity() {
+        None => {
+            let bits = mask.values();
+            for i in 0..n {
+                if bits.get(i) {
+                    out.push(i);
+                }
+            }
+        }
+        Some(v) => {
+            let bits = mask.values();
+            for i in 0..n {
+                if v.get(i) && bits.get(i) {
+                    out.push(i);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Reorders/selects rows by index.
@@ -49,13 +80,22 @@ pub fn take(batch: &RecordBatch, indices: &Array) -> Result<RecordBatch, ArrowEr
     take_indices(batch, &out)
 }
 
-fn take_indices(batch: &RecordBatch, indices: &[usize]) -> Result<RecordBatch, ArrowError> {
-    let mut columns = Vec::with_capacity(batch.num_columns());
-    for c in 0..batch.num_columns() {
-        let col = batch.column(c);
-        let values: Vec<Value> = indices.iter().map(|i| col.value_at(*i)).collect();
-        columns.push(Array::from_values(col.data_type(), &values)?);
+/// Gathers the rows at `indices` (a selection vector) into a new batch,
+/// column-at-a-time through the typed gather paths.
+pub fn take_indices(batch: &RecordBatch, indices: &[usize]) -> Result<RecordBatch, ArrowError> {
+    for &i in indices {
+        if i >= batch.num_rows() {
+            return Err(ArrowError::IndexOutOfBounds {
+                index: i,
+                len: batch.num_rows(),
+            });
+        }
     }
+    let columns = batch
+        .columns()
+        .iter()
+        .map(|col| col.take_rows(indices))
+        .collect();
     RecordBatch::try_new(batch.schema().clone(), columns)
 }
 
@@ -63,31 +103,65 @@ fn take_indices(batch: &RecordBatch, indices: &[usize]) -> Result<RecordBatch, A
 /// all-null/empty column.
 pub fn sum_i64(col: &Array) -> Result<Option<i64>, ArrowError> {
     let a = col.as_i64()?;
-    let mut acc: Option<i64> = None;
-    for v in a.iter().flatten() {
-        acc = Some(acc.unwrap_or(0).wrapping_add(v));
+    match a.validity() {
+        None if a.is_empty() => Ok(None),
+        None => Ok(Some(a.iter_raw().fold(0i64, i64::wrapping_add))),
+        Some(v) => {
+            let mut acc: Option<i64> = None;
+            for (i, x) in a.iter_raw().enumerate() {
+                if v.get(i) {
+                    acc = Some(acc.unwrap_or(0).wrapping_add(x));
+                }
+            }
+            Ok(acc)
+        }
     }
-    Ok(acc)
 }
 
 /// Sums a `Float64` column, skipping nulls.
 pub fn sum_f64(col: &Array) -> Result<Option<f64>, ArrowError> {
     let a = col.as_f64()?;
-    let mut acc: Option<f64> = None;
-    for v in a.iter().flatten() {
-        acc = Some(acc.unwrap_or(0.0) + v);
+    match a.validity() {
+        None if a.is_empty() => Ok(None),
+        None => Ok(Some(a.iter_raw().sum())),
+        Some(v) => {
+            let mut acc: Option<f64> = None;
+            for (i, x) in a.iter_raw().enumerate() {
+                if v.get(i) {
+                    acc = Some(acc.unwrap_or(0.0) + x);
+                }
+            }
+            Ok(acc)
+        }
     }
-    Ok(acc)
 }
 
 /// Minimum of an `Int64` column, skipping nulls.
 pub fn min_i64(col: &Array) -> Result<Option<i64>, ArrowError> {
-    Ok(col.as_i64()?.iter().flatten().min())
+    let a = col.as_i64()?;
+    match a.validity() {
+        None => Ok(a.iter_raw().min()),
+        Some(v) => Ok(a
+            .iter_raw()
+            .enumerate()
+            .filter(|(i, _)| v.get(*i))
+            .map(|(_, x)| x)
+            .min()),
+    }
 }
 
 /// Maximum of an `Int64` column, skipping nulls.
 pub fn max_i64(col: &Array) -> Result<Option<i64>, ArrowError> {
-    Ok(col.as_i64()?.iter().flatten().max())
+    let a = col.as_i64()?;
+    match a.validity() {
+        None => Ok(a.iter_raw().max()),
+        Some(v) => Ok(a
+            .iter_raw()
+            .enumerate()
+            .filter(|(i, _)| v.get(*i))
+            .map(|(_, x)| x)
+            .max()),
+    }
 }
 
 /// Number of non-null values in any column.
@@ -127,71 +201,232 @@ impl CmpOp {
 
 /// Compares each element of a column against a scalar, producing a `Bool`
 /// mask. Null inputs produce null outputs.
+///
+/// Dispatches on the (column variant, scalar variant) pair once, then
+/// runs a tight loop over the raw values; the input's validity bitmap is
+/// carried over unchanged (value bits are false at null slots, keeping
+/// the canonical form).
 pub fn cmp_scalar(col: &Array, op: CmpOp, scalar: &Value) -> Result<Array, ArrowError> {
     let n = col.len();
-    let mut out: Vec<Option<bool>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let v = col.value_at(i);
-        let r = match (&v, scalar) {
-            (Value::Null, _) | (_, Value::Null) => None,
-            (Value::I64(a), Value::I64(b)) => Some(op.eval(a, b)),
-            (Value::F64(a), Value::F64(b)) => Some(op.eval(a, b)),
-            (Value::I64(a), Value::F64(b)) => Some(op.eval(&(*a as f64), b)),
-            (Value::F64(a), Value::I64(b)) => Some(op.eval(a, &(*b as f64))),
-            (Value::Str(a), Value::Str(b)) => Some(op.eval(a, b)),
-            (Value::Bool(a), Value::Bool(b)) => Some(op.eval(a, b)),
-            _ => {
-                return Err(ArrowError::ShapeMismatch(format!(
-                    "cannot compare {} with {}",
-                    col.data_type(),
-                    scalar
-                )))
-            }
-        };
-        out.push(r);
+    if matches!(scalar, Value::Null) {
+        return Ok(Array::from_opt_bool(vec![None; n]));
     }
-    Ok(Array::from_opt_bool(out))
+    // Raw comparison results; slots that are null in `col` are forced to
+    // false below so outputs stay canonical.
+    let bits: Vec<bool> = match (col, scalar) {
+        (Array::Int64(a), Value::I64(b)) => a.iter_raw().map(|x| op.eval(x, *b)).collect(),
+        (Array::Int64(a), Value::F64(b)) => a.iter_raw().map(|x| op.eval(x as f64, *b)).collect(),
+        (Array::Float64(a), Value::F64(b)) => a.iter_raw().map(|x| op.eval(x, *b)).collect(),
+        (Array::Float64(a), Value::I64(b)) => {
+            let b = *b as f64;
+            a.iter_raw().map(|x| op.eval(x, b)).collect()
+        }
+        (Array::Utf8(a), Value::Str(b)) => (0..n)
+            .map(|i| match a.get(i) {
+                Some(s) => op.eval(s, b.as_str()),
+                None => false,
+            })
+            .collect(),
+        (Array::Bool(a), Value::Bool(b)) => (0..n)
+            .map(|i| match a.get(i) {
+                Some(x) => op.eval(x, *b),
+                None => false,
+            })
+            .collect(),
+        _ => {
+            return Err(ArrowError::ShapeMismatch(format!(
+                "cannot compare {} with {}",
+                col.data_type(),
+                scalar
+            )))
+        }
+    };
+    let validity = match col {
+        Array::Int64(a) => a.validity().cloned(),
+        Array::Float64(a) => a.validity().cloned(),
+        Array::Bool(a) => a.validity().cloned(),
+        Array::Utf8(a) => a.validity().cloned(),
+    };
+    let values = match &validity {
+        None => Bitmap::from_bools(&bits),
+        Some(v) => {
+            // Mask comparison results at null slots to the canonical
+            // false so logically-equal masks compare equal.
+            let masked: Vec<bool> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, b)| *b && v.get(i))
+                .collect();
+            Bitmap::from_bools(&masked)
+        }
+    };
+    Ok(Array::Bool(crate::array::BoolArray::from_parts(
+        values, validity,
+    )))
 }
 
 /// Elementwise AND of two boolean masks (null-safe: null AND x = null
 /// unless x is false).
+///
+/// Runs byte-at-a-time over the packed bitmaps (64 rows per two loads on
+/// the fast path), producing canonical outputs: value bits false wherever
+/// the result is null or false, validity omitted when nothing is null.
 pub fn and(a: &Array, b: &Array) -> Result<Array, ArrowError> {
     let (a, b) = (a.as_bool()?, b.as_bool()?);
-    if a.len() != b.len() {
+    let n = a.len();
+    if n != b.len() {
         return Err(ArrowError::ShapeMismatch("mask length mismatch".into()));
     }
-    let out: Vec<Option<bool>> = (0..a.len())
-        .map(|i| match (a.get(i), b.get(i)) {
-            (Some(false), _) | (_, Some(false)) => Some(false),
-            (Some(true), Some(true)) => Some(true),
-            _ => None,
-        })
-        .collect();
-    Ok(Array::from_opt_bool(out))
+    let bytes = n.div_ceil(8);
+    let av = a.values().buffer().as_slice();
+    let bv = b.values().buffer().as_slice();
+    // Validity bytes, treating an absent bitmap as all-set.
+    let byte_at = |bm: Option<&Bitmap>, i: usize| -> u8 {
+        match bm {
+            None => 0xFF,
+            Some(m) => m.buffer().as_slice()[i],
+        }
+    };
+    let mut out_vals = vec![0u8; bytes];
+    let mut out_valid = vec![0u8; bytes];
+    let mut all_valid = true;
+    for i in 0..bytes {
+        let (xa, xb) = (av[i], bv[i]);
+        let (va, vb) = (byte_at(a.validity(), i), byte_at(b.validity(), i));
+        // Definite-false on either side dominates a null on the other.
+        let false_a = va & !xa;
+        let false_b = vb & !xb;
+        let true_both = va & xa & vb & xb;
+        out_vals[i] = true_both;
+        out_valid[i] = false_a | false_b | true_both;
+        // Only the real bits of the final byte count toward validity.
+        let live = if (i + 1) * 8 <= n {
+            0xFF
+        } else {
+            (1u16 << (n % 8)) as u8 - 1
+        };
+        if out_valid[i] & live != live {
+            all_valid = false;
+        }
+    }
+    // Zero the padding bits so logical equality sees canonical buffers.
+    if n % 8 != 0 {
+        let live = (1u16 << (n % 8)) as u8 - 1;
+        if let Some(last) = out_vals.last_mut() {
+            *last &= live;
+        }
+    }
+    let values = Bitmap::from_buffer(crate::buffer::Buffer::from_vec(out_vals), n);
+    let validity =
+        (!all_valid).then(|| Bitmap::from_buffer(crate::buffer::Buffer::from_vec(out_valid), n));
+    Ok(Array::Bool(crate::array::BoolArray::from_parts(
+        values, validity,
+    )))
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv_feed(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 /// FNV-1a hash of one row's values across the given columns; used for hash
-/// partitioning keyed edges.
+/// partitioning keyed edges. Equal to `hash_rows(batch, cols)[row]`.
 pub fn hash_row(batch: &RecordBatch, cols: &[usize], row: usize) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = OFFSET;
-    let mut feed = |bytes: &[u8]| {
-        for b in bytes {
-            h ^= *b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
+    let mut h = FNV_OFFSET;
     for &c in cols {
         match batch.column(c).value_at(row) {
-            Value::Null => feed(&[0xFF]),
-            Value::I64(v) => feed(&v.to_le_bytes()),
-            Value::F64(v) => feed(&v.to_bits().to_le_bytes()),
-            Value::Bool(v) => feed(&[v as u8]),
-            Value::Str(s) => feed(s.as_bytes()),
+            Value::Null => h = fnv_feed(h, &[0xFF]),
+            Value::I64(v) => h = fnv_feed(h, &v.to_le_bytes()),
+            Value::F64(v) => h = fnv_feed(h, &v.to_bits().to_le_bytes()),
+            Value::Bool(v) => h = fnv_feed(h, &[v as u8]),
+            Value::Str(s) => h = fnv_feed(h, s.as_bytes()),
         }
     }
     h
+}
+
+/// Folds one column's raw bytes into a running hash per row, matching
+/// [`hash_row`] bit-for-bit but dispatching on the variant once and never
+/// rendering a value. Nulls feed the `0xFF` marker byte.
+pub fn hash_column_into(col: &Array, hashes: &mut [u64]) {
+    assert_eq!(col.len(), hashes.len(), "hash_column_into length mismatch");
+    match col {
+        Array::Int64(a) => {
+            let validity = a.validity();
+            for (i, x) in a.iter_raw().enumerate() {
+                hashes[i] = match validity {
+                    Some(v) if !v.get(i) => fnv_feed(hashes[i], &[0xFF]),
+                    _ => fnv_feed(hashes[i], &x.to_le_bytes()),
+                };
+            }
+        }
+        Array::Float64(a) => {
+            let validity = a.validity();
+            for (i, x) in a.iter_raw().enumerate() {
+                hashes[i] = match validity {
+                    Some(v) if !v.get(i) => fnv_feed(hashes[i], &[0xFF]),
+                    _ => fnv_feed(hashes[i], &x.to_bits().to_le_bytes()),
+                };
+            }
+        }
+        Array::Bool(a) => {
+            for (i, h) in hashes.iter_mut().enumerate() {
+                *h = match a.get(i) {
+                    Some(x) => fnv_feed(*h, &[x as u8]),
+                    None => fnv_feed(*h, &[0xFF]),
+                };
+            }
+        }
+        Array::Utf8(a) => {
+            for (i, h) in hashes.iter_mut().enumerate() {
+                *h = match a.get(i) {
+                    Some(s) => fnv_feed(*h, s.as_bytes()),
+                    None => fnv_feed(*h, &[0xFF]),
+                };
+            }
+        }
+    }
+}
+
+/// Per-row FNV-1a hash of a single key column over its raw bytes (the
+/// join build/probe hash). `coerce_int_to_f64` hashes `Int64` values via
+/// their `f64` bit pattern so an `Int64` column and a `Float64` column
+/// holding numerically-equal keys land in the same bucket. Null rows get
+/// the null-marker hash; join callers skip them.
+pub fn hash_key_column(col: &Array, coerce_int_to_f64: bool) -> Vec<u64> {
+    if coerce_int_to_f64 {
+        if let Array::Int64(a) = col {
+            let validity = a.validity();
+            return a
+                .iter_raw()
+                .enumerate()
+                .map(|(i, v)| match validity {
+                    Some(m) if !m.get(i) => fnv_feed(FNV_OFFSET, &[0xFF]),
+                    _ => fnv_feed(FNV_OFFSET, &(v as f64).to_bits().to_le_bytes()),
+                })
+                .collect();
+        }
+    }
+    let mut hashes = vec![FNV_OFFSET; col.len()];
+    hash_column_into(col, &mut hashes);
+    hashes
+}
+
+/// FNV-1a hashes of every row across the given columns, column-at-a-time.
+/// `hash_rows(b, cols)[r] == hash_row(b, cols, r)` for every row.
+pub fn hash_rows(batch: &RecordBatch, cols: &[usize]) -> Vec<u64> {
+    let mut hashes = vec![FNV_OFFSET; batch.num_rows()];
+    for &c in cols {
+        hash_column_into(batch.column(c), &mut hashes);
+    }
+    hashes
 }
 
 /// Splits a batch into `parts` partitions by hashing the given key
@@ -203,8 +438,7 @@ pub fn hash_partition(
 ) -> Result<Vec<RecordBatch>, ArrowError> {
     assert!(parts > 0, "hash_partition into zero parts");
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts];
-    for r in 0..batch.num_rows() {
-        let h = hash_row(batch, key_cols, r);
+    for (r, h) in hash_rows(batch, key_cols).into_iter().enumerate() {
         buckets[(h % parts as u64) as usize].push(r);
     }
     buckets
@@ -377,6 +611,106 @@ mod tests {
             RecordBatch::try_new(schema, vec![Array::from_opt_i64(vec![Some(0), None])]).unwrap();
         assert_ne!(hash_row(&b, &[0], 0), hash_row(&b, &[0], 1));
     }
+
+    fn mixed_batch() -> RecordBatch {
+        RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("i", DataType::Int64, true),
+                Field::new("f", DataType::Float64, true),
+                Field::new("b", DataType::Bool, true),
+                Field::new("s", DataType::Utf8, true),
+            ]),
+            vec![
+                Array::from_opt_i64(vec![Some(1), None, Some(-3), Some(0), Some(7)]),
+                Array::from_opt_f64(vec![Some(0.5), Some(-0.0), None, Some(f64::NAN), Some(2.0)]),
+                Array::from_opt_bool(vec![Some(true), Some(false), None, Some(true), None]),
+                Array::from_opt_utf8(vec![Some("a"), None, Some(""), Some("xyz"), Some("a")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_rows_matches_hash_row_per_row() {
+        let b = mixed_batch();
+        for cols in [vec![0usize], vec![1, 2], vec![0, 1, 2, 3], vec![3, 0]] {
+            let vectorized = hash_rows(&b, &cols);
+            for r in 0..b.num_rows() {
+                assert_eq!(
+                    vectorized[r],
+                    hash_row(&b, &cols, r),
+                    "cols {cols:?} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_to_indices_keeps_valid_true_rows() {
+        let mask = Array::from_opt_bool(vec![Some(true), Some(false), None, Some(true)]);
+        assert_eq!(mask_to_indices(&mask).unwrap(), vec![0, 3]);
+        assert!(mask_to_indices(&Array::from_i64(vec![1])).is_err());
+    }
+
+    #[test]
+    fn hash_key_column_coerces_ints_onto_float_hashes() {
+        let ints = Array::from_opt_i64(vec![Some(1), Some(2), None]);
+        let floats = Array::from_opt_f64(vec![Some(1.0), Some(2.0), None]);
+        // Coerced int hashes collide with the equal float keys...
+        assert_eq!(
+            hash_key_column(&ints, true),
+            hash_key_column(&floats, false)
+        );
+        // ...while uncoerced ones hash the raw i64 bytes (and match the
+        // row-hash path).
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64, true)]);
+        let b = RecordBatch::try_new(schema, vec![ints.clone()]).unwrap();
+        assert_eq!(hash_key_column(&ints, false), hash_rows(&b, &[0]));
+        assert_ne!(
+            hash_key_column(&ints, false)[0],
+            hash_key_column(&ints, true)[0]
+        );
+    }
+
+    #[test]
+    fn take_rows_matches_value_gather_on_all_types() {
+        let b = mixed_batch();
+        let indices = vec![4usize, 0, 0, 2, 3, 1];
+        let fast = take_indices(&b, &indices).unwrap();
+        for c in 0..b.num_columns() {
+            let values: Vec<Value> = indices.iter().map(|&r| b.column(c).value_at(r)).collect();
+            let slow = Array::from_values(b.column(c).data_type(), &values).unwrap();
+            assert_eq!(fast.column(c), &slow, "column {c}");
+        }
+    }
+
+    #[test]
+    fn and_matches_three_valued_reference_across_byte_boundaries() {
+        // 20 elements forces the kernel across byte boundaries and into
+        // the final partial byte.
+        let pick = |i: usize, salt: usize| match (i + salt) % 3 {
+            0 => Some(true),
+            1 => Some(false),
+            _ => None,
+        };
+        let a_vals: Vec<Option<bool>> = (0..20).map(|i| pick(i, 0)).collect();
+        let b_vals: Vec<Option<bool>> = (0..20).map(|i| pick(i, 1)).collect();
+        let out = and(
+            &Array::from_opt_bool(a_vals.clone()),
+            &Array::from_opt_bool(b_vals.clone()),
+        )
+        .unwrap();
+        let reference: Vec<Option<bool>> = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(x, y)| match (x, y) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(out, Array::from_opt_bool(reference));
+    }
 }
 
 /// Sort order for [`sort_to_indices`].
@@ -391,33 +725,41 @@ pub enum SortOrder {
 /// Computes the row permutation that sorts `col`. NULLs sort lowest.
 /// Numeric columns sort numerically; strings lexicographically; booleans
 /// false-before-true.
+///
+/// Dispatches on the variant once and sorts over typed keys gathered
+/// into a flat vector — no `Value` boxing in the comparator.
 pub fn sort_to_indices(col: &Array, order: SortOrder) -> Array {
     let mut idx: Vec<usize> = (0..col.len()).collect();
-    let key = |r: usize| col.value_at(r);
-    idx.sort_by(|a, b| {
-        let (va, vb) = (key(*a), key(*b));
-        let ord = match (&va, &vb) {
-            (Value::Null, Value::Null) => std::cmp::Ordering::Equal,
-            (Value::Null, _) => std::cmp::Ordering::Less,
-            (_, Value::Null) => std::cmp::Ordering::Greater,
-            (Value::I64(x), Value::I64(y)) => x.cmp(y),
-            (Value::F64(x), Value::F64(y)) => x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
-            (Value::I64(x), Value::F64(y)) => (*x as f64)
-                .partial_cmp(y)
-                .unwrap_or(std::cmp::Ordering::Equal),
-            (Value::F64(x), Value::I64(y)) => x
-                .partial_cmp(&(*y as f64))
-                .unwrap_or(std::cmp::Ordering::Equal),
-            (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
-            (Value::Str(x), Value::Str(y)) => x.cmp(y),
-            _ => va.to_string().cmp(&vb.to_string()),
-        };
-        match order {
-            SortOrder::Ascending => ord,
-            SortOrder::Descending => ord.reverse(),
+    let dir = |ord: std::cmp::Ordering| match order {
+        SortOrder::Ascending => ord,
+        SortOrder::Descending => ord.reverse(),
+    };
+    // Stable sorts keep equal keys in row order.
+    match col {
+        Array::Int64(a) => {
+            let keys: Vec<Option<i64>> = a.iter().collect();
+            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
         }
-        // Stable sort keeps equal keys in row order.
-    });
+        Array::Float64(a) => {
+            let keys: Vec<Option<f64>> = a.iter().collect();
+            idx.sort_by(|&x, &y| {
+                dir(match (keys[x], keys[y]) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal),
+                })
+            });
+        }
+        Array::Bool(a) => {
+            let keys: Vec<Option<bool>> = a.iter().collect();
+            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
+        }
+        Array::Utf8(a) => {
+            let keys: Vec<Option<&str>> = a.iter().collect();
+            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
+        }
+    }
     Array::from_i64(idx.into_iter().map(|i| i as i64).collect())
 }
 
@@ -431,57 +773,70 @@ pub fn multiply(a: &Array, b: &Array) -> Result<Array, ArrowError> {
     binary_numeric(a, b, |x, y| x * y)
 }
 
+/// Reads one numeric column as `(raw f64 values, validity)`; the raw
+/// vector holds the null placeholder at invalid slots.
+fn numeric_raw(a: &Array) -> Result<(Vec<f64>, Option<&Bitmap>), ArrowError> {
+    match a {
+        Array::Int64(a) => Ok((a.iter_raw().map(|x| x as f64).collect(), a.validity())),
+        Array::Float64(a) => Ok((a.iter_raw().collect(), a.validity())),
+        other => Err(ArrowError::ShapeMismatch(format!(
+            "non-numeric column {} in arithmetic",
+            other.data_type()
+        ))),
+    }
+}
+
 fn binary_numeric(a: &Array, b: &Array, f: impl Fn(f64, f64) -> f64) -> Result<Array, ArrowError> {
-    if a.len() != b.len() {
+    let n = a.len();
+    if n != b.len() {
         return Err(ArrowError::ShapeMismatch(format!(
             "binary op over {} vs {} rows",
             a.len(),
             b.len()
         )));
     }
-    let num = |v: &Value| -> Result<Option<f64>, ArrowError> {
-        Ok(match v {
-            Value::Null => None,
-            Value::I64(x) => Some(*x as f64),
-            Value::F64(x) => Some(*x),
-            other => {
-                return Err(ArrowError::ShapeMismatch(format!(
-                    "non-numeric value {other} in arithmetic"
-                )))
-            }
-        })
-    };
-    let mut out = Vec::with_capacity(a.len());
-    for i in 0..a.len() {
-        let (x, y) = (num(&a.value_at(i))?, num(&b.value_at(i))?);
-        out.push(match (x, y) {
-            (Some(x), Some(y)) => Some(f(x, y)),
-            _ => None,
-        });
+    let (xa, va) = numeric_raw(a)?;
+    let (xb, vb) = numeric_raw(b)?;
+    if va.is_none() && vb.is_none() {
+        let out: Vec<f64> = xa.iter().zip(&xb).map(|(x, y)| f(*x, *y)).collect();
+        return Ok(Array::from_f64(out));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let ok = va.is_none_or(|v| v.get(i)) && vb.is_none_or(|v| v.get(i));
+        out.push(ok.then(|| f(xa[i], xb[i])));
     }
     Ok(Array::from_opt_f64(out))
 }
 
 /// Minimum of a `Float64` column, skipping nulls.
 pub fn min_f64(col: &Array) -> Result<Option<f64>, ArrowError> {
-    Ok(col
-        .as_f64()?
-        .iter()
-        .flatten()
-        .fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.min(v)))
-        }))
+    fold_f64(col, f64::min)
 }
 
 /// Maximum of a `Float64` column, skipping nulls.
 pub fn max_f64(col: &Array) -> Result<Option<f64>, ArrowError> {
-    Ok(col
-        .as_f64()?
-        .iter()
-        .flatten()
-        .fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.max(v)))
-        }))
+    fold_f64(col, f64::max)
+}
+
+fn fold_f64(col: &Array, f: impl Fn(f64, f64) -> f64) -> Result<Option<f64>, ArrowError> {
+    let a = col.as_f64()?;
+    let mut acc: Option<f64> = None;
+    match a.validity() {
+        None => {
+            for v in a.iter_raw() {
+                acc = Some(acc.map_or(v, |x| f(x, v)));
+            }
+        }
+        Some(valid) => {
+            for (i, v) in a.iter_raw().enumerate() {
+                if valid.get(i) {
+                    acc = Some(acc.map_or(v, |x| f(x, v)));
+                }
+            }
+        }
+    }
+    Ok(acc)
 }
 
 #[cfg(test)]

@@ -1,0 +1,68 @@
+//! `exec-bench` — micro-benchmarks for the local SQL engine.
+//!
+//! Usage: `exec-bench [smoke|full|check]`
+//!
+//! - `smoke` (default): 10k/100k rows, short budgets; rewrites
+//!   `BENCH_exec.json` at the repo root.
+//! - `full`: adds 1M-row points and longer budgets; also rewrites the
+//!   results file.
+//! - `check`: re-measures and exits non-zero if any vectorized kernel is
+//!   >2x slower than the committed `BENCH_exec.json` (CI gate).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use skadi_bench::exec_bench::{
+    find_regressions, parse_results, render_json, render_table, run_suite, RESULTS_PATH,
+};
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "smoke".into());
+    match mode.as_str() {
+        "smoke" | "full" => {
+            let (sizes, budget): (&[usize], _) = if mode == "full" {
+                (&[10_000, 100_000, 1_000_000], Duration::from_millis(500))
+            } else {
+                (&[10_000, 100_000], Duration::from_millis(120))
+            };
+            let entries = run_suite(sizes, budget);
+            print!("{}", render_table(&entries));
+            let json = render_json(&mode, &entries);
+            if let Err(e) = std::fs::write(RESULTS_PATH, &json) {
+                eprintln!("failed to write {RESULTS_PATH}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {RESULTS_PATH}");
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let committed = match std::fs::read_to_string(RESULTS_PATH) {
+                Ok(text) => parse_results(&text),
+                Err(e) => {
+                    eprintln!("cannot read {RESULTS_PATH}: {e} (run `exec-bench smoke` first)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if committed.is_empty() {
+                eprintln!("{RESULTS_PATH} holds no entries");
+                return ExitCode::FAILURE;
+            }
+            let fresh = run_suite(&[10_000, 100_000], Duration::from_millis(120));
+            print!("{}", render_table(&fresh));
+            let problems = find_regressions(&committed, &fresh, 2.0);
+            if problems.is_empty() {
+                println!("bench check OK: no kernel >2x slower than committed baseline");
+                ExitCode::SUCCESS
+            } else {
+                for p in &problems {
+                    eprintln!("REGRESSION: {p}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown mode {other:?}; expected smoke|full|check");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! `exec` micro-benchmarks: vectorized kernels vs the row-at-a-time
+//! baseline engine.
+//!
+//! The baseline functions here are faithful replicas of the engine
+//! *before* the vectorization pass: per-row [`Value`] boxing, stringly
+//! `BTreeMap` join/group-by keys, `Vec<f64>` staging per group. They
+//! serve two purposes: the "before" series in `BENCH_exec.json`, and a
+//! semantics reference for the golden equivalence tests (every benchmark
+//! cross-checks `baseline == vectorized` on the full result batch before
+//! timing anything).
+//!
+//! Modes (see the `exec-bench` binary):
+//!
+//! - `smoke`: quick pass at 10k/100k rows; rewrites `BENCH_exec.json` at
+//!   the repo root.
+//! - `full`: adds the 1M-row points and longer timing budgets.
+//! - `check`: re-measures the vectorized kernels and fails (non-zero
+//!   exit) if any is >2x slower than the committed `BENCH_exec.json` —
+//!   the CI regression gate.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use skadi_arrow::array::{Array, Value};
+use skadi_arrow::batch::RecordBatch;
+use skadi_arrow::compute::{self, CmpOp};
+use skadi_arrow::datatype::DataType;
+use skadi_arrow::schema::{Field, Schema};
+use skadi_dcsim::rng::DetRng;
+use skadi_frontends::exec;
+use skadi_frontends::sql::{parse, tokenize, Query};
+
+/// Path of the recorded perf trajectory, relative to this crate.
+pub const RESULTS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+
+/// One measured kernel at one size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Kernel name (`filter`, `join`, `group_by`, `sort`, `topn`).
+    pub name: String,
+    /// Input row count.
+    pub rows: usize,
+    /// Best-of-N wall time of the row-at-a-time baseline.
+    pub baseline_ns: u64,
+    /// Best-of-N wall time of the vectorized engine.
+    pub vectorized_ns: u64,
+}
+
+impl BenchEntry {
+    /// baseline / vectorized (higher is better).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.vectorized_ns.max(1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Datasets
+// ---------------------------------------------------------------------
+
+const KINDS: [&str; 4] = ["click", "view", "scroll", "purchase"];
+const COUNTRIES: [&str; 8] = ["DE", "US", "FR", "JP", "BR", "IN", "GB", "KE"];
+
+/// `n` events: `user_id` over `n/10` users, one of four kinds, a float
+/// value with ~5% nulls. Deterministic for a given `(n, seed)`.
+pub fn events_batch(n: usize, seed: u64) -> RecordBatch {
+    let mut rng = DetRng::seed(seed);
+    let users = (n / 10).max(1) as u64;
+    let mut ids = Vec::with_capacity(n);
+    let mut kinds = Vec::with_capacity(n);
+    let mut values: Vec<Option<f64>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(rng.below(users) as i64);
+        kinds.push(*rng.pick(&KINDS));
+        values.push((!rng.chance(0.05)).then(|| rng.unit() * 100.0));
+    }
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("user_id", DataType::Int64, false),
+            Field::new("kind", DataType::Utf8, false),
+            Field::new("value", DataType::Float64, true),
+        ]),
+        vec![
+            Array::from_i64(ids),
+            Array::from_utf8(&kinds),
+            Array::from_opt_f64(values),
+        ],
+    )
+    .expect("events batch")
+}
+
+/// One row per user id `0..n_users` with a country attribute.
+pub fn users_batch(n_users: usize, seed: u64) -> RecordBatch {
+    let mut rng = DetRng::seed(seed);
+    let countries: Vec<&str> = (0..n_users).map(|_| *rng.pick(&COUNTRIES)).collect();
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("user_id", DataType::Int64, false),
+            Field::new("country", DataType::Utf8, false),
+        ]),
+        vec![
+            Array::from_i64((0..n_users as i64).collect()),
+            Array::from_utf8(&countries),
+        ],
+    )
+    .expect("users batch")
+}
+
+// ---------------------------------------------------------------------
+// Baseline engine (pre-vectorization replica)
+// ---------------------------------------------------------------------
+
+fn gather_by_rows(batch: &RecordBatch, rows: &[usize]) -> RecordBatch {
+    let columns: Vec<Array> = (0..batch.num_columns())
+        .map(|c| {
+            let values: Vec<Value> = rows.iter().map(|&r| batch.column(c).value_at(r)).collect();
+            Array::from_values(batch.column(c).data_type(), &values).expect("gather")
+        })
+        .collect();
+    RecordBatch::try_new(batch.schema().clone(), columns).expect("gather batch")
+}
+
+fn value_cmp(v: &Value, op: CmpOp, rhs: &Value) -> bool {
+    // Row-at-a-time comparison over boxed values, numeric via f64.
+    let ord = match (v, rhs) {
+        (Value::Null, _) | (_, Value::Null) => return false,
+        (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+        (a, b) => {
+            let num = |x: &Value| match x {
+                Value::I64(i) => Some(*i as f64),
+                Value::F64(f) => Some(*f),
+                _ => None,
+            };
+            match (num(a), num(b)) {
+                (Some(x), Some(y)) => match x.partial_cmp(&y) {
+                    Some(o) => o,
+                    None => return false,
+                },
+                _ => return false,
+            }
+        }
+    };
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Row-at-a-time conjunctive filter: box every cell, keep matching rows.
+pub fn baseline_filter(batch: &RecordBatch, conjuncts: &[(&str, CmpOp, Value)]) -> RecordBatch {
+    let cols: Vec<usize> = conjuncts
+        .iter()
+        .map(|(c, _, _)| batch.schema().index_of(c).expect("filter column"))
+        .collect();
+    let rows: Vec<usize> = (0..batch.num_rows())
+        .filter(|&r| {
+            conjuncts
+                .iter()
+                .zip(&cols)
+                .all(|((_, op, rhs), &c)| value_cmp(&batch.column(c).value_at(r), *op, rhs))
+        })
+        .collect();
+    gather_by_rows(batch, &rows)
+}
+
+/// Stringly hash join: build a `BTreeMap<String, Vec<usize>>` over the
+/// rendered right key, probe with rendered left keys (the old engine).
+pub fn baseline_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    left_key: &str,
+    right_key: &str,
+) -> RecordBatch {
+    let lk = left.schema().index_of(left_key).expect("left key");
+    let rk = right.schema().index_of(right_key).expect("right key");
+
+    let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for r in 0..right.num_rows() {
+        let key = right.column(rk).value_at(r);
+        if key == Value::Null {
+            continue;
+        }
+        index.entry(key.to_string()).or_default().push(r);
+    }
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<usize> = Vec::new();
+    for l in 0..left.num_rows() {
+        let key = left.column(lk).value_at(l);
+        if key == Value::Null {
+            continue;
+        }
+        if let Some(matches) = index.get(&key.to_string()) {
+            for &r in matches {
+                left_rows.push(l);
+                right_rows.push(r);
+            }
+        }
+    }
+
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_cols: Vec<usize> = Vec::new();
+    for (i, f) in right.schema().fields().iter().enumerate() {
+        if i == rk || fields.iter().any(|lf| lf.name == f.name) {
+            continue;
+        }
+        fields.push(f.clone());
+        right_cols.push(i);
+    }
+    let mut columns: Vec<Array> = Vec::with_capacity(fields.len());
+    for c in 0..left.num_columns() {
+        let values: Vec<Value> = left_rows
+            .iter()
+            .map(|&r| left.column(c).value_at(r))
+            .collect();
+        columns.push(Array::from_values(left.column(c).data_type(), &values).expect("join gather"));
+    }
+    for &c in &right_cols {
+        let values: Vec<Value> = right_rows
+            .iter()
+            .map(|&r| right.column(c).value_at(r))
+            .collect();
+        columns
+            .push(Array::from_values(right.column(c).data_type(), &values).expect("join gather"));
+    }
+    RecordBatch::try_new(Schema::new(fields), columns).expect("join batch")
+}
+
+/// Stringly group-by: rendered keys into a `BTreeMap`, `Vec<f64>` per
+/// group, emitting `group_col, sum(val) AS s, count(*) AS n`.
+pub fn baseline_group_sum_count(
+    batch: &RecordBatch,
+    group_col: &str,
+    val_col: &str,
+) -> RecordBatch {
+    let g = batch.schema().index_of(group_col).expect("group column");
+    let v = batch.schema().index_of(val_col).expect("value column");
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for r in 0..batch.num_rows() {
+        groups
+            .entry(batch.column(g).value_at(r).to_string())
+            .or_default()
+            .push(r);
+    }
+    let mut key_vals: Vec<Value> = Vec::with_capacity(groups.len());
+    let mut sums: Vec<Value> = Vec::with_capacity(groups.len());
+    let mut counts: Vec<Value> = Vec::with_capacity(groups.len());
+    for rows in groups.values() {
+        key_vals.push(batch.column(g).value_at(rows[0]));
+        let nums: Vec<f64> = rows
+            .iter()
+            .filter_map(|&r| match batch.column(v).value_at(r) {
+                Value::I64(x) => Some(x as f64),
+                Value::F64(x) => Some(x),
+                _ => None,
+            })
+            .collect();
+        sums.push(if nums.is_empty() {
+            Value::Null
+        } else {
+            Value::F64(nums.iter().sum())
+        });
+        counts.push(Value::I64(rows.len() as i64));
+    }
+    RecordBatch::try_new(
+        Schema::new(vec![
+            batch.schema().field(g).clone(),
+            Field::new("s", DataType::Float64, true),
+            Field::new("n", DataType::Int64, true),
+        ]),
+        vec![
+            Array::from_values(batch.column(g).data_type(), &key_vals).expect("group keys"),
+            Array::from_values(DataType::Float64, &sums).expect("group sums"),
+            Array::from_values(DataType::Int64, &counts).expect("group counts"),
+        ],
+    )
+    .expect("group batch")
+}
+
+/// Row-at-a-time sort: comparator over boxed values (nulls lowest),
+/// then a boxed gather.
+pub fn baseline_sort(batch: &RecordBatch, column: &str, descending: bool) -> RecordBatch {
+    let c = batch.schema().index_of(column).expect("sort column");
+    let col = batch.column(c);
+    let mut rows: Vec<usize> = (0..batch.num_rows()).collect();
+    let key_ord = |a: usize, b: usize| -> std::cmp::Ordering {
+        match (col.value_at(a), col.value_at(b)) {
+            (Value::Null, Value::Null) => std::cmp::Ordering::Equal,
+            (Value::Null, _) => std::cmp::Ordering::Less,
+            (_, Value::Null) => std::cmp::Ordering::Greater,
+            (Value::I64(x), Value::I64(y)) => x.cmp(&y),
+            (Value::F64(x), Value::F64(y)) => {
+                x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+            }
+            (Value::Str(x), Value::Str(y)) => x.cmp(&y),
+            (Value::Bool(x), Value::Bool(y)) => x.cmp(&y),
+            (x, y) => x.to_string().cmp(&y.to_string()),
+        }
+    };
+    rows.sort_by(|&a, &b| {
+        let o = key_ord(a, b);
+        if descending {
+            o.reverse()
+        } else {
+            o
+        }
+    });
+    gather_by_rows(batch, &rows)
+}
+
+/// Baseline TopN: full row-at-a-time sort, then keep the first `n`.
+pub fn baseline_topn(batch: &RecordBatch, column: &str, n: usize) -> RecordBatch {
+    let sorted = baseline_sort(batch, column, true);
+    let keep: Vec<usize> = (0..n.min(sorted.num_rows())).collect();
+    gather_by_rows(&sorted, &keep)
+}
+
+// ---------------------------------------------------------------------
+// Vectorized counterparts
+// ---------------------------------------------------------------------
+
+/// Fused vectorized filter: one typed mask per conjunct, combined with
+/// `compute::and`, one gather.
+pub fn vectorized_filter(batch: &RecordBatch, conjuncts: &[(&str, CmpOp, Value)]) -> RecordBatch {
+    let mut mask: Option<Array> = None;
+    for (col, op, rhs) in conjuncts {
+        let c = batch.column_by_name(col).expect("filter column");
+        let m = compute::cmp_scalar(c, *op, rhs).expect("cmp_scalar");
+        mask = Some(match mask {
+            Some(prev) => compute::and(&prev, &m).expect("and"),
+            None => m,
+        });
+    }
+    compute::filter(batch, &mask.expect("at least one conjunct")).expect("filter")
+}
+
+/// Vectorized sort via the typed `sort_to_indices` kernel.
+pub fn vectorized_sort(batch: &RecordBatch, column: &str, descending: bool) -> RecordBatch {
+    let col = batch.column_by_name(column).expect("sort column");
+    let order = if descending {
+        compute::SortOrder::Descending
+    } else {
+        compute::SortOrder::Ascending
+    };
+    let indices = compute::sort_to_indices(col, order);
+    compute::take(batch, &indices).expect("take")
+}
+
+/// Vectorized TopN: typed sort indices, late-materialize only `n` rows.
+pub fn vectorized_topn(batch: &RecordBatch, column: &str, n: usize) -> RecordBatch {
+    let col = batch.column_by_name(column).expect("sort column");
+    let indices = compute::sort_to_indices(col, compute::SortOrder::Descending);
+    let idx = indices.as_i64().expect("indices");
+    let head: Vec<usize> = idx
+        .iter_raw()
+        .take(n.min(batch.num_rows()))
+        .map(|i| i as usize)
+        .collect();
+    compute::take_indices(batch, &head).expect("take_indices")
+}
+
+fn group_query(group_col: &str, val_col: &str, table: &str) -> Query {
+    let sql = format!(
+        "SELECT {group_col}, sum({val_col}) AS s, count(*) AS n FROM {table} GROUP BY {group_col}"
+    );
+    parse(&tokenize(&sql).expect("tokenize")).expect("parse")
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// Best-of-N wall time: warm up once, then repeat until the budget is
+/// spent (at least 3 timed iterations unless one iteration alone blows
+/// far past the budget).
+pub fn time_ns(budget: Duration, mut f: impl FnMut()) -> u64 {
+    f();
+    let wall = Instant::now();
+    let mut best = u64::MAX;
+    let mut iters = 0u32;
+    loop {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+        iters += 1;
+        let spent = wall.elapsed();
+        if (iters >= 3 && spent >= budget) || spent >= budget * 8 {
+            return best;
+        }
+    }
+}
+
+/// Runs every kernel at every size, cross-checking baseline and
+/// vectorized results for exact equality before timing them.
+pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let events = events_batch(n, 42);
+        let users = users_batch((n / 10).max(1), 7);
+        let conjuncts: Vec<(&str, CmpOp, Value)> = vec![
+            ("kind", CmpOp::Eq, Value::Str("click".into())),
+            ("value", CmpOp::Gt, Value::F64(50.0)),
+        ];
+        let q = group_query("user_id", "value", "events");
+
+        // Golden cross-checks: the two engines must agree exactly.
+        assert_eq!(
+            baseline_filter(&events, &conjuncts),
+            vectorized_filter(&events, &conjuncts),
+            "filter mismatch at {n} rows"
+        );
+        assert_eq!(
+            baseline_join(&events, &users, "user_id", "user_id"),
+            exec::hash_join(&events, &users, "user_id", "user_id").expect("hash_join"),
+            "join mismatch at {n} rows"
+        );
+        assert_eq!(
+            baseline_group_sum_count(&events, "user_id", "value"),
+            exec::aggregate(&q, &events).expect("aggregate"),
+            "group_by mismatch at {n} rows"
+        );
+        assert_eq!(
+            baseline_sort(&events, "value", false),
+            vectorized_sort(&events, "value", false),
+            "sort mismatch at {n} rows"
+        );
+        assert_eq!(
+            baseline_topn(&events, "value", 10),
+            vectorized_topn(&events, "value", 10),
+            "topn mismatch at {n} rows"
+        );
+
+        let mut push = |name: &str, baseline_ns: u64, vectorized_ns: u64| {
+            out.push(BenchEntry {
+                name: name.to_string(),
+                rows: n,
+                baseline_ns,
+                vectorized_ns,
+            });
+        };
+        push(
+            "filter",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_filter(&events, &conjuncts));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(vectorized_filter(&events, &conjuncts));
+            }),
+        );
+        push(
+            "join",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_join(&events, &users, "user_id", "user_id"));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(
+                    exec::hash_join(&events, &users, "user_id", "user_id").expect("hash_join"),
+                );
+            }),
+        );
+        push(
+            "group_by",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_group_sum_count(&events, "user_id", "value"));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(exec::aggregate(&q, &events).expect("aggregate"));
+            }),
+        );
+        push(
+            "sort",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_sort(&events, "value", false));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(vectorized_sort(&events, "value", false));
+            }),
+        );
+        push(
+            "topn",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_topn(&events, "value", 10));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(vectorized_topn(&events, "value", 10));
+            }),
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// BENCH_exec.json (hand-rolled; the tree has no serde)
+// ---------------------------------------------------------------------
+
+/// Renders the result file: one entry object per line so the parser in
+/// [`parse_results`] stays line-oriented.
+pub fn render_json(mode: &str, entries: &[BenchEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"suite\": \"exec\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str("  \"unit\": \"ns, best-of-N wall time\",\n");
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"baseline_ns\": {}, \"vectorized_ns\": {}, \"speedup\": {:.2}}}{comma}\n",
+            e.name, e.rows, e.baseline_ns, e.vectorized_ns, e.speedup()
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses a file produced by [`render_json`] back into entries.
+pub fn parse_results(text: &str) -> Vec<BenchEntry> {
+    text.lines()
+        .filter_map(|line| {
+            let name = json_field(line, "name")?.to_string();
+            Some(BenchEntry {
+                name,
+                rows: json_field(line, "rows")?.parse().ok()?,
+                baseline_ns: json_field(line, "baseline_ns")?.parse().ok()?,
+                vectorized_ns: json_field(line, "vectorized_ns")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Pretty table for stdout.
+pub fn render_table(entries: &[BenchEntry]) -> String {
+    let mut s = format!(
+        "{:<10} {:>9} {:>14} {:>14} {:>9}\n",
+        "kernel", "rows", "baseline_ns", "vectorized_ns", "speedup"
+    );
+    for e in entries {
+        s.push_str(&format!(
+            "{:<10} {:>9} {:>14} {:>14} {:>8.2}x\n",
+            e.name,
+            e.rows,
+            e.baseline_ns,
+            e.vectorized_ns,
+            e.speedup()
+        ));
+    }
+    s
+}
+
+/// Compares a fresh vectorized measurement against the committed
+/// baseline file; returns the list of regressions (>`factor`x slower).
+/// Entries under 20µs are skipped — scheduler jitter dominates there.
+pub fn find_regressions(
+    committed: &[BenchEntry],
+    fresh: &[BenchEntry],
+    factor: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for c in committed {
+        if c.vectorized_ns < 20_000 {
+            continue;
+        }
+        match fresh.iter().find(|f| f.name == c.name && f.rows == c.rows) {
+            None => problems.push(format!(
+                "{} @ {} rows: missing from fresh run",
+                c.name, c.rows
+            )),
+            Some(f) => {
+                if f.vectorized_ns as f64 > c.vectorized_ns as f64 * factor {
+                    problems.push(format!(
+                        "{} @ {} rows: {}ns vs committed {}ns (>{factor:.1}x)",
+                        c.name, c.rows, f.vectorized_ns, c.vectorized_ns
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_json_roundtrips() {
+        let entries = run_suite(&[2_000], Duration::from_millis(5));
+        assert_eq!(entries.len(), 5);
+        let text = render_json("test", &entries);
+        let back = parse_results(&text);
+        assert_eq!(entries, back);
+        assert!(find_regressions(&entries, &entries, 2.0).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_fires() {
+        let committed = vec![BenchEntry {
+            name: "join".into(),
+            rows: 100_000,
+            baseline_ns: 1_000_000,
+            vectorized_ns: 100_000,
+        }];
+        let mut fresh = committed.clone();
+        fresh[0].vectorized_ns = 300_000;
+        assert_eq!(find_regressions(&committed, &fresh, 2.0).len(), 1);
+        // Sub-20µs entries are noise-exempt.
+        let tiny = vec![BenchEntry {
+            name: "filter".into(),
+            rows: 10,
+            baseline_ns: 10_000,
+            vectorized_ns: 1_000,
+        }];
+        let mut tiny_fresh = tiny.clone();
+        tiny_fresh[0].vectorized_ns = 9_000;
+        assert!(find_regressions(&tiny, &tiny_fresh, 2.0).is_empty());
+    }
+}

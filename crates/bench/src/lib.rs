@@ -10,6 +10,7 @@
 //! simulated cluster; EXPERIMENTS.md records claim-vs-measured for all
 //! of them.
 
+pub mod exec_bench;
 pub mod table;
 
 pub mod e01_fig1_deployments;

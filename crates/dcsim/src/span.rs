@@ -95,6 +95,9 @@ pub enum Category {
     Autoscale,
     /// Control-plane failover: scheduler election + state reconstruction.
     Election,
+    /// Local SQL execution operator (real wall-clock compute, mapped onto
+    /// the virtual timeline so it can sit side-by-side with priced spans).
+    Exec,
 }
 
 impl Category {
@@ -118,6 +121,7 @@ impl Category {
             Category::Placement => "placement",
             Category::Autoscale => "autoscale",
             Category::Election => "election",
+            Category::Exec => "exec",
         }
     }
 }

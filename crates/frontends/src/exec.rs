@@ -8,17 +8,30 @@
 //!
 //! Supported: projection, WHERE conjunctions, equi-joins, GROUP BY with
 //! `sum`/`count`/`min`/`max`/`avg`, ORDER BY, LIMIT.
+//!
+//! The hot paths are vectorized: WHERE conjuncts fuse into a single
+//! boolean mask ([`compute::and`]) applied once; joins and group-bys key
+//! on FNV-1a hashes of the raw column bytes with a typed equality check
+//! on collision — no per-row `String` rendering anywhere on the join or
+//! group-by key path. Each relational operator also records a
+//! wall-clock [`Category::Exec`] span (named after the planner's
+//! [`ops`] vertices) so a traced query correlates real compute with the
+//! simulated plan.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use skadi_arrow::array::{Array, Value};
 use skadi_arrow::batch::RecordBatch;
 use skadi_arrow::compute::{self, CmpOp};
 use skadi_arrow::datatype::DataType;
 use skadi_arrow::schema::{Field, Schema};
+use skadi_dcsim::span::{Category, SpanId, Trace, Tracer};
+use skadi_dcsim::time::SimTime;
 
 use crate::catalog::{Catalog, TableDef};
 use crate::sql::ast::{Comparison, Expr, Literal, Query};
+use crate::sql::planner::ops;
 use crate::sql::{parse, tokenize, SqlError};
 use skadi_ir::types::ScalarType;
 
@@ -51,6 +64,18 @@ impl MemDb {
     pub fn query(&self, sql: &str) -> Result<RecordBatch, SqlError> {
         let q = parse(&tokenize(sql)?)?;
         execute(&q, self)
+    }
+
+    /// Like [`MemDb::query`], but also returns a [`Trace`] with one
+    /// wall-clock span per relational operator (scan/filter/join/
+    /// aggregate/project/sort/limit). Span times are real elapsed
+    /// nanoseconds mapped onto the virtual timeline, so callers can set
+    /// measured compute beside simulated pricing.
+    pub fn query_traced(&self, sql: &str) -> Result<(RecordBatch, Trace), SqlError> {
+        let q = parse(&tokenize(sql)?)?;
+        let mut tracer = Tracer::new(true);
+        let out = execute_traced(&q, self, &mut tracer)?;
+        Ok((out, tracer.finish()))
     }
 
     /// Derives a planner [`Catalog`] from the registered tables: schemas
@@ -111,16 +136,131 @@ fn cmp_op(op: &str) -> Result<CmpOp, SqlError> {
     })
 }
 
-/// Applies one conjunct as a filter.
-fn apply_filter(batch: &RecordBatch, c: &Comparison) -> Result<RecordBatch, SqlError> {
-    let col = batch.column_by_name(&c.column).map_err(wrap)?;
-    let mask = compute::cmp_scalar(col, cmp_op(&c.op)?, &literal_value(&c.value)).map_err(wrap)?;
-    compute::filter(batch, &mask).map_err(wrap)
+/// Per-operator wall-clock span recorder. Disabled (`inner: None`) it
+/// costs one `Instant` read per operator and records nothing.
+struct ExecSpans<'a> {
+    inner: Option<(&'a mut Tracer, SpanId)>,
+    clock: Instant,
 }
+
+impl ExecSpans<'_> {
+    fn disabled() -> ExecSpans<'static> {
+        ExecSpans {
+            inner: None,
+            clock: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall-clock since the query started, as a virtual time.
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.clock.elapsed().as_nanos() as u64)
+    }
+
+    /// Records one completed operator span under the root query span.
+    fn op(&mut self, name: &str, start: SimTime, rows_in: usize, rows_out: usize) {
+        if let Some((tracer, root)) = &mut self.inner {
+            let end = SimTime::from_nanos(self.clock.elapsed().as_nanos() as u64);
+            tracer.span(
+                name,
+                "exec",
+                Category::Exec,
+                Some(*root),
+                start,
+                end,
+                &[
+                    ("rows_in", &rows_in.to_string()),
+                    ("rows_out", &rows_out.to_string()),
+                ],
+            );
+        }
+    }
+
+    fn close_root(&mut self, rows_out: usize) {
+        if let Some((tracer, root)) = &mut self.inner {
+            let end = SimTime::from_nanos(self.clock.elapsed().as_nanos() as u64);
+            tracer.attr(*root, "rows_out", &rows_out.to_string());
+            tracer.close(*root, end);
+        }
+    }
+}
+
+/// Applies a conjunction of comparisons as ONE filter: each conjunct
+/// becomes a boolean mask ([`compute::cmp_scalar`]), the masks fuse with
+/// [`compute::and`] (SQL three-valued logic), and the batch is gathered
+/// once — instead of materializing an intermediate batch per conjunct.
+fn apply_conjuncts(
+    batch: &RecordBatch,
+    conjuncts: &[&Comparison],
+) -> Result<RecordBatch, SqlError> {
+    let mut mask: Option<Array> = None;
+    for c in conjuncts {
+        let col = batch.column_by_name(&c.column).map_err(wrap)?;
+        let m = compute::cmp_scalar(col, cmp_op(&c.op)?, &literal_value(&c.value)).map_err(wrap)?;
+        mask = Some(match mask {
+            Some(prev) => compute::and(&prev, &m).map_err(wrap)?,
+            None => m,
+        });
+    }
+    match mask {
+        Some(m) => compute::filter(batch, &m).map_err(wrap),
+        None => Ok(batch.clone()),
+    }
+}
+
+/// Typed key equality for join collision checks. Floats compare by bit
+/// pattern (so NaN keys self-join and `-0.0` stays distinct from `0.0`,
+/// matching the old rendered-key semantics); a mixed `Int64`/`Float64`
+/// pair compares through the integer's `f64` value. Null keys never
+/// join. Other cross-type pairs are unequal.
+fn join_key_eq(l: &Array, li: usize, r: &Array, ri: usize) -> bool {
+    match (l, r) {
+        (Array::Int64(a), Array::Int64(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
+        }
+        (Array::Float64(a), Array::Float64(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x.to_bits() == y.to_bits())
+        }
+        (Array::Int64(a), Array::Float64(b)) => {
+            matches!(
+                (a.get(li), b.get(ri)),
+                (Some(x), Some(y)) if (x as f64).to_bits() == y.to_bits()
+            )
+        }
+        (Array::Float64(a), Array::Int64(b)) => {
+            matches!(
+                (a.get(li), b.get(ri)),
+                (Some(x), Some(y)) if x.to_bits() == (y as f64).to_bits()
+            )
+        }
+        (Array::Bool(a), Array::Bool(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
+        }
+        (Array::Utf8(a), Array::Utf8(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
+        }
+        _ => false,
+    }
+}
+
+/// Folds the high hash bits down before masking to a table bucket, so
+/// power-of-two tables see entropy from the whole 64-bit FNV hash.
+#[inline]
+fn fold_hash(h: u64) -> u64 {
+    h ^ (h >> 32)
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
 
 /// Hash equi-join (inner). Right-side key column is dropped from the
 /// output; other right columns are appended.
-fn hash_join(
+///
+/// Keys are bucketed by their raw-byte FNV-1a hash
+/// ([`compute::hash_key_column`]) with a typed equality check on each
+/// candidate — no per-row key rendering. The build side is a chained
+/// bucket table (`head` + `next` arrays) addressed directly by the key
+/// hash: zero allocations per bucket and no re-hashing of the `u64`.
+/// Null keys match nothing.
+pub fn hash_join(
     left: &RecordBatch,
     right: &RecordBatch,
     left_key: &str,
@@ -128,29 +268,50 @@ fn hash_join(
 ) -> Result<RecordBatch, SqlError> {
     let lk = left.schema().index_of(left_key).map_err(wrap)?;
     let rk = right.schema().index_of(right_key).map_err(wrap)?;
+    let lcol = left.column(lk);
+    let rcol = right.column(rk);
 
-    // Build side: key value -> row indices.
-    let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    for r in 0..right.num_rows() {
-        let key = right.column(rk).value_at(r);
-        if key == Value::Null {
+    // A mixed Int64/Float64 key pair hashes the integer side through its
+    // f64 bit pattern so numerically-equal keys share a bucket.
+    let mixed = matches!(
+        (lcol.data_type(), rcol.data_type()),
+        (DataType::Int64, DataType::Float64) | (DataType::Float64, DataType::Int64)
+    );
+    let lh = compute::hash_key_column(lcol, mixed);
+    let rh = compute::hash_key_column(rcol, mixed);
+
+    // Build side: bucket -> chain of right rows. Inserting in reverse
+    // row order leaves every chain sorted ascending, preserving the
+    // match order of the old ordered-map engine.
+    let cap = (right.num_rows() * 2).next_power_of_two().max(16);
+    let mask = cap as u64 - 1;
+    let mut head = vec![EMPTY_SLOT; cap];
+    let mut next = vec![EMPTY_SLOT; right.num_rows()];
+    let r_validity = rcol.validity();
+    for r in (0..right.num_rows()).rev() {
+        if r_validity.is_some_and(|v| !v.get(r)) {
             continue;
         }
-        index.entry(key.to_string()).or_default().push(r);
+        let b = (fold_hash(rh[r]) & mask) as usize;
+        next[r] = head[b];
+        head[b] = r as u32;
     }
 
     let mut left_rows: Vec<usize> = Vec::new();
     let mut right_rows: Vec<usize> = Vec::new();
-    for l in 0..left.num_rows() {
-        let key = left.column(lk).value_at(l);
-        if key == Value::Null {
+    let l_validity = lcol.validity();
+    for (l, &h) in lh.iter().enumerate() {
+        if l_validity.is_some_and(|v| !v.get(l)) {
             continue;
         }
-        if let Some(matches) = index.get(&key.to_string()) {
-            for r in matches {
+        let mut r = head[(fold_hash(h) & mask) as usize];
+        while r != EMPTY_SLOT {
+            let ri = r as usize;
+            if rh[ri] == h && join_key_eq(lcol, l, rcol, ri) {
                 left_rows.push(l);
-                right_rows.push(*r);
+                right_rows.push(ri);
             }
+            r = next[ri];
         }
     }
 
@@ -168,125 +329,301 @@ fn hash_join(
 
     let mut columns: Vec<Array> = Vec::with_capacity(fields.len());
     for c in 0..left.num_columns() {
-        let values: Vec<Value> = left_rows
-            .iter()
-            .map(|r| left.column(c).value_at(*r))
-            .collect();
-        columns.push(Array::from_values(left.column(c).data_type(), &values).map_err(wrap)?);
+        columns.push(left.column(c).take_rows(&left_rows));
     }
     for &c in &right_cols {
-        let values: Vec<Value> = right_rows
-            .iter()
-            .map(|r| right.column(c).value_at(*r))
-            .collect();
-        columns.push(Array::from_values(right.column(c).data_type(), &values).map_err(wrap)?);
+        columns.push(right.column(c).take_rows(&right_rows));
     }
     RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
 }
 
-fn numeric(v: &Value) -> Option<f64> {
-    match v {
-        Value::I64(x) => Some(*x as f64),
-        Value::F64(x) => Some(*x),
-        _ => None,
+/// Typed equality of two rows across the group-key columns. Floats
+/// compare by bit pattern; within a group column, null equals null (SQL
+/// GROUP BY puts all nulls in one group).
+fn group_key_eq(batch: &RecordBatch, cols: &[usize], a: usize, b: usize) -> bool {
+    cols.iter().all(|&c| match batch.column(c) {
+        Array::Int64(arr) => arr.get(a) == arr.get(b),
+        Array::Float64(arr) => match (arr.get(a), arr.get(b)) {
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            (None, None) => true,
+            _ => false,
+        },
+        Array::Bool(arr) => arr.get(a) == arr.get(b),
+        Array::Utf8(arr) => arr.get(a) == arr.get(b),
+    })
+}
+
+/// One resolved aggregate: which accumulator runs over which column.
+/// Integer sums/mins/maxes stay `Int64`; `count` is `Int64`; everything
+/// else (including `avg`) is `Float64`. Non-numeric inputs to
+/// `sum`/`min`/`max`/`avg` yield an all-null `Float64` column.
+enum AggKind {
+    CountStar,
+    Count(usize),
+    SumI64(usize),
+    MinI64(usize),
+    MaxI64(usize),
+    SumF64(usize),
+    MinF64(usize),
+    MaxF64(usize),
+    Avg(usize),
+    NonNumeric,
+}
+
+impl AggKind {
+    fn data_type(&self) -> DataType {
+        match self {
+            AggKind::CountStar
+            | AggKind::Count(_)
+            | AggKind::SumI64(_)
+            | AggKind::MinI64(_)
+            | AggKind::MaxI64(_) => DataType::Int64,
+            _ => DataType::Float64,
+        }
     }
 }
 
-/// Grouped aggregation.
-fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError> {
+fn resolve_agg(func: &str, column: &str, input: &RecordBatch) -> Result<AggKind, SqlError> {
+    if func == "count" {
+        if column == "*" {
+            return Ok(AggKind::CountStar);
+        }
+        return Ok(AggKind::Count(
+            input.schema().index_of(column).map_err(wrap)?,
+        ));
+    }
+    let c = input.schema().index_of(column).map_err(wrap)?;
+    Ok(match (func, input.column(c).data_type()) {
+        ("sum", DataType::Int64) => AggKind::SumI64(c),
+        ("min", DataType::Int64) => AggKind::MinI64(c),
+        ("max", DataType::Int64) => AggKind::MaxI64(c),
+        ("sum", DataType::Float64) => AggKind::SumF64(c),
+        ("min", DataType::Float64) => AggKind::MinF64(c),
+        ("max", DataType::Float64) => AggKind::MaxF64(c),
+        ("avg", DataType::Int64 | DataType::Float64) => AggKind::Avg(c),
+        ("sum" | "min" | "max" | "avg", _) => AggKind::NonNumeric,
+        (other, _) => return Err(SqlError::Plan(format!("unsupported aggregate {other:?}"))),
+    })
+}
+
+/// Streaming per-group fold over an `Int64` column: one pass in row
+/// order, `Option<i64>` per group (groups with no non-null value stay
+/// null).
+fn fold_groups_i64(
+    col: &Array,
+    row_group: &[u32],
+    num_groups: usize,
+    identity: i64,
+    op: fn(i64, i64) -> i64,
+) -> Array {
+    let a = col.as_i64().expect("resolved as Int64");
+    let validity = a.validity();
+    let mut acc: Vec<Option<i64>> = vec![None; num_groups];
+    for (r, v) in a.iter_raw().enumerate() {
+        if validity.is_some_and(|m| !m.get(r)) {
+            continue;
+        }
+        let g = row_group[r] as usize;
+        acc[g] = Some(op(acc[g].unwrap_or(identity), v));
+    }
+    Array::from_opt_i64(acc)
+}
+
+/// Streaming per-group fold over a `Float64` column. Folding from the
+/// identity (`0.0` / `±INFINITY`) in row order reproduces the old
+/// engine's `Vec<f64>`-per-group results bit-for-bit.
+fn fold_groups_f64(
+    col: &Array,
+    row_group: &[u32],
+    num_groups: usize,
+    identity: f64,
+    op: fn(f64, f64) -> f64,
+) -> Array {
+    let a = col.as_f64().expect("resolved as Float64");
+    let validity = a.validity();
+    let mut acc: Vec<Option<f64>> = vec![None; num_groups];
+    for (r, v) in a.iter_raw().enumerate() {
+        if validity.is_some_and(|m| !m.get(r)) {
+            continue;
+        }
+        let g = row_group[r] as usize;
+        acc[g] = Some(op(acc[g].unwrap_or(identity), v));
+    }
+    Array::from_opt_f64(acc)
+}
+
+/// Runs one aggregate over the whole input in a single column-at-a-time
+/// pass, given each row's group id. No per-group `Vec<f64>` staging.
+fn accumulate(
+    kind: &AggKind,
+    input: &RecordBatch,
+    row_group: &[u32],
+    group_sizes: &[i64],
+) -> Array {
+    let ng = group_sizes.len();
+    match *kind {
+        AggKind::CountStar => Array::from_i64(group_sizes.to_vec()),
+        AggKind::Count(c) => {
+            let validity = input.column(c).validity();
+            let mut counts = vec![0i64; ng];
+            for (r, &g) in row_group.iter().enumerate() {
+                if validity.is_none_or(|v| v.get(r)) {
+                    counts[g as usize] += 1;
+                }
+            }
+            Array::from_i64(counts)
+        }
+        AggKind::SumI64(c) => fold_groups_i64(input.column(c), row_group, ng, 0, i64::wrapping_add),
+        AggKind::MinI64(c) => fold_groups_i64(input.column(c), row_group, ng, i64::MAX, i64::min),
+        AggKind::MaxI64(c) => fold_groups_i64(input.column(c), row_group, ng, i64::MIN, i64::max),
+        AggKind::SumF64(c) => fold_groups_f64(input.column(c), row_group, ng, 0.0, |a, b| a + b),
+        AggKind::MinF64(c) => {
+            fold_groups_f64(input.column(c), row_group, ng, f64::INFINITY, f64::min)
+        }
+        AggKind::MaxF64(c) => {
+            fold_groups_f64(input.column(c), row_group, ng, f64::NEG_INFINITY, f64::max)
+        }
+        AggKind::Avg(c) => {
+            let mut sums = vec![0f64; ng];
+            let mut counts = vec![0i64; ng];
+            match input.column(c) {
+                Array::Int64(a) => {
+                    let validity = a.validity();
+                    for (r, v) in a.iter_raw().enumerate() {
+                        if validity.is_some_and(|m| !m.get(r)) {
+                            continue;
+                        }
+                        sums[row_group[r] as usize] += v as f64;
+                        counts[row_group[r] as usize] += 1;
+                    }
+                }
+                Array::Float64(a) => {
+                    let validity = a.validity();
+                    for (r, v) in a.iter_raw().enumerate() {
+                        if validity.is_some_and(|m| !m.get(r)) {
+                            continue;
+                        }
+                        sums[row_group[r] as usize] += v;
+                        counts[row_group[r] as usize] += 1;
+                    }
+                }
+                _ => unreachable!("avg resolved only for numeric columns"),
+            }
+            Array::from_opt_f64(
+                (0..ng)
+                    .map(|g| (counts[g] > 0).then(|| sums[g] / counts[g] as f64))
+                    .collect(),
+            )
+        }
+        AggKind::NonNumeric => Array::from_opt_f64(vec![None; ng]),
+    }
+}
+
+/// Grouped aggregation, keyed on raw-byte row hashes.
+///
+/// Rows get dense group ids from a `u64`-hash table with typed
+/// collision-checked key equality; aggregates then run as single-pass
+/// streaming accumulators ([`accumulate`]). A global aggregate (no
+/// GROUP BY) always yields exactly one group — even over an empty
+/// input, so `count(*)` of nothing is one row holding `0`. Output group
+/// order replicates the old engine's `BTreeMap` order by rendering ONE
+/// key string per *group* (not per row) and sorting.
+pub fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError> {
     let group_cols: Vec<usize> = q
         .group_by
         .iter()
         .map(|g| input.schema().index_of(g).map_err(wrap))
         .collect::<Result<_, _>>()?;
+    let nrows = input.num_rows();
 
-    // Group rows by rendered key (deterministic order via BTreeMap).
-    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    for r in 0..input.num_rows() {
-        let key: String = group_cols
-            .iter()
-            .map(|c| input.column(*c).value_at(r).to_string())
-            .collect::<Vec<_>>()
-            .join("\u{1}");
-        groups.entry(key).or_default().push(r);
+    // Assign each row a dense group id.
+    let mut row_group: Vec<u32> = Vec::with_capacity(nrows);
+    let mut rep_rows: Vec<usize> = Vec::new(); // first row seen per group
+    let mut group_sizes: Vec<i64> = Vec::new();
+    if group_cols.is_empty() {
+        row_group.resize(nrows, 0);
+        rep_rows.push(0);
+        group_sizes.push(nrows as i64);
+    } else {
+        let hashes = compute::hash_rows(input, &group_cols);
+        // Linear-probing table of group ids, addressed by the row hash.
+        // Capacity 2x rows keeps the load factor under 0.5; slots store
+        // the group id, keys compare by stored hash then typed equality.
+        let cap = (nrows * 2).next_power_of_two().max(16);
+        let mask = cap as u64 - 1;
+        let mut slots: Vec<u32> = vec![EMPTY_SLOT; cap];
+        let mut group_hashes: Vec<u64> = Vec::new();
+        for (r, &h) in hashes.iter().enumerate() {
+            let mut b = (fold_hash(h) & mask) as usize;
+            loop {
+                match slots[b] {
+                    EMPTY_SLOT => {
+                        let g = rep_rows.len() as u32;
+                        slots[b] = g;
+                        rep_rows.push(r);
+                        group_hashes.push(h);
+                        group_sizes.push(1);
+                        row_group.push(g);
+                        break;
+                    }
+                    g if group_hashes[g as usize] == h
+                        && group_key_eq(input, &group_cols, rep_rows[g as usize], r) =>
+                    {
+                        group_sizes[g as usize] += 1;
+                        row_group.push(g);
+                        break;
+                    }
+                    _ => b = (b + 1) & (cap - 1),
+                }
+            }
+        }
     }
-    if group_cols.is_empty() && input.num_rows() > 0 {
-        // Global aggregate: one group.
-        groups.clear();
-        groups.insert(String::new(), (0..input.num_rows()).collect());
+    let ng = group_sizes.len();
+
+    // Output order: the old engine iterated a BTreeMap over the rendered
+    // group key; sorting one rendered string per group reproduces it in
+    // O(groups), not O(rows).
+    let mut order: Vec<u32> = (0..ng as u32).collect();
+    if !group_cols.is_empty() {
+        let keys: Vec<String> = rep_rows
+            .iter()
+            .map(|&r| {
+                group_cols
+                    .iter()
+                    .map(|&c| input.column(c).value_at(r).to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect();
+        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
     }
 
     // Output schema: group columns then one column per aggregate item.
     let mut fields: Vec<Field> = group_cols
         .iter()
-        .map(|c| input.schema().field(*c).clone())
+        .map(|&c| input.schema().field(c).clone())
         .collect();
-    let mut agg_items: Vec<(&str, &str, String)> = Vec::new(); // (func, col, out name)
+    let mut aggs: Vec<AggKind> = Vec::new();
     for item in &q.select {
         if let Expr::Agg { func, column } = &item.expr {
             let name = item
                 .alias
                 .clone()
                 .unwrap_or_else(|| format!("{func}({column})"));
-            let dt = if func == "count" {
-                DataType::Int64
-            } else {
-                DataType::Float64
-            };
-            fields.push(Field::new(name.clone(), dt, true));
-            agg_items.push((func, column, name));
+            let kind = resolve_agg(func, column, input)?;
+            fields.push(Field::new(name, kind.data_type(), true));
+            aggs.push(kind);
         }
     }
 
-    let mut group_values: Vec<Vec<Value>> = vec![Vec::new(); group_cols.len()];
-    let mut agg_values: Vec<Vec<Value>> = vec![Vec::new(); agg_items.len()];
-    for rows in groups.values() {
-        for (i, c) in group_cols.iter().enumerate() {
-            group_values[i].push(input.column(*c).value_at(rows[0]));
-        }
-        for (i, (func, col, _)) in agg_items.iter().enumerate() {
-            let v = if *func == "count" {
-                if *col == "*" {
-                    Value::I64(rows.len() as i64)
-                } else {
-                    let c = input.schema().index_of(col).map_err(wrap)?;
-                    Value::I64(
-                        rows.iter()
-                            .filter(|r| input.column(c).value_at(**r) != Value::Null)
-                            .count() as i64,
-                    )
-                }
-            } else {
-                let c = input.schema().index_of(col).map_err(wrap)?;
-                let nums: Vec<f64> = rows
-                    .iter()
-                    .filter_map(|r| numeric(&input.column(c).value_at(*r)))
-                    .collect();
-                if nums.is_empty() {
-                    Value::Null
-                } else {
-                    match *func {
-                        "sum" => Value::F64(nums.iter().sum()),
-                        "min" => Value::F64(nums.iter().copied().fold(f64::INFINITY, f64::min)),
-                        "max" => Value::F64(nums.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
-                        "avg" => Value::F64(nums.iter().sum::<f64>() / nums.len() as f64),
-                        other => {
-                            return Err(SqlError::Plan(format!("unsupported aggregate {other:?}")))
-                        }
-                    }
-                }
-            };
-            agg_values[i].push(v);
-        }
-    }
-
-    let mut columns = Vec::with_capacity(fields.len());
-    for (i, _) in group_cols.iter().enumerate() {
-        columns.push(Array::from_values(fields[i].data_type, &group_values[i]).map_err(wrap)?);
-    }
-    for (i, vals) in agg_values.iter().enumerate() {
-        columns
-            .push(Array::from_values(fields[group_cols.len() + i].data_type, vals).map_err(wrap)?);
+    let ordered_reps: Vec<usize> = order.iter().map(|&g| rep_rows[g as usize]).collect();
+    let perm: Vec<usize> = order.iter().map(|&g| g as usize).collect();
+    let mut columns: Vec<Array> = group_cols
+        .iter()
+        .map(|&c| input.column(c).take_rows(&ordered_reps))
+        .collect();
+    for kind in &aggs {
+        columns.push(accumulate(kind, input, &row_group, &group_sizes).take_rows(&perm));
     }
     RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
 }
@@ -305,45 +642,83 @@ fn sort_by(batch: &RecordBatch, column: &str, descending: bool) -> Result<Record
 
 /// Executes a parsed query against the database.
 pub fn execute(q: &Query, db: &MemDb) -> Result<RecordBatch, SqlError> {
-    let mut current = db.table(&q.from)?.clone();
+    execute_inner(q, db, &mut ExecSpans::disabled())
+}
 
-    // Pushdown-equivalent: apply base-table conjuncts first.
-    if let Some(p) = &q.predicate {
-        for c in &p.conjuncts {
-            if current.schema().index_of(&c.column).is_ok() {
-                current = apply_filter(&current, c)?;
-            }
-        }
+/// Executes a parsed query, recording per-operator [`Category::Exec`]
+/// spans into `tracer` under a root `"query"` span.
+pub fn execute_traced(q: &Query, db: &MemDb, tracer: &mut Tracer) -> Result<RecordBatch, SqlError> {
+    let clock = Instant::now();
+    let root = tracer.open("query", "exec", Category::Exec, None, SimTime::ZERO);
+    let mut spans = ExecSpans {
+        inner: Some((tracer, root)),
+        clock,
+    };
+    let out = execute_inner(q, db, &mut spans)?;
+    spans.close_root(out.num_rows());
+    Ok(out)
+}
+
+fn execute_inner(q: &Query, db: &MemDb, spans: &mut ExecSpans) -> Result<RecordBatch, SqlError> {
+    let t0 = spans.now();
+    let mut current = db.table(&q.from)?.clone();
+    spans.op(ops::SCAN, t0, current.num_rows(), current.num_rows());
+
+    // Pushdown-equivalent: conjuncts on base-table columns apply before
+    // joins; the rest after. Each side fuses into a single mask.
+    let (pushed, residual): (Vec<&Comparison>, Vec<&Comparison>) = match &q.predicate {
+        Some(p) => p
+            .conjuncts
+            .iter()
+            .partition(|c| current.schema().index_of(&c.column).is_ok()),
+        None => (Vec::new(), Vec::new()),
+    };
+    if !pushed.is_empty() {
+        let t0 = spans.now();
+        let rows_in = current.num_rows();
+        current = apply_conjuncts(&current, &pushed)?;
+        spans.op(ops::FILTER, t0, rows_in, current.num_rows());
     }
     for j in &q.joins {
         let right = db.table(&j.table)?;
+        let t0 = spans.now();
+        let rows_in = current.num_rows() + right.num_rows();
         current = hash_join(&current, right, &j.left_key, &j.right_key)?;
+        spans.op(ops::JOIN, t0, rows_in, current.num_rows());
     }
-    // Residual conjuncts (columns that only exist post-join).
-    if let Some(p) = &q.predicate {
-        for c in &p.conjuncts {
-            if db.table(&q.from)?.schema().index_of(&c.column).is_err() {
-                current = apply_filter(&current, c)?;
-            }
-        }
+    if !residual.is_empty() {
+        let t0 = spans.now();
+        let rows_in = current.num_rows();
+        current = apply_conjuncts(&current, &residual)?;
+        spans.op(ops::FILTER, t0, rows_in, current.num_rows());
     }
 
     if q.is_aggregate() {
+        let t0 = spans.now();
+        let rows_in = current.num_rows();
         current = aggregate(q, &current)?;
+        spans.op(ops::AGGREGATE, t0, rows_in, current.num_rows());
     } else {
         let cols = q.projected_columns();
         if !cols.is_empty() && !cols.contains(&"*") {
+            let t0 = spans.now();
             current = current.project(&cols).map_err(wrap)?;
+            spans.op(ops::PROJECT, t0, current.num_rows(), current.num_rows());
         }
     }
 
     if let Some(ob) = &q.order_by {
+        let t0 = spans.now();
         current = sort_by(&current, &ob.column, ob.descending)?;
+        spans.op(ops::SORT, t0, current.num_rows(), current.num_rows());
     }
     if let Some(n) = q.limit {
+        let t0 = spans.now();
+        let rows_in = current.num_rows();
         let keep = (n.max(0) as usize).min(current.num_rows());
-        let indices = Array::from_i64((0..keep as i64).collect());
-        current = compute::take(&current, &indices).map_err(wrap)?;
+        let indices: Vec<usize> = (0..keep).collect();
+        current = compute::take_indices(&current, &indices).map_err(wrap)?;
+        spans.op(ops::LIMIT, t0, rows_in, current.num_rows());
     }
     Ok(current)
 }
@@ -421,7 +796,7 @@ mod tests {
             .query("SELECT kind, sum(value) AS total, count(*) AS n FROM events GROUP BY kind")
             .unwrap();
         assert_eq!(out.num_rows(), 2);
-        // BTreeMap ordering: click before view.
+        // Rendered-key order: click before view.
         assert_eq!(
             out.column_by_name("kind").unwrap().value_at(0),
             Value::Str("click".into())
@@ -472,6 +847,40 @@ mod tests {
     }
 
     #[test]
+    fn int_aggregates_stay_int64() {
+        let out = db()
+            .query("SELECT sum(user_id) AS s, min(user_id) AS lo, max(user_id) AS hi FROM events")
+            .unwrap();
+        assert_eq!(out.column_by_name("s").unwrap().value_at(0), Value::I64(12));
+        assert_eq!(out.column_by_name("lo").unwrap().value_at(0), Value::I64(1));
+        assert_eq!(out.column_by_name("hi").unwrap().value_at(0), Value::I64(3));
+        // avg over ints still floats.
+        let out = db().query("SELECT avg(user_id) AS m FROM events").unwrap();
+        assert_eq!(
+            out.column_by_name("m").unwrap().value_at(0),
+            Value::F64(2.0)
+        );
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_is_one_row() {
+        let out = db()
+            .query("SELECT count(*) AS n, sum(value) AS s FROM events WHERE value > 100")
+            .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column_by_name("n").unwrap().value_at(0), Value::I64(0));
+        assert_eq!(out.column_by_name("s").unwrap().value_at(0), Value::Null);
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_is_empty() {
+        let out = db()
+            .query("SELECT kind, count(*) AS n FROM events WHERE value > 100 GROUP BY kind")
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
     fn join_enriches_rows() {
         let out = db()
             .query(
@@ -492,6 +901,85 @@ mod tests {
         assert_eq!(
             out.column_by_name("total").unwrap().value_at(1),
             Value::F64(3.0)
+        );
+    }
+
+    #[test]
+    fn join_skips_null_keys_and_expands_duplicates() {
+        let left = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, true),
+                Field::new("l", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_opt_i64(vec![Some(1), None, Some(2), Some(1)]),
+                Array::from_utf8(&["a", "b", "c", "d"]),
+            ],
+        )
+        .unwrap();
+        let right = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, true),
+                Field::new("r", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_opt_i64(vec![Some(1), Some(1), None]),
+                Array::from_utf8(&["x", "y", "z"]),
+            ],
+        )
+        .unwrap();
+        let out = hash_join(&left, &right, "k", "k").unwrap();
+        // Left rows 0 and 3 (k=1) each match right rows 0 and 1; nulls on
+        // either side match nothing.
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(
+            out.column_by_name("l").unwrap().value_at(0),
+            Value::Str("a".into())
+        );
+        assert_eq!(
+            out.column_by_name("r").unwrap().value_at(1),
+            Value::Str("y".into())
+        );
+        assert_eq!(
+            out.column_by_name("l").unwrap().value_at(2),
+            Value::Str("d".into())
+        );
+    }
+
+    #[test]
+    fn join_mixed_int_float_keys() {
+        let left = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("l", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_i64(vec![1, 2, 3]),
+                Array::from_utf8(&["a", "b", "c"]),
+            ],
+        )
+        .unwrap();
+        let right = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("fk", DataType::Float64, false),
+                Field::new("r", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_f64(vec![2.0, 3.5, 1.0]),
+                Array::from_utf8(&["x", "y", "z"]),
+            ],
+        )
+        .unwrap();
+        let out = hash_join(&left, &right, "k", "fk").unwrap();
+        // 1 <-> 1.0 and 2 <-> 2.0 join; 3 vs 3.5 does not.
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(
+            out.column_by_name("r").unwrap().value_at(0),
+            Value::Str("z".into())
+        );
+        assert_eq!(
+            out.column_by_name("r").unwrap().value_at(1),
+            Value::Str("x".into())
         );
     }
 
@@ -541,6 +1029,55 @@ mod tests {
         let out = db().query("SELECT * FROM users").unwrap();
         assert_eq!(out.num_rows(), 3);
         assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn traced_query_emits_operator_spans() {
+        let (out, trace) = db()
+            .query_traced(
+                "SELECT country, sum(value) AS total FROM events \
+                 JOIN users ON user_id = user_id \
+                 WHERE kind = 'click' GROUP BY country ORDER BY country LIMIT 5",
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        trace.validate().unwrap();
+        let names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "query",
+                ops::SCAN,
+                ops::FILTER,
+                ops::JOIN,
+                ops::AGGREGATE,
+                ops::SORT,
+                ops::LIMIT
+            ]
+        );
+        assert_eq!(trace.count_category(Category::Exec), names.len());
+        // Operator spans nest under the root and carry row counts.
+        let root = trace.spans()[0].id;
+        for s in &trace.spans()[1..] {
+            assert_eq!(s.parent, Some(root));
+            assert!(s.attr("rows_in").is_some() && s.attr("rows_out").is_some());
+        }
+        let agg = trace
+            .spans()
+            .iter()
+            .find(|s| s.name == ops::AGGREGATE)
+            .unwrap();
+        assert_eq!(agg.attr("rows_out"), Some("2"));
+        // The untraced path computes the identical answer.
+        assert_eq!(
+            db().query(
+                "SELECT country, sum(value) AS total FROM events \
+                 JOIN users ON user_id = user_id \
+                 WHERE kind = 'click' GROUP BY country ORDER BY country LIMIT 5",
+            )
+            .unwrap(),
+            out
+        );
     }
 }
 

@@ -16,6 +16,26 @@ const CONJUNCT_SELECTIVITY: f64 = 0.4;
 /// Assumed group-count reduction of an aggregation.
 const AGG_REDUCTION: f64 = 0.01;
 
+/// Relational operator names, shared between the planner's FlowGraph
+/// vertices and the local engine's exec spans so a priced plan and a real
+/// execution correlate by name.
+pub mod ops {
+    /// Base-table scan (planner: the source vertex named after the table).
+    pub const SCAN: &str = "rel.scan";
+    /// WHERE conjunction.
+    pub const FILTER: &str = "rel.filter";
+    /// Hash equi-join.
+    pub const JOIN: &str = "rel.join";
+    /// GROUP BY / global aggregation.
+    pub const AGGREGATE: &str = "rel.aggregate";
+    /// Column projection.
+    pub const PROJECT: &str = "rel.project";
+    /// ORDER BY.
+    pub const SORT: &str = "rel.sort";
+    /// LIMIT.
+    pub const LIMIT: &str = "rel.limit";
+}
+
 /// Plans a query onto `g`, returning the sink vertex.
 pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<VertexId, SqlError> {
     let base = catalog
@@ -60,7 +80,7 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         let sel = CONJUNCT_SELECTIVITY.powi(pushed.len() as i32);
         rows = ((rows as f64) * sel).max(1.0) as u64;
         bytes = ((bytes as f64) * sel).max(1.0) as u64;
-        let f = g.add_ir_op("rel.filter", rows, bytes);
+        let f = g.add_ir_op(ops::FILTER, rows, bytes);
         g.connect(head, f)?;
         head = f;
     }
@@ -71,7 +91,7 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         let right = g.add_source(&j.table, right_def.rows, right_def.bytes);
         rows = rows.max(right_def.rows);
         bytes += right_def.bytes / 4;
-        let join = g.add_ir_op("rel.join", rows, bytes);
+        let join = g.add_ir_op(ops::JOIN, rows, bytes);
         g.connect_keyed(head, join, &j.left_key)?;
         g.connect_keyed(right, join, &j.right_key)?;
         head = join;
@@ -82,7 +102,7 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         let sel = CONJUNCT_SELECTIVITY.powi(kept.len() as i32);
         rows = ((rows as f64) * sel).max(1.0) as u64;
         bytes = ((bytes as f64) * sel).max(1.0) as u64;
-        let f = g.add_ir_op("rel.filter", rows, bytes);
+        let f = g.add_ir_op(ops::FILTER, rows, bytes);
         g.connect(head, f)?;
         head = f;
     }
@@ -91,7 +111,7 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
     if q.is_aggregate() {
         let out_rows = ((rows as f64) * AGG_REDUCTION).max(1.0) as u64;
         let out_bytes = ((bytes as f64) * AGG_REDUCTION).max(64.0) as u64;
-        let agg = g.add_ir_op("rel.aggregate", rows, out_bytes);
+        let agg = g.add_ir_op(ops::AGGREGATE, rows, out_bytes);
         match q.group_by.first() {
             Some(k) => g.connect_keyed(head, agg, k)?,
             None => g.connect(head, agg)?,
@@ -105,21 +125,21 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
             let keep_frac =
                 (cols.len() as f64 / all_tables[0].columns.len().max(1) as f64).min(1.0);
             bytes = ((bytes as f64) * keep_frac).max(1.0) as u64;
-            let p = g.add_ir_op("rel.project", rows, bytes);
+            let p = g.add_ir_op(ops::PROJECT, rows, bytes);
             g.connect(head, p)?;
             head = p;
         }
     }
 
     if let Some(ob) = &q.order_by {
-        let s = g.add_ir_op("rel.sort", rows, bytes);
+        let s = g.add_ir_op(ops::SORT, rows, bytes);
         g.connect_keyed(head, s, &ob.column)?;
         head = s;
     }
     if let Some(n) = q.limit {
         rows = rows.min(n.max(0) as u64);
         bytes = bytes.min(rows.saturating_mul(64).max(64));
-        let l = g.add_ir_op("rel.limit", rows, bytes);
+        let l = g.add_ir_op(ops::LIMIT, rows, bytes);
         g.connect(head, l)?;
         head = l;
     }

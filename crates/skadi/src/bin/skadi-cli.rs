@@ -89,10 +89,28 @@ fn demo_db(rows: usize) -> MemDb {
 
 fn run_query(db: &MemDb, session: &Session, sql: &str) {
     println!("sql> {sql}");
-    match db.query(sql) {
-        Ok(result) => {
+    match db.query_traced(sql) {
+        Ok((result, trace)) => {
             println!("-- answer ({} rows) --", result.num_rows());
             print!("{result}");
+            // Per-operator wall-clock, from the engine's exec spans
+            // (skipping the root "query" umbrella span). Operator names
+            // match the planner's FlowGraph vertices, so this column
+            // reads side by side with the simulated pricing below.
+            let ops: Vec<String> = trace
+                .spans()
+                .iter()
+                .filter(|s| s.parent.is_some())
+                .map(|s| {
+                    format!(
+                        "{} {:.0}us ({} rows)",
+                        s.name,
+                        s.duration().as_micros_f64(),
+                        s.attr("rows_out").unwrap_or("?"),
+                    )
+                })
+                .collect();
+            println!("-- measured locally: {} --", ops.join(", "));
         }
         Err(e) => {
             println!("!! {e}");
