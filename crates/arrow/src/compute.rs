@@ -221,12 +221,37 @@ pub fn cmp_scalar(col: &Array, op: CmpOp, scalar: &Value) -> Result<Array, Arrow
             let b = *b as f64;
             a.iter_raw().map(|x| op.eval(x, b)).collect()
         }
-        (Array::Utf8(a), Value::Str(b)) => (0..n)
-            .map(|i| match a.get(i) {
-                Some(s) => op.eval(s, b.as_str()),
-                None => false,
-            })
-            .collect(),
+        (Array::Utf8(a), Value::Str(b)) => {
+            // Fast path over the raw offsets/data buffers — no per-row
+            // UTF-8 validation or `&str` construction. Null slots span an
+            // empty byte range; whatever they produce is masked to false
+            // by the validity pass below.
+            let needle = b.as_bytes();
+            let data = a.data().as_slice();
+            let off = a.offsets();
+            match op {
+                // Equality is decided by the offsets alone whenever the
+                // lengths differ; only length-matched slots get a
+                // byte compare.
+                CmpOp::Eq | CmpOp::Ne => (0..n)
+                    .map(|i| {
+                        let start = off.get_i32(i) as usize;
+                        let end = off.get_i32(i + 1) as usize;
+                        let eq = end - start == needle.len() && &data[start..end] == needle;
+                        (op == CmpOp::Eq) == eq
+                    })
+                    .collect(),
+                // UTF-8's code-point order equals its byte order, so
+                // ordered comparisons run directly over raw bytes.
+                _ => (0..n)
+                    .map(|i| {
+                        let start = off.get_i32(i) as usize;
+                        let end = off.get_i32(i + 1) as usize;
+                        op.eval(&data[start..end], needle)
+                    })
+                    .collect(),
+            }
+        }
         (Array::Bool(a), Value::Bool(b)) => (0..n)
             .map(|i| match a.get(i) {
                 Some(x) => op.eval(x, *b),
@@ -419,6 +444,34 @@ pub fn hash_key_column(col: &Array, coerce_int_to_f64: bool) -> Vec<u64> {
     hashes
 }
 
+/// Hash of one row of a single key column, bit-identical to
+/// `hash_key_column(col, coerce_int_to_f64)[row]`. Selective probes
+/// (selection-vector pushdown) use this to hash only the rows they
+/// actually touch instead of the whole column.
+pub fn hash_key_at(col: &Array, coerce_int_to_f64: bool, row: usize) -> u64 {
+    match col {
+        Array::Int64(a) => match a.get(row) {
+            Some(v) if coerce_int_to_f64 => {
+                fnv_feed(FNV_OFFSET, &(v as f64).to_bits().to_le_bytes())
+            }
+            Some(v) => fnv_feed(FNV_OFFSET, &v.to_le_bytes()),
+            None => fnv_feed(FNV_OFFSET, &[0xFF]),
+        },
+        Array::Float64(a) => match a.get(row) {
+            Some(v) => fnv_feed(FNV_OFFSET, &v.to_bits().to_le_bytes()),
+            None => fnv_feed(FNV_OFFSET, &[0xFF]),
+        },
+        Array::Bool(a) => match a.get(row) {
+            Some(v) => fnv_feed(FNV_OFFSET, &[v as u8]),
+            None => fnv_feed(FNV_OFFSET, &[0xFF]),
+        },
+        Array::Utf8(a) => match a.get(row) {
+            Some(s) => fnv_feed(FNV_OFFSET, s.as_bytes()),
+            None => fnv_feed(FNV_OFFSET, &[0xFF]),
+        },
+    }
+}
+
 /// FNV-1a hashes of every row across the given columns, column-at-a-time.
 /// `hash_rows(b, cols)[r] == hash_row(b, cols, r)` for every row.
 pub fn hash_rows(batch: &RecordBatch, cols: &[usize]) -> Vec<u64> {
@@ -474,6 +527,29 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn hash_key_at_matches_hash_key_column() {
+        let cols = vec![
+            Array::from_opt_i64(vec![Some(1), None, Some(-7), Some(i64::MAX)]),
+            Array::from_opt_f64(vec![Some(0.5), None, Some(-0.0), Some(f64::MAX)]),
+            Array::from_opt_bool(vec![Some(true), None, Some(false), Some(true)]),
+            Array::Utf8(crate::array::Utf8Array::from_options(vec![
+                Some("a"),
+                None,
+                Some(""),
+                Some("naïve"),
+            ])),
+        ];
+        for col in &cols {
+            for coerce in [false, true] {
+                let full = hash_key_column(col, coerce);
+                for (i, h) in full.iter().enumerate() {
+                    assert_eq!(hash_key_at(col, coerce, i), *h, "row {i} coerce {coerce}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -566,6 +642,43 @@ mod tests {
     fn cmp_incompatible_errors() {
         let col = Array::from_i64(vec![1]);
         assert!(cmp_scalar(&col, CmpOp::Eq, &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn utf8_cmp_fast_path_matches_str_semantics() {
+        // Length-prefiltered equality and raw-byte ordering must agree
+        // with `&str` comparison everywhere: empty strings, shared
+        // prefixes, multi-byte code points, nulls.
+        let vals = [
+            Some(""),
+            Some("a"),
+            Some("ab"),
+            Some("abc"),
+            None,
+            Some("b"),
+            Some("naïve"),
+            Some("z\u{10348}"),
+        ];
+        let col = Array::from_opt_utf8(vals.to_vec());
+        for needle in ["", "ab", "abd", "naïve", "z", "\u{10348}"] {
+            for op in [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ] {
+                let mask = cmp_scalar(&col, op, &Value::Str(needle.into())).unwrap();
+                for (i, v) in vals.iter().enumerate() {
+                    let want = match v {
+                        Some(s) => Value::Bool(op.eval(*s, needle)),
+                        None => Value::Null,
+                    };
+                    assert_eq!(mask.value_at(i), want, "{v:?} {op:?} {needle:?} (row {i})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -336,6 +336,47 @@ pub fn vectorized_filter(batch: &RecordBatch, conjuncts: &[(&str, CmpOp, Value)]
     compute::filter(batch, &mask.expect("at least one conjunct")).expect("filter")
 }
 
+/// Filter-then-join with the intermediate batch materialized: the mask
+/// is gathered into a new batch, which the join then probes. This is the
+/// pre-pushdown shape of the filter→join boundary.
+pub fn materialized_filter_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    conjuncts: &[(&str, CmpOp, Value)],
+    left_key: &str,
+    right_key: &str,
+) -> RecordBatch {
+    let filtered = vectorized_filter(left, conjuncts);
+    exec::hash_join(&filtered, right, left_key, right_key).expect("hash_join")
+}
+
+/// Selection-vector pushdown across the filter→join boundary: the filter
+/// produces only passing row indices, the join probes them directly, and
+/// the filtered columns are gathered exactly once — as join output.
+pub fn pushdown_filter_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    conjuncts: &[(&str, CmpOp, Value)],
+    left_key: &str,
+    right_key: &str,
+) -> RecordBatch {
+    let mut mask: Option<Array> = None;
+    for (col, op, rhs) in conjuncts {
+        let c = left.column_by_name(col).expect("filter column");
+        let m = compute::cmp_scalar(c, *op, rhs).expect("cmp_scalar");
+        mask = Some(match mask {
+            Some(prev) => compute::and(&prev, &m).expect("and"),
+            None => m,
+        });
+    }
+    let b = mask.expect("at least one conjunct");
+    let b = b.as_bool().expect("mask");
+    let sel: Vec<usize> = (0..left.num_rows())
+        .filter(|&i| b.get(i) == Some(true))
+        .collect();
+    exec::hash_join_sel(left, &sel, right, left_key, right_key).expect("hash_join_sel")
+}
+
 /// Vectorized sort via the typed `sort_to_indices` kernel.
 pub fn vectorized_sort(batch: &RecordBatch, column: &str, descending: bool) -> RecordBatch {
     let col = batch.column_by_name(column).expect("sort column");
@@ -417,6 +458,11 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
             "join mismatch at {n} rows"
         );
         assert_eq!(
+            materialized_filter_join(&events, &users, &conjuncts, "user_id", "user_id"),
+            pushdown_filter_join(&events, &users, &conjuncts, "user_id", "user_id"),
+            "filter_join pushdown mismatch at {n} rows"
+        );
+        assert_eq!(
             baseline_group_sum_count(&events, "user_id", "value"),
             exec::aggregate(&q, &events).expect("aggregate"),
             "group_by mismatch at {n} rows"
@@ -458,6 +504,19 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
                 std::hint::black_box(
                     exec::hash_join(&events, &users, "user_id", "user_id").expect("hash_join"),
                 );
+            }),
+        );
+        push(
+            "filter_join",
+            time_ns(budget, || {
+                std::hint::black_box(materialized_filter_join(
+                    &events, &users, &conjuncts, "user_id", "user_id",
+                ));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(pushdown_filter_join(
+                    &events, &users, &conjuncts, "user_id", "user_id",
+                ));
             }),
         );
         push(
@@ -595,7 +654,7 @@ mod tests {
     #[test]
     fn engines_agree_and_json_roundtrips() {
         let entries = run_suite(&[2_000], Duration::from_millis(5));
-        assert_eq!(entries.len(), 5);
+        assert_eq!(entries.len(), 6);
         let text = render_json("test", &entries);
         let back = parse_results(&text);
         assert_eq!(entries, back);

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod error;
+pub mod exec;
 pub mod logical;
 pub mod lower;
 pub mod optimize;
@@ -43,6 +44,7 @@ pub mod partition;
 pub mod physical;
 
 pub use error::GraphError;
+pub use exec::{ExecAgg, ExecCompare, ExecLiteral, ExecOp};
 pub use logical::{EdgeKind, FlowGraph, Vertex, VertexBody, VertexId};
 pub use lower::{lower_graph, LowerConfig};
 pub use optimize::{optimize_graph, OptimizeReport};

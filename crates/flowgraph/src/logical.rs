@@ -9,6 +9,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::error::GraphError;
+use crate::exec::ExecOp;
 
 /// Identifies a logical vertex.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,6 +75,9 @@ pub struct Vertex {
     pub rows_hint: u64,
     /// Estimated output size in bytes (drives data-movement pricing).
     pub output_bytes_hint: u64,
+    /// Executable shard descriptor, when the frontend can supply one
+    /// (SQL plans do; hand-built graphs usually don't).
+    pub exec: Option<ExecOp>,
 }
 
 /// How data flows along an edge.
@@ -99,6 +103,9 @@ pub struct Edge {
     pub to: VertexId,
     /// Flow kind.
     pub kind: EdgeKind,
+    /// Input port at the consumer: distinguishes a multi-input vertex's
+    /// operands (0 = primary/probe side, 1 = join build side).
+    pub port: u8,
 }
 
 /// The logical dataflow graph.
@@ -186,8 +193,14 @@ impl FlowGraph {
             body,
             rows_hint: rows,
             output_bytes_hint: bytes,
+            exec: None,
         });
         id
+    }
+
+    /// Attaches an executable shard descriptor to a vertex.
+    pub fn set_exec(&mut self, v: VertexId, op: ExecOp) {
+        self.vertices[v.0 as usize].exec = Some(op);
     }
 
     fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
@@ -198,19 +211,30 @@ impl FlowGraph {
         }
     }
 
-    fn add_edge(&mut self, from: VertexId, to: VertexId, kind: EdgeKind) -> Result<(), GraphError> {
+    fn add_edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        kind: EdgeKind,
+        port: u8,
+    ) -> Result<(), GraphError> {
         self.check_vertex(from)?;
         self.check_vertex(to)?;
         if self.edges.iter().any(|e| e.from == from && e.to == to) {
             return Err(GraphError::DuplicateEdge(from, to));
         }
-        self.edges.push(Edge { from, to, kind });
+        self.edges.push(Edge {
+            from,
+            to,
+            kind,
+            port,
+        });
         Ok(())
     }
 
     /// Connects two vertices with plain dataflow.
     pub fn connect(&mut self, from: VertexId, to: VertexId) -> Result<(), GraphError> {
-        self.add_edge(from, to, EdgeKind::Data)
+        self.add_edge(from, to, EdgeKind::Data, 0)
     }
 
     /// Connects two vertices with a keyed (shuffle) edge.
@@ -220,12 +244,24 @@ impl FlowGraph {
         to: VertexId,
         key: &str,
     ) -> Result<(), GraphError> {
-        self.add_edge(from, to, EdgeKind::Keyed(key.to_string()))
+        self.add_edge(from, to, EdgeKind::Keyed(key.to_string()), 0)
+    }
+
+    /// Connects two vertices with a keyed edge into a specific input port
+    /// of the consumer (port 1 = a join's build side).
+    pub fn connect_keyed_port(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        key: &str,
+        port: u8,
+    ) -> Result<(), GraphError> {
+        self.add_edge(from, to, EdgeKind::Keyed(key.to_string()), port)
     }
 
     /// Connects two vertices with a broadcast edge.
     pub fn connect_broadcast(&mut self, from: VertexId, to: VertexId) -> Result<(), GraphError> {
-        self.add_edge(from, to, EdgeKind::Broadcast)
+        self.add_edge(from, to, EdgeKind::Broadcast, 0)
     }
 
     /// The vertices, in insertion order.
@@ -303,6 +339,7 @@ impl FlowGraph {
                     from,
                     to,
                     kind: e.kind.clone(),
+                    port: e.port,
                 });
             }
         }

@@ -56,7 +56,17 @@ impl LowerConfig {
         if let Some(n) = self.overrides.get(&v) {
             return *n;
         }
-        match g.vertex(v).body {
+        let vertex = g.vertex(v);
+        // A global aggregate folds every row into one output row; it only
+        // makes sense on a single shard.
+        if vertex
+            .exec
+            .as_ref()
+            .is_some_and(|e| e.requires_single_shard())
+        {
+            return 1;
+        }
+        match vertex.body {
             VertexBody::Sink { .. } => 1,
             _ => self.default_parallelism,
         }
@@ -145,6 +155,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                 compute_us,
                 output_bytes: per_shard_bytes,
                 rows: per_shard_rows,
+                exec: v.exec.clone(),
             });
         }
     }
@@ -170,6 +181,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                                 key: key.clone(),
                                 partitioner: cfg.partitioner.clone(),
                             },
+                            port: e.port,
                         });
                     }
                 }
@@ -184,6 +196,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                             to: t,
                             bytes,
                             kind: PEdgeKind::Broadcast,
+                            port: e.port,
                         });
                     }
                 }
@@ -196,6 +209,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                             to: *t,
                             bytes: (out_bytes / m).max(1),
                             kind: PEdgeKind::Pipeline,
+                            port: e.port,
                         });
                     }
                 } else if n == 1 {
@@ -205,6 +219,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                             to: to_shards[0],
                             bytes: (out_bytes / m).max(1),
                             kind: PEdgeKind::Gather,
+                            port: e.port,
                         });
                     }
                 } else if m == 1 {
@@ -214,6 +229,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                             to: t,
                             bytes: (out_bytes / n).max(1),
                             kind: PEdgeKind::Scatter,
+                            port: e.port,
                         });
                     }
                 } else {
@@ -226,6 +242,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
                                 to: t,
                                 bytes,
                                 kind: PEdgeKind::Scatter,
+                                port: e.port,
                             });
                         }
                     }

@@ -12,6 +12,7 @@
 
 use std::collections::HashSet;
 
+use crate::exec::ExecOp;
 use crate::logical::{EdgeKind, FlowGraph, VertexBody, VertexId};
 
 /// Which ops may join a fused vertex chain (per-row/per-element, one
@@ -123,12 +124,16 @@ fn fuse_one(g: &mut FlowGraph) -> bool {
         VertexBody::IrOp { body, .. } => body.clone(),
         _ => unreachable!("checked above"),
     };
-    let p_inputs: Vec<(VertexId, EdgeKind)> = g
+    let p_inputs: Vec<(VertexId, EdgeKind, u8)> = g
         .inputs_of(pid)
         .into_iter()
-        .map(|u| (u, g.edge_between(u, pid).expect("edge exists").kind.clone()))
+        .map(|u| {
+            let e = g.edge_between(u, pid).expect("edge exists");
+            (u, e.kind.clone(), e.port)
+        })
         .collect();
     let p_rows = g.vertex(pid).rows_hint;
+    let p_exec = g.vertex(pid).exec.clone();
 
     {
         let c = g.vertex_mut(cid);
@@ -140,11 +145,13 @@ fn fuse_one(g: &mut FlowGraph) -> bool {
         }
         // The fused vertex streams the producer's input cardinality.
         c.rows_hint = c.rows_hint.max(p_rows);
+        // The fused descriptor runs the producer's ops first.
+        c.exec = ExecOp::fuse(p_exec, c.exec.take());
     }
-    for (u, kind) in p_inputs {
+    for (u, kind, port) in p_inputs {
         match kind {
             EdgeKind::Data => g.connect(u, cid).ok(),
-            EdgeKind::Keyed(k) => g.connect_keyed(u, cid, &k).ok(),
+            EdgeKind::Keyed(k) => g.connect_keyed_port(u, cid, &k, port).ok(),
             EdgeKind::Broadcast => g.connect_broadcast(u, cid).ok(),
         };
     }

@@ -12,6 +12,7 @@ use std::fmt;
 use skadi_ir::Backend;
 
 use crate::error::GraphError;
+use crate::exec::ExecOp;
 use crate::logical::VertexId;
 use crate::partition::Partitioner;
 
@@ -61,6 +62,8 @@ pub struct PhysicalVertex {
     pub output_bytes: u64,
     /// Per-shard input cardinality.
     pub rows: u64,
+    /// Executable shard descriptor, inherited from the logical vertex.
+    pub exec: Option<ExecOp>,
 }
 
 /// How bytes move along a physical edge.
@@ -94,6 +97,8 @@ pub struct PhysicalEdge {
     pub bytes: u64,
     /// Flow kind.
     pub kind: PEdgeKind,
+    /// Consumer input port, inherited from the logical edge.
+    pub port: u8,
 }
 
 /// The physical sharded graph.
@@ -252,6 +257,7 @@ mod tests {
             compute_us: cost,
             output_bytes: 100,
             rows: 10,
+            exec: None,
         }
     }
 
@@ -278,12 +284,14 @@ mod tests {
             to: c,
             bytes: 10,
             kind: PEdgeKind::Pipeline,
+            port: 0,
         });
         g.push_edge(PhysicalEdge {
             from: b,
             to: c,
             bytes: 10,
             kind: PEdgeKind::Pipeline,
+            port: 0,
         });
         let order = g.topo_order().unwrap();
         assert_eq!(order.last(), Some(&c));
@@ -303,12 +311,14 @@ mod tests {
             to: b,
             bytes: 1,
             kind: PEdgeKind::Pipeline,
+            port: 0,
         });
         g.push_edge(PhysicalEdge {
             from: b,
             to: a,
             bytes: 1,
             kind: PEdgeKind::Pipeline,
+            port: 0,
         });
         assert_eq!(g.topo_order(), Err(GraphError::Cyclic));
     }

@@ -60,6 +60,11 @@ impl MemDb {
             .ok_or_else(|| SqlError::Plan(format!("unknown table {name:?}")))
     }
 
+    /// All registered tables, by name.
+    pub fn tables(&self) -> &BTreeMap<String, RecordBatch> {
+        &self.tables
+    }
+
     /// Parses and executes a query, returning the result batch.
     pub fn query(&self, sql: &str) -> Result<RecordBatch, SqlError> {
         let q = parse(&tokenize(sql)?)?;
@@ -112,7 +117,7 @@ impl MemDb {
     }
 }
 
-fn wrap(e: skadi_arrow::error::ArrowError) -> SqlError {
+pub(crate) fn wrap(e: skadi_arrow::error::ArrowError) -> SqlError {
     SqlError::Plan(format!("execution: {e}"))
 }
 
@@ -188,10 +193,22 @@ impl ExecSpans<'_> {
 /// becomes a boolean mask ([`compute::cmp_scalar`]), the masks fuse with
 /// [`compute::and`] (SQL three-valued logic), and the batch is gathered
 /// once — instead of materializing an intermediate batch per conjunct.
-fn apply_conjuncts(
+pub(crate) fn apply_conjuncts(
     batch: &RecordBatch,
     conjuncts: &[&Comparison],
 ) -> Result<RecordBatch, SqlError> {
+    match conjunct_mask(batch, conjuncts)? {
+        Some(m) => compute::filter(batch, &m).map_err(wrap),
+        None => Ok(batch.clone()),
+    }
+}
+
+/// Fuses a conjunction into one boolean mask (`None` for an empty
+/// conjunction, meaning "keep everything").
+fn conjunct_mask(
+    batch: &RecordBatch,
+    conjuncts: &[&Comparison],
+) -> Result<Option<Array>, SqlError> {
     let mut mask: Option<Array> = None;
     for c in conjuncts {
         let col = batch.column_by_name(&c.column).map_err(wrap)?;
@@ -201,9 +218,25 @@ fn apply_conjuncts(
             None => m,
         });
     }
-    match mask {
-        Some(m) => compute::filter(batch, &m).map_err(wrap),
-        None => Ok(batch.clone()),
+    Ok(mask)
+}
+
+/// Evaluates a conjunction to a selection vector — the indices of the
+/// passing rows — WITHOUT materializing the filtered batch. Joins probe
+/// through this directly (late materialization), so the filtered columns
+/// are gathered exactly once, as part of the join output.
+pub(crate) fn selection_indices(
+    batch: &RecordBatch,
+    conjuncts: &[&Comparison],
+) -> Result<Vec<usize>, SqlError> {
+    match conjunct_mask(batch, conjuncts)? {
+        Some(m) => {
+            let b = m.as_bool().expect("comparison masks are Bool");
+            Ok((0..batch.num_rows())
+                .filter(|&i| b.get(i) == Some(true))
+                .collect())
+        }
+        None => Ok((0..batch.num_rows()).collect()),
     }
 }
 
@@ -266,6 +299,33 @@ pub fn hash_join(
     left_key: &str,
     right_key: &str,
 ) -> Result<RecordBatch, SqlError> {
+    let (left_rows, right_rows) = join_rows(left, right, left_key, right_key, None)?;
+    assemble_join(left, right, right_key, &left_rows, &right_rows)
+}
+
+/// [`hash_join`] probing only the left rows in `left_sel` (in selection
+/// order): the selection-vector pushdown path. Equivalent to filtering
+/// `left` down to `left_sel` first, without materializing that batch.
+pub fn hash_join_sel(
+    left: &RecordBatch,
+    left_sel: &[usize],
+    right: &RecordBatch,
+    left_key: &str,
+    right_key: &str,
+) -> Result<RecordBatch, SqlError> {
+    let (left_rows, right_rows) = join_rows(left, right, left_key, right_key, Some(left_sel))?;
+    assemble_join(left, right, right_key, &left_rows, &right_rows)
+}
+
+/// The join core: produces matching `(left_row, right_row)` index pairs
+/// in probe order, probing either every left row or just a selection.
+pub(crate) fn join_rows(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    left_key: &str,
+    right_key: &str,
+    left_sel: Option<&[usize]>,
+) -> Result<(Vec<usize>, Vec<usize>), SqlError> {
     let lk = left.schema().index_of(left_key).map_err(wrap)?;
     let rk = right.schema().index_of(right_key).map_err(wrap)?;
     let lcol = left.column(lk);
@@ -277,7 +337,13 @@ pub fn hash_join(
         (lcol.data_type(), rcol.data_type()),
         (DataType::Int64, DataType::Float64) | (DataType::Float64, DataType::Int64)
     );
-    let lh = compute::hash_key_column(lcol, mixed);
+    // Probe-side hashes: hashing the whole column amortizes best when
+    // probing every row, but a selection probe hashes only the rows it
+    // touches — `hash_key_at` is bit-identical per row.
+    let lh = match left_sel {
+        None => compute::hash_key_column(lcol, mixed),
+        Some(_) => Vec::new(),
+    };
     let rh = compute::hash_key_column(rcol, mixed);
 
     // Build side: bucket -> chain of right rows. Inserting in reverse
@@ -300,9 +366,9 @@ pub fn hash_join(
     let mut left_rows: Vec<usize> = Vec::new();
     let mut right_rows: Vec<usize> = Vec::new();
     let l_validity = lcol.validity();
-    for (l, &h) in lh.iter().enumerate() {
+    let mut probe = |l: usize, h: u64| {
         if l_validity.is_some_and(|v| !v.get(l)) {
-            continue;
+            return;
         }
         let mut r = head[(fold_hash(h) & mask) as usize];
         while r != EMPTY_SLOT {
@@ -313,10 +379,32 @@ pub fn hash_join(
             }
             r = next[ri];
         }
+    };
+    match left_sel {
+        Some(sel) => {
+            for &l in sel {
+                probe(l, compute::hash_key_at(lcol, mixed, l));
+            }
+        }
+        None => {
+            for (l, &h) in lh.iter().enumerate() {
+                probe(l, h);
+            }
+        }
     }
+    Ok((left_rows, right_rows))
+}
 
-    // Assemble output schema: all left columns, then right columns except
-    // the key and any name collisions.
+/// Gathers matched pairs into the join's output batch: all left columns,
+/// then right columns except the key and any name collisions.
+pub(crate) fn assemble_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    right_key: &str,
+    left_rows: &[usize],
+    right_rows: &[usize],
+) -> Result<RecordBatch, SqlError> {
+    let rk = right.schema().index_of(right_key).map_err(wrap)?;
     let mut fields: Vec<Field> = left.schema().fields().to_vec();
     let mut right_cols: Vec<usize> = Vec::new();
     for (i, f) in right.schema().fields().iter().enumerate() {
@@ -329,10 +417,10 @@ pub fn hash_join(
 
     let mut columns: Vec<Array> = Vec::with_capacity(fields.len());
     for c in 0..left.num_columns() {
-        columns.push(left.column(c).take_rows(&left_rows));
+        columns.push(left.column(c).take_rows(left_rows));
     }
     for &c in &right_cols {
-        columns.push(right.column(c).take_rows(&right_rows));
+        columns.push(right.column(c).take_rows(right_rows));
     }
     RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
 }
@@ -529,8 +617,34 @@ fn accumulate(
 /// order replicates the old engine's `BTreeMap` order by rendering ONE
 /// key string per *group* (not per row) and sorting.
 pub fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError> {
-    let group_cols: Vec<usize> = q
-        .group_by
+    let aggs: Vec<(String, String, String)> = q
+        .select
+        .iter()
+        .filter_map(|item| match &item.expr {
+            Expr::Agg { func, column } => Some((
+                func.clone(),
+                column.clone(),
+                item.alias
+                    .clone()
+                    .unwrap_or_else(|| format!("{func}({column})")),
+            )),
+            Expr::Column(_) => None,
+        })
+        .collect();
+    aggregate_spec(&q.group_by, &aggs, input)
+}
+
+/// The aggregation core, independent of the SQL AST: `aggs` is
+/// `(func, column, output_name)` triples. Shard execution drives this
+/// directly from [`ExecOp::Aggregate`] descriptors.
+///
+/// [`ExecOp::Aggregate`]: skadi_flowgraph::ExecOp::Aggregate
+pub(crate) fn aggregate_spec(
+    group_by: &[String],
+    aggs: &[(String, String, String)],
+    input: &RecordBatch,
+) -> Result<RecordBatch, SqlError> {
+    let group_cols: Vec<usize> = group_by
         .iter()
         .map(|g| input.schema().index_of(g).map_err(wrap))
         .collect::<Result<_, _>>()?;
@@ -603,17 +717,11 @@ pub fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError
         .iter()
         .map(|&c| input.schema().field(c).clone())
         .collect();
-    let mut aggs: Vec<AggKind> = Vec::new();
-    for item in &q.select {
-        if let Expr::Agg { func, column } = &item.expr {
-            let name = item
-                .alias
-                .clone()
-                .unwrap_or_else(|| format!("{func}({column})"));
-            let kind = resolve_agg(func, column, input)?;
-            fields.push(Field::new(name, kind.data_type(), true));
-            aggs.push(kind);
-        }
+    let mut kinds: Vec<AggKind> = Vec::new();
+    for (func, column, name) in aggs {
+        let kind = resolve_agg(func, column, input)?;
+        fields.push(Field::new(name.clone(), kind.data_type(), true));
+        kinds.push(kind);
     }
 
     let ordered_reps: Vec<usize> = order.iter().map(|&g| rep_rows[g as usize]).collect();
@@ -622,14 +730,18 @@ pub fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError
         .iter()
         .map(|&c| input.column(c).take_rows(&ordered_reps))
         .collect();
-    for kind in &aggs {
+    for kind in &kinds {
         columns.push(accumulate(kind, input, &row_group, &group_sizes).take_rows(&perm));
     }
     RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
 }
 
 /// Sorts by one column (via the shared sort kernel; NULLs sort lowest).
-fn sort_by(batch: &RecordBatch, column: &str, descending: bool) -> Result<RecordBatch, SqlError> {
+pub(crate) fn sort_by(
+    batch: &RecordBatch,
+    column: &str,
+    descending: bool,
+) -> Result<RecordBatch, SqlError> {
     let col = batch.column_by_name(column).map_err(wrap)?;
     let order = if descending {
         compute::SortOrder::Descending
@@ -673,13 +785,30 @@ fn execute_inner(q: &Query, db: &MemDb, spans: &mut ExecSpans) -> Result<RecordB
             .partition(|c| current.schema().index_of(&c.column).is_ok()),
         None => (Vec::new(), Vec::new()),
     };
+    let mut joins = q.joins.iter();
     if !pushed.is_empty() {
-        let t0 = spans.now();
-        let rows_in = current.num_rows();
-        current = apply_conjuncts(&current, &pushed)?;
-        spans.op(ops::FILTER, t0, rows_in, current.num_rows());
+        if let Some(j) = joins.next() {
+            // Selection-vector pushdown: the filter yields row indices and
+            // the first join probes through them, so the filtered batch is
+            // never materialized — passing rows are gathered once, as part
+            // of the join output.
+            let right = db.table(&j.table)?;
+            let t0 = spans.now();
+            let rows_in = current.num_rows();
+            let sel = selection_indices(&current, &pushed)?;
+            spans.op(ops::FILTER, t0, rows_in, sel.len());
+            let t0 = spans.now();
+            let rows_in = sel.len() + right.num_rows();
+            current = hash_join_sel(&current, &sel, right, &j.left_key, &j.right_key)?;
+            spans.op(ops::JOIN, t0, rows_in, current.num_rows());
+        } else {
+            let t0 = spans.now();
+            let rows_in = current.num_rows();
+            current = apply_conjuncts(&current, &pushed)?;
+            spans.op(ops::FILTER, t0, rows_in, current.num_rows());
+        }
     }
-    for j in &q.joins {
+    for j in joins {
         let right = db.table(&j.table)?;
         let t0 = spans.now();
         let rows_in = current.num_rows() + right.num_rows();

@@ -27,6 +27,7 @@ pub mod exec;
 pub mod graph;
 pub mod mapreduce;
 pub mod ml;
+pub mod shard;
 pub mod sql;
 pub mod streaming;
 

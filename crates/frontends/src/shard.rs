@@ -1,0 +1,446 @@
+//! Single-shard execution of physical-graph operators.
+//!
+//! The distributed runtime executes a physical graph one task per shard;
+//! each task's compute is described by an [`ExecOp`] attached during SQL
+//! planning. This module interprets those descriptors over real
+//! [`RecordBatch`]es, reusing the local engine's vectorized kernels
+//! (`exec::join_rows`, `exec::aggregate_spec`, ...), so the distributed
+//! data plane and the single-process reference engine share one code
+//! path per operator.
+//!
+//! # Determinism and byte-identity
+//!
+//! The contract is that collecting a distributed run yields a batch
+//! **byte-identical** to [`MemDb`](crate::exec::MemDb) at any
+//! parallelism. Two hidden columns make that possible:
+//!
+//! - `__rid` ([`RID`]): a row id threaded from the scans. Shard `i` of an
+//!   `n`-row table scans the contiguous row range `[i*n/N, (i+1)*n/N)`,
+//!   so a row's id is its position in the full table; a join emits
+//!   `left_rid * right_table_rows + right_rid`, which reproduces the
+//!   reference engine's probe-order output as an ascending sort key.
+//! - `__gkey` ([`GKEY`]): the rendered group key of an aggregate output
+//!   row. The reference engine orders groups by rendered key; sorting
+//!   shard outputs by `__gkey` merges hash-partitioned groups back into
+//!   that order (with min-`__rid` kept as a deterministic tiebreak).
+//!
+//! Every shard first puts its gathered input into **canonical order**
+//! (stable sort by `__rid`, then by `__gkey` — so the group key is the
+//! primary key where present). That makes per-group fold order equal to
+//! the reference engine's row order bit-for-bit (floating-point sums
+//! included), no matter how batches were partitioned or which failed
+//! task recomputed them. The sink strips both hidden columns.
+//!
+//! # Shuffle-hash compatibility
+//!
+//! [`partition_by_key`] buckets rows by `hash_key_column(col) % parts` —
+//! the same FNV-1a-over-key-bytes scheme the physical graph's
+//! [`Partitioner::Hash`](skadi_flowgraph::Partitioner) prices, and the
+//! same hash the join/aggregate kernels probe with. Edges into a join
+//! pass `coerce = true` so mixed `Int64`/`Float64` key pairs co-locate
+//! by their `f64` bit pattern.
+
+use std::collections::BTreeMap;
+
+use skadi_arrow::array::Array;
+use skadi_arrow::batch::RecordBatch;
+use skadi_arrow::compute;
+use skadi_arrow::datatype::DataType;
+use skadi_arrow::schema::{Field, Schema};
+use skadi_flowgraph::{ExecAgg, ExecCompare, ExecLiteral, ExecOp};
+
+use crate::exec::{self, sort_by, wrap};
+use crate::sql::ast::{Comparison, Literal};
+use crate::sql::SqlError;
+
+/// Hidden row-id column threaded from scans through joins.
+pub const RID: &str = "__rid";
+/// Hidden rendered-group-key column emitted by aggregate shards.
+pub const GKEY: &str = "__gkey";
+
+/// True if `name` is reserved for the data plane's hidden columns.
+pub fn is_hidden(name: &str) -> bool {
+    name == RID || name == GKEY
+}
+
+/// Executes one shard's operator chain. `port0` holds the (probe-side)
+/// input batches in producer shard order, `port1` the build side of a
+/// join; scans ignore both and read `tables` directly.
+pub fn execute_shard(
+    op: &ExecOp,
+    tables: &BTreeMap<String, RecordBatch>,
+    shard: u32,
+    shards: u32,
+    port0: &[RecordBatch],
+    port1: &[RecordBatch],
+) -> Result<RecordBatch, SqlError> {
+    let mut current: Option<RecordBatch> = None;
+    for step in op.clone().flatten() {
+        let out = match step {
+            ExecOp::Scan { table } => {
+                let t = tables
+                    .get(&table)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown table {table:?}")))?;
+                scan_shard(t, shard, shards)?
+            }
+            ExecOp::Join {
+                left_key,
+                right_key,
+                right_rows,
+            } => {
+                if current.is_some() {
+                    return Err(SqlError::Plan("join cannot be mid-chain".into()));
+                }
+                join_shard(port0, port1, &left_key, &right_key, right_rows)?
+            }
+            other => {
+                let input = match current.take() {
+                    Some(b) => b,
+                    None => gather(port0)?,
+                };
+                match other {
+                    ExecOp::Filter { conjuncts } => filter_shard(&input, &conjuncts)?,
+                    ExecOp::Project { columns } => project_shard(&input, &columns)?,
+                    ExecOp::Aggregate { group_by, aggs } => {
+                        aggregate_shard(&input, &group_by, &aggs)?
+                    }
+                    ExecOp::Sort { column, descending } => sort_by(&input, &column, descending)?,
+                    ExecOp::Limit { n, order } => {
+                        let cur = match order {
+                            Some((col, desc)) => sort_by(&input, &col, desc)?,
+                            None => input,
+                        };
+                        truncate(&cur, n as usize)?
+                    }
+                    ExecOp::Collect { order_by, limit } => {
+                        let mut cur = input;
+                        if let Some((col, desc)) = order_by {
+                            cur = sort_by(&cur, &col, desc)?;
+                        }
+                        if let Some(n) = limit {
+                            cur = truncate(&cur, n as usize)?;
+                        }
+                        strip_hidden(&cur)?
+                    }
+                    ExecOp::Scan { .. } | ExecOp::Join { .. } | ExecOp::Fused(_) => {
+                        unreachable!("handled above / flattened")
+                    }
+                }
+            }
+        };
+        current = Some(out);
+    }
+    current.ok_or_else(|| SqlError::Plan("empty exec descriptor".into()))
+}
+
+/// Splits `batch` into hash partitions on `key`, preserving row order
+/// within each partition. The partition index is
+/// `hash_key_column(row) % parts` — byte-compatible with the physical
+/// graph's FNV-1a `Partitioner::Hash` and with the hash the join and
+/// group-by kernels bucket on. `coerce` hashes `Int64` keys through
+/// their `f64` bit pattern (used for edges into joins, where a mixed
+/// `Int64`/`Float64` key pair must co-locate).
+pub fn partition_by_key(
+    batch: &RecordBatch,
+    key: &str,
+    parts: usize,
+    coerce: bool,
+) -> Result<Vec<RecordBatch>, SqlError> {
+    let col = batch.column_by_name(key).map_err(wrap)?;
+    let hashes = compute::hash_key_column(col, coerce);
+    let parts = parts.max(1);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for (r, &h) in hashes.iter().enumerate() {
+        buckets[(h % parts as u64) as usize].push(r);
+    }
+    buckets
+        .iter()
+        .map(|idx| compute::take_indices(batch, idx).map_err(wrap))
+        .collect()
+}
+
+/// Splits `batch` into `parts` contiguous even slices (scatter edges).
+pub fn split_even(batch: &RecordBatch, parts: usize) -> Result<Vec<RecordBatch>, SqlError> {
+    let n = batch.num_rows();
+    let parts = parts.max(1);
+    (0..parts)
+        .map(|i| {
+            let lo = i * n / parts;
+            let hi = (i + 1) * n / parts;
+            let idx: Vec<usize> = (lo..hi).collect();
+            compute::take_indices(batch, &idx).map_err(wrap)
+        })
+        .collect()
+}
+
+/// Concatenates input batches (producer shard order) and puts the result
+/// into canonical order.
+fn gather(parts: &[RecordBatch]) -> Result<RecordBatch, SqlError> {
+    if parts.is_empty() {
+        return Err(SqlError::Plan("operator shard received no input".into()));
+    }
+    let all = RecordBatch::concat(parts).map_err(wrap)?;
+    canonicalize(&all)
+}
+
+/// Canonical order: stable sort by `__rid`, then (stable) by `__gkey`,
+/// making the group key primary where both exist. Batches with neither
+/// column pass through unchanged.
+pub fn canonicalize(batch: &RecordBatch) -> Result<RecordBatch, SqlError> {
+    let mut out = batch.clone();
+    if out.schema().index_of(RID).is_ok() {
+        out = sort_by(&out, RID, false)?;
+    }
+    if out.schema().index_of(GKEY).is_ok() {
+        out = sort_by(&out, GKEY, false)?;
+    }
+    Ok(out)
+}
+
+/// Drops the hidden columns (the sink does this before delivering).
+fn strip_hidden(batch: &RecordBatch) -> Result<RecordBatch, SqlError> {
+    let keep: Vec<&str> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .filter(|n| !is_hidden(n))
+        .collect();
+    batch.project(&keep).map_err(wrap)
+}
+
+fn truncate(batch: &RecordBatch, n: usize) -> Result<RecordBatch, SqlError> {
+    let keep: Vec<usize> = (0..n.min(batch.num_rows())).collect();
+    compute::take_indices(batch, &keep).map_err(wrap)
+}
+
+fn append_column(batch: &RecordBatch, field: Field, col: Array) -> Result<RecordBatch, SqlError> {
+    let mut fields = batch.schema().fields().to_vec();
+    fields.push(field);
+    let mut cols = batch.columns().to_vec();
+    cols.push(col);
+    RecordBatch::try_new(Schema::new(fields), cols).map_err(wrap)
+}
+
+/// Shard `shard` of a base-table scan: the contiguous row range
+/// `[shard*n/shards, (shard+1)*n/shards)` plus its `__rid` column.
+fn scan_shard(table: &RecordBatch, shard: u32, shards: u32) -> Result<RecordBatch, SqlError> {
+    let n = table.num_rows() as u64;
+    let shards = shards.max(1) as u64;
+    let lo = (shard as u64 * n / shards) as usize;
+    let hi = ((shard as u64 + 1) * n / shards) as usize;
+    let idx: Vec<usize> = (lo..hi).collect();
+    let slice = compute::take_indices(table, &idx).map_err(wrap)?;
+    let rid = Array::from_i64((lo..hi).map(|r| r as i64).collect());
+    append_column(&slice, Field::new(RID, DataType::Int64, true), rid)
+}
+
+fn to_comparisons(conjuncts: &[ExecCompare]) -> Vec<Comparison> {
+    conjuncts
+        .iter()
+        .map(|c| Comparison {
+            column: c.column.clone(),
+            op: c.op.clone(),
+            value: match &c.value {
+                ExecLiteral::Int(v) => Literal::Int(*v),
+                ExecLiteral::Float(v) => Literal::Float(*v),
+                ExecLiteral::Str(s) => Literal::Str(s.clone()),
+            },
+        })
+        .collect()
+}
+
+fn filter_shard(input: &RecordBatch, conjuncts: &[ExecCompare]) -> Result<RecordBatch, SqlError> {
+    let cs = to_comparisons(conjuncts);
+    let refs: Vec<&Comparison> = cs.iter().collect();
+    exec::apply_conjuncts(input, &refs)
+}
+
+/// Projection keeps the hidden columns alongside the requested ones.
+fn project_shard(input: &RecordBatch, columns: &[String]) -> Result<RecordBatch, SqlError> {
+    let mut keep: Vec<&str> = columns.iter().map(String::as_str).collect();
+    for h in [RID, GKEY] {
+        if input.schema().index_of(h).is_ok() && !keep.contains(&h) {
+            keep.push(h);
+        }
+    }
+    input.project(&keep).map_err(wrap)
+}
+
+fn rid_values(batch: &RecordBatch) -> Result<Vec<i64>, SqlError> {
+    let col = batch.column_by_name(RID).map_err(wrap)?;
+    let a = col.as_i64().map_err(wrap)?;
+    Ok((0..a.len()).map(|r| a.get(r).unwrap_or(0)).collect())
+}
+
+/// One shard of a hash join. Both sides are gathered into canonical
+/// (row-id) order so the probe order matches the reference engine's,
+/// restricted to the keys hashed to this shard. The output row id is
+/// `left_rid * right_table_rows + right_rid`, which orders join outputs
+/// exactly like the reference engine's probe-order emission.
+fn join_shard(
+    port0: &[RecordBatch],
+    port1: &[RecordBatch],
+    left_key: &str,
+    right_key: &str,
+    right_rows: u64,
+) -> Result<RecordBatch, SqlError> {
+    let left = gather(port0)?;
+    let right = gather(port1)?;
+    let l_rid = rid_values(&left)?;
+    let r_rid = rid_values(&right)?;
+    let left_vis = strip_hidden(&left)?;
+    let right_vis = strip_hidden(&right)?;
+    let (lrows, rrows) = exec::join_rows(&left_vis, &right_vis, left_key, right_key, None)?;
+    let out = exec::assemble_join(&left_vis, &right_vis, right_key, &lrows, &rrows)?;
+    let stride = (right_rows as i64).max(1);
+    let rid: Vec<i64> = lrows
+        .iter()
+        .zip(&rrows)
+        .map(|(&l, &r)| l_rid[l].wrapping_mul(stride).wrapping_add(r_rid[r]))
+        .collect();
+    append_column(
+        &out,
+        Field::new(RID, DataType::Int64, true),
+        Array::from_i64(rid),
+    )
+}
+
+/// One shard of an aggregation. The gathered input is in row-id order,
+/// so per-group folds run in exactly the reference engine's row order.
+/// Two extra output columns ride along: `min(__rid)` per group (a
+/// deterministic tiebreak, and the canonical secondary sort key) and the
+/// rendered `__gkey` (the canonical primary sort key — the reference
+/// engine's group output order).
+fn aggregate_shard(
+    input: &RecordBatch,
+    group_by: &[String],
+    aggs: &[ExecAgg],
+) -> Result<RecordBatch, SqlError> {
+    let mut spec: Vec<(String, String, String)> = aggs
+        .iter()
+        .map(|a| (a.func.clone(), a.column.clone(), a.name.clone()))
+        .collect();
+    spec.push(("min".into(), RID.into(), RID.into()));
+    let out = exec::aggregate_spec(group_by, &spec, input)?;
+    let mut keys: Vec<String> = Vec::with_capacity(out.num_rows());
+    for r in 0..out.num_rows() {
+        let parts: Vec<String> = group_by
+            .iter()
+            .map(|g| {
+                out.column_by_name(g)
+                    .map(|c| c.value_at(r).to_string())
+                    .map_err(wrap)
+            })
+            .collect::<Result<_, _>>()?;
+        keys.push(parts.join("\u{1}"));
+    }
+    let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    append_column(
+        &out,
+        Field::new(GKEY, DataType::Utf8, false),
+        Array::from_utf8(&refs),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skadi_arrow::array::Value;
+    use skadi_flowgraph::Partitioner;
+
+    fn table() -> RecordBatch {
+        RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("v", DataType::Float64, true),
+            ]),
+            vec![
+                Array::from_i64(vec![3, 1, 2, 1, 3, 2, 1, 4]),
+                Array::from_opt_f64(vec![
+                    Some(1.0),
+                    Some(2.0),
+                    None,
+                    Some(4.0),
+                    Some(5.0),
+                    Some(6.0),
+                    Some(7.0),
+                    Some(8.0),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_shards_cover_table_contiguously() {
+        let t = table();
+        let tables = BTreeMap::from([("t".to_string(), t.clone())]);
+        let op = ExecOp::Scan { table: "t".into() };
+        let mut total = 0;
+        let mut next_rid = 0i64;
+        for s in 0..3 {
+            let out = execute_shard(&op, &tables, s, 3, &[], &[]).unwrap();
+            total += out.num_rows();
+            let rid = out.column_by_name(RID).unwrap();
+            for r in 0..out.num_rows() {
+                assert_eq!(rid.value_at(r), Value::I64(next_rid));
+                next_rid += 1;
+            }
+        }
+        assert_eq!(total, t.num_rows());
+    }
+
+    #[test]
+    fn partition_matches_physical_partitioner_on_int_keys() {
+        // The shuffle the physical graph prices (FNV-1a over hash_row key
+        // bytes) and the shuffle the data plane performs must agree.
+        let t = table();
+        let parts = 4;
+        let split = partition_by_key(&t, "k", parts, false).unwrap();
+        let p = Partitioner::Hash;
+        let keys = t.column(0).as_i64().unwrap();
+        let mut want = vec![0usize; parts];
+        for r in 0..t.num_rows() {
+            // hash_row's Int64 key-byte encoding.
+            let key = keys.get(r).unwrap().to_le_bytes();
+            want[p.assign(&key, r as u64, parts as u32) as usize] += 1;
+        }
+        let got: Vec<usize> = split.iter().map(|b| b.num_rows()).collect();
+        assert_eq!(got, want);
+        assert_eq!(got.iter().sum::<usize>(), t.num_rows());
+    }
+
+    #[test]
+    fn canonicalize_restores_row_order_after_shuffle() {
+        let t = table();
+        let tables = BTreeMap::from([("t".to_string(), t.clone())]);
+        let op = ExecOp::Scan { table: "t".into() };
+        let a = execute_shard(&op, &tables, 0, 2, &[], &[]).unwrap();
+        let b = execute_shard(&op, &tables, 1, 2, &[], &[]).unwrap();
+        // Re-partition by key, then gather everything back: canonical
+        // order equals the original scan order.
+        let mut parts = partition_by_key(&a, "k", 2, false).unwrap();
+        parts.extend(partition_by_key(&b, "k", 2, false).unwrap());
+        let back = gather(&parts).unwrap();
+        assert_eq!(back.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            assert_eq!(
+                back.column_by_name(RID).unwrap().value_at(r),
+                Value::I64(r as i64)
+            );
+            assert_eq!(
+                back.column_by_name("k").unwrap().value_at(r),
+                t.column(0).value_at(r)
+            );
+        }
+    }
+
+    #[test]
+    fn split_even_is_contiguous_and_total() {
+        let t = table();
+        let parts = split_even(&t, 3).unwrap();
+        assert_eq!(parts.iter().map(|b| b.num_rows()).sum::<usize>(), 8);
+        assert_eq!(parts[0].column(0).value_at(0), Value::I64(3));
+    }
+}

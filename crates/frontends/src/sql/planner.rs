@@ -5,9 +5,9 @@
 //! vertices with cardinality estimates from the catalog so the physical
 //! lowering can cost them.
 
-use skadi_flowgraph::{FlowGraph, VertexId};
+use skadi_flowgraph::{ExecAgg, ExecCompare, ExecLiteral, ExecOp, FlowGraph, VertexId};
 
-use super::ast::Query;
+use super::ast::{Comparison, Expr, Literal, Query};
 use super::SqlError;
 use crate::catalog::Catalog;
 
@@ -36,7 +36,46 @@ pub mod ops {
     pub const LIMIT: &str = "rel.limit";
 }
 
-/// Plans a query onto `g`, returning the sink vertex.
+fn exec_literal(l: &Literal) -> ExecLiteral {
+    match l {
+        Literal::Int(v) => ExecLiteral::Int(*v),
+        Literal::Float(v) => ExecLiteral::Float(*v),
+        Literal::Str(s) => ExecLiteral::Str(s.clone()),
+    }
+}
+
+fn exec_conjuncts(cs: &[Comparison]) -> Vec<ExecCompare> {
+    cs.iter()
+        .map(|c| ExecCompare {
+            column: c.column.clone(),
+            op: c.op.clone(),
+            value: exec_literal(&c.value),
+        })
+        .collect()
+}
+
+/// The aggregate items of the SELECT list as executable descriptors,
+/// named exactly like the local engine names its output columns.
+fn exec_aggs(q: &Query) -> Vec<ExecAgg> {
+    q.select
+        .iter()
+        .filter_map(|item| match &item.expr {
+            Expr::Agg { func, column } => Some(ExecAgg {
+                func: func.clone(),
+                column: column.clone(),
+                name: item
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| format!("{func}({column})")),
+            }),
+            Expr::Column(_) => None,
+        })
+        .collect()
+}
+
+/// Plans a query onto `g`, returning the sink vertex. Every vertex gets
+/// an executable shard descriptor ([`ExecOp`]) beside its cost hints, so
+/// the lowered physical graph can actually run.
 pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<VertexId, SqlError> {
     let base = catalog
         .get(&q.from)
@@ -65,6 +104,12 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
     let mut rows = base.rows;
     let mut bytes = base.bytes;
     let mut head = g.add_source(&q.from, rows, bytes);
+    g.set_exec(
+        head,
+        ExecOp::Scan {
+            table: q.from.clone(),
+        },
+    );
 
     // Predicate pushdown: conjuncts that only touch the base table apply
     // before joins; the rest after.
@@ -81,19 +126,41 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         rows = ((rows as f64) * sel).max(1.0) as u64;
         bytes = ((bytes as f64) * sel).max(1.0) as u64;
         let f = g.add_ir_op(ops::FILTER, rows, bytes);
+        g.set_exec(
+            f,
+            ExecOp::Filter {
+                conjuncts: exec_conjuncts(&pushed),
+            },
+        );
         g.connect(head, f)?;
         head = f;
     }
 
-    // Joins: shuffle both sides on their keys.
+    // Joins: shuffle both sides on their keys. The probe side arrives on
+    // port 0, the build side on port 1, so shard execution can tell them
+    // apart.
     for j in &q.joins {
         let right_def = catalog.get(&j.table).expect("validated above");
         let right = g.add_source(&j.table, right_def.rows, right_def.bytes);
+        g.set_exec(
+            right,
+            ExecOp::Scan {
+                table: j.table.clone(),
+            },
+        );
         rows = rows.max(right_def.rows);
         bytes += right_def.bytes / 4;
         let join = g.add_ir_op(ops::JOIN, rows, bytes);
+        g.set_exec(
+            join,
+            ExecOp::Join {
+                left_key: j.left_key.clone(),
+                right_key: j.right_key.clone(),
+                right_rows: right_def.rows,
+            },
+        );
         g.connect_keyed(head, join, &j.left_key)?;
-        g.connect_keyed(right, join, &j.right_key)?;
+        g.connect_keyed_port(right, join, &j.right_key, 1)?;
         head = join;
     }
 
@@ -103,6 +170,12 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         rows = ((rows as f64) * sel).max(1.0) as u64;
         bytes = ((bytes as f64) * sel).max(1.0) as u64;
         let f = g.add_ir_op(ops::FILTER, rows, bytes);
+        g.set_exec(
+            f,
+            ExecOp::Filter {
+                conjuncts: exec_conjuncts(&kept),
+            },
+        );
         g.connect(head, f)?;
         head = f;
     }
@@ -112,6 +185,13 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         let out_rows = ((rows as f64) * AGG_REDUCTION).max(1.0) as u64;
         let out_bytes = ((bytes as f64) * AGG_REDUCTION).max(64.0) as u64;
         let agg = g.add_ir_op(ops::AGGREGATE, rows, out_bytes);
+        g.set_exec(
+            agg,
+            ExecOp::Aggregate {
+                group_by: q.group_by.clone(),
+                aggs: exec_aggs(q),
+            },
+        );
         match q.group_by.first() {
             Some(k) => g.connect_keyed(head, agg, k)?,
             None => g.connect(head, agg)?,
@@ -126,13 +206,30 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
                 (cols.len() as f64 / all_tables[0].columns.len().max(1) as f64).min(1.0);
             bytes = ((bytes as f64) * keep_frac).max(1.0) as u64;
             let p = g.add_ir_op(ops::PROJECT, rows, bytes);
+            g.set_exec(
+                p,
+                ExecOp::Project {
+                    columns: cols.iter().map(|c| c.to_string()).collect(),
+                },
+            );
             g.connect(head, p)?;
             head = p;
         }
     }
 
+    let order = q
+        .order_by
+        .as_ref()
+        .map(|ob| (ob.column.clone(), ob.descending));
     if let Some(ob) = &q.order_by {
         let s = g.add_ir_op(ops::SORT, rows, bytes);
+        g.set_exec(
+            s,
+            ExecOp::Sort {
+                column: ob.column.clone(),
+                descending: ob.descending,
+            },
+        );
         g.connect_keyed(head, s, &ob.column)?;
         head = s;
     }
@@ -140,11 +237,25 @@ pub fn plan_query(q: &Query, catalog: &Catalog, g: &mut FlowGraph) -> Result<Ver
         rows = rows.min(n.max(0) as u64);
         bytes = bytes.min(rows.saturating_mul(64).max(64));
         let l = g.add_ir_op(ops::LIMIT, rows, bytes);
+        g.set_exec(
+            l,
+            ExecOp::Limit {
+                n: n.max(0) as u64,
+                order: order.clone(),
+            },
+        );
         g.connect(head, l)?;
         head = l;
     }
 
     let sink = g.add_sink("result");
+    g.set_exec(
+        sink,
+        ExecOp::Collect {
+            order_by: order,
+            limit: q.limit.map(|n| n.max(0) as u64),
+        },
+    );
     g.connect(head, sink)?;
     Ok(sink)
 }

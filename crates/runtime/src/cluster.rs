@@ -60,6 +60,7 @@ use skadi_store::spill::{SpillPolicy, SpillTarget};
 
 use crate::config::{Deployment, FtMode, RuntimeConfig};
 use crate::error::RuntimeError;
+use crate::executor::TaskExecutor;
 use crate::failure::FailurePlan;
 use crate::job::{Job, JobStats};
 use crate::lineage::LineageLog;
@@ -107,6 +108,10 @@ pub struct PerJobStats {
     pub completion: SimDuration,
 }
 
+/// Inputs staged for one dispatched task: the producing task and its
+/// shared (refcounted, never copied) payload bytes.
+type StagedInputs = Vec<(TaskId, std::rc::Rc<Vec<u8>>)>;
+
 /// The simulated cluster.
 pub struct Cluster {
     topo: Topology,
@@ -152,6 +157,20 @@ pub struct Cluster {
     /// A fatal condition raised inside an event handler (e.g. a task
     /// exhausting its retry budget); surfaced as the run's error.
     fatal: Option<RuntimeError>,
+
+    /// The installed data-plane executor, if any. `None` keeps the
+    /// classic estimate-only behavior.
+    executor: Option<Box<dyn TaskExecutor>>,
+    /// Real payload bytes of finished tasks, keyed by task ID (the
+    /// modeled object-store contents; see [`PayloadStore`]). Entries are
+    /// dropped when lineage resets the producer, so a re-execution
+    /// recomputes — deterministically — rather than reading stale bytes.
+    payloads: skadi_store::payload::PayloadStore,
+    /// Inputs staged (shared, not copied) for a dispatched task when its
+    /// availability check passed; consumed when the task finishes.
+    staged_inputs: HashMap<TaskId, StagedInputs>,
+    /// Measured output sizes (real encoded bytes) per executed task.
+    measured_bytes: std::collections::BTreeMap<TaskId, u64>,
 
     /// Where each actor lives (pinned at first placement).
     actor_node: HashMap<ActorId, NodeId>,
@@ -223,6 +242,10 @@ impl Cluster {
             device_available_at: HashMap::new(),
             active_plan: FailurePlan::none(),
             fatal: None,
+            executor: None,
+            payloads: skadi_store::payload::PayloadStore::new(),
+            staged_inputs: HashMap::new(),
+            measured_bytes: std::collections::BTreeMap::new(),
             actor_node: HashMap::new(),
             actor_busy_until: HashMap::new(),
             busy_us_by_node: HashMap::new(),
@@ -241,6 +264,31 @@ impl Cluster {
     /// The configuration in force.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
+    }
+
+    /// Installs a data-plane executor: every subsequent task completion
+    /// also runs the task's real computation on its producers' stored
+    /// payload bytes, and measured output sizes replace the specs'
+    /// estimates in storage, transfer, and inlining decisions.
+    pub fn set_executor(&mut self, exec: Box<dyn TaskExecutor>) {
+        self.executor = Some(exec);
+    }
+
+    /// Removes the installed executor (estimate-only runs again).
+    pub fn clear_executor(&mut self) {
+        self.executor = None;
+    }
+
+    /// A finished task's stored payload bytes from the last run (only
+    /// present when an executor was installed).
+    pub fn task_payload(&self, t: TaskId) -> Option<&[u8]> {
+        self.payloads.bytes(t.0)
+    }
+
+    /// A task's measured output size from the last run, if it executed
+    /// through the data plane.
+    pub fn measured_output_bytes(&self, t: TaskId) -> Option<u64> {
+        self.measured_bytes.get(&t).copied()
     }
 
     /// When a task started executing in the last run (experiment hook,
@@ -443,6 +491,7 @@ impl Cluster {
             spill_bytes: self.cache.spill_stats().1,
             metrics: std::mem::take(&mut self.metrics),
             trace,
+            measured_output_bytes: self.measured_bytes.clone(),
         })
     }
 
@@ -464,6 +513,9 @@ impl Cluster {
         self.value_ready.clear();
         self.durable_ready.clear();
         self.ec_placements.clear();
+        self.payloads.clear();
+        self.staged_inputs.clear();
+        self.measured_bytes.clear();
         self.gangs = GangTracker::new();
         self.actor_node.clear();
         self.actor_busy_until.clear();
@@ -929,7 +981,17 @@ impl Cluster {
             return;
         }
         let node = rec.node.expect("dispatched task has a node");
-        let inputs: Vec<(TaskId, u64)> = rec.spec.inputs.iter().map(|(p, b)| (*p, *b)).collect();
+        // Input sizes: the producer's measured payload when the data
+        // plane executed it, the spec's estimate otherwise.
+        let inputs: Vec<(TaskId, u64)> = rec
+            .spec
+            .inputs
+            .iter()
+            .map(|(p, b)| (*p, *b))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(p, b)| (p, self.payloads.size(p.0).unwrap_or(b)))
+            .collect();
 
         // Detect lost inputs before fetching.
         let missing: Vec<TaskId> = inputs
@@ -940,6 +1002,24 @@ impl Cluster {
         if !missing.is_empty() {
             self.recover_missing(now, t, &missing, queue);
             return;
+        }
+
+        // Stage the real input payloads now, while availability is
+        // guaranteed: a producer reset between arrival and start must not
+        // leave the running task without bytes. Staging shares buffers.
+        if self.executor.is_some() {
+            let staged: Vec<(TaskId, std::rc::Rc<Vec<u8>>)> = inputs
+                .iter()
+                .filter_map(|(p, _)| self.payloads.get(p.0).map(|rc| (*p, rc)))
+                .collect();
+            if staged.len() != inputs.len() && self.fatal.is_none() {
+                self.fatal = Some(RuntimeError::Internal(format!(
+                    "data plane: task t{} arrived with available inputs but missing payloads",
+                    t.0
+                )));
+                return;
+            }
+            self.staged_inputs.insert(t, staged);
         }
 
         let route = self.cfg.generation.route_policy();
@@ -1069,7 +1149,11 @@ impl Cluster {
                 // store (plasma semantics): later consumers read the
                 // nearest copy instead of re-crossing the fabric.
                 if !loc.local && self.cfg.cache_fetched_copies {
-                    let size = self.tasks[&p].spec.output_bytes.max(1);
+                    let size = self
+                        .payloads
+                        .size(p.0)
+                        .unwrap_or(self.tasks[&p].spec.output_bytes)
+                        .max(1);
                     if let Ok(report) = self.cache.put(obj, size, node, now) {
                         let _ = self.own.add_location(obj, node);
                         // A fetched copy can displace colder objects; those
@@ -1171,6 +1255,12 @@ impl Cluster {
         self.value_ready.remove(&t);
         self.durable_ready.remove(&t);
         self.ec_placements.remove(&t);
+        // The payload goes with the availability bookkeeping: the re-run
+        // recomputes it (deterministically) from its own re-fetched
+        // inputs instead of reading stale bytes.
+        self.payloads.remove(t.0);
+        self.measured_bytes.remove(&t);
+        self.staged_inputs.remove(&t);
 
         let (pending, node, state) = {
             let rec = self.tasks.get_mut(&t).expect("known task");
@@ -1359,6 +1449,34 @@ impl Cluster {
                 .map(|s| now.saturating_since(s))
                 .unwrap_or(SimDuration::ZERO);
             self.serverless_task_cost += dur.as_secs_f64() * node_rate(&self.topo, node) + 0.0001;
+        }
+
+        // Data plane: the simulated completion also runs the shard's real
+        // computation on the staged input payloads. The measured encoded
+        // size replaces the spec's estimate everywhere downstream —
+        // storage, replication/EC sizing, transfer pricing, pass-by-value
+        // inlining, and fetched-copy caching.
+        let mut out_bytes = out_bytes;
+        if let Some(exec) = self.executor.as_mut() {
+            let staged = self.staged_inputs.remove(&t).unwrap_or_default();
+            let refs: Vec<(TaskId, &[u8])> =
+                staged.iter().map(|(p, b)| (*p, b.as_slice())).collect();
+            match exec.execute(t, &refs) {
+                Ok(bytes) => {
+                    out_bytes = (bytes.len() as u64).max(1);
+                    self.measured_bytes.insert(t, bytes.len() as u64);
+                    self.payloads.put(t.0, bytes);
+                }
+                Err(msg) => {
+                    if self.fatal.is_none() {
+                        self.fatal = Some(RuntimeError::Internal(format!(
+                            "data plane: task t{}: {msg}",
+                            t.0
+                        )));
+                    }
+                    return;
+                }
+            }
         }
 
         self.record_device_gauge(now);

@@ -1,0 +1,44 @@
+//! The data-plane executor hook.
+//!
+//! The cluster simulates *when* and *where* tasks run; with a
+//! [`TaskExecutor`] installed ([`Cluster::set_executor`]), a task's
+//! simulated completion also runs its real computation: the executor is
+//! handed the actual payload bytes its producers stored and returns the
+//! task's output bytes, which the cluster then stores under the same
+//! pricing it applies to estimated sizes — measured, not estimated,
+//! output sizes feed storage, transfer, pass-by-value inlining, and
+//! caching decisions.
+//!
+//! The trait is bytes-level on purpose: the runtime crate knows nothing
+//! about record batches. The SQL data plane implements it by decoding
+//! IPC frames, running the shard's operator descriptor, and encoding the
+//! result (see the `skadi` crate's graph executor).
+//!
+//! Determinism contract: an executor must be a pure function of
+//! `(task, inputs)`. The cluster drops a task's payload when lineage
+//! resets it, and replays the executor on re-execution — identical
+//! inputs must reproduce identical bytes, or recovery would change the
+//! job's answer.
+//!
+//! [`Cluster::set_executor`]: crate::cluster::Cluster::set_executor
+
+use crate::task::TaskId;
+
+/// Executes a task's real computation from its inputs' payload bytes.
+pub trait TaskExecutor {
+    /// Runs task `t`. `inputs` holds one entry per producer task (each
+    /// producer's full stored payload), sorted by producer task ID; the
+    /// executor is responsible for any per-consumer partitioning. The
+    /// returned bytes become the task's stored payload, and their length
+    /// its measured output size.
+    fn execute(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<Vec<u8>, String>;
+}
+
+impl<F> TaskExecutor for F
+where
+    F: FnMut(TaskId, &[(TaskId, &[u8])]) -> Result<Vec<u8>, String>,
+{
+    fn execute(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<Vec<u8>, String> {
+        self(t, inputs)
+    }
+}

@@ -36,6 +36,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod failure;
 pub mod job;
 pub mod lineage;
@@ -46,6 +47,7 @@ pub use chaos::{run_chaos, run_chaos_with, ChaosVerdict};
 pub use cluster::{Cluster, PerJobStats};
 pub use config::{AutoscaleConfig, Deployment, FtMode, Generation, RuntimeConfig};
 pub use error::RuntimeError;
+pub use executor::TaskExecutor;
 pub use failure::{FailurePlan, Slowdown};
 pub use job::{job_from_physical, Job, JobStats};
 pub use scheduler::PlacementPolicy;

@@ -46,13 +46,15 @@
 //! | [`skadi_runtime`] | stateful serverless runtime (raylets, schedulers, lineage) |
 //! | `skadi` (this crate) | the session API gluing the tiers together |
 
+pub mod distributed;
 pub mod pipeline;
 pub mod report;
 pub mod session;
 
+pub use distributed::{DataPlaneStats, GraphExecutor, ShardTiming};
 pub use pipeline::PipelineBuilder;
 pub use report::JobReport;
-pub use session::{Session, SessionBuilder, SkadiError};
+pub use session::{DistributedRun, Session, SessionBuilder, SkadiError};
 
 // Re-export the component crates under stable names.
 pub use skadi_arrow as arrow;

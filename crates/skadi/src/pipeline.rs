@@ -237,6 +237,7 @@ fn empty_stats() -> skadi_runtime::JobStats {
         spill_bytes: 0,
         metrics: Default::default(),
         trace: Default::default(),
+        measured_output_bytes: Default::default(),
     }
 }
 

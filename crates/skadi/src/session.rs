@@ -24,10 +24,27 @@ use skadi_frontends::ml::TrainingPipeline;
 use skadi_frontends::sql;
 use skadi_frontends::streaming::StreamJob;
 use skadi_ir::BackendPolicy;
-use skadi_runtime::{job_from_physical, Cluster, FailurePlan, Job, RuntimeConfig, RuntimeError};
+use skadi_runtime::{
+    job_from_physical, Cluster, FailurePlan, Job, RuntimeConfig, RuntimeError, TaskId,
+};
 
+use crate::distributed::{DataPlaneStats, GraphExecutor};
 use crate::pipeline::PipelineBuilder;
 use crate::report::{BackendCounts, JobReport};
+
+/// What a distributed SQL execution produced: the real result batch plus
+/// the usual simulated report and the data plane's measurements.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// The collected result — byte-identical to
+    /// [`MemDb::query`](skadi_frontends::exec::MemDb::query) on the same
+    /// database, at any parallelism.
+    pub batch: skadi_arrow::batch::RecordBatch,
+    /// Compilation and simulated-execution report.
+    pub report: JobReport,
+    /// Measured per-shard timings and shuffle row counts.
+    pub data_plane: DataPlaneStats,
+}
 
 /// Errors surfaced by the session API.
 #[derive(Debug)]
@@ -174,6 +191,96 @@ impl Session {
     pub fn sql(&self, statement: &str) -> Result<JobReport, SkadiError> {
         let (g, _sink) = sql::plan_sql(statement, &self.catalog)?;
         self.run_graph("sql", g, "sql")
+    }
+
+    /// Runs a SQL statement **with real data**: plans against a catalog
+    /// derived from `db`'s registered tables, shards the plan to this
+    /// session's parallelism, and executes every shard through the
+    /// simulated cluster's data plane — each task decodes its producers'
+    /// IPC payloads, runs its operator kernel, and stores real encoded
+    /// bytes whose measured sizes feed the simulator's pricing. The
+    /// collected result is byte-identical to
+    /// [`MemDb::query`](skadi_frontends::exec::MemDb::query).
+    pub fn sql_distributed(
+        &self,
+        db: &skadi_frontends::exec::MemDb,
+        statement: &str,
+    ) -> Result<DistributedRun, SkadiError> {
+        self.sql_distributed_with_failures(db, statement, &FailurePlan::none())
+    }
+
+    /// [`Session::sql_distributed`] under a failure schedule. Recovery
+    /// re-executes lost shards through the same deterministic kernels, so
+    /// the answer is unchanged by faults the runtime can survive.
+    pub fn sql_distributed_with_failures(
+        &self,
+        db: &skadi_frontends::exec::MemDb,
+        statement: &str,
+        failures: &FailurePlan,
+    ) -> Result<DistributedRun, SkadiError> {
+        // The data plane threads hidden "__"-prefixed bookkeeping columns
+        // through every shard; user tables must not collide with them.
+        for (name, batch) in db.tables() {
+            if let Some(f) = batch
+                .schema()
+                .fields()
+                .iter()
+                .find(|f| f.name.starts_with("__"))
+            {
+                return Err(SkadiError::Sql(sql::SqlError::Plan(format!(
+                    "table {name:?}: column {:?} uses the reserved \"__\" prefix",
+                    f.name
+                ))));
+            }
+        }
+        let (mut graph, _sink) = sql::plan_sql(statement, &db.catalog())?;
+        let before = graph.len();
+        let optimize = if self.optimize {
+            optimize_graph(&mut graph)
+        } else {
+            Default::default()
+        };
+        let cfg = LowerConfig::new(self.parallelism, self.policy.clone());
+        let phys = lower_graph(&graph, &cfg)?;
+        let mut counts = BackendCounts::default();
+        for v in phys.vertices() {
+            counts.add(v.backend);
+        }
+        let job = job_from_physical("sql", &phys, "sql")?;
+        let sink_task = phys
+            .vertices()
+            .iter()
+            .find(|v| v.kind == skadi_flowgraph::physical::PVertexKind::Sink)
+            .map(|v| TaskId(v.id.0 as u64))
+            .ok_or_else(|| SkadiError::Sql(sql::SqlError::Plan("plan has no sink".into())))?;
+
+        let mut cluster = Cluster::new(&self.topology, self.runtime.clone());
+        let executor = GraphExecutor::new(phys.clone(), db.tables().clone());
+        let measurements = executor.stats();
+        cluster.set_executor(Box::new(executor));
+        let stats = cluster.run_with_failures(&job, failures)?;
+        let payload = cluster.task_payload(sink_task).ok_or_else(|| {
+            SkadiError::Runtime(RuntimeError::Internal(
+                "data plane: sink stored no payload".into(),
+            ))
+        })?;
+        let batch = skadi_arrow::ipc::decode(bytes::Bytes::from(payload.to_vec()))
+            .map_err(|e| SkadiError::Sql(sql::SqlError::Plan(format!("decode result: {e}"))))?;
+        let data_plane = measurements.borrow().clone();
+        Ok(DistributedRun {
+            batch,
+            report: JobReport {
+                name: "sql".to_string(),
+                logical_vertices_before: before,
+                logical_vertices_after: graph.len(),
+                optimize,
+                physical_vertices: phys.len(),
+                physical_edges: phys.edges().len(),
+                backends: counts,
+                stats,
+            },
+            data_plane,
+        })
     }
 
     /// Runs a MapReduce job.

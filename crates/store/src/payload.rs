@@ -1,0 +1,109 @@
+//! Real object payloads.
+//!
+//! The caching layer ([`CachingLayer`](crate::placement::CachingLayer))
+//! tracks *where* objects live and what moving them costs; it never holds
+//! the bytes themselves. The [`PayloadStore`] is the complementary
+//! content store: a flat key -> bytes map modeling the cluster's object
+//! store contents, used by the runtime's data plane to hand a task its
+//! real input frames and keep its real output frames for consumers (and
+//! for recovery replay — a deterministic task re-executed after a
+//! failure reproduces the identical bytes, so dropping an entry and
+//! recomputing is always safe).
+//!
+//! Payloads are reference-counted: staging an input for a consumer
+//! shares the buffer instead of copying it.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A flat content store: key -> reference-counted payload bytes.
+#[derive(Debug, Clone, Default)]
+pub struct PayloadStore {
+    objects: HashMap<u64, Rc<Vec<u8>>>,
+}
+
+impl PayloadStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PayloadStore::default()
+    }
+
+    /// Stores (or replaces) a payload, returning the shared handle.
+    pub fn put(&mut self, key: u64, bytes: Vec<u8>) -> Rc<Vec<u8>> {
+        let rc = Rc::new(bytes);
+        self.objects.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    /// A shared handle to a payload, if present.
+    pub fn get(&self, key: u64) -> Option<Rc<Vec<u8>>> {
+        self.objects.get(&key).cloned()
+    }
+
+    /// The payload bytes, if present.
+    pub fn bytes(&self, key: u64) -> Option<&[u8]> {
+        self.objects.get(&key).map(|b| b.as_slice())
+    }
+
+    /// The stored size of a payload, if present.
+    pub fn size(&self, key: u64) -> Option<u64> {
+        self.objects.get(&key).map(|b| b.len() as u64)
+    }
+
+    /// Drops a payload (consumers holding a handle keep theirs).
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.objects.remove(&key).is_some()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.objects.clear();
+    }
+
+    /// Number of stored payloads.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let mut s = PayloadStore::new();
+        assert!(s.is_empty());
+        let h = s.put(7, vec![1, 2, 3]);
+        assert_eq!(h.as_slice(), &[1, 2, 3]);
+        assert_eq!(s.bytes(7), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.size(7), Some(3));
+        assert_eq!(s.total_bytes(), 3);
+        // Handles outlive removal.
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert_eq!(h.as_slice(), &[1, 2, 3]);
+        assert!(s.get(7).is_none());
+    }
+
+    #[test]
+    fn put_replaces() {
+        let mut s = PayloadStore::new();
+        s.put(1, vec![0; 10]);
+        s.put(1, vec![0; 4]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 4);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}
