@@ -6,16 +6,21 @@
 //! experiments are small enough that sketches are unnecessary, and
 //! exactness aids reproducibility).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
 
 /// A latency histogram backed by raw samples.
+///
+/// Percentile reads take `&self`: the sorted order is cached in a
+/// [`RefCell`] and rebuilt lazily after mutation, so read-only surfaces
+/// (Display, the Prometheus exposition) never need `&mut` access.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<u64>,
-    sorted: bool,
+    sorted: RefCell<Vec<u64>>,
 }
 
 impl Histogram {
@@ -27,7 +32,7 @@ impl Histogram {
     /// Records one duration sample.
     pub fn record(&mut self, d: SimDuration) {
         self.samples.push(d.as_nanos());
-        self.sorted = false;
+        self.sorted.get_mut().clear();
     }
 
     /// Number of samples recorded.
@@ -76,24 +81,33 @@ impl Histogram {
     }
 
     /// Exact percentile (`q` in `[0, 100]`) by nearest-rank, or zero if
-    /// empty.
-    pub fn percentile(&mut self, q: f64) -> SimDuration {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+    /// empty. The sorted order is computed on first read after a
+    /// mutation and cached.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
         }
-        Self::percentile_of_sorted(&self.samples, q)
+        {
+            let mut cache = self.sorted.borrow_mut();
+            if cache.len() != self.samples.len() {
+                cache.clear();
+                cache.extend_from_slice(&self.samples);
+                cache.sort_unstable();
+            }
+        }
+        Self::percentile_of_sorted(&self.sorted.borrow(), q)
     }
 
-    /// Percentile without requiring `&mut self`; sorts a copy when the
-    /// samples are not already sorted (used by `Display`).
+    /// Alias of [`Histogram::percentile`], kept for callers from before
+    /// percentiles took `&self`.
     pub fn percentile_ref(&self, q: f64) -> SimDuration {
-        if self.sorted {
-            return Self::percentile_of_sorted(&self.samples, q);
-        }
-        let mut copy = self.samples.clone();
-        copy.sort_unstable();
-        Self::percentile_of_sorted(&copy, q)
+        self.percentile(q)
+    }
+
+    /// Exact quantile (`q` in `[0, 1]`) by nearest-rank, or zero if
+    /// empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        self.percentile(q * 100.0)
     }
 
     fn percentile_of_sorted(sorted: &[u64], q: f64) -> SimDuration {
@@ -106,12 +120,12 @@ impl Histogram {
     }
 
     /// Median sample.
-    pub fn p50(&mut self) -> SimDuration {
+    pub fn p50(&self) -> SimDuration {
         self.percentile(50.0)
     }
 
     /// 99th percentile sample.
-    pub fn p99(&mut self) -> SimDuration {
+    pub fn p99(&self) -> SimDuration {
         self.percentile(99.0)
     }
 }
@@ -345,7 +359,7 @@ impl Metrics {
         for (k, h) in &other.histograms {
             let mine = self.histograms.entry(k.clone()).or_default();
             mine.samples.extend_from_slice(&h.samples);
-            mine.sorted = false;
+            mine.sorted.get_mut().clear();
         }
         for (k, g) in &other.gauges {
             let mine = self
@@ -359,6 +373,191 @@ impl Metrics {
             }
         }
     }
+}
+
+/// Sanitizes a metric or label name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Splits a canonical `name{k=v,...}` series key back into its base name
+/// and label pairs (both sanitized for exposition).
+fn split_series(key: &str) -> (String, Vec<(String, String)>) {
+    let Some(brace) = key.find('{') else {
+        return (prom_name(key), Vec::new());
+    };
+    let name = prom_name(&key[..brace]);
+    let body = key[brace + 1..].trim_end_matches('}');
+    let labels = body
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (prom_name(k), prom_label_value(v)),
+            None => (prom_name(pair), String::new()),
+        })
+        .collect();
+    (name, labels)
+}
+
+/// Renders one exposition line: `name{labels} value`.
+fn prom_line(out: &mut String, name: &str, labels: &[(String, String)], value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+impl Metrics {
+    /// Renders every series in the Prometheus text exposition format.
+    ///
+    /// Counters export as `counter`; histograms as `summary` series with
+    /// `quantile="0.5"` / `quantile="0.99"` labels plus `_sum`/`_count`
+    /// (values in nanoseconds); gauges as their overall mean. Names are
+    /// sanitized into the Prometheus grammar (`.` becomes `_`), labeled
+    /// series keep their labels, and output order follows the sinks'
+    /// sorted key order, so the exposition is deterministic.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (key, v) in &self.counters {
+            let (name, labels) = split_series(key);
+            if typed.insert(name.clone()) {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+            }
+            prom_line(&mut out, &name, &labels, &v.to_string());
+        }
+        for (key, h) in &self.histograms {
+            let (name, labels) = split_series(key);
+            if typed.insert(name.clone()) {
+                out.push_str(&format!("# TYPE {name} summary\n"));
+            }
+            for (q, d) in [("0.5", h.quantile(0.5)), ("0.99", h.quantile(0.99))] {
+                let mut with_q = labels.clone();
+                with_q.push(("quantile".to_string(), q.to_string()));
+                prom_line(&mut out, &name, &with_q, &d.as_nanos().to_string());
+            }
+            prom_line(
+                &mut out,
+                &format!("{name}_sum"),
+                &labels,
+                &h.total().to_string(),
+            );
+            prom_line(
+                &mut out,
+                &format!("{name}_count"),
+                &labels,
+                &h.count().to_string(),
+            );
+        }
+        for (key, g) in &self.gauges {
+            let (name, labels) = split_series(key);
+            if typed.insert(name.clone()) {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+            }
+            prom_line(
+                &mut out,
+                &name,
+                &labels,
+                &format!("{:.6}", g.overall_mean()),
+            );
+        }
+        out
+    }
+}
+
+/// Validates Prometheus text-exposition output: every non-comment line
+/// must match the `name{label="value",...} value` grammar and no series
+/// (name plus full label set) may repeat. Returns the series count.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", ln + 1));
+        // Split the series key from the value at the last space outside
+        // braces (label values may contain spaces).
+        let split = match line.rfind('}') {
+            Some(close) => match line[close + 1..].strip_prefix(' ') {
+                Some(_) => close + 1,
+                None => return err("expected space after label set"),
+            },
+            None => match line.find(' ') {
+                Some(sp) => sp,
+                None => return err("expected `name value`"),
+            },
+        };
+        let (series, value) = (&line[..split], line[split + 1..].trim());
+        if value.is_empty() || value.parse::<f64>().is_err() {
+            return err("value is not a number");
+        }
+        let (name, labels) = match series.find('{') {
+            None => (series, ""),
+            Some(b) => {
+                if !series.ends_with('}') {
+                    return err("unterminated label set");
+                }
+                (&series[..b], &series[b + 1..series.len() - 1])
+            }
+        };
+        if !valid_name(name) {
+            return err("bad metric name");
+        }
+        if !labels.is_empty() {
+            for pair in labels.split("\",") {
+                let pair = pair.strip_suffix('"').unwrap_or(pair);
+                let Some((k, v)) = pair.split_once("=\"") else {
+                    return err("label is not key=\"value\"");
+                };
+                if !valid_name(k) {
+                    return err("bad label name");
+                }
+                if v.contains('"') {
+                    return err("unescaped quote in label value");
+                }
+            }
+        }
+        if !seen.insert(series.to_string()) {
+            return Err(format!("line {}: duplicate series {series:?}", ln + 1));
+        }
+    }
+    Ok(seen.len())
 }
 
 impl fmt::Display for Metrics {
@@ -449,7 +648,7 @@ mod tests {
 
     #[test]
     fn empty_histogram_is_zero() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.p99(), SimDuration::ZERO);
         assert!(h.is_empty());
@@ -550,6 +749,64 @@ mod tests {
         let means: Vec<(u64, f64)> = g.means().map(|(t, v)| (t.as_millis(), v)).collect();
         assert_eq!(means, vec![(0, 0.75), (1, 0.0)]);
         assert!((g.overall_mean() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_take_shared_ref() {
+        let mut h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        let r = &h; // read-only access is enough
+        assert_eq!(r.p50().as_micros(), 51);
+        assert_eq!(r.p99().as_micros(), 99);
+        assert_eq!(r.quantile(0.5), r.percentile(50.0));
+        assert_eq!(r.quantile(1.0).as_micros(), 100);
+        // The cache invalidates on further mutation.
+        h.record(SimDuration::from_micros(1000));
+        assert_eq!(h.percentile(100.0).as_micros(), 1000);
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips() {
+        let mut m = Metrics::new();
+        m.add("control.msgs", 42);
+        m.bump_labeled("tier.hit", &[("tier", "hbm")]);
+        m.bump_labeled("tier.hit", &[("tier", "pooled")]);
+        for us in 1..=10u64 {
+            m.observe("query_latency", SimDuration::from_micros(us));
+        }
+        m.observe_labeled("stall", &[("node", "3")], SimDuration::from_micros(7));
+        m.gauge_record(
+            "util",
+            SimDuration::from_millis(1),
+            SimTime::from_micros(5),
+            0.5,
+        );
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE control_msgs counter"));
+        assert!(text.contains("control_msgs 42"));
+        assert!(text.contains("tier_hit{tier=\"hbm\"} 1"));
+        assert!(text.contains("query_latency{quantile=\"0.5\"}"));
+        assert!(text.contains("query_latency_count 10"));
+        assert!(text.contains("stall{node=\"3\",quantile=\"0.99\"} 7000"));
+        assert!(text.contains("util 0.500000"));
+        let series = validate_prometheus(&text).expect("exposition validates");
+        assert!(series >= 10, "expected many series, got {series}");
+        // Determinism: rendering twice is byte-identical.
+        assert_eq!(text, m.to_prometheus());
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_bad_lines() {
+        assert!(
+            validate_prometheus("ok 1\nok 2").is_err(),
+            "duplicate series"
+        );
+        assert!(validate_prometheus("bad-name 1").is_err(), "bad name");
+        assert!(validate_prometheus("x notanumber").is_err(), "bad value");
+        assert!(validate_prometheus("x{k=v} 1").is_err(), "unquoted label");
+        assert!(validate_prometheus("# HELP anything goes\nx{k=\"v\"} 1").is_ok());
     }
 
     #[test]

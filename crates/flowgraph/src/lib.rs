@@ -42,6 +42,7 @@ pub mod lower;
 pub mod optimize;
 pub mod partition;
 pub mod physical;
+pub mod profile;
 
 pub use error::GraphError;
 pub use exec::{ExecAgg, ExecCompare, ExecLiteral, ExecOp};
@@ -50,6 +51,7 @@ pub use lower::{lower_graph, LowerConfig};
 pub use optimize::{optimize_graph, OptimizeReport};
 pub use partition::Partitioner;
 pub use physical::{PEdgeKind, PVertexId, PhysicalGraph, PhysicalVertex};
+pub use profile::{OpProfile, QueryProfile, ShardStats};
 
 /// Convenience re-exports.
 pub mod prelude {

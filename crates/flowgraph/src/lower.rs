@@ -145,6 +145,7 @@ pub fn lower_graph(g: &FlowGraph, cfg: &LowerConfig) -> Result<PhysicalGraph, Gr
         for shard in 0..shards {
             phys.push_vertex(PhysicalVertex {
                 id: crate::physical::PVertexId(0), // Reassigned by push.
+                op_id: v.id.0,
                 logical: v.id,
                 shard,
                 shards,

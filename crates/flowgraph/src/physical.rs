@@ -42,6 +42,12 @@ pub enum PVertexKind {
 pub struct PhysicalVertex {
     /// Identity.
     pub id: PVertexId,
+    /// Stable operator identity: every shard of one (post-optimization)
+    /// logical operator carries the same `op_id`, so per-shard
+    /// measurements group back into per-operator profiles. Assigned
+    /// during lowering from the logical vertex id; deterministic for a
+    /// given plan.
+    pub op_id: u32,
     /// The logical vertex this shards.
     pub logical: VertexId,
     /// Shard index in `[0, shards)`.
@@ -247,6 +253,7 @@ mod tests {
     fn vertex(logical: u32, shard: u32, shards: u32, cost: f64) -> PhysicalVertex {
         PhysicalVertex {
             id: PVertexId(0),
+            op_id: logical,
             logical: VertexId(logical),
             shard,
             shards,

@@ -28,6 +28,7 @@ use skadi_arrow::datatype::DataType;
 use skadi_arrow::schema::{Field, Schema};
 use skadi_dcsim::span::{Category, SpanId, Trace, Tracer};
 use skadi_dcsim::time::SimTime;
+use skadi_flowgraph::profile::{QueryProfile, ShardStats};
 
 use crate::catalog::{Catalog, TableDef};
 use crate::sql::ast::{Comparison, Expr, Literal, Query};
@@ -81,6 +82,28 @@ impl MemDb {
         let mut tracer = Tracer::new(true);
         let out = execute_traced(&q, self, &mut tracer)?;
         Ok((out, tracer.finish()))
+    }
+
+    /// Like [`MemDb::query`], but also returns a per-operator
+    /// [`QueryProfile`] (single-shard chain: scan → filter → join → … in
+    /// execution order). Accepts the query with or without an
+    /// `EXPLAIN ANALYZE` prefix. The profile's deterministic portion
+    /// (everything except wall time) is a pure function of the query and
+    /// the data.
+    pub fn query_profiled(&self, sql: &str) -> Result<(RecordBatch, QueryProfile), SqlError> {
+        let body = crate::sql::strip_explain_analyze(sql).unwrap_or(sql);
+        let q = parse(&tokenize(body)?)?;
+        let mut spans = ExecSpans::profiled();
+        let out = execute_inner(&q, self, &mut spans)?;
+        let chain = spans.profile.take().unwrap_or_default();
+        Ok((out, QueryProfile::from_chain(body, 2.0, chain)))
+    }
+
+    /// Executes `EXPLAIN ANALYZE <query>` (prefix optional) and renders
+    /// the annotated plan tree with measured wall times.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, SqlError> {
+        let (_, profile) = self.query_profiled(sql)?;
+        Ok(profile.render(true))
     }
 
     /// Derives a planner [`Catalog`] from the registered tables: schemas
@@ -141,10 +164,37 @@ fn cmp_op(op: &str) -> Result<CmpOp, SqlError> {
     })
 }
 
+/// Hash-table measurements from one join or group-by kernel invocation.
+/// Zero-valued fields mean "not applicable" (e.g. a filter has no hash
+/// table); the profile JSON omits them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Hash-table capacity in slots (join build table or group table).
+    pub hash_slots: u64,
+    /// Probe steps that visited an occupied slot without matching: chain
+    /// walks for the join's bucket chains, linear-probe steps for the
+    /// group table. A well-sized table keeps this near zero.
+    pub hash_collisions: u64,
+    /// Distinct groups produced (group-by only).
+    pub groups: u64,
+}
+
+impl KernelStats {
+    /// Accumulates another kernel's counters into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.hash_slots += other.hash_slots;
+        self.hash_collisions += other.hash_collisions;
+        self.groups += other.groups;
+    }
+}
+
 /// Per-operator wall-clock span recorder. Disabled (`inner: None`) it
-/// costs one `Instant` read per operator and records nothing.
+/// costs one `Instant` read per operator and records nothing. With
+/// `profile` set it additionally accumulates a [`ShardStats`] chain for
+/// [`QueryProfile::from_chain`].
 struct ExecSpans<'a> {
     inner: Option<(&'a mut Tracer, SpanId)>,
+    profile: Option<Vec<(String, ShardStats)>>,
     clock: Instant,
 }
 
@@ -152,6 +202,15 @@ impl ExecSpans<'_> {
     fn disabled() -> ExecSpans<'static> {
         ExecSpans {
             inner: None,
+            profile: None,
+            clock: Instant::now(),
+        }
+    }
+
+    fn profiled() -> ExecSpans<'static> {
+        ExecSpans {
+            inner: None,
+            profile: Some(Vec::new()),
             clock: Instant::now(),
         }
     }
@@ -161,10 +220,22 @@ impl ExecSpans<'_> {
         SimTime::from_nanos(self.clock.elapsed().as_nanos() as u64)
     }
 
-    /// Records one completed operator span under the root query span.
-    fn op(&mut self, name: &str, start: SimTime, rows_in: usize, rows_out: usize) {
+    /// Records one completed operator span under the root query span,
+    /// with profile detail: measured output bytes, filter selectivity,
+    /// and hash-table counters.
+    #[allow(clippy::too_many_arguments)]
+    fn op_ext(
+        &mut self,
+        name: &str,
+        start: SimTime,
+        rows_in: usize,
+        rows_out: usize,
+        output_bytes: u64,
+        selectivity: Option<f64>,
+        kernel: KernelStats,
+    ) {
+        let end = SimTime::from_nanos(self.clock.elapsed().as_nanos() as u64);
         if let Some((tracer, root)) = &mut self.inner {
-            let end = SimTime::from_nanos(self.clock.elapsed().as_nanos() as u64);
             tracer.span(
                 name,
                 "exec",
@@ -177,6 +248,22 @@ impl ExecSpans<'_> {
                     ("rows_out", &rows_out.to_string()),
                 ],
             );
+        }
+        if let Some(chain) = &mut self.profile {
+            chain.push((
+                name.to_string(),
+                ShardStats {
+                    shard: 0,
+                    rows_in: rows_in as u64,
+                    rows_out: rows_out as u64,
+                    output_bytes,
+                    wall_nanos: end.as_nanos().saturating_sub(start.as_nanos()),
+                    selectivity,
+                    hash_slots: kernel.hash_slots,
+                    hash_collisions: kernel.hash_collisions,
+                    groups: kernel.groups,
+                },
+            ));
         }
     }
 
@@ -299,7 +386,8 @@ pub fn hash_join(
     left_key: &str,
     right_key: &str,
 ) -> Result<RecordBatch, SqlError> {
-    let (left_rows, right_rows) = join_rows(left, right, left_key, right_key, None)?;
+    let mut stats = KernelStats::default();
+    let (left_rows, right_rows) = join_rows(left, right, left_key, right_key, None, &mut stats)?;
     assemble_join(left, right, right_key, &left_rows, &right_rows)
 }
 
@@ -313,18 +401,22 @@ pub fn hash_join_sel(
     left_key: &str,
     right_key: &str,
 ) -> Result<RecordBatch, SqlError> {
-    let (left_rows, right_rows) = join_rows(left, right, left_key, right_key, Some(left_sel))?;
+    let mut stats = KernelStats::default();
+    let (left_rows, right_rows) =
+        join_rows(left, right, left_key, right_key, Some(left_sel), &mut stats)?;
     assemble_join(left, right, right_key, &left_rows, &right_rows)
 }
 
 /// The join core: produces matching `(left_row, right_row)` index pairs
 /// in probe order, probing either every left row or just a selection.
+/// Build-table capacity and failed chain visits accumulate into `stats`.
 pub(crate) fn join_rows(
     left: &RecordBatch,
     right: &RecordBatch,
     left_key: &str,
     right_key: &str,
     left_sel: Option<&[usize]>,
+    stats: &mut KernelStats,
 ) -> Result<(Vec<usize>, Vec<usize>), SqlError> {
     let lk = left.schema().index_of(left_key).map_err(wrap)?;
     let rk = right.schema().index_of(right_key).map_err(wrap)?;
@@ -350,6 +442,7 @@ pub(crate) fn join_rows(
     // row order leaves every chain sorted ascending, preserving the
     // match order of the old ordered-map engine.
     let cap = (right.num_rows() * 2).next_power_of_two().max(16);
+    stats.hash_slots += cap as u64;
     let mask = cap as u64 - 1;
     let mut head = vec![EMPTY_SLOT; cap];
     let mut next = vec![EMPTY_SLOT; right.num_rows()];
@@ -365,6 +458,7 @@ pub(crate) fn join_rows(
 
     let mut left_rows: Vec<usize> = Vec::new();
     let mut right_rows: Vec<usize> = Vec::new();
+    let mut collisions = 0u64;
     let l_validity = lcol.validity();
     let mut probe = |l: usize, h: u64| {
         if l_validity.is_some_and(|v| !v.get(l)) {
@@ -376,6 +470,8 @@ pub(crate) fn join_rows(
             if rh[ri] == h && join_key_eq(lcol, l, rcol, ri) {
                 left_rows.push(l);
                 right_rows.push(ri);
+            } else {
+                collisions += 1;
             }
             r = next[ri];
         }
@@ -392,6 +488,7 @@ pub(crate) fn join_rows(
             }
         }
     }
+    stats.hash_collisions += collisions;
     Ok((left_rows, right_rows))
 }
 
@@ -617,6 +714,15 @@ fn accumulate(
 /// order replicates the old engine's `BTreeMap` order by rendering ONE
 /// key string per *group* (not per row) and sorting.
 pub fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError> {
+    aggregate_with_stats(q, input, &mut KernelStats::default())
+}
+
+/// [`aggregate`] with kernel counters accumulated into `stats`.
+pub(crate) fn aggregate_with_stats(
+    q: &Query,
+    input: &RecordBatch,
+    stats: &mut KernelStats,
+) -> Result<RecordBatch, SqlError> {
     let aggs: Vec<(String, String, String)> = q
         .select
         .iter()
@@ -631,18 +737,20 @@ pub fn aggregate(q: &Query, input: &RecordBatch) -> Result<RecordBatch, SqlError
             Expr::Column(_) => None,
         })
         .collect();
-    aggregate_spec(&q.group_by, &aggs, input)
+    aggregate_spec(&q.group_by, &aggs, input, stats)
 }
 
 /// The aggregation core, independent of the SQL AST: `aggs` is
 /// `(func, column, output_name)` triples. Shard execution drives this
-/// directly from [`ExecOp::Aggregate`] descriptors.
+/// directly from [`ExecOp::Aggregate`] descriptors. Group-table capacity,
+/// linear-probe steps, and the group count accumulate into `stats`.
 ///
 /// [`ExecOp::Aggregate`]: skadi_flowgraph::ExecOp::Aggregate
 pub(crate) fn aggregate_spec(
     group_by: &[String],
     aggs: &[(String, String, String)],
     input: &RecordBatch,
+    stats: &mut KernelStats,
 ) -> Result<RecordBatch, SqlError> {
     let group_cols: Vec<usize> = group_by
         .iter()
@@ -664,6 +772,7 @@ pub(crate) fn aggregate_spec(
         // Capacity 2x rows keeps the load factor under 0.5; slots store
         // the group id, keys compare by stored hash then typed equality.
         let cap = (nrows * 2).next_power_of_two().max(16);
+        stats.hash_slots += cap as u64;
         let mask = cap as u64 - 1;
         let mut slots: Vec<u32> = vec![EMPTY_SLOT; cap];
         let mut group_hashes: Vec<u64> = Vec::new();
@@ -687,12 +796,16 @@ pub(crate) fn aggregate_spec(
                         row_group.push(g);
                         break;
                     }
-                    _ => b = (b + 1) & (cap - 1),
+                    _ => {
+                        stats.hash_collisions += 1;
+                        b = (b + 1) & (cap - 1);
+                    }
                 }
             }
         }
     }
     let ng = group_sizes.len();
+    stats.groups += ng as u64;
 
     // Output order: the old engine iterated a BTreeMap over the rendered
     // group key; sorting one rendered string per group reproduces it in
@@ -764,6 +877,7 @@ pub fn execute_traced(q: &Query, db: &MemDb, tracer: &mut Tracer) -> Result<Reco
     let root = tracer.open("query", "exec", Category::Exec, None, SimTime::ZERO);
     let mut spans = ExecSpans {
         inner: Some((tracer, root)),
+        profile: None,
         clock,
     };
     let out = execute_inner(q, db, &mut spans)?;
@@ -771,10 +885,23 @@ pub fn execute_traced(q: &Query, db: &MemDb, tracer: &mut Tracer) -> Result<Reco
     Ok(out)
 }
 
+/// Selectivity of a filter step: fraction of input rows that pass.
+fn selectivity(rows_in: usize, rows_out: usize) -> Option<f64> {
+    (rows_in > 0).then(|| rows_out as f64 / rows_in as f64)
+}
+
 fn execute_inner(q: &Query, db: &MemDb, spans: &mut ExecSpans) -> Result<RecordBatch, SqlError> {
     let t0 = spans.now();
     let mut current = db.table(&q.from)?.clone();
-    spans.op(ops::SCAN, t0, current.num_rows(), current.num_rows());
+    spans.op_ext(
+        ops::SCAN,
+        t0,
+        current.num_rows(),
+        current.num_rows(),
+        current.byte_size() as u64,
+        None,
+        KernelStats::default(),
+    );
 
     // Pushdown-equivalent: conjuncts on base-table columns apply before
     // joins; the rest after. Each side fuses into a single mask.
@@ -791,55 +918,132 @@ fn execute_inner(q: &Query, db: &MemDb, spans: &mut ExecSpans) -> Result<RecordB
             // Selection-vector pushdown: the filter yields row indices and
             // the first join probes through them, so the filtered batch is
             // never materialized — passing rows are gathered once, as part
-            // of the join output.
+            // of the join output. (The filter op reports 0 output bytes
+            // for the same reason.)
             let right = db.table(&j.table)?;
             let t0 = spans.now();
             let rows_in = current.num_rows();
             let sel = selection_indices(&current, &pushed)?;
-            spans.op(ops::FILTER, t0, rows_in, sel.len());
+            spans.op_ext(
+                ops::FILTER,
+                t0,
+                rows_in,
+                sel.len(),
+                0,
+                selectivity(rows_in, sel.len()),
+                KernelStats::default(),
+            );
             let t0 = spans.now();
             let rows_in = sel.len() + right.num_rows();
-            current = hash_join_sel(&current, &sel, right, &j.left_key, &j.right_key)?;
-            spans.op(ops::JOIN, t0, rows_in, current.num_rows());
+            let mut ks = KernelStats::default();
+            let (lr, rr) = join_rows(
+                &current,
+                right,
+                &j.left_key,
+                &j.right_key,
+                Some(&sel),
+                &mut ks,
+            )?;
+            current = assemble_join(&current, right, &j.right_key, &lr, &rr)?;
+            spans.op_ext(
+                ops::JOIN,
+                t0,
+                rows_in,
+                current.num_rows(),
+                current.byte_size() as u64,
+                None,
+                ks,
+            );
         } else {
             let t0 = spans.now();
             let rows_in = current.num_rows();
             current = apply_conjuncts(&current, &pushed)?;
-            spans.op(ops::FILTER, t0, rows_in, current.num_rows());
+            spans.op_ext(
+                ops::FILTER,
+                t0,
+                rows_in,
+                current.num_rows(),
+                current.byte_size() as u64,
+                selectivity(rows_in, current.num_rows()),
+                KernelStats::default(),
+            );
         }
     }
     for j in joins {
         let right = db.table(&j.table)?;
         let t0 = spans.now();
         let rows_in = current.num_rows() + right.num_rows();
-        current = hash_join(&current, right, &j.left_key, &j.right_key)?;
-        spans.op(ops::JOIN, t0, rows_in, current.num_rows());
+        let mut ks = KernelStats::default();
+        let (lr, rr) = join_rows(&current, right, &j.left_key, &j.right_key, None, &mut ks)?;
+        current = assemble_join(&current, right, &j.right_key, &lr, &rr)?;
+        spans.op_ext(
+            ops::JOIN,
+            t0,
+            rows_in,
+            current.num_rows(),
+            current.byte_size() as u64,
+            None,
+            ks,
+        );
     }
     if !residual.is_empty() {
         let t0 = spans.now();
         let rows_in = current.num_rows();
         current = apply_conjuncts(&current, &residual)?;
-        spans.op(ops::FILTER, t0, rows_in, current.num_rows());
+        spans.op_ext(
+            ops::FILTER,
+            t0,
+            rows_in,
+            current.num_rows(),
+            current.byte_size() as u64,
+            selectivity(rows_in, current.num_rows()),
+            KernelStats::default(),
+        );
     }
 
     if q.is_aggregate() {
         let t0 = spans.now();
         let rows_in = current.num_rows();
-        current = aggregate(q, &current)?;
-        spans.op(ops::AGGREGATE, t0, rows_in, current.num_rows());
+        let mut ks = KernelStats::default();
+        current = aggregate_with_stats(q, &current, &mut ks)?;
+        spans.op_ext(
+            ops::AGGREGATE,
+            t0,
+            rows_in,
+            current.num_rows(),
+            current.byte_size() as u64,
+            None,
+            ks,
+        );
     } else {
         let cols = q.projected_columns();
         if !cols.is_empty() && !cols.contains(&"*") {
             let t0 = spans.now();
             current = current.project(&cols).map_err(wrap)?;
-            spans.op(ops::PROJECT, t0, current.num_rows(), current.num_rows());
+            spans.op_ext(
+                ops::PROJECT,
+                t0,
+                current.num_rows(),
+                current.num_rows(),
+                current.byte_size() as u64,
+                None,
+                KernelStats::default(),
+            );
         }
     }
 
     if let Some(ob) = &q.order_by {
         let t0 = spans.now();
         current = sort_by(&current, &ob.column, ob.descending)?;
-        spans.op(ops::SORT, t0, current.num_rows(), current.num_rows());
+        spans.op_ext(
+            ops::SORT,
+            t0,
+            current.num_rows(),
+            current.num_rows(),
+            current.byte_size() as u64,
+            None,
+            KernelStats::default(),
+        );
     }
     if let Some(n) = q.limit {
         let t0 = spans.now();
@@ -847,7 +1051,15 @@ fn execute_inner(q: &Query, db: &MemDb, spans: &mut ExecSpans) -> Result<RecordB
         let keep = (n.max(0) as usize).min(current.num_rows());
         let indices: Vec<usize> = (0..keep).collect();
         current = compute::take_indices(&current, &indices).map_err(wrap)?;
-        spans.op(ops::LIMIT, t0, rows_in, current.num_rows());
+        spans.op_ext(
+            ops::LIMIT,
+            t0,
+            rows_in,
+            current.num_rows(),
+            current.byte_size() as u64,
+            None,
+            KernelStats::default(),
+        );
     }
     Ok(current)
 }

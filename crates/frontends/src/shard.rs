@@ -63,6 +63,27 @@ pub fn is_hidden(name: &str) -> bool {
     name == RID || name == GKEY
 }
 
+/// Per-shard kernel measurements from one [`execute_shard_stats`] call:
+/// hash-table counters from join/group-by kernels plus filter-step row
+/// counts (for selectivity). Chains with several filter steps accumulate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardExecStats {
+    /// Join / group-by hash-table counters.
+    pub kernel: exec::KernelStats,
+    /// Rows entering filter steps.
+    pub filter_rows_in: u64,
+    /// Rows surviving filter steps.
+    pub filter_rows_out: u64,
+}
+
+impl ShardExecStats {
+    /// Fraction of rows surviving the shard's filter steps, if any ran
+    /// over a non-empty input.
+    pub fn selectivity(&self) -> Option<f64> {
+        (self.filter_rows_in > 0).then(|| self.filter_rows_out as f64 / self.filter_rows_in as f64)
+    }
+}
+
 /// Executes one shard's operator chain. `port0` holds the (probe-side)
 /// input batches in producer shard order, `port1` the build side of a
 /// join; scans ignore both and read `tables` directly.
@@ -73,6 +94,28 @@ pub fn execute_shard(
     shards: u32,
     port0: &[RecordBatch],
     port1: &[RecordBatch],
+) -> Result<RecordBatch, SqlError> {
+    execute_shard_stats(
+        op,
+        tables,
+        shard,
+        shards,
+        port0,
+        port1,
+        &mut ShardExecStats::default(),
+    )
+}
+
+/// [`execute_shard`] with kernel measurements accumulated into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_shard_stats(
+    op: &ExecOp,
+    tables: &BTreeMap<String, RecordBatch>,
+    shard: u32,
+    shards: u32,
+    port0: &[RecordBatch],
+    port1: &[RecordBatch],
+    stats: &mut ShardExecStats,
 ) -> Result<RecordBatch, SqlError> {
     let mut current: Option<RecordBatch> = None;
     for step in op.clone().flatten() {
@@ -91,7 +134,14 @@ pub fn execute_shard(
                 if current.is_some() {
                     return Err(SqlError::Plan("join cannot be mid-chain".into()));
                 }
-                join_shard(port0, port1, &left_key, &right_key, right_rows)?
+                join_shard(
+                    port0,
+                    port1,
+                    &left_key,
+                    &right_key,
+                    right_rows,
+                    &mut stats.kernel,
+                )?
             }
             other => {
                 let input = match current.take() {
@@ -99,10 +149,15 @@ pub fn execute_shard(
                     None => gather(port0)?,
                 };
                 match other {
-                    ExecOp::Filter { conjuncts } => filter_shard(&input, &conjuncts)?,
+                    ExecOp::Filter { conjuncts } => {
+                        stats.filter_rows_in += input.num_rows() as u64;
+                        let out = filter_shard(&input, &conjuncts)?;
+                        stats.filter_rows_out += out.num_rows() as u64;
+                        out
+                    }
                     ExecOp::Project { columns } => project_shard(&input, &columns)?,
                     ExecOp::Aggregate { group_by, aggs } => {
-                        aggregate_shard(&input, &group_by, &aggs)?
+                        aggregate_shard(&input, &group_by, &aggs, &mut stats.kernel)?
                     }
                     ExecOp::Sort { column, descending } => sort_by(&input, &column, descending)?,
                     ExecOp::Limit { n, order } => {
@@ -284,6 +339,7 @@ fn join_shard(
     left_key: &str,
     right_key: &str,
     right_rows: u64,
+    kernel: &mut exec::KernelStats,
 ) -> Result<RecordBatch, SqlError> {
     let left = gather(port0)?;
     let right = gather(port1)?;
@@ -291,7 +347,7 @@ fn join_shard(
     let r_rid = rid_values(&right)?;
     let left_vis = strip_hidden(&left)?;
     let right_vis = strip_hidden(&right)?;
-    let (lrows, rrows) = exec::join_rows(&left_vis, &right_vis, left_key, right_key, None)?;
+    let (lrows, rrows) = exec::join_rows(&left_vis, &right_vis, left_key, right_key, None, kernel)?;
     let out = exec::assemble_join(&left_vis, &right_vis, right_key, &lrows, &rrows)?;
     let stride = (right_rows as i64).max(1);
     let rid: Vec<i64> = lrows
@@ -316,13 +372,14 @@ fn aggregate_shard(
     input: &RecordBatch,
     group_by: &[String],
     aggs: &[ExecAgg],
+    kernel: &mut exec::KernelStats,
 ) -> Result<RecordBatch, SqlError> {
     let mut spec: Vec<(String, String, String)> = aggs
         .iter()
         .map(|a| (a.func.clone(), a.column.clone(), a.name.clone()))
         .collect();
     spec.push(("min".into(), RID.into(), RID.into()));
-    let out = exec::aggregate_spec(group_by, &spec, input)?;
+    let out = exec::aggregate_spec(group_by, &spec, input, kernel)?;
     let mut keys: Vec<String> = Vec::with_capacity(out.num_rows());
     for r in 0..out.num_rows() {
         let parts: Vec<String> = group_by

@@ -60,6 +60,30 @@ impl From<GraphError> for SqlError {
     }
 }
 
+/// If `stmt` starts with `EXPLAIN ANALYZE` (case-insensitive, any
+/// whitespace), returns the statement body after the prefix; `None`
+/// otherwise. This is how the frontend opts a query into profiled
+/// execution without touching the grammar.
+pub fn strip_explain_analyze(stmt: &str) -> Option<&str> {
+    let rest = stmt.trim_start();
+    let after_explain = rest
+        .get(.."EXPLAIN".len())
+        .filter(|w| w.eq_ignore_ascii_case("EXPLAIN"))
+        .map(|_| &rest["EXPLAIN".len()..])?;
+    if !after_explain.starts_with(char::is_whitespace) {
+        return None;
+    }
+    let rest = after_explain.trim_start();
+    let after_analyze = rest
+        .get(.."ANALYZE".len())
+        .filter(|w| w.eq_ignore_ascii_case("ANALYZE"))
+        .map(|_| &rest["ANALYZE".len()..])?;
+    if !after_analyze.starts_with(char::is_whitespace) {
+        return None;
+    }
+    Some(after_analyze.trim_start())
+}
+
 /// Parses and plans one SQL statement onto a fresh FlowGraph, returning
 /// the graph and its sink vertex.
 pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<(FlowGraph, VertexId), SqlError> {
@@ -68,4 +92,25 @@ pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<(FlowGraph, VertexId), S
     let mut g = FlowGraph::new();
     let sink = plan_query(&query, catalog, &mut g)?;
     Ok((g, sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::strip_explain_analyze;
+
+    #[test]
+    fn explain_analyze_prefix_detection() {
+        assert_eq!(
+            strip_explain_analyze("EXPLAIN ANALYZE SELECT 1"),
+            Some("SELECT 1")
+        );
+        assert_eq!(
+            strip_explain_analyze("  explain   Analyze\n SELECT x FROM t"),
+            Some("SELECT x FROM t")
+        );
+        assert_eq!(strip_explain_analyze("SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN"), None);
+    }
 }

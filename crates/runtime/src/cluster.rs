@@ -342,8 +342,8 @@ impl Cluster {
             offset += job.tasks.keys().map(|t| t.0 + 1).max().unwrap_or(0);
         }
         let combined = Job::new("combined", combined)?;
-        let stats = self.run_released(&combined, failures, &releases)?;
-        let per_job = membership
+        let mut stats = self.run_released(&combined, failures, &releases)?;
+        let per_job: Vec<PerJobStats> = membership
             .into_iter()
             .map(|(name, arrival, members)| {
                 let done = members
@@ -358,16 +358,25 @@ impl Cluster {
                 }
             })
             .collect();
+        // Each job's submission-to-completion latency feeds the run's
+        // `query_latency` histogram, so consolidation and chaos scenarios
+        // record a latency *distribution* (p50/p99), not just a makespan.
+        for j in &per_job {
+            stats.metrics.observe("query_latency", j.completion);
+        }
         Ok((per_job, stats))
     }
 
-    /// Runs a job under a failure schedule.
+    /// Runs a job under a failure schedule. The job's makespan is
+    /// recorded into the `query_latency` histogram of the returned stats.
     pub fn run_with_failures(
         &mut self,
         job: &Job,
         failures: &FailurePlan,
     ) -> Result<JobStats, RuntimeError> {
-        self.run_released(job, failures, &HashMap::new())
+        let mut stats = self.run_released(job, failures, &HashMap::new())?;
+        stats.metrics.observe("query_latency", stats.makespan);
+        Ok(stats)
     }
 
     fn run_released(

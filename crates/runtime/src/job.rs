@@ -139,8 +139,11 @@ pub struct JobStats {
     pub spills: u64,
     /// Bytes spilled.
     pub spill_bytes: u64,
-    /// Full metric sink (histograms: `stall`, `task.wait`, `task.run`;
-    /// counters: `control_msgs`, `cold_starts`, ...).
+    /// Full metric sink (histograms: `stall`, `task.wait`, `task.run`,
+    /// `query_latency` — one sample per job, so multi-job runs record a
+    /// latency distribution with p50/p99; counters: `control_msgs`,
+    /// `cold_starts`, ...). Exportable via
+    /// [`Metrics::to_prometheus`](skadi_dcsim::trace::Metrics::to_prometheus).
     pub metrics: Metrics,
     /// Causal span trace of the run. Empty unless the config enabled
     /// [`RuntimeConfig::tracing`](crate::config::RuntimeConfig::tracing).

@@ -29,6 +29,27 @@
 //! cargo run -p skadi --bin skadi-cli -- trace my-trace.json
 //! ```
 //!
+//! Prefixing a query with `EXPLAIN ANALYZE` prints the annotated plan
+//! tree — per-operator rows/bytes/wall time with per-shard
+//! min/median/max and `[SKEW]` flags — instead of the plain timing
+//! lines. Works both locally and with `--distributed`:
+//!
+//! ```text
+//! cargo run -p skadi --bin skadi-cli -- --distributed "EXPLAIN ANALYZE SELECT ..."
+//! ```
+//!
+//! The `metrics` subcommand runs the demo query set through the
+//! distributed data plane and dumps the merged runtime metrics in
+//! Prometheus text exposition format (counters, and histograms as
+//! summaries with p50/p99 — including the per-query `query_latency`
+//! histogram). `--json` dumps the per-query profile artifacts instead;
+//! `--check` validates the exposition's line grammar and exits non-zero
+//! on violations (the CI gate):
+//!
+//! ```text
+//! cargo run -p skadi --bin skadi-cli -- metrics [--json | --check] [--parallelism N]
+//! ```
+//!
 //! The `chaos` subcommand replays one seeded schedule from the chaos
 //! fault harness (the same generator `tests/chaos.rs` drives) with
 //! tracing on, prints the injected schedule and the verdict, and writes
@@ -100,6 +121,20 @@ fn demo_db(rows: usize) -> MemDb {
 
 fn run_query(db: &MemDb, session: &Session, sql: &str) {
     println!("sql> {sql}");
+    if skadi::frontends::sql::strip_explain_analyze(sql).is_some() {
+        // EXPLAIN ANALYZE: execute for real, then print the annotated
+        // plan tree instead of the flat timing line.
+        match db.query_profiled(sql) {
+            Ok((result, profile)) => {
+                println!("-- answer ({} rows) --", result.num_rows());
+                print!("{result}");
+                print!("{}", profile.render(true));
+                println!();
+            }
+            Err(e) => println!("!! {e}\n"),
+        }
+        return;
+    }
     match db.query_traced(sql) {
         Ok((result, trace)) => {
             println!("-- answer ({} rows) --", result.num_rows());
@@ -159,6 +194,21 @@ fn run_query_distributed(db: &MemDb, session: &Session, sql: &str) {
     };
     println!("-- answer ({} rows, distributed) --", run.batch.num_rows());
     print!("{}", run.batch);
+    if skadi::frontends::sql::strip_explain_analyze(sql).is_some() {
+        // EXPLAIN ANALYZE: the annotated plan tree with per-shard
+        // min/median/max and skew flags replaces the flat timing line.
+        if let Some(profile) = &run.report.profile {
+            print!("{}", profile.render(true));
+        }
+        println!(
+            "-- at cluster scale: {} tasks, makespan {}, {} retries, {} B measured output --\n",
+            run.report.physical_vertices,
+            run.report.stats.makespan,
+            run.report.stats.retries,
+            run.report.stats.measured_output_bytes.values().sum::<u64>(),
+        );
+        return;
+    }
     // Collapse per-shard timings into one line per operator.
     let mut by_op: Vec<(String, u32, f64, usize, u64)> = Vec::new();
     for t in &run.data_plane.timings {
@@ -364,8 +414,93 @@ fn run_chaos_replay(args: &[String]) {
     }
 }
 
+/// `skadi-cli metrics [--json | --check] [--parallelism N]`: run the
+/// demo query set through the distributed data plane and dump the merged
+/// runtime metrics in Prometheus text exposition format. `--json` dumps
+/// the per-query profile artifacts instead; `--check` self-validates the
+/// exposition's line grammar (CI gate) and exits non-zero on violations.
+fn run_metrics(args: &[String]) {
+    use skadi::dcsim::trace::{validate_prometheus, Metrics};
+
+    let mut json = false;
+    let mut check = false;
+    let mut parallelism = 4u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--check" => check = true,
+            "--parallelism" => {
+                parallelism = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--parallelism takes a number");
+            }
+            other => panic!("metrics takes --json, --check, --parallelism N; got {other:?}"),
+        }
+    }
+
+    let db = demo_db(10_000);
+    let session = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .parallelism(parallelism)
+        .runtime(RuntimeConfig::skadi_gen2())
+        .build();
+
+    let mut merged = Metrics::default();
+    let mut profiles = Vec::new();
+    for q in demo_queries() {
+        let run = session
+            .sql_distributed(&db, &q)
+            .expect("demo query runs distributed");
+        merged.merge(&run.report.stats.metrics);
+        if let Some(p) = run.report.profile {
+            profiles.push(p);
+        }
+    }
+
+    if json {
+        // Machine-readable profile artifacts as one JSON array, one
+        // object per query (deterministic for a given seed: wall times
+        // are omitted from the artifact).
+        println!("[");
+        for (i, p) in profiles.iter().enumerate() {
+            let sep = if i + 1 == profiles.len() { "" } else { "," };
+            println!("{}{sep}", p.to_json().trim_end());
+        }
+        println!("]");
+        return;
+    }
+    let text = merged.to_prometheus();
+    if check {
+        match validate_prometheus(&text) {
+            Ok(n) => println!("prometheus exposition OK: {n} series"),
+            Err(e) => {
+                eprintln!("prometheus exposition INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    print!("{text}");
+}
+
+/// The default demo query set (shared by the main loop and `metrics`).
+fn demo_queries() -> Vec<String> {
+    vec![
+        "SELECT kind, sum(value) AS total, count(*) AS n FROM events GROUP BY kind ORDER BY total DESC".to_string(),
+        "SELECT country, avg(value) AS mean FROM events JOIN users ON user_id = user_id GROUP BY country ORDER BY mean DESC LIMIT 3".to_string(),
+        "SELECT user_id, value FROM events WHERE value > 9.9 AND kind = 'purchase' ORDER BY value DESC LIMIT 5".to_string(),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("metrics") {
+        run_metrics(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("chaos") {
         run_chaos_replay(&args[1..]);
         return;
@@ -405,11 +540,7 @@ fn main() {
         .build();
 
     let queries: Vec<String> = if args.is_empty() {
-        vec![
-            "SELECT kind, sum(value) AS total, count(*) AS n FROM events GROUP BY kind ORDER BY total DESC".to_string(),
-            "SELECT country, avg(value) AS mean FROM events JOIN users ON user_id = user_id GROUP BY country ORDER BY mean DESC LIMIT 3".to_string(),
-            "SELECT user_id, value FROM events WHERE value > 9.9 AND kind = 'purchase' ORDER BY value DESC LIMIT 5".to_string(),
-        ]
+        demo_queries()
     } else {
         args
     };

@@ -29,8 +29,9 @@ use bytes::Bytes;
 use skadi_arrow::batch::RecordBatch;
 use skadi_arrow::ipc;
 use skadi_flowgraph::physical::{PEdgeKind, PVertexId, PhysicalGraph};
+use skadi_flowgraph::profile::{OpProfile, QueryProfile, ShardStats};
 use skadi_flowgraph::ExecOp;
-use skadi_frontends::shard;
+use skadi_frontends::shard::{self, ShardExecStats};
 use skadi_runtime::{TaskExecutor, TaskId};
 
 /// One shard's measured execution, recorded by [`GraphExecutor`].
@@ -38,6 +39,8 @@ use skadi_runtime::{TaskExecutor, TaskId};
 pub struct ShardTiming {
     /// The runtime task that ran this shard.
     pub task: TaskId,
+    /// Stable operator id (shared by all shards of one operator).
+    pub op_id: u32,
     /// Operator name (the physical vertex's op).
     pub op: String,
     /// Shard index within the operator.
@@ -52,6 +55,8 @@ pub struct ShardTiming {
     pub output_bytes: u64,
     /// Real wall-clock time spent in the shard kernel.
     pub wall: Duration,
+    /// Kernel measurements: hash-table counters and filter row counts.
+    pub exec_stats: ShardExecStats,
 }
 
 /// Measurements shared out of the executor (the cluster owns the
@@ -65,12 +70,81 @@ pub struct DataPlaneStats {
     /// `(producer task, consumer task)`. Deterministic across runs and
     /// seeds — the shuffle hash is data-dependent only.
     pub shuffle_rows: BTreeMap<(u64, u64), usize>,
+    /// Rows delivered over EVERY physical edge (all kinds), keyed by
+    /// `(producer task, consumer task)`. Re-executions overwrite, so the
+    /// map holds each edge's final delivery.
+    pub edge_rows: BTreeMap<(u64, u64), usize>,
 }
 
 impl DataPlaneStats {
     /// Total wall-clock across all shard executions.
     pub fn total_wall(&self) -> Duration {
         self.timings.iter().map(|t| t.wall).sum()
+    }
+
+    /// Assembles the per-operator [`QueryProfile`] from the recorded
+    /// shard timings and the physical graph's structure. When lineage
+    /// recovery re-executed a task, the LAST recorded timing wins (it is
+    /// the execution whose payload survived). Operator inputs come from
+    /// the graph's edges, deduplicated to `(producer op_id, port)`.
+    pub fn query_profile(
+        &self,
+        graph: &PhysicalGraph,
+        query: &str,
+        parallelism: u32,
+        skew_multiple: f64,
+    ) -> QueryProfile {
+        // Last timing per task wins.
+        let mut by_task: BTreeMap<u64, &ShardTiming> = BTreeMap::new();
+        for t in &self.timings {
+            by_task.insert(t.task.0, t);
+        }
+        let mut ops: BTreeMap<u32, OpProfile> = BTreeMap::new();
+        for v in graph.vertices() {
+            let op = ops.entry(v.op_id).or_insert_with(|| OpProfile {
+                op_id: v.op_id,
+                op: v.op.clone(),
+                body: v.body.clone(),
+                inputs: Vec::new(),
+                shards: Vec::new(),
+            });
+            let timing = by_task.get(&(v.id.0 as u64));
+            let mut s = ShardStats {
+                shard: v.shard,
+                ..ShardStats::default()
+            };
+            if let Some(t) = timing {
+                s.rows_in = t.rows_in as u64;
+                s.rows_out = t.rows_out as u64;
+                s.output_bytes = t.output_bytes;
+                s.wall_nanos = t.wall.as_nanos() as u64;
+                s.selectivity = t.exec_stats.selectivity();
+                s.hash_slots = t.exec_stats.kernel.hash_slots;
+                s.hash_collisions = t.exec_stats.kernel.hash_collisions;
+                s.groups = t.exec_stats.kernel.groups;
+            }
+            op.shards.push(s);
+        }
+        for e in graph.edges() {
+            let from_op = graph.vertex(e.from).op_id;
+            let to_op = graph.vertex(e.to).op_id;
+            if let Some(op) = ops.get_mut(&to_op) {
+                if !op.inputs.contains(&(from_op, e.port)) {
+                    op.inputs.push((from_op, e.port));
+                }
+            }
+        }
+        let mut ops: Vec<OpProfile> = ops.into_values().collect();
+        for op in &mut ops {
+            op.shards.sort_by_key(|s| s.shard);
+            op.inputs.sort_by_key(|&(id, port)| (port, id));
+        }
+        QueryProfile {
+            query: query.to_string(),
+            parallelism,
+            skew_multiple,
+            ops,
+        }
     }
 }
 
@@ -163,6 +237,10 @@ impl TaskExecutor for GraphExecutor {
                     .expect("split count equals consumer shards"),
                 PEdgeKind::Pipeline | PEdgeKind::Gather | PEdgeKind::Broadcast => full.clone(),
             };
+            self.stats
+                .borrow_mut()
+                .edge_rows
+                .insert((e.from.0 as u64, t.0), part.num_rows());
             rows_in += part.num_rows();
             if e.port == 1 {
                 port1.push(part);
@@ -171,13 +249,23 @@ impl TaskExecutor for GraphExecutor {
             }
         }
 
+        let mut exec_stats = ShardExecStats::default();
         let started = std::time::Instant::now();
-        let out = shard::execute_shard(op, &self.tables, v.shard, v.shards, &port0, &port1)
-            .map_err(|e| format!("shard {}/{} of {}: {e}", v.shard, v.shards, v.op))?;
+        let out = shard::execute_shard_stats(
+            op,
+            &self.tables,
+            v.shard,
+            v.shards,
+            &port0,
+            &port1,
+            &mut exec_stats,
+        )
+        .map_err(|e| format!("shard {}/{} of {}: {e}", v.shard, v.shards, v.op))?;
         let wall = started.elapsed();
         let bytes = ipc::encode(&out).to_vec();
         self.stats.borrow_mut().timings.push(ShardTiming {
             task: t,
+            op_id: v.op_id,
             op: v.op.clone(),
             shard: v.shard,
             shards: v.shards,
@@ -185,6 +273,7 @@ impl TaskExecutor for GraphExecutor {
             rows_out: out.num_rows(),
             output_bytes: bytes.len() as u64,
             wall,
+            exec_stats,
         });
         Ok(bytes)
     }

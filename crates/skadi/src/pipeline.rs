@@ -202,6 +202,7 @@ impl<'a> PipelineBuilder<'a> {
             physical_edges: pe,
             backends: counts,
             stats: empty_stats(),
+            profile: None,
         };
         Ok((job, report))
     }

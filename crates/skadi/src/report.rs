@@ -3,6 +3,7 @@
 use std::fmt;
 
 use skadi_flowgraph::optimize::OptimizeReport;
+use skadi_flowgraph::profile::QueryProfile;
 use skadi_ir::Backend;
 use skadi_runtime::JobStats;
 
@@ -52,6 +53,10 @@ pub struct JobReport {
     pub backends: BackendCounts,
     /// Execution statistics.
     pub stats: JobStats,
+    /// Per-operator query profile, when the run executed real data
+    /// through the data plane (distributed SQL); `None` for purely
+    /// simulated runs.
+    pub profile: Option<QueryProfile>,
 }
 
 impl JobReport {

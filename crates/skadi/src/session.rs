@@ -95,6 +95,7 @@ pub struct SessionBuilder {
     parallelism: u32,
     policy: BackendPolicy,
     optimize: bool,
+    skew_multiple: f64,
 }
 
 impl SessionBuilder {
@@ -134,6 +135,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the skew threshold for query profiles: an operator is flagged
+    /// when its max shard's rows (or wall time, in timed rendering)
+    /// exceed this multiple of the median shard's. Defaults to 2.0.
+    pub fn skew_multiple(mut self, m: f64) -> Self {
+        self.skew_multiple = m.max(1.0);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         Session {
@@ -145,6 +154,7 @@ impl SessionBuilder {
             parallelism: self.parallelism,
             policy: self.policy,
             optimize: self.optimize,
+            skew_multiple: self.skew_multiple,
         }
     }
 }
@@ -157,6 +167,7 @@ pub struct Session {
     pub(crate) parallelism: u32,
     pub(crate) policy: BackendPolicy,
     pub(crate) optimize: bool,
+    pub(crate) skew_multiple: f64,
 }
 
 impl Session {
@@ -169,6 +180,7 @@ impl Session {
             parallelism: 4,
             policy: BackendPolicy::cost_based(),
             optimize: true,
+            skew_multiple: 2.0,
         }
     }
 
@@ -233,6 +245,9 @@ impl Session {
                 ))));
             }
         }
+        // `EXPLAIN ANALYZE <query>` runs the query itself; the prefix
+        // only marks that the caller wants the profile rendered.
+        let statement = sql::strip_explain_analyze(statement).unwrap_or(statement);
         let (mut graph, _sink) = sql::plan_sql(statement, &db.catalog())?;
         let before = graph.len();
         let optimize = if self.optimize {
@@ -267,6 +282,8 @@ impl Session {
         let batch = skadi_arrow::ipc::decode(bytes::Bytes::from(payload.to_vec()))
             .map_err(|e| SkadiError::Sql(sql::SqlError::Plan(format!("decode result: {e}"))))?;
         let data_plane = measurements.borrow().clone();
+        let profile =
+            data_plane.query_profile(&phys, statement, self.parallelism, self.skew_multiple);
         Ok(DistributedRun {
             batch,
             report: JobReport {
@@ -278,9 +295,28 @@ impl Session {
                 physical_edges: phys.edges().len(),
                 backends: counts,
                 stats,
+                profile: Some(profile),
             },
             data_plane,
         })
+    }
+
+    /// Runs `EXPLAIN ANALYZE <query>` (prefix optional) against real data
+    /// through the distributed data plane and renders the annotated plan
+    /// tree — per-operator rows/bytes/time with per-shard min/median/max
+    /// and `[SKEW]` flags.
+    pub fn explain_analyze(
+        &self,
+        db: &skadi_frontends::exec::MemDb,
+        statement: &str,
+    ) -> Result<String, SkadiError> {
+        let run = self.sql_distributed(db, statement)?;
+        let profile = run
+            .report
+            .profile
+            .as_ref()
+            .expect("distributed SQL always records a profile");
+        Ok(profile.render(true))
     }
 
     /// Runs a MapReduce job.
@@ -349,6 +385,7 @@ impl Session {
             physical_edges: pe,
             backends: counts,
             stats,
+            profile: None,
         })
     }
 
