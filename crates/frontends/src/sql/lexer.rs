@@ -75,19 +75,29 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 }
             }
             '\'' => {
-                let start = i + 1;
-                let mut j = start;
-                while j < chars.len() && chars[j] != '\'' {
-                    j += 1;
+                // Standard SQL string literal: '' inside the literal is an
+                // escaped single quote ('O''Brien' is the string O'Brien).
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        None => return Err(SqlError::UnterminatedString { offset: i }),
+                        Some('\'') if chars.get(j + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some('\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            j += 1;
+                        }
+                    }
                 }
-                if j >= chars.len() {
-                    return Err(SqlError::Lex {
-                        offset: i,
-                        found: '\'',
-                    });
-                }
-                out.push(Token::Str(chars[start..j].iter().collect()));
-                i = j + 1;
+                out.push(Token::Str(s));
+                i = j;
             }
             c if c.is_ascii_digit()
                 || (c == '-' && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())) =>
@@ -193,7 +203,58 @@ mod tests {
 
     #[test]
     fn unterminated_string_errors() {
-        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+        let err = tokenize("x = 'oops").unwrap_err();
+        assert_eq!(err, SqlError::UnterminatedString { offset: 4 });
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unterminated string literal starting at offset 4"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        let toks = tokenize("name = 'O''Brien'").unwrap();
+        assert!(toks.contains(&Token::Str("O'Brien".into())), "{toks:?}");
+    }
+
+    #[test]
+    fn empty_string_literal() {
+        let toks = tokenize("name = ''").unwrap();
+        assert_eq!(toks[2], Token::Str(String::new()));
+    }
+
+    #[test]
+    fn literal_of_only_a_quote() {
+        // '''' is the one-character string consisting of a quote.
+        let toks = tokenize("name = ''''").unwrap();
+        assert_eq!(toks[2], Token::Str("'".into()));
+    }
+
+    #[test]
+    fn literal_ending_in_escaped_quote() {
+        let toks = tokenize("name = 'tail''' AND a = 1").unwrap();
+        assert_eq!(toks[2], Token::Str("tail'".into()));
+        // The rest of the statement still lexes: the escape did not eat
+        // the closing quote.
+        assert!(toks.contains(&Token::Keyword("AND".into())));
+        assert!(toks.contains(&Token::Int(1)));
+    }
+
+    #[test]
+    fn adjacent_literals_stay_separate() {
+        // With a space between them these are two strings, not an escape.
+        let toks = tokenize("'a' 'b'").unwrap();
+        assert_eq!(toks, vec![Token::Str("a".into()), Token::Str("b".into())]);
+    }
+
+    #[test]
+    fn unterminated_after_escape_errors() {
+        // The trailing '' is an escaped quote, so the literal never closes.
+        assert_eq!(
+            tokenize("'oops''"),
+            Err(SqlError::UnterminatedString { offset: 0 })
+        );
     }
 
     #[test]

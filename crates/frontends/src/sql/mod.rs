@@ -27,12 +27,19 @@ use skadi_flowgraph::{FlowGraph, GraphError, VertexId};
 /// Errors from the SQL frontend.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SqlError {
-    /// Lexing failed at the given byte offset.
+    /// Lexing failed at the given character offset.
     Lex {
-        /// Byte offset of the bad character.
+        /// Offset of the bad character.
         offset: usize,
         /// The offending character.
         found: char,
+    },
+    /// A string literal was opened but never closed. Distinct from
+    /// [`SqlError::Lex`] so the message can say what actually went
+    /// wrong instead of blaming the opening quote.
+    UnterminatedString {
+        /// Offset of the opening quote.
+        offset: usize,
     },
     /// Parsing failed.
     Parse(String),
@@ -41,10 +48,20 @@ pub enum SqlError {
 }
 
 impl std::fmt::Display for SqlError {
+    /// Human-readable rendering; this is the message remote clients see
+    /// in wire `Exception` packets, so it names the problem rather than
+    /// just the offending byte.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SqlError::Lex { offset, found } => {
                 write!(f, "unexpected character {found:?} at offset {offset}")
+            }
+            SqlError::UnterminatedString { offset } => {
+                write!(
+                    f,
+                    "unterminated string literal starting at offset {offset} \
+                     (use '' to write a quote inside a string)"
+                )
             }
             SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
             SqlError::Plan(msg) => write!(f, "planning error: {msg}"),

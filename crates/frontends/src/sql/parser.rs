@@ -188,7 +188,15 @@ impl<'a> Parser<'a> {
 
         let limit = if self.eat_keyword("LIMIT") {
             match self.next() {
-                Some(Token::Int(n)) => Some(*n),
+                // The lexer folds a leading minus into the literal, so a
+                // negative here is `LIMIT -5` — reject it instead of
+                // letting a nonsense bound flow into the plan.
+                Some(Token::Int(n)) if *n >= 0 => Some(*n),
+                Some(Token::Int(n)) => {
+                    return Err(SqlError::Parse(format!(
+                        "LIMIT must be a non-negative integer, got {n}"
+                    )))
+                }
                 other => {
                     return Err(SqlError::Parse(format!(
                         "LIMIT requires an integer, found {other:?}"
@@ -286,5 +294,35 @@ mod tests {
     fn order_asc_default() {
         let q = parse_sql("SELECT a FROM t ORDER BY a ASC").unwrap();
         assert!(!q.order_by.unwrap().descending);
+    }
+
+    #[test]
+    fn negative_limit_rejected_with_readable_message() {
+        let err = parse_sql("SELECT a FROM t LIMIT -5").unwrap_err();
+        match &err {
+            SqlError::Parse(msg) => {
+                assert!(msg.contains("LIMIT") && msg.contains("-5"), "{msg}")
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_limit_parses() {
+        let q = parse_sql("SELECT a FROM t LIMIT 0").unwrap();
+        assert_eq!(q.limit, Some(0));
+    }
+
+    #[test]
+    fn escaped_quote_string_parses_as_one_literal() {
+        // Pre-fix, 'O''Brien' lexed as two adjacent Str tokens and died
+        // here with a baffling "trailing tokens" error.
+        let q = parse_sql("SELECT a FROM t WHERE name = 'O''Brien'").unwrap();
+        let p = q.predicate.unwrap();
+        assert_eq!(p.conjuncts.len(), 1);
+        assert_eq!(
+            p.conjuncts[0].value,
+            super::super::ast::Literal::Str("O'Brien".into())
+        );
     }
 }

@@ -38,6 +38,18 @@
 //! cargo run -p skadi --bin skadi-cli -- --distributed "EXPLAIN ANALYZE SELECT ..."
 //! ```
 //!
+//! The `serve` subcommand opens the native wire-protocol front door: it
+//! binds a TCP listener over the demo dataset and serves concurrent
+//! client sessions (handshake, streamed result blocks, progress and
+//! exception packets, bounded FIFO admission). `client` is the matching
+//! native client: it connects, handshakes, runs queries, and prints the
+//! reassembled result batches:
+//!
+//! ```text
+//! cargo run -p skadi --bin skadi-cli -- serve --addr 127.0.0.1:4711 [--distributed] [--rows N]
+//! cargo run -p skadi --bin skadi-cli -- client --addr 127.0.0.1:4711 "SELECT ..." ...
+//! ```
+//!
 //! The `metrics` subcommand runs the demo query set through the
 //! distributed data plane and dumps the merged runtime metrics in
 //! Prometheus text exposition format (counters, and histograms as
@@ -486,6 +498,99 @@ fn run_metrics(args: &[String]) {
     print!("{text}");
 }
 
+/// `skadi-cli serve [--addr HOST:PORT] [--rows N] [--distributed]
+/// [--parallelism N]`: serve the demo dataset over the native wire
+/// protocol until killed.
+fn run_serve(args: &[String]) {
+    use skadi::server::{Server, ServerConfig};
+
+    let mut addr = "127.0.0.1:4711".to_string();
+    let mut rows = 10_000usize;
+    let mut distributed = false;
+    let mut parallelism = 4u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().expect("--addr takes HOST:PORT").clone(),
+            "--rows" => {
+                rows = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--rows takes a number");
+            }
+            "--distributed" => distributed = true,
+            "--parallelism" => {
+                parallelism = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--parallelism takes a number");
+            }
+            other => {
+                panic!("serve takes --addr, --rows, --distributed, --parallelism; got {other:?}")
+            }
+        }
+    }
+
+    let db = demo_db(rows);
+    let session = Session::builder()
+        .topology(presets::small_disagg_cluster())
+        .catalog(Catalog::demo())
+        .parallelism(parallelism)
+        .runtime(RuntimeConfig::skadi_gen2())
+        .build();
+    let cfg = ServerConfig {
+        distributed,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(session, db, cfg);
+    let listener = std::net::TcpListener::bind(&addr).expect("bind listener");
+    println!(
+        "skadi serving {rows}-row demo dataset on {addr} ({} engine); ctrl-c to stop",
+        if distributed { "distributed" } else { "local" }
+    );
+    server.serve_tcp(listener).expect("accept loop");
+}
+
+/// `skadi-cli client [--addr HOST:PORT] ["SQL" ...]`: connect to a
+/// running `serve`, run the queries (default: the demo set), and print
+/// each reassembled result.
+fn run_client(args: &[String]) {
+    use skadi::wire::Client;
+
+    let mut addr = "127.0.0.1:4711".to_string();
+    let mut queries: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().expect("--addr takes HOST:PORT").clone(),
+            q => queries.push(q.to_string()),
+        }
+    }
+    if queries.is_empty() {
+        queries = demo_queries();
+    }
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+    let mut client = Client::connect(stream, "skadi-cli").expect("handshake");
+    println!("connected to {:?} at {addr}", client.server_name);
+    for q in queries {
+        println!("sql> {q}");
+        match client.query(&q) {
+            Ok(r) => {
+                println!(
+                    "-- answer ({} rows in {} block(s), {} B on the wire) --",
+                    r.batch.num_rows(),
+                    r.chunks,
+                    r.payload_bytes,
+                );
+                print!("{}", r.batch);
+                println!();
+            }
+            Err(e) => println!("!! {e}\n"),
+        }
+    }
+}
+
 /// The default demo query set (shared by the main loop and `metrics`).
 fn demo_queries() -> Vec<String> {
     vec![
@@ -503,6 +608,14 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         run_chaos_replay(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        run_client(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("trace") {

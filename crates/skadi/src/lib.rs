@@ -49,11 +49,13 @@
 pub mod distributed;
 pub mod pipeline;
 pub mod report;
+pub mod server;
 pub mod session;
 
 pub use distributed::{DataPlaneStats, GraphExecutor, ShardTiming};
 pub use pipeline::PipelineBuilder;
 pub use report::JobReport;
+pub use server::{Server, ServerConfig, SessionEnd};
 pub use session::{DistributedRun, Session, SessionBuilder, SkadiError};
 
 // Re-export the component crates under stable names.
@@ -65,6 +67,7 @@ pub use skadi_ir as ir;
 pub use skadi_ownership as ownership;
 pub use skadi_runtime as runtime;
 pub use skadi_store as store;
+pub use skadi_wire as wire;
 
 /// Everything a typical user needs.
 pub mod prelude {

@@ -1,0 +1,46 @@
+//! # skadi-wire — the native wire protocol
+//!
+//! The network front door for the Skadi runtime: a length-prefixed framed
+//! codec with typed packets, modelled on native database protocols
+//! (handshake with version + capability negotiation, queries, result
+//! blocks streamed incrementally as columnar IPC frames, progress events,
+//! exceptions, end-of-stream markers).
+//!
+//! - [`packet`]: the packet grammar ([`Packet`]) plus protocol constants
+//!   (version, capability bits, exception codes).
+//! - [`codec`]: framing — [`encode_packet`]/[`decode_frame`] over byte
+//!   slices, [`read_packet`]/[`write_packet`] over any `Read`/`Write`.
+//!   Decoding untrusted bytes either yields a valid packet or a
+//!   [`WireError`]; it never panics and never allocates more than the
+//!   frame's bounded length.
+//! - [`transport`]: an in-memory duplex byte stream ([`duplex`]) that
+//!   implements `Read`/`Write` with TCP-like close semantics, so the
+//!   server and its tests run the *same* codec deterministically without
+//!   sockets.
+//! - [`client`]: a blocking [`Client`] that handshakes and runs queries
+//!   over any `Read + Write` stream (a `TcpStream` or one end of
+//!   [`duplex`]), reassembling streamed data blocks into one
+//!   [`RecordBatch`](skadi_arrow::batch::RecordBatch).
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! len u32 | tag u8 | body (len - 1 bytes)
+//! ```
+//!
+//! `len` counts the tag byte plus the body and is bounded by the
+//! negotiated maximum ([`DEFAULT_MAX_FRAME`] by default); a frame whose
+//! prefix exceeds the bound is rejected before any allocation, and the
+//! connection must be dropped (there is no way to resynchronize).
+
+pub mod client;
+pub mod codec;
+pub mod packet;
+pub mod transport;
+
+pub use client::{Client, QueryResult};
+pub use codec::{
+    decode_frame, encode_packet, read_packet, write_packet, WireError, DEFAULT_MAX_FRAME,
+};
+pub use packet::{Packet, CAP_PROGRESS, PROTOCOL_VERSION};
+pub use transport::{duplex, DuplexStream};

@@ -1,0 +1,133 @@
+//! The packet grammar: every message that crosses a Skadi connection.
+
+use bytes::Bytes;
+
+/// Protocol version spoken by this build. The handshake rejects a client
+/// whose version differs — there is exactly one version so far, so no
+/// downgrade path exists yet.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Capability bit: the peer wants [`Packet::Progress`] events between
+/// data blocks. Capabilities are a bitset; the handshake intersects the
+/// client's and server's sets and both sides honour the result.
+pub const CAP_PROGRESS: u32 = 1 << 0;
+
+/// Exception codes carried by [`Packet::Exception`].
+pub mod code {
+    /// The SQL frontend rejected the statement (lex/parse/plan).
+    pub const SQL: u16 = 1;
+    /// Execution failed after planning succeeded.
+    pub const EXEC: u16 = 2;
+    /// The admission queue is full; retry later.
+    pub const ADMISSION: u16 = 3;
+    /// The peer violated the protocol (malformed frame, unexpected
+    /// packet, oversized frame). The connection closes after this.
+    pub const PROTOCOL: u16 = 4;
+    /// Handshake version mismatch. The connection closes after this.
+    pub const VERSION: u16 = 5;
+}
+
+/// One protocol message.
+///
+/// The lifecycle of a connection: client sends [`Packet::ClientHello`],
+/// server answers [`Packet::ServerHello`] (or an [`Packet::Exception`]
+/// and closes). Then any number of [`Packet::Query`] round trips, each
+/// answered by one or more [`Packet::Data`] blocks (interleaved with
+/// [`Packet::Progress`] when negotiated) terminated by
+/// [`Packet::EndOfStream`] — or by a single [`Packet::Exception`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Client's opening message.
+    ClientHello {
+        /// Protocol version the client speaks.
+        version: u16,
+        /// Capability bits the client supports.
+        capabilities: u32,
+        /// Free-form client name, for logs.
+        client_name: String,
+    },
+    /// Server's handshake answer.
+    ServerHello {
+        /// Protocol version the server speaks.
+        version: u16,
+        /// Intersection of client and server capability bits.
+        capabilities: u32,
+        /// Free-form server name, for logs.
+        server_name: String,
+    },
+    /// One SQL statement. `id` is chosen by the client and echoed on
+    /// every response packet belonging to this query.
+    Query {
+        /// Client-chosen query id.
+        id: u64,
+        /// The SQL text.
+        sql: String,
+    },
+    /// One result block: a self-describing columnar IPC frame
+    /// ([`skadi_arrow::ipc`]). A result is split into row-chunks; even an
+    /// empty result sends one block so the schema always arrives.
+    Data {
+        /// The query this block answers.
+        query_id: u64,
+        /// One encoded [`RecordBatch`](skadi_arrow::batch::RecordBatch).
+        payload: Bytes,
+    },
+    /// Progress so far for a streaming result (rows and encoded bytes
+    /// already sent). Only sent when [`CAP_PROGRESS`] was negotiated.
+    Progress {
+        /// The query this progress report belongs to.
+        query_id: u64,
+        /// Result rows sent so far.
+        rows: u64,
+        /// Encoded payload bytes sent so far.
+        bytes: u64,
+    },
+    /// The query (or the connection, when `query_id` is 0 during
+    /// handshake) failed. Carries a [`code`] and a human-readable
+    /// message — for frontend errors this is the SQL error's `Display`
+    /// rendering, e.g. "unterminated string literal starting at
+    /// offset 24".
+    Exception {
+        /// The query that failed (0 when no query was in flight).
+        query_id: u64,
+        /// Machine-readable [`code`].
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Terminates a successful result stream.
+    EndOfStream {
+        /// The query this stream answered.
+        query_id: u64,
+        /// Number of [`Packet::Data`] blocks that were sent (>= 1).
+        chunks: u32,
+    },
+}
+
+impl Packet {
+    /// The frame tag byte identifying this packet variant.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Packet::ClientHello { .. } => 1,
+            Packet::ServerHello { .. } => 2,
+            Packet::Query { .. } => 3,
+            Packet::Data { .. } => 4,
+            Packet::Progress { .. } => 5,
+            Packet::Exception { .. } => 6,
+            Packet::EndOfStream { .. } => 7,
+        }
+    }
+
+    /// Short variant name, for logs and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Packet::ClientHello { .. } => "ClientHello",
+            Packet::ServerHello { .. } => "ServerHello",
+            Packet::Query { .. } => "Query",
+            Packet::Data { .. } => "Data",
+            Packet::Progress { .. } => "Progress",
+            Packet::Exception { .. } => "Exception",
+            Packet::EndOfStream { .. } => "EndOfStream",
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the wire codec: every packet type round-trips
+//! through a frame, and arbitrary junk bytes fed to the decoder either
+//! decode to a valid packet or error — never panic, never over-read.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use skadi_wire::codec::{decode_frame, encode_packet, DEFAULT_MAX_FRAME};
+use skadi_wire::packet::Packet;
+
+fn assert_round_trip(p: Packet) {
+    let frame = encode_packet(&p);
+    let (back, used) = decode_frame(&frame, DEFAULT_MAX_FRAME)
+        .unwrap_or_else(|e| panic!("{} did not decode: {e}", p.name()));
+    assert_eq!(back, p);
+    assert_eq!(used, frame.len());
+    // With trailing bytes appended, the decoder consumes exactly one
+    // frame and leaves the rest.
+    let mut extended = frame.clone();
+    extended.extend_from_slice(&[0xAB; 7]);
+    let (back2, used2) = decode_frame(&extended, DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!(back2, back);
+    assert_eq!(used2, frame.len());
+}
+
+proptest! {
+    /// ClientHello round-trips for any version/capabilities/name.
+    #[test]
+    fn round_trip_client_hello(
+        version in proptest::arbitrary::any::<u16>(),
+        capabilities in proptest::arbitrary::any::<u32>(),
+        client_name in "[ -~]*",
+    ) {
+        assert_round_trip(Packet::ClientHello { version, capabilities, client_name });
+    }
+
+    /// ServerHello round-trips for any version/capabilities/name.
+    #[test]
+    fn round_trip_server_hello(
+        version in proptest::arbitrary::any::<u16>(),
+        capabilities in proptest::arbitrary::any::<u32>(),
+        server_name in "[ -~]*",
+    ) {
+        assert_round_trip(Packet::ServerHello { version, capabilities, server_name });
+    }
+
+    /// Query round-trips for any id and SQL text, including quotes and
+    /// non-ASCII.
+    #[test]
+    fn round_trip_query(
+        id in proptest::arbitrary::any::<u64>(),
+        sql in "[ -~]*",
+        suffix in prop::collection::vec(proptest::arbitrary::any::<char>(), 0..8),
+    ) {
+        let sql = format!("{sql}{}", suffix.into_iter().collect::<String>());
+        assert_round_trip(Packet::Query { id, sql });
+    }
+
+    /// Data round-trips for any payload bytes.
+    #[test]
+    fn round_trip_data(
+        query_id in proptest::arbitrary::any::<u64>(),
+        payload in prop::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
+    ) {
+        assert_round_trip(Packet::Data { query_id, payload: Bytes::from(payload) });
+    }
+
+    /// Progress round-trips for any counters.
+    #[test]
+    fn round_trip_progress(
+        query_id in proptest::arbitrary::any::<u64>(),
+        rows in proptest::arbitrary::any::<u64>(),
+        bytes in proptest::arbitrary::any::<u64>(),
+    ) {
+        assert_round_trip(Packet::Progress { query_id, rows, bytes });
+    }
+
+    /// Exception round-trips for any code and message.
+    #[test]
+    fn round_trip_exception(
+        query_id in proptest::arbitrary::any::<u64>(),
+        code in proptest::arbitrary::any::<u16>(),
+        message in "[ -~]*",
+    ) {
+        assert_round_trip(Packet::Exception { query_id, code, message });
+    }
+
+    /// EndOfStream round-trips for any chunk count.
+    #[test]
+    fn round_trip_end_of_stream(
+        query_id in proptest::arbitrary::any::<u64>(),
+        chunks in proptest::arbitrary::any::<u32>(),
+    ) {
+        assert_round_trip(Packet::EndOfStream { query_id, chunks });
+    }
+
+    /// Arbitrary junk either decodes to some packet or errors; the call
+    /// never panics (a panic fails this test) and, on success, consumes
+    /// no more bytes than it was given.
+    #[test]
+    fn junk_bytes_never_panic(
+        junk in prop::collection::vec(proptest::arbitrary::any::<u8>(), 0..512),
+    ) {
+        if let Ok((packet, used)) = decode_frame(&junk, DEFAULT_MAX_FRAME) {
+            prop_assert!(used <= junk.len());
+            // Whatever decoded must re-encode to a decodable frame.
+            let re = encode_packet(&packet);
+            let (again, _) = decode_frame(&re, DEFAULT_MAX_FRAME).expect("re-encode decodes");
+            prop_assert_eq!(again, packet);
+        }
+    }
+
+    /// Every proper prefix of a valid frame is an error, not a panic.
+    #[test]
+    fn truncated_frames_error(
+        id in proptest::arbitrary::any::<u64>(),
+        sql in "[ -~]{1,64}",
+        keep in proptest::arbitrary::any::<u16>(),
+    ) {
+        let frame = encode_packet(&Packet::Query { id, sql });
+        let cut = (keep as usize) % frame.len();
+        prop_assert!(decode_frame(&frame[..cut], DEFAULT_MAX_FRAME).is_err());
+    }
+
+    /// Flipping any single byte of a valid frame never panics the
+    /// decoder (it may still decode — e.g. a flipped id bit — but most
+    /// flips corrupt the structure).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        code in proptest::arbitrary::any::<u16>(),
+        message in "[ -~]{0,48}",
+        pos in proptest::arbitrary::any::<u16>(),
+        xor in 1u8..=255,
+    ) {
+        let mut frame = encode_packet(&Packet::Exception { query_id: 9, code, message });
+        let at = (pos as usize) % frame.len();
+        frame[at] ^= xor;
+        let _ = decode_frame(&frame, DEFAULT_MAX_FRAME);
+    }
+}

@@ -206,7 +206,7 @@ fn distributed_survives_kill_and_recover_in_every_ft_mode() {
         let session = Session::builder()
             .topology(topo.clone())
             .parallelism(4)
-            .runtime(RuntimeConfig::skadi_gen2().with_ft(ft.clone()))
+            .runtime(RuntimeConfig::skadi_gen2().with_ft(ft))
             .build();
         let run = session
             .sql_distributed_with_failures(&db, sql, &plan)
