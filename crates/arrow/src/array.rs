@@ -533,6 +533,191 @@ impl Utf8Array {
     }
 }
 
+/// Dictionaries larger than this are not "low cardinality":
+/// [`Array::dict_encoded`] falls back to plain `Utf8` beyond it.
+pub const DICT_MAX_CARDINALITY: usize = 1 << 16;
+
+/// A dictionary-encoded (LowCardinality) UTF-8 array: `u32` keys into a
+/// deduplicated, never-null [`Utf8Array`] dictionary.
+///
+/// Logically identical to a plain [`Utf8Array`]; the encoding only
+/// changes how kernels move the bytes — comparisons resolve against the
+/// dictionary once and then touch only the fixed-width keys. Null slots
+/// store the canonical placeholder key `0`.
+#[derive(Debug, Clone)]
+pub struct DictUtf8Array {
+    /// `len` little-endian u32 keys into `dict`.
+    keys: Buffer,
+    dict: Utf8Array,
+    validity: Option<Bitmap>,
+    len: usize,
+}
+
+impl PartialEq for DictUtf8Array {
+    /// Equality is *logical*: two dict arrays are equal when they decode
+    /// to the same values, regardless of dictionary order or unused
+    /// entries (a filtered array keeps its parent's dictionary; a rebuilt
+    /// one starts fresh).
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl DictUtf8Array {
+    /// Builds from string slices with no nulls.
+    pub fn new<S: AsRef<str>>(values: &[S]) -> Self {
+        Self::from_options(values.iter().map(|s| Some(s.as_ref())))
+    }
+
+    /// Builds from optional string slices, deduplicating into a
+    /// first-appearance-ordered dictionary.
+    pub fn from_options<'a, I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<&'a str>>,
+    {
+        let mut map: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut entries: Vec<&str> = Vec::new();
+        let mut keys: Vec<u32> = Vec::new();
+        let mut valid: Vec<bool> = Vec::new();
+        let mut any_null = false;
+        for v in values {
+            match v {
+                Some(s) => {
+                    let k = *map.entry(s).or_insert_with(|| {
+                        entries.push(s);
+                        u32::try_from(entries.len() - 1).expect("dictionary exceeds u32 keys")
+                    });
+                    keys.push(k);
+                    valid.push(true);
+                }
+                None => {
+                    keys.push(0);
+                    valid.push(false);
+                    any_null = true;
+                }
+            }
+        }
+        let len = keys.len();
+        DictUtf8Array {
+            keys: keys.into(),
+            dict: Utf8Array::new(&entries),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+            len,
+        }
+    }
+
+    /// Dictionary-encodes a plain array, whatever its cardinality.
+    pub fn from_utf8(src: &Utf8Array) -> Self {
+        Self::from_options(src.iter())
+    }
+
+    /// Reconstructs from raw parts (IPC decode). The dictionary must be
+    /// null-free; callers are responsible for keys being in bounds.
+    pub fn from_parts(keys: Buffer, dict: Utf8Array, validity: Option<Bitmap>, len: usize) -> Self {
+        assert!(keys.len() >= len * 4, "keys buffer too short");
+        assert!(
+            dict.validity().is_none(),
+            "dictionary entries may not be null"
+        );
+        DictUtf8Array {
+            keys,
+            dict,
+            validity,
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw key at `i` without consulting validity (null slots yield
+    /// the placeholder `0`).
+    pub fn key_at(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+        self.keys.get_u32(i)
+    }
+
+    /// The value at `i`, or `None` if null.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+        match &self.validity {
+            Some(v) if !v.get(i) => None,
+            _ => Some(
+                self.dict
+                    .get(self.keys.get_u32(i) as usize)
+                    .expect("invariant: dictionary entries are never null"),
+            ),
+        }
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Gathers the rows at `indices` into a new array: only the
+    /// fixed-width keys move; the dictionary is shared (O(1) clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take_rows(&self, indices: &[usize]) -> DictUtf8Array {
+        let mut keys = Vec::with_capacity(indices.len());
+        let mut valid = Vec::with_capacity(indices.len());
+        let mut any_null = false;
+        for &i in indices {
+            assert!(i < self.len, "index {i} out of bounds for {}", self.len);
+            if self.validity.as_ref().is_none_or(|v| v.get(i)) {
+                keys.push(self.keys.get_u32(i));
+                valid.push(true);
+            } else {
+                keys.push(0);
+                valid.push(false);
+                any_null = true;
+            }
+        }
+        DictUtf8Array {
+            keys: keys.into(),
+            dict: self.dict.clone(),
+            validity: any_null.then(|| Bitmap::from_bools(&valid)),
+            len: indices.len(),
+        }
+    }
+
+    /// Decodes back to a plain [`Utf8Array`].
+    pub fn to_utf8(&self) -> Utf8Array {
+        Utf8Array::from_options(self.iter())
+    }
+
+    /// Concatenates several dict arrays, merging their dictionaries by
+    /// first appearance and remapping keys.
+    pub fn concat(parts: &[&DictUtf8Array]) -> DictUtf8Array {
+        DictUtf8Array::from_options(parts.iter().flat_map(|p| p.iter()))
+    }
+
+    /// The raw keys buffer (`len` little-endian u32 values).
+    pub fn keys(&self) -> &Buffer {
+        &self.keys
+    }
+
+    /// The dictionary entries (deduplicated, never null).
+    pub fn dictionary(&self) -> &Utf8Array {
+        &self.dict
+    }
+
+    /// The validity bitmap, if any value is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
 /// A dynamically-typed column.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Array {
@@ -544,6 +729,8 @@ pub enum Array {
     Bool(BoolArray),
     /// UTF-8 strings.
     Utf8(Utf8Array),
+    /// Dictionary-encoded (LowCardinality) UTF-8 strings.
+    DictUtf8(DictUtf8Array),
 }
 
 impl Array {
@@ -590,6 +777,47 @@ impl Array {
         Array::Utf8(Utf8Array::from_options(values))
     }
 
+    /// Builds a `DictUtf8` column with no nulls.
+    pub fn from_dict_utf8<S: AsRef<str>>(values: &[S]) -> Array {
+        Array::DictUtf8(DictUtf8Array::new(values))
+    }
+
+    /// Builds a `DictUtf8` column from optional values.
+    pub fn from_opt_dict_utf8<'a, I>(values: I) -> Array
+    where
+        I: IntoIterator<Item = Option<&'a str>>,
+    {
+        Array::DictUtf8(DictUtf8Array::from_options(values))
+    }
+
+    /// Dictionary-encodes a `Utf8` column when its cardinality is low
+    /// enough to pay off (each entry repeats at least twice on average
+    /// and the dictionary stays under [`DICT_MAX_CARDINALITY`]); other
+    /// columns — and high-cardinality strings — pass through unchanged.
+    pub fn dict_encoded(&self) -> Array {
+        match self {
+            Array::Utf8(a) => {
+                let d = DictUtf8Array::from_utf8(a);
+                let distinct = d.dictionary().len();
+                if distinct <= DICT_MAX_CARDINALITY && distinct * 2 <= a.len() {
+                    Array::DictUtf8(d)
+                } else {
+                    self.clone()
+                }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Decodes a `DictUtf8` column back to plain `Utf8`; other columns
+    /// pass through unchanged.
+    pub fn dict_decoded(&self) -> Array {
+        match self {
+            Array::DictUtf8(a) => Array::Utf8(a.to_utf8()),
+            _ => self.clone(),
+        }
+    }
+
     /// The logical type of the column.
     pub fn data_type(&self) -> DataType {
         match self {
@@ -597,6 +825,7 @@ impl Array {
             Array::Float64(_) => DataType::Float64,
             Array::Bool(_) => DataType::Bool,
             Array::Utf8(_) => DataType::Utf8,
+            Array::DictUtf8(_) => DataType::DictUtf8,
         }
     }
 
@@ -607,6 +836,7 @@ impl Array {
             Array::Float64(a) => a.len(),
             Array::Bool(a) => a.len(),
             Array::Utf8(a) => a.len(),
+            Array::DictUtf8(a) => a.len(),
         }
     }
 
@@ -622,6 +852,7 @@ impl Array {
             Array::Float64(a) => a.validity(),
             Array::Bool(a) => a.validity(),
             Array::Utf8(a) => a.validity(),
+            Array::DictUtf8(a) => a.validity(),
         }
     }
 
@@ -643,6 +874,7 @@ impl Array {
             Array::Float64(a) => a.validity(),
             Array::Bool(a) => a.validity(),
             Array::Utf8(a) => a.validity(),
+            Array::DictUtf8(a) => a.validity(),
         };
         match validity {
             Some(v) => v.len() - v.count_set(),
@@ -657,6 +889,10 @@ impl Array {
             Array::Float64(a) => a.get(i).map(Value::F64).unwrap_or(Value::Null),
             Array::Bool(a) => a.get(i).map(Value::Bool).unwrap_or(Value::Null),
             Array::Utf8(a) => a
+                .get(i)
+                .map(|s| Value::Str(s.to_string()))
+                .unwrap_or(Value::Null),
+            Array::DictUtf8(a) => a
                 .get(i)
                 .map(|s| Value::Str(s.to_string()))
                 .unwrap_or(Value::Null),
@@ -676,6 +912,7 @@ impl Array {
             Array::Float64(a) => Array::Float64(a.take_rows(indices)),
             Array::Bool(a) => Array::Bool(a.take_rows(indices)),
             Array::Utf8(a) => Array::Utf8(a.take_rows(indices)),
+            Array::DictUtf8(a) => Array::DictUtf8(a.take_rows(indices)),
         }
     }
 
@@ -690,6 +927,12 @@ impl Array {
             }
             Array::Utf8(a) => {
                 a.offsets().len() + a.data().len() + a.validity().map_or(0, |v| v.buffer().len())
+            }
+            Array::DictUtf8(a) => {
+                a.keys().len()
+                    + a.dictionary().offsets().len()
+                    + a.dictionary().data().len()
+                    + a.validity().map_or(0, |v| v.buffer().len())
             }
         }
     }
@@ -733,6 +976,17 @@ impl Array {
             Array::Utf8(a) => Ok(a),
             other => Err(ArrowError::TypeMismatch {
                 expected: DataType::Utf8,
+                actual: other.data_type(),
+            }),
+        }
+    }
+
+    /// Downcasts to `DictUtf8`, or reports the actual type.
+    pub fn as_dict_utf8(&self) -> Result<&DictUtf8Array, ArrowError> {
+        match self {
+            Array::DictUtf8(a) => Ok(a),
+            other => Err(ArrowError::TypeMismatch {
+                expected: DataType::DictUtf8,
                 actual: other.data_type(),
             }),
         }
@@ -788,6 +1042,17 @@ impl Array {
                     });
                 }
                 Array::from_opt_utf8(out)
+            }
+            DataType::DictUtf8 => {
+                let mut out: Vec<Option<&str>> = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Str(s) => Some(s.as_str()),
+                        other => return Err(bad(dt, other)),
+                    });
+                }
+                Array::from_opt_dict_utf8(out)
             }
         })
     }
@@ -907,5 +1172,80 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_bounds_checked() {
         Int64Array::new(vec![1]).get(1);
+    }
+
+    #[test]
+    fn dict_deduplicates_and_round_trips() {
+        let vals = vec![Some("a"), Some("b"), None, Some("a"), Some("a"), Some("b")];
+        let d = DictUtf8Array::from_options(vals.clone());
+        assert_eq!(d.dictionary().len(), 2);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vals);
+        assert_eq!(d.to_utf8(), Utf8Array::from_options(vals));
+        assert_eq!(d.key_at(0), d.key_at(3));
+        assert_eq!(d.key_at(2), 0); // null placeholder
+    }
+
+    #[test]
+    fn dict_equality_is_logical() {
+        // Same values, different dictionary orders.
+        let a = DictUtf8Array::new(&["x", "y", "x"]);
+        let b = DictUtf8Array::from_utf8(&Utf8Array::new(&["x", "y", "x"]));
+        assert_eq!(a, b);
+        // A filtered array keeps unused parent entries; still equal.
+        let parent = DictUtf8Array::new(&["q", "x", "y", "x"]);
+        let filtered = parent.take_rows(&[1, 2, 3]);
+        assert_eq!(filtered, a);
+        assert_eq!(
+            Array::DictUtf8(filtered).dict_decoded(),
+            Array::from_utf8(&["x", "y", "x"])
+        );
+    }
+
+    #[test]
+    fn dict_take_rows_moves_keys_only() {
+        let d = DictUtf8Array::from_options(vec![Some("aa"), None, Some("bb"), Some("aa")]);
+        let t = d.take_rows(&[3, 1, 0]);
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            vec![Some("aa"), None, Some("aa")]
+        );
+        // Dictionary is shared, not rebuilt.
+        assert_eq!(t.dictionary(), d.dictionary());
+    }
+
+    #[test]
+    fn dict_encoded_policy() {
+        // Low cardinality encodes...
+        let low = Array::from_utf8(&["a", "b", "a", "b", "a", "b"]);
+        assert_eq!(low.dict_encoded().data_type(), DataType::DictUtf8);
+        // ...mostly-unique columns stay plain...
+        let high = Array::from_utf8(&["a", "b", "c", "d"]);
+        assert_eq!(high.dict_encoded().data_type(), DataType::Utf8);
+        // ...and either way the values are unchanged.
+        assert_eq!(low.dict_encoded().dict_decoded(), low);
+        // Non-string columns pass through.
+        let ints = Array::from_i64(vec![1, 2]);
+        assert_eq!(ints.dict_encoded(), ints);
+    }
+
+    #[test]
+    fn dict_all_null_has_empty_dictionary() {
+        let d = DictUtf8Array::from_options(vec![None, None, None]);
+        assert_eq!(d.dictionary().len(), 0);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(1), None);
+        assert_eq!(Array::DictUtf8(d).null_count(), 3);
+    }
+
+    #[test]
+    fn dict_concat_merges_dictionaries() {
+        let a = DictUtf8Array::new(&["x", "y"]);
+        let b = DictUtf8Array::from_options(vec![Some("y"), None, Some("z")]);
+        let c = DictUtf8Array::concat(&[&a, &b]);
+        assert_eq!(c.dictionary().len(), 3);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![Some("x"), Some("y"), Some("y"), None, Some("z")]
+        );
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use crate::array::{Array, Value};
 use crate::error::ArrowError;
-use crate::schema::SchemaRef;
+use crate::schema::{Field, Schema, SchemaRef};
 
 /// An immutable table fragment: one schema, N equal-length columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +127,36 @@ impl RecordBatch {
         RecordBatch::try_new(schema, columns)
     }
 
+    /// Dictionary-encodes every eligible `Utf8` column (the cardinality
+    /// policy lives in [`Array::dict_encoded`]), flipping the schema
+    /// types to match. Columns that don't benefit stay plain.
+    pub fn dict_encoded(&self) -> RecordBatch {
+        self.recode(Array::dict_encoded)
+    }
+
+    /// Decodes every `DictUtf8` column back to plain `Utf8`, flipping
+    /// the schema types to match. Output boundaries call this so results
+    /// are identical whether or not the pipeline ran dictionary-encoded.
+    pub fn dict_decoded(&self) -> RecordBatch {
+        self.recode(Array::dict_decoded)
+    }
+
+    fn recode(&self, f: impl Fn(&Array) -> Array) -> RecordBatch {
+        let columns: Vec<Array> = self.columns.iter().map(f).collect();
+        let fields: Vec<Field> = self
+            .schema
+            .fields()
+            .iter()
+            .zip(&columns)
+            .map(|(fld, col)| Field::new(fld.name.clone(), col.data_type(), fld.nullable))
+            .collect();
+        RecordBatch {
+            schema: Schema::new(fields),
+            columns,
+            rows: self.rows,
+        }
+    }
+
     /// Concatenates batches with identical schemas.
     pub fn concat(batches: &[RecordBatch]) -> Result<RecordBatch, ArrowError> {
         let first = batches
@@ -172,6 +202,15 @@ impl RecordBatch {
                         out.extend(b.column(c).as_utf8()?.iter());
                     }
                     Array::Utf8(crate::array::Utf8Array::from_options(out))
+                }
+                Array::DictUtf8(_) => {
+                    // Per-batch dictionaries may differ; merge them by
+                    // first appearance and remap the keys.
+                    let mut parts = Vec::with_capacity(batches.len());
+                    for b in batches {
+                        parts.push(b.column(c).as_dict_utf8()?);
+                    }
+                    Array::DictUtf8(crate::array::DictUtf8Array::concat(&parts))
                 }
             };
             columns.push(col);
@@ -286,6 +325,28 @@ mod tests {
         let b = RecordBatch::empty(sample().schema().clone());
         assert_eq!(b.num_rows(), 0);
         assert_eq!(b.num_columns(), 2);
+    }
+
+    #[test]
+    fn dict_encode_decode_round_trips_batch() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("kind", DataType::Utf8, true),
+        ]);
+        let b = RecordBatch::try_new(
+            schema,
+            vec![
+                Array::from_i64(vec![1, 2, 3, 4]),
+                Array::from_opt_utf8(vec![Some("a"), Some("b"), Some("a"), None]),
+            ],
+        )
+        .unwrap();
+        let enc = b.dict_encoded();
+        assert_eq!(enc.column(1).data_type(), DataType::DictUtf8);
+        assert_eq!(enc.schema().field(1).data_type, DataType::DictUtf8);
+        assert_eq!(enc.column(0).data_type(), DataType::Int64);
+        let dec = enc.dict_decoded();
+        assert_eq!(dec, b);
     }
 
     #[test]

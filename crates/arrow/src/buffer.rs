@@ -79,6 +79,19 @@ impl Buffer {
         i32::from_le_bytes(self.data[start..start + 4].try_into().expect("4 bytes"))
     }
 
+    /// Reads the u32 at element index `i` (little-endian).
+    pub fn get_u32(&self, i: usize) -> u32 {
+        let start = i * 4;
+        u32::from_le_bytes(self.data[start..start + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Iterates the first `len` elements as u32 (little-endian).
+    pub fn iter_u32(&self, len: usize) -> impl Iterator<Item = u32> + '_ {
+        self.data[..len * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+    }
+
     /// Iterates the first `len` elements as i64 (little-endian), in one
     /// pass over the raw bytes — the tight-loop form the vectorized
     /// kernels use instead of per-element `get_i64` calls.
@@ -109,6 +122,16 @@ impl From<Vec<i64>> for Buffer {
 impl From<Vec<f64>> for Buffer {
     fn from(v: Vec<f64>) -> Self {
         let mut out = Vec::with_capacity(v.len() * 8);
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Buffer::from_vec(out)
+    }
+}
+
+impl From<Vec<u32>> for Buffer {
+    fn from(v: Vec<u32>) -> Self {
+        let mut out = Vec::with_capacity(v.len() * 4);
         for x in v {
             out.extend_from_slice(&x.to_le_bytes());
         }

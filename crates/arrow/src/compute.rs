@@ -252,6 +252,44 @@ pub fn cmp_scalar(col: &Array, op: CmpOp, scalar: &Value) -> Result<Array, Arrow
                     .collect(),
             }
         }
+        (Array::DictUtf8(a), Value::Str(b)) => {
+            // Resolve the scalar against the dictionary once; the per-row
+            // loop then compares fixed-width u32 keys (Eq/Ne) or gathers
+            // a precomputed per-entry verdict (ordered ops) — the string
+            // bytes are never touched per row.
+            let dict = a.dictionary();
+            let keys = a.keys();
+            match op {
+                CmpOp::Eq | CmpOp::Ne => {
+                    // Entries are deduplicated, so at most one key matches.
+                    let hit = (0..dict.len()).find(|&k| dict.get(k) == Some(b.as_str()));
+                    match (op == CmpOp::Eq, hit) {
+                        (true, Some(h)) => {
+                            let h = h as u32;
+                            keys.iter_u32(n).map(|k| k == h).collect()
+                        }
+                        (true, None) => vec![false; n],
+                        (false, Some(h)) => {
+                            let h = h as u32;
+                            keys.iter_u32(n).map(|k| k != h).collect()
+                        }
+                        (false, None) => vec![true; n],
+                    }
+                }
+                _ => {
+                    let verdicts: Vec<bool> = (0..dict.len())
+                        .map(|k| op.eval(dict.get(k).expect("dict entry"), b.as_str()))
+                        .collect();
+                    if verdicts.is_empty() {
+                        // Empty dictionary means every slot is null;
+                        // whatever we produce is masked below.
+                        vec![false; n]
+                    } else {
+                        keys.iter_u32(n).map(|k| verdicts[k as usize]).collect()
+                    }
+                }
+            }
+        }
         (Array::Bool(a), Value::Bool(b)) => (0..n)
             .map(|i| match a.get(i) {
                 Some(x) => op.eval(x, *b),
@@ -271,6 +309,7 @@ pub fn cmp_scalar(col: &Array, op: CmpOp, scalar: &Value) -> Result<Array, Arrow
         Array::Float64(a) => a.validity().cloned(),
         Array::Bool(a) => a.validity().cloned(),
         Array::Utf8(a) => a.validity().cloned(),
+        Array::DictUtf8(a) => a.validity().cloned(),
     };
     let values = match &validity {
         None => Bitmap::from_bools(&bits),
@@ -417,6 +456,23 @@ pub fn hash_column_into(col: &Array, hashes: &mut [u64]) {
                 };
             }
         }
+        Array::DictUtf8(a) => {
+            // Resolve each dictionary entry's byte slice once; the per-row
+            // loop chains those bytes into the running hash (the FNV
+            // accumulator differs per row, so only the slice lookup —
+            // not the feed — can be hoisted here).
+            let dict = a.dictionary();
+            let entries: Vec<&[u8]> = (0..dict.len())
+                .map(|k| dict.get(k).expect("dict entry").as_bytes())
+                .collect();
+            let validity = a.validity();
+            for (i, k) in a.keys().iter_u32(a.len()).enumerate() {
+                hashes[i] = match validity {
+                    Some(v) if !v.get(i) => fnv_feed(hashes[i], &[0xFF]),
+                    _ => fnv_feed(hashes[i], entries[k as usize]),
+                };
+            }
+        }
     }
 }
 
@@ -438,6 +494,26 @@ pub fn hash_key_column(col: &Array, coerce_int_to_f64: bool) -> Vec<u64> {
                 })
                 .collect();
         }
+    }
+    if let Array::DictUtf8(a) = col {
+        // The key hash starts from a fixed seed, so each dictionary
+        // entry's full hash can be computed once and gathered per row —
+        // bit-identical to hashing the decoded strings.
+        let dict = a.dictionary();
+        let entry_hashes: Vec<u64> = (0..dict.len())
+            .map(|k| fnv_feed(FNV_OFFSET, dict.get(k).expect("dict entry").as_bytes()))
+            .collect();
+        let null_hash = fnv_feed(FNV_OFFSET, &[0xFF]);
+        let validity = a.validity();
+        return a
+            .keys()
+            .iter_u32(a.len())
+            .enumerate()
+            .map(|(i, k)| match validity {
+                Some(m) if !m.get(i) => null_hash,
+                _ => entry_hashes[k as usize],
+            })
+            .collect();
     }
     let mut hashes = vec![FNV_OFFSET; col.len()];
     hash_column_into(col, &mut hashes);
@@ -469,7 +545,29 @@ pub fn hash_key_at(col: &Array, coerce_int_to_f64: bool, row: usize) -> u64 {
             Some(s) => fnv_feed(FNV_OFFSET, s.as_bytes()),
             None => fnv_feed(FNV_OFFSET, &[0xFF]),
         },
+        Array::DictUtf8(a) => match a.get(row) {
+            Some(s) => fnv_feed(FNV_OFFSET, s.as_bytes()),
+            None => fnv_feed(FNV_OFFSET, &[0xFF]),
+        },
     }
+}
+
+/// Exact `i64` ↔ `f64` join-key equality: true only when `f` is a whole
+/// number that round-trips to exactly `i`. The old `i as f64 == f` check
+/// rounded |i| > 2^53 onto nearby floats and manufactured matches between
+/// distinct keys.
+///
+/// Bit-level on the float side (`-0.0` does not match `0`), which keeps
+/// it consistent with [`hash_key_column`]'s coerced bucketing: any pair
+/// this returns true for hashes into the same bucket.
+#[inline]
+pub fn i64_f64_key_eq(i: i64, f: f64) -> bool {
+    // Only floats in [-2^63, 2^63) can equal an i64; this also rejects
+    // NaN and the infinities before the `as` casts below can saturate.
+    if !(-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(&f) {
+        return false;
+    }
+    f as i64 == i && ((f as i64) as f64).to_bits() == f.to_bits()
 }
 
 /// FNV-1a hashes of every row across the given columns, column-at-a-time.
@@ -860,7 +958,12 @@ pub fn sort_to_indices(col: &Array, order: SortOrder) -> Array {
                     (None, None) => std::cmp::Ordering::Equal,
                     (None, Some(_)) => std::cmp::Ordering::Less,
                     (Some(_), None) => std::cmp::Ordering::Greater,
-                    (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal),
+                    // `total_cmp`, not `partial_cmp`: NaN has no partial
+                    // order, and a non-total comparator makes `sort_by`
+                    // placement arbitrary (or panics). IEEE total order
+                    // puts NaN above +inf (and -NaN below -inf), so NaNs
+                    // sort last ascending, deterministically.
+                    (Some(a), Some(b)) => a.total_cmp(&b),
                 })
             });
         }
@@ -870,6 +973,22 @@ pub fn sort_to_indices(col: &Array, order: SortOrder) -> Array {
         }
         Array::Utf8(a) => {
             let keys: Vec<Option<&str>> = a.iter().collect();
+            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
+        }
+        Array::DictUtf8(a) => {
+            // Rank each dictionary entry once (entries are deduplicated,
+            // so ranks are a total order identical to string order); the
+            // comparator then works over u32 ranks, never string bytes.
+            let dict = a.dictionary();
+            let mut by_str: Vec<u32> = (0..dict.len() as u32).collect();
+            by_str.sort_by(|&x, &y| dict.get(x as usize).cmp(&dict.get(y as usize)));
+            let mut rank = vec![0u32; dict.len()];
+            for (r, k) in by_str.iter().enumerate() {
+                rank[*k as usize] = r as u32;
+            }
+            let keys: Vec<Option<u32>> = (0..a.len())
+                .map(|i| a.get(i).map(|_| rank[a.key_at(i) as usize]))
+                .collect();
             idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
         }
     }
@@ -1023,5 +1142,147 @@ mod kernel_extension_tests {
         assert_eq!(max_f64(&col).unwrap(), Some(2.5));
         let empty = Array::from_f64(vec![]);
         assert_eq!(min_f64(&empty).unwrap(), None);
+    }
+
+    #[test]
+    fn sort_float_with_nan_is_total_and_deterministic() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` is not a total
+        // order with NaN present — `sort_by` may panic or place NaN
+        // arbitrarily. `total_cmp` sorts NaN after +inf, before nothing.
+        let col = Array::from_opt_f64(vec![
+            Some(f64::NAN),
+            Some(1.0),
+            None,
+            Some(f64::INFINITY),
+            Some(-1.0),
+            Some(f64::NAN),
+            Some(f64::NEG_INFINITY),
+        ]);
+        let asc = sort_to_indices(&col, SortOrder::Ascending);
+        let order: Vec<i64> = (0..7)
+            .map(|i| match asc.value_at(i) {
+                Value::I64(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        // null, -inf, -1, 1, +inf, NaN, NaN (stable: row 0 before row 5).
+        assert_eq!(order, vec![2, 6, 4, 1, 3, 0, 5]);
+        // Descending is the exact reverse ordering rule, still total.
+        let desc = sort_to_indices(&col, SortOrder::Descending);
+        assert_eq!(desc.value_at(0), Value::I64(0)); // first NaN (stable)
+        assert_eq!(desc.value_at(6), Value::I64(2)); // null last
+                                                     // Deterministic across invocations.
+        assert_eq!(asc, sort_to_indices(&col, SortOrder::Ascending));
+    }
+
+    #[test]
+    fn i64_f64_key_eq_is_exact_at_the_2_53_boundary() {
+        let b = 1i64 << 53;
+        // Exactly representable values match their float twins...
+        assert!(i64_f64_key_eq(b, b as f64));
+        assert!(i64_f64_key_eq(0, 0.0));
+        assert!(i64_f64_key_eq(-7, -7.0));
+        // ...but 2^53 + 1 rounds to 2^53 as f64 and must NOT match.
+        assert!(!i64_f64_key_eq(b + 1, (b + 1) as f64));
+        assert!(!i64_f64_key_eq(b + 1, b as f64));
+        // Saturation edge: 2^63 as f64 is one past i64::MAX.
+        assert!(!i64_f64_key_eq(i64::MAX, i64::MAX as f64));
+        assert!(i64_f64_key_eq(i64::MIN, i64::MIN as f64));
+        // Non-integers, NaN, infinities, and -0.0 (bit-level, consistent
+        // with the coerced hash) never match.
+        assert!(!i64_f64_key_eq(1, 1.5));
+        assert!(!i64_f64_key_eq(0, f64::NAN));
+        assert!(!i64_f64_key_eq(i64::MAX, f64::INFINITY));
+        assert!(!i64_f64_key_eq(0, -0.0));
+    }
+
+    fn dict_pair(vals: &[Option<&'static str>]) -> (Array, Array) {
+        (
+            Array::from_opt_utf8(vals.to_vec()),
+            Array::from_opt_dict_utf8(vals.to_vec()),
+        )
+    }
+
+    #[test]
+    fn dict_cmp_scalar_matches_plain() {
+        let vals = [
+            Some("b"),
+            Some("a"),
+            None,
+            Some(""),
+            Some("b"),
+            Some("naïve"),
+        ];
+        let (plain, dict) = dict_pair(&vals);
+        for needle in ["", "a", "b", "zz", "naïve"] {
+            for op in [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ] {
+                let want = cmp_scalar(&plain, op, &Value::Str(needle.into())).unwrap();
+                let got = cmp_scalar(&dict, op, &Value::Str(needle.into())).unwrap();
+                assert_eq!(got, want, "{op:?} {needle:?}");
+            }
+        }
+        // All-null dict column (empty dictionary) must not panic.
+        let all_null = Array::from_opt_dict_utf8(vec![None, None]);
+        let m = cmp_scalar(&all_null, CmpOp::Lt, &Value::Str("x".into())).unwrap();
+        assert_eq!(m.value_at(0), Value::Null);
+    }
+
+    #[test]
+    fn dict_hashes_match_plain_bit_for_bit() {
+        let vals = [Some("a"), None, Some(""), Some("xyz"), Some("a")];
+        let (plain, dict) = dict_pair(&vals);
+        for coerce in [false, true] {
+            assert_eq!(
+                hash_key_column(&dict, coerce),
+                hash_key_column(&plain, coerce)
+            );
+            for row in 0..vals.len() {
+                assert_eq!(
+                    hash_key_at(&dict, coerce, row),
+                    hash_key_at(&plain, coerce, row)
+                );
+            }
+        }
+        // Multi-column row hashes chain identically.
+        let schema_p = Schema::new(vec![
+            Field::new("k", DataType::Int64, false),
+            Field::new("s", DataType::Utf8, true),
+        ]);
+        let schema_d = Schema::new(vec![
+            Field::new("k", DataType::Int64, false),
+            Field::new("s", DataType::DictUtf8, true),
+        ]);
+        let ints = Array::from_i64(vec![1, 2, 3, 4, 5]);
+        let bp = RecordBatch::try_new(schema_p, vec![ints.clone(), plain]).unwrap();
+        let bd = RecordBatch::try_new(schema_d, vec![ints, dict]).unwrap();
+        assert_eq!(hash_rows(&bp, &[0, 1]), hash_rows(&bd, &[0, 1]));
+        assert_eq!(hash_rows(&bp, &[1]), hash_rows(&bd, &[1]));
+    }
+
+    #[test]
+    fn dict_sort_matches_plain() {
+        let vals = [
+            Some("pear"),
+            None,
+            Some("apple"),
+            Some("fig"),
+            Some("apple"),
+            Some(""),
+        ];
+        let (plain, dict) = dict_pair(&vals);
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            assert_eq!(
+                sort_to_indices(&dict, order),
+                sort_to_indices(&plain, order),
+                "{order:?}"
+            );
+        }
     }
 }

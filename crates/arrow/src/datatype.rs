@@ -13,6 +13,11 @@ pub enum DataType {
     Bool,
     /// UTF-8 string with 32-bit offsets.
     Utf8,
+    /// Dictionary-encoded (LowCardinality) UTF-8: u32 keys into a
+    /// deduplicated [`DataType::Utf8`] dictionary. Logically identical
+    /// to `Utf8`; the encoding only changes how kernels and wire
+    /// frames move the bytes.
+    DictUtf8,
 }
 
 impl DataType {
@@ -23,6 +28,7 @@ impl DataType {
             DataType::Int64 | DataType::Float64 => Some(8),
             DataType::Bool => None, // Bit-packed, not byte-addressable.
             DataType::Utf8 => None,
+            DataType::DictUtf8 => None,
         }
     }
 
@@ -33,6 +39,7 @@ impl DataType {
             DataType::Float64 => 1,
             DataType::Bool => 2,
             DataType::Utf8 => 3,
+            DataType::DictUtf8 => 4,
         }
     }
 
@@ -43,6 +50,7 @@ impl DataType {
             1 => Some(DataType::Float64),
             2 => Some(DataType::Bool),
             3 => Some(DataType::Utf8),
+            4 => Some(DataType::DictUtf8),
             _ => None,
         }
     }
@@ -55,6 +63,7 @@ impl fmt::Display for DataType {
             DataType::Float64 => "float64",
             DataType::Bool => "bool",
             DataType::Utf8 => "utf8",
+            DataType::DictUtf8 => "dict<utf8>",
         };
         f.write_str(s)
     }
@@ -71,6 +80,7 @@ mod tests {
             DataType::Float64,
             DataType::Bool,
             DataType::Utf8,
+            DataType::DictUtf8,
         ] {
             assert_eq!(DataType::from_tag(dt.tag()), Some(dt));
         }

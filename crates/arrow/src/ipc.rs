@@ -15,11 +15,14 @@
 //!                 Int64/Float64: values (nrows * 8)
 //!                 Bool:          value bits ceil(nrows/8)
 //!                 Utf8:          offsets ((nrows+1) * 4) | data_len u64 | data
+//!                 DictUtf8:      keys (nrows * 4) | dict_len u64
+//!                                | dict offsets ((dict_len+1) * 4)
+//!                                | dict data_len u64 | dict data
 //! ```
 
 use bytes::Bytes;
 
-use crate::array::{Array, BoolArray, Float64Array, Int64Array, Utf8Array};
+use crate::array::{Array, BoolArray, DictUtf8Array, Float64Array, Int64Array, Utf8Array};
 use crate::batch::RecordBatch;
 use crate::buffer::{Bitmap, Buffer};
 use crate::datatype::DataType;
@@ -51,6 +54,7 @@ pub fn encode(batch: &RecordBatch) -> Bytes {
             Array::Float64(a) => a.validity(),
             Array::Bool(a) => a.validity(),
             Array::Utf8(a) => a.validity(),
+            Array::DictUtf8(a) => a.validity(),
         };
         match validity {
             Some(v) => {
@@ -67,6 +71,14 @@ pub fn encode(batch: &RecordBatch) -> Bytes {
                 out.extend_from_slice(a.offsets().as_slice());
                 out.extend_from_slice(&(a.data().len() as u64).to_le_bytes());
                 out.extend_from_slice(a.data().as_slice());
+            }
+            Array::DictUtf8(a) => {
+                out.extend_from_slice(&a.keys().as_slice()[..a.len() * 4]);
+                let dict = a.dictionary();
+                out.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+                out.extend_from_slice(&dict.offsets().as_slice()[..(dict.len() + 1) * 4]);
+                out.extend_from_slice(&(dict.data().len() as u64).to_le_bytes());
+                out.extend_from_slice(dict.data().as_slice());
             }
         }
     }
@@ -86,15 +98,18 @@ impl Cursor {
     }
 
     fn take(&mut self, n: usize) -> Result<Bytes, ArrowError> {
-        if self.pos + n > self.data.len() {
+        // `n` may come from a corrupt header; checked add so a huge value
+        // is reported as truncation rather than overflowing.
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        let Some(end) = end else {
             return Err(ArrowError::Corrupt(format!(
                 "truncated frame: need {n} bytes at offset {}, have {}",
                 self.pos,
                 self.data.len() - self.pos
             )));
-        }
-        let b = self.data.slice(self.pos..self.pos + n);
-        self.pos += n;
+        };
+        let b = self.data.slice(self.pos..end);
+        self.pos = end;
         Ok(b)
     }
 
@@ -111,6 +126,14 @@ impl Cursor {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.as_ref().try_into().expect("8 bytes")))
     }
+}
+
+/// `count * width` with overflow reported as corruption: the counts come
+/// straight from the (possibly hostile) frame header.
+fn frame_size(count: usize, width: usize) -> Result<usize, ArrowError> {
+    count
+        .checked_mul(width)
+        .ok_or_else(|| ArrowError::Corrupt(format!("frame size overflow: {count} x {width}")))
 }
 
 /// Decodes a frame produced by [`encode`]. Column buffers alias `data`.
@@ -155,11 +178,11 @@ pub fn decode(data: Bytes) -> Result<RecordBatch, ArrowError> {
         let dt = schema.field(c).data_type;
         let array = match dt {
             DataType::Int64 => {
-                let values = Buffer::from_bytes(cur.take(nrows * 8)?);
+                let values = Buffer::from_bytes(cur.take(frame_size(nrows, 8)?)?);
                 Array::Int64(Int64Array::from_parts(values, validity, nrows))
             }
             DataType::Float64 => {
-                let values = Buffer::from_bytes(cur.take(nrows * 8)?);
+                let values = Buffer::from_bytes(cur.take(frame_size(nrows, 8)?)?);
                 Array::Float64(Float64Array::from_parts(values, validity, nrows))
             }
             DataType::Bool => {
@@ -170,7 +193,10 @@ pub fn decode(data: Bytes) -> Result<RecordBatch, ArrowError> {
                 ))
             }
             DataType::Utf8 => {
-                let offsets = Buffer::from_bytes(cur.take((nrows + 1) * 4)?);
+                let noffs = nrows
+                    .checked_add(1)
+                    .ok_or_else(|| ArrowError::Corrupt("row count overflow".into()))?;
+                let offsets = Buffer::from_bytes(cur.take(frame_size(noffs, 4)?)?);
                 let data_len = cur.u64()? as usize;
                 let strings = Buffer::from_bytes(cur.take(data_len)?);
                 // Validate the offsets so later accesses cannot slice out
@@ -186,6 +212,46 @@ pub fn decode(data: Bytes) -> Result<RecordBatch, ArrowError> {
                 std::str::from_utf8(strings.as_slice())
                     .map_err(|_| ArrowError::Corrupt("utf8 column is not UTF-8".into()))?;
                 Array::Utf8(Utf8Array::from_parts(offsets, strings, validity, nrows))
+            }
+            DataType::DictUtf8 => {
+                let keys = Buffer::from_bytes(cur.take(frame_size(nrows, 4)?)?);
+                let dict_len = cur.u64()? as usize;
+                if dict_len > u32::MAX as usize {
+                    return Err(ArrowError::Corrupt(format!(
+                        "dictionary of {dict_len} entries exceeds u32 keys"
+                    )));
+                }
+                let offsets = Buffer::from_bytes(cur.take(frame_size(dict_len + 1, 4)?)?);
+                let data_len = cur.u64()? as usize;
+                let strings = Buffer::from_bytes(cur.take(data_len)?);
+                // Validate the dictionary exactly like a Utf8 column.
+                let mut prev = 0i32;
+                for i in 0..=dict_len {
+                    let o = offsets.get_i32(i);
+                    if o < prev || o as usize > data_len {
+                        return Err(ArrowError::Corrupt(format!("bad dict offset {o} at {i}")));
+                    }
+                    prev = o;
+                }
+                std::str::from_utf8(strings.as_slice())
+                    .map_err(|_| ArrowError::Corrupt("dict data is not UTF-8".into()))?;
+                // Keys must resolve: valid slots index the dictionary,
+                // null slots hold the canonical placeholder 0.
+                for (i, k) in keys.iter_u32(nrows).enumerate() {
+                    let is_valid = validity.as_ref().is_none_or(|v| v.get(i));
+                    if is_valid && k as usize >= dict_len {
+                        return Err(ArrowError::Corrupt(format!(
+                            "dict key {k} at row {i} outside dictionary of {dict_len}"
+                        )));
+                    }
+                    if !is_valid && k != 0 {
+                        return Err(ArrowError::Corrupt(format!(
+                            "non-canonical key {k} at null row {i}"
+                        )));
+                    }
+                }
+                let dict = Utf8Array::from_parts(offsets, strings, None, dict_len);
+                Array::DictUtf8(DictUtf8Array::from_parts(keys, dict, validity, nrows))
             }
         };
         columns.push(array);
@@ -280,6 +346,99 @@ mod tests {
             decode(Bytes::from(raw)),
             Err(ArrowError::Corrupt(_))
         ));
+    }
+
+    fn dict_sample() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("kind", DataType::DictUtf8, true),
+        ]);
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Array::from_i64(vec![1, 2, 3, 4, 5]),
+                Array::from_opt_dict_utf8(vec![
+                    Some("click"),
+                    Some("view"),
+                    None,
+                    Some("click"),
+                    Some("click"),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dict_round_trip() {
+        let b = dict_sample();
+        let back = decode(encode(&b)).unwrap();
+        assert_eq!(b, back);
+        // Still dictionary-encoded after the round trip, not decoded.
+        assert_eq!(back.column(1).data_type(), DataType::DictUtf8);
+        let d = back.column(1).as_dict_utf8().unwrap();
+        assert_eq!(d.dictionary().len(), 2);
+    }
+
+    #[test]
+    fn dict_frame_is_smaller_than_plain_for_repetitive_strings() {
+        let n = 2000;
+        let plain: Vec<&str> = (0..n)
+            .map(|i| if i % 2 == 0 { "click" } else { "view" })
+            .collect();
+        let pb = RecordBatch::try_new(
+            Schema::new(vec![Field::new("kind", DataType::Utf8, false)]),
+            vec![Array::from_utf8(&plain)],
+        )
+        .unwrap();
+        let db = RecordBatch::try_new(
+            Schema::new(vec![Field::new("kind", DataType::DictUtf8, false)]),
+            vec![Array::from_dict_utf8(&plain)],
+        )
+        .unwrap();
+        let (pe, de) = (encode(&pb), encode(&db));
+        assert!(
+            de.len() < pe.len(),
+            "dict frame {} !< plain frame {}",
+            de.len(),
+            pe.len()
+        );
+    }
+
+    #[test]
+    fn dict_out_of_range_key_rejected() {
+        let mut raw = encode(&dict_sample()).to_vec();
+        // Keys for column 1 sit right after its validity byte + bitmap.
+        // Find them by corrupting every byte in turn and requiring that
+        // the decoder never panics and that at least one corruption is
+        // caught as an out-of-range key.
+        let mut saw_key_error = false;
+        for i in 0..raw.len() {
+            let orig = raw[i];
+            raw[i] = 0xEE;
+            match decode(Bytes::from(raw.clone())) {
+                Ok(_) => {}
+                Err(ArrowError::Corrupt(msg)) => {
+                    if msg.contains("outside dictionary") {
+                        saw_key_error = true;
+                    }
+                }
+                Err(_) => {}
+            }
+            raw[i] = orig;
+        }
+        assert!(saw_key_error, "no corruption tripped the key-range check");
+    }
+
+    #[test]
+    fn dict_all_null_round_trips() {
+        let schema = Schema::new(vec![Field::new("s", DataType::DictUtf8, true)]);
+        let b = RecordBatch::try_new(
+            schema,
+            vec![Array::from_opt_dict_utf8(vec![None, None, None])],
+        )
+        .unwrap();
+        assert_eq!(decode(encode(&b)).unwrap(), b);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! - [`datatype`]/[`schema`]: logical types and record schemas.
 //! - [`buffer`]: immutable, cheaply-sliceable byte buffers (backed by
 //!   [`bytes::Bytes`]) and packed validity bitmaps.
-//! - [`array`](mod@array): typed columnar arrays (`Int64`, `Float64`, `Bool`, `Utf8`)
-//!   with builders.
+//! - [`array`](mod@array): typed columnar arrays (`Int64`, `Float64`, `Bool`, `Utf8`,
+//!   and dictionary-encoded `DictUtf8`) with builders.
 //! - [`batch`]: [`RecordBatch`] — a schema plus equal-length columns.
 //! - [`ipc`]: a framed wire format whose decode path *shares* the input
 //!   buffer (no per-value work), standing in for Arrow IPC.
+//! - [`compression`]: an LZ4-style block codec the shuffle and wire
+//!   paths use to shrink IPC frames (and therefore measured bytes).
 //! - [`compute`]: basic kernels (filter/take/aggregate/compare/hash) used
 //!   by the simulated operators.
 //! - [`marshal`]: a deliberately conventional row-at-a-time format with
@@ -47,6 +49,7 @@
 pub mod array;
 pub mod batch;
 pub mod buffer;
+pub mod compression;
 pub mod compute;
 pub mod datatype;
 pub mod error;

@@ -131,7 +131,11 @@ pub fn from_rows(data: &[u8]) -> Result<RecordBatch, ArrowError> {
                             .map_err(|_| ArrowError::Corrupt("string is not UTF-8".into()))?;
                         Value::Str(s.to_string())
                     }
-                    None => return Err(ArrowError::Corrupt(format!("unknown value tag {tag}"))),
+                    // Dict columns marshal their values with the plain
+                    // Utf8 tag, so a DictUtf8 *value* tag never appears.
+                    Some(DataType::DictUtf8) | None => {
+                        return Err(ArrowError::Corrupt(format!("unknown value tag {tag}")))
+                    }
                 }
             };
             col.push(v);

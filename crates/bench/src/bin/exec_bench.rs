@@ -13,7 +13,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use skadi_bench::exec_bench::{
-    find_regressions, parse_results, render_json, render_table, run_suite, RESULTS_PATH,
+    find_regressions, parse_results, render_json, render_table, run_suite, shuffle_bytes_report,
+    RESULTS_PATH,
 };
 
 fn main() -> ExitCode {
@@ -27,7 +28,15 @@ fn main() -> ExitCode {
             };
             let entries = run_suite(sizes, budget);
             print!("{}", render_table(&entries));
-            let json = render_json(&mode, &entries);
+            let shuffle = shuffle_bytes_report(if mode == "full" { 100_000 } else { 10_000 });
+            println!(
+                "shuffle bytes @ {} rows: plain {} compressed {} ({:.1}% of plain)",
+                shuffle.rows,
+                shuffle.plain_bytes,
+                shuffle.compressed_bytes,
+                shuffle.ratio() * 100.0
+            );
+            let json = render_json(&mode, &entries, Some(&shuffle));
             if let Err(e) = std::fs::write(RESULTS_PATH, &json) {
                 eprintln!("failed to write {RESULTS_PATH}: {e}");
                 return ExitCode::FAILURE;

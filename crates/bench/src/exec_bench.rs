@@ -37,7 +37,7 @@ pub const RESULTS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Kernel name (`filter`, `join`, `filter_join`, `filter_join_hi`,
-    /// `group_by`, `sort`, `topn`).
+    /// `filter_join_dict`, `group_by`, `group_by_dict`, `sort`, `topn`).
     pub name: String,
     /// Input row count.
     pub rows: usize,
@@ -87,6 +87,48 @@ pub fn events_batch(n: usize, seed: u64) -> RecordBatch {
         ],
     )
     .expect("events batch")
+}
+
+/// Number of distinct string codes in [`coded_events_batch`]: low
+/// cardinality relative to the row count, so the dictionary policy
+/// (`distinct * 2 <= len`) encodes the key column.
+pub const N_CODES: usize = 256;
+
+/// `n` events keyed by a low-cardinality string `code` (zero-padded so
+/// lexicographic order equals natural order) plus the usual float value.
+/// The dictionary-friendly counterpart of [`events_batch`].
+pub fn coded_events_batch(n: usize, seed: u64) -> RecordBatch {
+    let mut rng = DetRng::seed(seed);
+    let codes: Vec<String> = (0..n)
+        .map(|_| format!("c{:04}", rng.below(N_CODES as u64)))
+        .collect();
+    let code_refs: Vec<&str> = codes.iter().map(String::as_str).collect();
+    let values: Vec<f64> = (0..n).map(|_| rng.unit() * 100.0).collect();
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("code", DataType::Utf8, false),
+            Field::new("value", DataType::Float64, false),
+        ]),
+        vec![Array::from_utf8(&code_refs), Array::from_f64(values)],
+    )
+    .expect("coded events batch")
+}
+
+/// One row per code `c0000..c{N_CODES-1}` with a region attribute — the
+/// dimension side of the dict-keyed join.
+pub fn codes_batch(seed: u64) -> RecordBatch {
+    let mut rng = DetRng::seed(seed);
+    let codes: Vec<String> = (0..N_CODES).map(|i| format!("c{i:04}")).collect();
+    let code_refs: Vec<&str> = codes.iter().map(String::as_str).collect();
+    let regions: Vec<&str> = (0..N_CODES).map(|_| *rng.pick(&COUNTRIES)).collect();
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("code", DataType::Utf8, false),
+            Field::new("region", DataType::Utf8, false),
+        ]),
+        vec![Array::from_utf8(&code_refs), Array::from_utf8(&regions)],
+    )
+    .expect("codes batch")
 }
 
 /// One row per user id `0..n_users` with a country attribute.
@@ -452,6 +494,22 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
         let conjuncts_hi: Vec<(&str, CmpOp, Value)> = vec![("value", CmpOp::Gt, Value::F64(5.0))];
         let q = group_query("user_id", "value", "events");
 
+        // Dict-keyed datasets: the fact side's string key dictionary-
+        // encodes (256 distinct codes), so joins and group-bys run over
+        // u32 keys instead of string bytes. The stringly baseline sees
+        // the plain batches; both sides produce plain output (the dict
+        // path pays its decode inside the timed region).
+        let coded = coded_events_batch(n, 11);
+        let codes = codes_batch(5);
+        let coded_dict = coded.dict_encoded();
+        let codes_dict = codes.dict_encoded();
+        assert!(
+            matches!(coded_dict.column(0), Array::DictUtf8(_)),
+            "code column should dictionary-encode at {n} rows"
+        );
+        let conjuncts_val: Vec<(&str, CmpOp, Value)> = vec![("value", CmpOp::Gt, Value::F64(50.0))];
+        let q_dict = group_query("code", "value", "coded");
+
         // Golden cross-checks: the two engines must agree exactly.
         assert_eq!(
             baseline_filter(&events, &conjuncts),
@@ -477,6 +535,24 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
             baseline_group_sum_count(&events, "user_id", "value"),
             exec::aggregate(&q, &events).expect("aggregate"),
             "group_by mismatch at {n} rows"
+        );
+        assert_eq!(
+            baseline_join(
+                &baseline_filter(&coded, &conjuncts_val),
+                &codes,
+                "code",
+                "code"
+            ),
+            pushdown_filter_join(&coded_dict, &codes_dict, &conjuncts_val, "code", "code")
+                .dict_decoded(),
+            "filter_join_dict mismatch at {n} rows"
+        );
+        assert_eq!(
+            baseline_group_sum_count(&coded, "code", "value"),
+            exec::aggregate(&q_dict, &coded_dict)
+                .expect("aggregate")
+                .dict_decoded(),
+            "group_by_dict mismatch at {n} rows"
         );
         assert_eq!(
             baseline_sort(&events, "value", false),
@@ -564,6 +640,27 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
                 ));
             }),
         );
+        // The dict-keyed join: the stringly baseline renders every probe
+        // key into a `String` and walks a `BTreeMap`; the dict path
+        // probes a hash table with precomputed per-entry hashes over u32
+        // keys, then decodes the output back to plain strings.
+        push(
+            "filter_join_dict",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_join(
+                    &baseline_filter(&coded, &conjuncts_val),
+                    &codes,
+                    "code",
+                    "code",
+                ));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(
+                    pushdown_filter_join(&coded_dict, &codes_dict, &conjuncts_val, "code", "code")
+                        .dict_decoded(),
+                );
+            }),
+        );
         push(
             "group_by",
             time_ns(budget, || {
@@ -571,6 +668,19 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
             }),
             time_ns(budget, || {
                 std::hint::black_box(exec::aggregate(&q, &events).expect("aggregate"));
+            }),
+        );
+        push(
+            "group_by_dict",
+            time_ns(budget, || {
+                std::hint::black_box(baseline_group_sum_count(&coded, "code", "value"));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(
+                    exec::aggregate(&q_dict, &coded_dict)
+                        .expect("aggregate")
+                        .dict_decoded(),
+                );
             }),
         );
         push(
@@ -596,17 +706,82 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
 }
 
 // ---------------------------------------------------------------------
+// Shuffle bytes: compression on vs off through the distributed plane
+// ---------------------------------------------------------------------
+
+/// Total `measured_output_bytes` of one distributed query, run twice:
+/// shuffle compression off, then on. Everything else (topology,
+/// parallelism, tables, query) is identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShuffleBytesReport {
+    /// The SQL that was shuffled.
+    pub query: String,
+    /// Fact-table row count.
+    pub rows: usize,
+    /// Sum of per-task measured output bytes, compression off.
+    pub plain_bytes: u64,
+    /// Sum of per-task measured output bytes, compression on.
+    pub compressed_bytes: u64,
+}
+
+impl ShuffleBytesReport {
+    /// compressed / plain (lower is better; < 1.0 means compression won).
+    pub fn ratio(&self) -> f64 {
+        self.compressed_bytes as f64 / self.plain_bytes.max(1) as f64
+    }
+}
+
+/// Runs a join+group-by over the simulated cluster at parallelism 4 and
+/// reports shuffled bytes with compression off vs on. Feeds the
+/// `"shuffle"` line of `BENCH_exec.json`.
+pub fn shuffle_bytes_report(rows: usize) -> ShuffleBytesReport {
+    use skadi::prelude::*;
+    let db = exec::MemDb::new()
+        .register("events", events_batch(rows, 42))
+        .register("users", users_batch((rows / 10).max(1), 7));
+    let q = "SELECT country, sum(value) AS total, count(*) AS n FROM events \
+             JOIN users ON user_id = user_id GROUP BY country ORDER BY total DESC";
+    let total = |compress: bool| -> u64 {
+        let session = Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .parallelism(4)
+            .shuffle_compression(compress)
+            .build();
+        let run = session.sql_distributed(&db, q).expect("distributed run");
+        run.report.stats.measured_output_bytes.values().sum()
+    };
+    ShuffleBytesReport {
+        query: q.to_string(),
+        rows,
+        plain_bytes: total(false),
+        compressed_bytes: total(true),
+    }
+}
+
+// ---------------------------------------------------------------------
 // BENCH_exec.json (hand-rolled; the tree has no serde)
 // ---------------------------------------------------------------------
 
 /// Renders the result file: one entry object per line so the parser in
-/// [`parse_results`] stays line-oriented.
-pub fn render_json(mode: &str, entries: &[BenchEntry]) -> String {
+/// [`parse_results`] stays line-oriented. The optional shuffle report
+/// becomes a single `"shuffle"` line that [`parse_results`] ignores (no
+/// `"name"` field), so the regression gate sees exactly the kernels.
+pub fn render_json(
+    mode: &str,
+    entries: &[BenchEntry],
+    shuffle: Option<&ShuffleBytesReport>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"suite\": \"exec\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str("  \"unit\": \"ns, best-of-N wall time\",\n");
+    if let Some(sh) = shuffle {
+        s.push_str(&format!(
+            "  \"shuffle\": {{\"rows\": {}, \"plain_bytes\": {}, \"compressed_bytes\": {}, \"ratio\": {:.3}}},\n",
+            sh.rows, sh.plain_bytes, sh.compressed_bytes, sh.ratio()
+        ));
+    }
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
@@ -699,11 +874,34 @@ mod tests {
     #[test]
     fn engines_agree_and_json_roundtrips() {
         let entries = run_suite(&[2_000], Duration::from_millis(5));
-        assert_eq!(entries.len(), 7);
-        let text = render_json("test", &entries);
+        assert_eq!(entries.len(), 9);
+        let text = render_json("test", &entries, None);
         let back = parse_results(&text);
         assert_eq!(entries, back);
         assert!(find_regressions(&entries, &entries, 2.0).is_empty());
+    }
+
+    /// The `"shuffle"` line must not confuse the line-oriented entry
+    /// parser, and compression must strictly shrink shuffled bytes on a
+    /// real distributed run.
+    #[test]
+    fn shuffle_compression_strictly_shrinks_measured_bytes() {
+        let report = shuffle_bytes_report(4_000);
+        assert!(
+            report.compressed_bytes < report.plain_bytes,
+            "compression on shipped {} bytes, off shipped {}",
+            report.compressed_bytes,
+            report.plain_bytes
+        );
+        let entries = vec![BenchEntry {
+            name: "join".into(),
+            rows: 100,
+            baseline_ns: 10,
+            vectorized_ns: 5,
+        }];
+        let text = render_json("test", &entries, Some(&report));
+        assert!(text.contains("\"shuffle\""));
+        assert_eq!(parse_results(&text), entries);
     }
 
     /// The investigation behind the `filter_join` comment in

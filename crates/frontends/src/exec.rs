@@ -122,7 +122,7 @@ impl MemDb {
                         DataType::Int64 => ScalarType::I64,
                         DataType::Float64 => ScalarType::F64,
                         DataType::Bool => ScalarType::Bool,
-                        DataType::Utf8 => ScalarType::Str,
+                        DataType::Utf8 | DataType::DictUtf8 => ScalarType::Str,
                     };
                     (f.name.clone(), t)
                 })
@@ -330,8 +330,10 @@ pub(crate) fn selection_indices(
 /// Typed key equality for join collision checks. Floats compare by bit
 /// pattern (so NaN keys self-join and `-0.0` stays distinct from `0.0`,
 /// matching the old rendered-key semantics); a mixed `Int64`/`Float64`
-/// pair compares through the integer's `f64` value. Null keys never
-/// join. Other cross-type pairs are unequal.
+/// pair compares *exactly* via [`compute::i64_f64_key_eq`] — no lossy
+/// `i64 -> f64` cast, so distinct integers above 2^53 never collide.
+/// Dictionary and plain string keys compare by resolved value. Null keys
+/// never join. Other cross-type pairs are unequal.
 fn join_key_eq(l: &Array, li: usize, r: &Array, ri: usize) -> bool {
     match (l, r) {
         (Array::Int64(a), Array::Int64(b)) => {
@@ -343,19 +345,28 @@ fn join_key_eq(l: &Array, li: usize, r: &Array, ri: usize) -> bool {
         (Array::Int64(a), Array::Float64(b)) => {
             matches!(
                 (a.get(li), b.get(ri)),
-                (Some(x), Some(y)) if (x as f64).to_bits() == y.to_bits()
+                (Some(x), Some(y)) if compute::i64_f64_key_eq(x, y)
             )
         }
         (Array::Float64(a), Array::Int64(b)) => {
             matches!(
                 (a.get(li), b.get(ri)),
-                (Some(x), Some(y)) if x.to_bits() == (y as f64).to_bits()
+                (Some(x), Some(y)) if compute::i64_f64_key_eq(y, x)
             )
         }
         (Array::Bool(a), Array::Bool(b)) => {
             matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
         }
         (Array::Utf8(a), Array::Utf8(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
+        }
+        (Array::DictUtf8(a), Array::DictUtf8(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
+        }
+        (Array::DictUtf8(a), Array::Utf8(b)) => {
+            matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
+        }
+        (Array::Utf8(a), Array::DictUtf8(b)) => {
             matches!((a.get(li), b.get(ri)), (Some(x), Some(y)) if x == y)
         }
         _ => false,
@@ -535,6 +546,7 @@ fn group_key_eq(batch: &RecordBatch, cols: &[usize], a: usize, b: usize) -> bool
         },
         Array::Bool(arr) => arr.get(a) == arr.get(b),
         Array::Utf8(arr) => arr.get(a) == arr.get(b),
+        Array::DictUtf8(arr) => arr.get(a) == arr.get(b),
     })
 }
 
@@ -1061,7 +1073,10 @@ fn execute_inner(q: &Query, db: &MemDb, spans: &mut ExecSpans) -> Result<RecordB
             KernelStats::default(),
         );
     }
-    Ok(current)
+    // Output boundary: results leave the engine as plain columns, so a
+    // query over dictionary-encoded tables is byte-identical to one over
+    // plain tables.
+    Ok(current.dict_decoded())
 }
 
 #[cfg(test)]
@@ -1322,6 +1337,70 @@ mod tests {
             out.column_by_name("r").unwrap().value_at(1),
             Value::Str("x".into())
         );
+    }
+
+    #[test]
+    fn join_mixed_keys_exact_above_2_53() {
+        // 2^53 is the last f64-exact integer: 2^53 + 1 as f64 rounds back
+        // down to 2^53. The old coerced equality joined both left rows to
+        // the float key; exact equality joins only the representable one.
+        let big = 1i64 << 53;
+        let left = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("l", DataType::Utf8, false),
+            ]),
+            vec![
+                Array::from_i64(vec![big, big + 1]),
+                Array::from_utf8(&["exact", "offbyone"]),
+            ],
+        )
+        .unwrap();
+        let right = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("fk", DataType::Float64, false),
+                Field::new("r", DataType::Utf8, false),
+            ]),
+            vec![Array::from_f64(vec![big as f64]), Array::from_utf8(&["f"])],
+        )
+        .unwrap();
+        let out = hash_join(&left, &right, "k", "fk").unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(
+            out.column_by_name("l").unwrap().value_at(0),
+            Value::Str("exact".into())
+        );
+        // Same result with the sides flipped.
+        let out = hash_join(&right, &left, "fk", "k").unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn dict_tables_compute_identical_results() {
+        let plain = db();
+        let mut dict = MemDb::new();
+        for (name, batch) in plain.tables() {
+            dict = dict.register(name, batch.dict_encoded());
+        }
+        // The events.kind column actually encoded (2 distinct over 6 rows).
+        assert_eq!(
+            dict.table("events")
+                .unwrap()
+                .column_by_name("kind")
+                .unwrap()
+                .data_type(),
+            DataType::DictUtf8
+        );
+        for sql in [
+            "SELECT user_id, kind FROM events WHERE kind = 'click'",
+            "SELECT kind, sum(value) AS total, count(*) AS n FROM events GROUP BY kind",
+            "SELECT country, sum(value) AS total FROM events \
+             JOIN users ON user_id = user_id GROUP BY country",
+            "SELECT kind FROM events ORDER BY kind DESC LIMIT 3",
+            "SELECT min(kind) AS lo FROM events",
+        ] {
+            assert_eq!(plain.query(sql).unwrap(), dict.query(sql).unwrap(), "{sql}");
+        }
     }
 
     #[test]

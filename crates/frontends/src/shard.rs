@@ -175,7 +175,10 @@ pub fn execute_shard_stats(
                         if let Some(n) = limit {
                             cur = truncate(&cur, n as usize)?;
                         }
-                        strip_hidden(&cur)?
+                        // Output boundary: deliver plain columns so the
+                        // result matches the reference engine regardless
+                        // of which columns ran dictionary-encoded.
+                        strip_hidden(&cur)?.dict_decoded()
                     }
                     ExecOp::Scan { .. } | ExecOp::Join { .. } | ExecOp::Fused(_) => {
                         unreachable!("handled above / flattened")
@@ -279,13 +282,21 @@ fn append_column(batch: &RecordBatch, field: Field, col: Array) -> Result<Record
 
 /// Shard `shard` of a base-table scan: the contiguous row range
 /// `[shard*n/shards, (shard+1)*n/shards)` plus its `__rid` column.
+///
+/// Eligible `Utf8` columns dictionary-encode here, at the data plane's
+/// entry point, so every downstream shuffle ships keys instead of string
+/// bytes. The encode decision is made on the *whole table* (not the
+/// slice) so every shard agrees on the column type; slices then share
+/// the table-level dictionary via O(1) clones. The Collect sink decodes,
+/// keeping results byte-identical to the plain reference engine.
 fn scan_shard(table: &RecordBatch, shard: u32, shards: u32) -> Result<RecordBatch, SqlError> {
+    let table = table.dict_encoded();
     let n = table.num_rows() as u64;
     let shards = shards.max(1) as u64;
     let lo = (shard as u64 * n / shards) as usize;
     let hi = ((shard as u64 + 1) * n / shards) as usize;
     let idx: Vec<usize> = (lo..hi).collect();
-    let slice = compute::take_indices(table, &idx).map_err(wrap)?;
+    let slice = compute::take_indices(&table, &idx).map_err(wrap)?;
     let rid = Array::from_i64((lo..hi).map(|r| r as i64).collect());
     append_column(&slice, Field::new(RID, DataType::Int64, true), rid)
 }

@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use skadi_arrow::batch::RecordBatch;
-use skadi_arrow::ipc;
+use skadi_arrow::{compression, ipc};
 use skadi_flowgraph::physical::{PEdgeKind, PVertexId, PhysicalGraph};
 use skadi_flowgraph::profile::{OpProfile, QueryProfile, ShardStats};
 use skadi_flowgraph::ExecOp;
@@ -165,16 +165,33 @@ pub struct GraphExecutor {
     graph: PhysicalGraph,
     tables: BTreeMap<String, RecordBatch>,
     stats: Rc<RefCell<DataPlaneStats>>,
+    compress: bool,
 }
 
 impl GraphExecutor {
     /// Builds an executor for `graph` reading base tables from `tables`.
+    /// Stored payloads are block-compressed by default (see
+    /// [`GraphExecutor::with_compression`]).
     pub fn new(graph: PhysicalGraph, tables: BTreeMap<String, RecordBatch>) -> Self {
         GraphExecutor {
             graph,
             tables,
             stats: Rc::new(RefCell::new(DataPlaneStats::default())),
+            compress: true,
         }
+    }
+
+    /// Toggles block compression of stored task payloads. When on, each
+    /// shard's IPC frame goes through [`compression::maybe_compress`]
+    /// before the cluster stores it, so every byte size the simulator
+    /// prices (transfer, inlining, caching) reflects the compressed
+    /// frame. Decode auto-detects by magic, so producers and consumers
+    /// never need to agree out of band.
+    ///
+    /// [`compression::maybe_compress`]: skadi_arrow::compression::maybe_compress
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compress = on;
+        self
     }
 
     /// A shared handle onto the executor's measurements; stays readable
@@ -196,11 +213,19 @@ impl TaskExecutor for GraphExecutor {
             .as_ref()
             .ok_or_else(|| format!("vertex {} ({}) has no exec descriptor", v.id, v.op))?;
 
-        // Decode each producer's full stored payload once.
+        // Decode each producer's full stored payload once. Payloads may
+        // arrive block-compressed (detected by magic) or plain.
         let mut decoded: BTreeMap<u64, RecordBatch> = BTreeMap::new();
         for (p, buf) in inputs {
-            let b = ipc::decode(Bytes::from(buf.to_vec()))
-                .map_err(|e| format!("decode payload of {p}: {e}"))?;
+            let frame = if compression::is_compressed(buf) {
+                Bytes::from(
+                    compression::decompress(buf)
+                        .map_err(|e| format!("decompress payload of {p}: {e}"))?,
+                )
+            } else {
+                Bytes::from(buf.to_vec())
+            };
+            let b = ipc::decode(frame).map_err(|e| format!("decode payload of {p}: {e}"))?;
             decoded.insert(p.0, b);
         }
 
@@ -262,7 +287,12 @@ impl TaskExecutor for GraphExecutor {
         )
         .map_err(|e| format!("shard {}/{} of {}: {e}", v.shard, v.shards, v.op))?;
         let wall = started.elapsed();
-        let bytes = ipc::encode(&out).to_vec();
+        let frame = ipc::encode(&out);
+        let bytes = if self.compress {
+            compression::maybe_compress(&frame)
+        } else {
+            frame.to_vec()
+        };
         self.stats.borrow_mut().timings.push(ShardTiming {
             task: t,
             op_id: v.op_id,

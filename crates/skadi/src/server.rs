@@ -35,7 +35,7 @@ use skadi_frontends::exec::MemDb;
 use skadi_frontends::sql;
 use skadi_wire as wire;
 use wire::codec::{read_packet, write_packet, WireError};
-use wire::packet::{code, Packet, CAP_PROGRESS, PROTOCOL_VERSION};
+use wire::packet::{code, Packet, CAP_COMPRESSION, CAP_PROGRESS, PROTOCOL_VERSION};
 
 use crate::session::{Session, SkadiError};
 
@@ -65,7 +65,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             name: "skadi".to_string(),
-            capabilities: CAP_PROGRESS,
+            capabilities: CAP_PROGRESS | CAP_COMPRESSION,
             max_frame: wire::DEFAULT_MAX_FRAME,
             block_rows: 1024,
             max_concurrent: 8,
@@ -337,7 +337,16 @@ impl Server {
                 skadi_arrow::compute::take_indices(&batch, &indices)
                     .map_err(|e| WireError::Arrow(e.to_string()))?
             };
-            let payload = skadi_arrow::ipc::encode(&chunk);
+            let frame = skadi_arrow::ipc::encode(&chunk);
+            // Compression is negotiated: only a client that advertised
+            // CAP_COMPRESSION may receive compressed payloads. A frame
+            // that wouldn't shrink still travels raw (the receiver tells
+            // the two apart by magic).
+            let payload = if caps & CAP_COMPRESSION != 0 {
+                bytes::Bytes::from(skadi_arrow::compression::maybe_compress(&frame))
+            } else {
+                frame
+            };
             sent_rows += chunk.num_rows() as u64;
             sent_bytes += payload.len() as u64;
             write_packet(

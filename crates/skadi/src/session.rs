@@ -96,6 +96,7 @@ pub struct SessionBuilder {
     policy: BackendPolicy,
     optimize: bool,
     skew_multiple: f64,
+    shuffle_compression: bool,
 }
 
 impl SessionBuilder {
@@ -143,6 +144,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Toggles block compression of shuffle/stored payloads in the
+    /// distributed data plane (defaults to on). Off, every task stores
+    /// its raw IPC frame — useful for measuring what compression saves,
+    /// since `measured_output_bytes` feeds all storage/network pricing.
+    pub fn shuffle_compression(mut self, on: bool) -> Self {
+        self.shuffle_compression = on;
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         Session {
@@ -155,6 +165,7 @@ impl SessionBuilder {
             policy: self.policy,
             optimize: self.optimize,
             skew_multiple: self.skew_multiple,
+            shuffle_compression: self.shuffle_compression,
         }
     }
 }
@@ -168,6 +179,7 @@ pub struct Session {
     pub(crate) policy: BackendPolicy,
     pub(crate) optimize: bool,
     pub(crate) skew_multiple: f64,
+    pub(crate) shuffle_compression: bool,
 }
 
 impl Session {
@@ -181,6 +193,7 @@ impl Session {
             policy: BackendPolicy::cost_based(),
             optimize: true,
             skew_multiple: 2.0,
+            shuffle_compression: true,
         }
     }
 
@@ -270,7 +283,8 @@ impl Session {
             .ok_or_else(|| SkadiError::Sql(sql::SqlError::Plan("plan has no sink".into())))?;
 
         let mut cluster = Cluster::new(&self.topology, self.runtime.clone());
-        let executor = GraphExecutor::new(phys.clone(), db.tables().clone());
+        let executor = GraphExecutor::new(phys.clone(), db.tables().clone())
+            .with_compression(self.shuffle_compression);
         let measurements = executor.stats();
         cluster.set_executor(Box::new(executor));
         let stats = cluster.run_with_failures(&job, failures)?;
@@ -279,7 +293,14 @@ impl Session {
                 "data plane: sink stored no payload".into(),
             ))
         })?;
-        let batch = skadi_arrow::ipc::decode(bytes::Bytes::from(payload.to_vec()))
+        let frame = if skadi_arrow::compression::is_compressed(payload) {
+            skadi_arrow::compression::decompress(payload).map_err(|e| {
+                SkadiError::Sql(sql::SqlError::Plan(format!("decompress result: {e}")))
+            })?
+        } else {
+            payload.to_vec()
+        };
+        let batch = skadi_arrow::ipc::decode(bytes::Bytes::from(frame))
             .map_err(|e| SkadiError::Sql(sql::SqlError::Plan(format!("decode result: {e}"))))?;
         let data_plane = measurements.borrow().clone();
         let profile =

@@ -3,10 +3,10 @@
 use std::io::{Read, Write};
 
 use skadi_arrow::batch::RecordBatch;
-use skadi_arrow::ipc;
+use skadi_arrow::{compression, ipc};
 
 use crate::codec::{read_packet, write_packet, WireError, DEFAULT_MAX_FRAME};
-use crate::packet::{Packet, CAP_PROGRESS, PROTOCOL_VERSION};
+use crate::packet::{Packet, CAP_COMPRESSION, CAP_PROGRESS, PROTOCOL_VERSION};
 
 /// One successful query's reassembled result.
 #[derive(Debug, Clone)]
@@ -39,9 +39,14 @@ pub struct Client<S: Read + Write> {
 
 impl<S: Read + Write> Client<S> {
     /// Performs the handshake with default capabilities
-    /// ([`CAP_PROGRESS`]) and frame bound.
+    /// ([`CAP_PROGRESS`] | [`CAP_COMPRESSION`]) and frame bound.
     pub fn connect(stream: S, client_name: &str) -> Result<Self, WireError> {
-        Client::connect_with(stream, client_name, CAP_PROGRESS, DEFAULT_MAX_FRAME)
+        Client::connect_with(
+            stream,
+            client_name,
+            CAP_PROGRESS | CAP_COMPRESSION,
+            DEFAULT_MAX_FRAME,
+        )
     }
 
     /// Performs the handshake advertising the given capability set.
@@ -109,8 +114,17 @@ impl<S: Read + Write> Client<S> {
                 Packet::Data { query_id, payload } => {
                     self.check_id(query_id, id)?;
                     payload_bytes += payload.len() as u64;
-                    let batch =
-                        ipc::decode(payload).map_err(|e| WireError::Arrow(e.to_string()))?;
+                    // Compressed payloads announce themselves by magic;
+                    // plain frames keep the zero-copy decode path.
+                    let frame = if compression::is_compressed(&payload) {
+                        bytes::Bytes::from(
+                            compression::decompress(&payload)
+                                .map_err(|e| WireError::Arrow(e.to_string()))?,
+                        )
+                    } else {
+                        payload
+                    };
+                    let batch = ipc::decode(frame).map_err(|e| WireError::Arrow(e.to_string()))?;
                     blocks.push(batch);
                 }
                 Packet::Progress { query_id, .. } => {

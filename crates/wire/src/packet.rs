@@ -12,6 +12,14 @@ pub const PROTOCOL_VERSION: u16 = 1;
 /// client's and server's sets and both sides honour the result.
 pub const CAP_PROGRESS: u32 = 1 << 0;
 
+/// Capability bit: [`Packet::Data`] payloads may be block-compressed
+/// (`skadi_arrow::compression`). The server compresses only when both
+/// sides advertise this bit; the receiver distinguishes compressed from
+/// plain frames by magic, so a payload that didn't shrink travels raw
+/// even after negotiation. Old clients that never set the bit keep
+/// receiving plain IPC frames.
+pub const CAP_COMPRESSION: u32 = 1 << 1;
+
 /// Exception codes carried by [`Packet::Exception`].
 pub mod code {
     /// The SQL frontend rejected the statement (lex/parse/plan).

@@ -277,6 +277,178 @@ fn determinism_across_seeds_and_runs() {
     assert!(!shuffles[0].is_empty(), "group-by query must shuffle");
 }
 
+/// Registering dictionary-encoded tables must be observationally
+/// invisible: the result bytes match a plain-table MemDb at every
+/// parallelism, and under kill-and-recover chaos. (The engine also
+/// dict-encodes internally at scan time; this pins the *input* side.)
+#[test]
+fn dict_encoded_tables_are_byte_identical_to_plain() {
+    let plain = big_db();
+    let mut dict = MemDb::new();
+    for (name, batch) in plain.tables() {
+        let encoded = batch.dict_encoded();
+        dict = dict.register(name, encoded);
+    }
+    // The low-cardinality string columns really did encode.
+    assert!(matches!(
+        dict.table("events").unwrap().column(2),
+        Array::DictUtf8(_)
+    ));
+    for &p in &[1u32, 2, 4, 8] {
+        let session = session_with(p);
+        for sql in BIG_QUERIES {
+            let run = session.sql_distributed(&dict, sql).unwrap();
+            assert_identical(&plain, sql, &run, &format!("dict tables, parallelism {p}"));
+        }
+    }
+    // And through chaos: kill a server mid-query, recover it later.
+    let topo = presets::small_disagg_cluster();
+    let victim = topo.servers()[0];
+    let plan = FailurePlan::none().kill_and_recover(
+        victim,
+        SimTime::from_micros(3),
+        SimTime::from_millis(4),
+    );
+    let session = Session::builder()
+        .topology(topo)
+        .parallelism(4)
+        .runtime(RuntimeConfig::skadi_gen2().with_ft(FtMode::Lineage))
+        .build();
+    let sql = BIG_QUERIES[2];
+    let run = session
+        .sql_distributed_with_failures(&dict, sql, &plan)
+        .unwrap();
+    assert_identical(&plain, sql, &run, "dict tables under chaos");
+    assert_eq!(run.report.stats.abandoned, 0);
+}
+
+/// NaN ordering (`f64::total_cmp`: NaN after +inf ascending) must be
+/// deterministic and identical between the local engine and the
+/// distributed plane, for full sorts and for TopN.
+#[test]
+fn nan_ordering_identical_local_and_distributed() {
+    let m = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("x", DataType::Float64, false),
+        ]),
+        vec![
+            Array::from_i64((0..8).collect()),
+            Array::from_f64(vec![
+                f64::NAN,
+                1.5,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                -0.0,
+                f64::NAN,
+                -3.25,
+                0.0,
+            ]),
+        ],
+    )
+    .unwrap();
+    let db = MemDb::new().register("m", m);
+    let queries = [
+        "SELECT x FROM m ORDER BY x",
+        "SELECT x FROM m ORDER BY x DESC",
+        "SELECT x FROM m ORDER BY x DESC LIMIT 3",
+        "SELECT x FROM m ORDER BY x LIMIT 5",
+    ];
+    // Ascending: NaNs land strictly last.
+    match db.query(queries[0]).unwrap().column(0) {
+        Array::Float64(xs) => {
+            assert!(xs.get(6).unwrap().is_nan() && xs.get(7).unwrap().is_nan());
+            assert_eq!(xs.get(5).unwrap(), f64::INFINITY);
+        }
+        other => panic!("unexpected column {other:?}"),
+    }
+    for &p in &[1u32, 2, 4, 8] {
+        let session = session_with(p);
+        for sql in &queries {
+            let run = session.sql_distributed(&db, sql).unwrap();
+            assert_identical(&db, sql, &run, &format!("NaN ordering, parallelism {p}"));
+        }
+    }
+}
+
+/// Mixed int/float join keys compare exactly: an i64 key above 2^53 must
+/// not collide with the f64 its neighbour rounds to — locally and
+/// distributed.
+#[test]
+fn mixed_join_keys_exact_above_2_53_distributed() {
+    const P53: i64 = 1 << 53;
+    let facts = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("k", DataType::Int64, false),
+            Field::new("v", DataType::Float64, false),
+        ]),
+        vec![
+            // P53 + 1 rounds to P53 as f64; exact equality must reject it.
+            Array::from_i64(vec![P53, P53 + 1, 5]),
+            Array::from_f64(vec![1.0, 2.0, 3.0]),
+        ],
+    )
+    .unwrap();
+    let dims = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("fkey", DataType::Float64, false),
+            Field::new("label", DataType::Utf8, false),
+        ]),
+        vec![
+            Array::from_f64(vec![P53 as f64, 5.0]),
+            Array::from_utf8(&["big", "small"]),
+        ],
+    )
+    .unwrap();
+    let db = MemDb::new().register("facts", facts).register("dims", dims);
+    let sql = "SELECT k, label FROM facts JOIN dims ON k = fkey ORDER BY k";
+    let local = db.query(sql).unwrap();
+    // Exactly two matches: 5 and P53 itself — never P53 + 1.
+    assert_eq!(local.num_rows(), 2);
+    match local.column(0) {
+        Array::Int64(ks) => {
+            assert_eq!(ks.get(0).unwrap(), 5);
+            assert_eq!(ks.get(1).unwrap(), P53);
+        }
+        other => panic!("unexpected column {other:?}"),
+    }
+    for &p in &[1u32, 2, 4] {
+        let session = session_with(p);
+        let run = session.sql_distributed(&db, sql).unwrap();
+        assert_identical(&db, sql, &run, &format!("2^53 join, parallelism {p}"));
+    }
+}
+
+/// With shuffle compression on (the default), a distributed run must
+/// report strictly fewer measured output bytes than the same run with
+/// compression off — and identical result bytes.
+#[test]
+fn shuffle_compression_shrinks_measured_output_bytes() {
+    let db = big_db();
+    let sql = "SELECT label, sum(v) AS s FROM events JOIN dims ON k = k GROUP BY label ORDER BY s";
+    let run_with = |compress: bool| {
+        let session = Session::builder()
+            .topology(presets::small_disagg_cluster())
+            .parallelism(4)
+            .shuffle_compression(compress)
+            .build();
+        session.sql_distributed(&db, sql).unwrap()
+    };
+    let off = run_with(false);
+    let on = run_with(true);
+    assert_identical(&db, sql, &on, "compression on");
+    assert_identical(&db, sql, &off, "compression off");
+    let total = |run: &skadi::DistributedRun| -> u64 {
+        run.report.stats.measured_output_bytes.values().sum()
+    };
+    assert!(
+        total(&on) < total(&off),
+        "compression on shipped {} bytes, off shipped {}",
+        total(&on),
+        total(&off)
+    );
+}
+
 #[test]
 fn task_output_sizes_are_measured_not_estimated() {
     let db = golden_db();
