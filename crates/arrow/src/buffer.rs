@@ -217,15 +217,23 @@ impl Bitmap {
         self.bits.as_slice()[i / 8] & (1 << (i % 8)) != 0
     }
 
-    /// Number of set bits. Counts whole bytes via `count_ones`, masking
-    /// the padding bits of the final byte (which `all_set` leaves set).
+    /// Number of set bits. Popcounts the packed bytes a u64 word (eight
+    /// bytes) at a time, falling back to per-byte `count_ones` for the
+    /// sub-word remainder and masking the padding bits of the final byte
+    /// (which `all_set` leaves set).
     pub fn count_set(&self) -> usize {
         let full_bytes = self.len / 8;
         let bytes = self.bits.as_slice();
-        let mut n: usize = bytes[..full_bytes]
+        let mut chunks = bytes[..full_bytes].chunks_exact(8);
+        let mut n: usize = 0;
+        for word in &mut chunks {
+            n += u64::from_le_bytes(word.try_into().expect("8 bytes")).count_ones() as usize;
+        }
+        n += chunks
+            .remainder()
             .iter()
             .map(|b| b.count_ones() as usize)
-            .sum();
+            .sum::<usize>();
         let tail = self.len % 8;
         if tail > 0 {
             let mask = (1u16 << tail) as u8 - 1;
@@ -282,6 +290,18 @@ mod tests {
         }
         assert_eq!(bm.count_set(), bools.iter().filter(|b| **b).count());
         assert_eq!(bm.iter().collect::<Vec<_>>(), bools);
+    }
+
+    #[test]
+    fn count_set_matches_naive_across_word_boundaries() {
+        // Lengths chosen to hit: empty, sub-byte, sub-word, exact word
+        // multiples, and word-plus-tail shapes of the popcount loop.
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 128, 131, 1027] {
+            let bools: Vec<bool> = (0..len).map(|i| (i * 7 + i / 3) % 5 < 2).collect();
+            let bm = Bitmap::from_bools(&bools);
+            let naive = bools.iter().filter(|b| **b).count();
+            assert_eq!(bm.count_set(), naive, "len {len}");
+        }
     }
 
     #[test]

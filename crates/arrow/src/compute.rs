@@ -35,23 +35,39 @@ pub fn filter(batch: &RecordBatch, mask: &Array) -> Result<RecordBatch, ArrowErr
 pub fn mask_to_indices(mask: &Array) -> Result<Vec<usize>, ArrowError> {
     let mask = mask.as_bool()?;
     let n = mask.len();
+    let vals = mask.values().buffer().as_slice();
+    let valid = mask.validity().map(|v| v.buffer().as_slice());
     let mut out = Vec::new();
-    match mask.validity() {
-        None => {
-            let bits = mask.values();
-            for i in 0..n {
-                if bits.get(i) {
-                    out.push(i);
-                }
-            }
+    // Scan 64 rows per iteration: AND the value and validity words, skip
+    // all-false words with one compare, and walk set bits by
+    // `trailing_zeros` so cost tracks selected rows, not total rows.
+    let whole_words = n / 64;
+    for w in 0..whole_words {
+        let at = w * 8;
+        let mut word = u64::from_le_bytes(vals[at..at + 8].try_into().expect("8 bytes"));
+        if let Some(vv) = valid {
+            word &= u64::from_le_bytes(vv[at..at + 8].try_into().expect("8 bytes"));
         }
-        Some(v) => {
-            let bits = mask.values();
-            for i in 0..n {
-                if v.get(i) && bits.get(i) {
-                    out.push(i);
-                }
+        let base = w * 64;
+        while word != 0 {
+            out.push(base + word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
+    // Tail bytes; the final byte's padding bits are guarded against `n`
+    // (an `all_set` values bitmap leaves them set).
+    for i in whole_words * 8..n.div_ceil(8) {
+        let mut byte = vals[i];
+        if let Some(vv) = valid {
+            byte &= vv[i];
+        }
+        let base = i * 8;
+        while byte != 0 {
+            let row = base + byte.trailing_zeros() as usize;
+            if row < n {
+                out.push(row);
             }
+            byte &= byte - 1;
         }
     }
     Ok(out)
@@ -846,12 +862,9 @@ mod tests {
         let b = mixed_batch();
         for cols in [vec![0usize], vec![1, 2], vec![0, 1, 2, 3], vec![3, 0]] {
             let vectorized = hash_rows(&b, &cols);
-            for r in 0..b.num_rows() {
-                assert_eq!(
-                    vectorized[r],
-                    hash_row(&b, &cols, r),
-                    "cols {cols:?} row {r}"
-                );
+            assert_eq!(vectorized.len(), b.num_rows());
+            for (r, &h) in vectorized.iter().enumerate() {
+                assert_eq!(h, hash_row(&b, &cols, r), "cols {cols:?} row {r}");
             }
         }
     }
@@ -940,59 +953,135 @@ pub enum SortOrder {
 /// Dispatches on the variant once and sorts over typed keys gathered
 /// into a flat vector — no `Value` boxing in the comparator.
 pub fn sort_to_indices(col: &Array, order: SortOrder) -> Array {
-    let mut idx: Vec<usize> = (0..col.len()).collect();
-    let dir = |ord: std::cmp::Ordering| match order {
-        SortOrder::Ascending => ord,
-        SortOrder::Descending => ord.reverse(),
-    };
-    // Stable sorts keep equal keys in row order.
-    match col {
-        Array::Int64(a) => {
-            let keys: Vec<Option<i64>> = a.iter().collect();
-            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
-        }
-        Array::Float64(a) => {
-            let keys: Vec<Option<f64>> = a.iter().collect();
-            idx.sort_by(|&x, &y| {
-                dir(match (keys[x], keys[y]) {
-                    (None, None) => std::cmp::Ordering::Equal,
-                    (None, Some(_)) => std::cmp::Ordering::Less,
-                    (Some(_), None) => std::cmp::Ordering::Greater,
-                    // `total_cmp`, not `partial_cmp`: NaN has no partial
-                    // order, and a non-total comparator makes `sort_by`
-                    // placement arbitrary (or panics). IEEE total order
-                    // puts NaN above +inf (and -NaN below -inf), so NaNs
-                    // sort last ascending, deterministically.
-                    (Some(a), Some(b)) => a.total_cmp(&b),
-                })
-            });
-        }
-        Array::Bool(a) => {
-            let keys: Vec<Option<bool>> = a.iter().collect();
-            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
-        }
-        Array::Utf8(a) => {
-            let keys: Vec<Option<&str>> = a.iter().collect();
-            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
-        }
-        Array::DictUtf8(a) => {
-            // Rank each dictionary entry once (entries are deduplicated,
-            // so ranks are a total order identical to string order); the
-            // comparator then works over u32 ranks, never string bytes.
-            let dict = a.dictionary();
-            let mut by_str: Vec<u32> = (0..dict.len() as u32).collect();
-            by_str.sort_by(|&x, &y| dict.get(x as usize).cmp(&dict.get(y as usize)));
-            let mut rank = vec![0u32; dict.len()];
-            for (r, k) in by_str.iter().enumerate() {
-                rank[*k as usize] = r as u32;
+    let idx = SortKeys::new(col).sort_range(order, 0, col.len() as u32);
+    Array::from_i64(idx.into_iter().map(|i| i as i64).collect())
+}
+
+/// Typed sort keys extracted from a column once, reusable across range
+/// sorts and run merges. Owned (the `Utf8` variant holds an O(1) clone of
+/// the array's shared buffers) and `Send + Sync`, so morsel-parallel sorts
+/// can share one extraction across worker threads.
+///
+/// The comparison rules are exactly [`sort_to_indices`]'s: NULLs lowest,
+/// floats by `total_cmp` (NaN above +inf), strings by code-point order,
+/// dictionary columns via precomputed entry ranks.
+pub struct SortKeys {
+    repr: KeyRepr,
+}
+
+enum KeyRepr {
+    I64(Vec<Option<i64>>),
+    F64(Vec<Option<f64>>),
+    Bool(Vec<Option<bool>>),
+    // Owned clone of the Utf8 array; comparisons read raw offset/data
+    // buffers (UTF-8 byte order equals code-point order).
+    Utf8(crate::array::Utf8Array),
+    Rank(Vec<Option<u32>>),
+}
+
+impl SortKeys {
+    /// Extracts sort keys from `col` (one pass; O(dict) extra for
+    /// dictionary rank assignment).
+    pub fn new(col: &Array) -> SortKeys {
+        let repr = match col {
+            Array::Int64(a) => KeyRepr::I64(a.iter().collect()),
+            Array::Float64(a) => KeyRepr::F64(a.iter().collect()),
+            Array::Bool(a) => KeyRepr::Bool(a.iter().collect()),
+            Array::Utf8(a) => KeyRepr::Utf8(a.clone()),
+            Array::DictUtf8(a) => {
+                // Rank each dictionary entry once (entries are
+                // deduplicated, so ranks are a total order identical to
+                // string order); comparisons then work over u32 ranks,
+                // never string bytes.
+                let dict = a.dictionary();
+                let mut by_str: Vec<u32> = (0..dict.len() as u32).collect();
+                by_str.sort_by(|&x, &y| dict.get(x as usize).cmp(&dict.get(y as usize)));
+                let mut rank = vec![0u32; dict.len()];
+                for (r, k) in by_str.iter().enumerate() {
+                    rank[*k as usize] = r as u32;
+                }
+                KeyRepr::Rank(
+                    (0..a.len())
+                        .map(|i| a.get(i).map(|_| rank[a.key_at(i) as usize]))
+                        .collect(),
+                )
             }
-            let keys: Vec<Option<u32>> = (0..a.len())
-                .map(|i| a.get(i).map(|_| rank[a.key_at(i) as usize]))
-                .collect();
-            idx.sort_by(|&x, &y| dir(keys[x].cmp(&keys[y])));
+        };
+        SortKeys { repr }
+    }
+
+    /// Ascending-semantics comparison of two rows' keys (NULLs first).
+    #[inline]
+    fn cmp_rows(&self, x: u32, y: u32) -> std::cmp::Ordering {
+        let (x, y) = (x as usize, y as usize);
+        match &self.repr {
+            KeyRepr::I64(k) => k[x].cmp(&k[y]),
+            KeyRepr::F64(k) => match (k[x], k[y]) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                // `total_cmp`, not `partial_cmp`: NaN has no partial
+                // order, and a non-total comparator makes `sort_by`
+                // placement arbitrary (or panics). IEEE total order puts
+                // NaN above +inf (and -NaN below -inf), so NaNs sort last
+                // ascending, deterministically.
+                (Some(a), Some(b)) => a.total_cmp(&b),
+            },
+            KeyRepr::Bool(k) => k[x].cmp(&k[y]),
+            KeyRepr::Utf8(a) => {
+                let bytes_at = |i: usize| -> Option<&[u8]> {
+                    if a.validity().is_some_and(|v| !v.get(i)) {
+                        return None;
+                    }
+                    let start = a.offsets().get_i32(i) as usize;
+                    let end = a.offsets().get_i32(i + 1) as usize;
+                    Some(&a.data().as_slice()[start..end])
+                };
+                bytes_at(x).cmp(&bytes_at(y))
+            }
+            KeyRepr::Rank(k) => k[x].cmp(&k[y]),
         }
     }
-    Array::from_i64(idx.into_iter().map(|i| i as i64).collect())
+
+    /// Stably sorts the row range `lo..hi` into an index run: indices
+    /// ordered by `(key under order, row ascending)`. With the full range
+    /// this is exactly [`sort_to_indices`].
+    pub fn sort_range(&self, order: SortOrder, lo: u32, hi: u32) -> Vec<u32> {
+        let dir = |ord: std::cmp::Ordering| match order {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        };
+        let mut idx: Vec<u32> = (lo..hi).collect();
+        // Stable sorts keep equal keys in row order.
+        idx.sort_by(|&x, &y| dir(self.cmp_rows(x, y)));
+        idx
+    }
+
+    /// Merges two sorted index runs, breaking key ties by row index so the
+    /// result is ordered by `(key under order, row ascending)` — merging
+    /// per-morsel runs therefore reproduces the stable full sort
+    /// bit-for-bit, independent of how rows were split into runs.
+    pub fn merge(&self, order: SortOrder, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let dir = |ord: std::cmp::Ordering| match order {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        };
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i], b[j]);
+            if dir(self.cmp_rows(x, y)).then(x.cmp(&y)) != std::cmp::Ordering::Greater {
+                out.push(x);
+                i += 1;
+            } else {
+                out.push(y);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
 }
 
 /// Elementwise addition of two numeric columns (null if either side is).
@@ -1264,6 +1353,97 @@ mod kernel_extension_tests {
         let bd = RecordBatch::try_new(schema_d, vec![ints, dict]).unwrap();
         assert_eq!(hash_rows(&bp, &[0, 1]), hash_rows(&bd, &[0, 1]));
         assert_eq!(hash_rows(&bp, &[1]), hash_rows(&bd, &[1]));
+    }
+
+    #[test]
+    fn sorted_run_merge_reproduces_full_stable_sort() {
+        // Split rows into uneven runs, sort each range, merge pairwise in
+        // arbitrary order: the result must equal the one-shot stable sort
+        // for every type, with nulls, NaN, and duplicate keys present.
+        let cols = vec![
+            Array::from_opt_i64((0..97).map(|i| (i % 7 != 0).then_some(i % 5)).collect()),
+            Array::from_opt_f64(
+                (0..97)
+                    .map(|i| match i % 9 {
+                        0 => None,
+                        1 => Some(f64::NAN),
+                        2 => Some(-0.0),
+                        _ => Some(((i * 13) % 11) as f64 - 5.0),
+                    })
+                    .collect(),
+            ),
+            Array::from_opt_bool(
+                (0..97)
+                    .map(|i| (i % 4 != 0).then_some(i % 3 == 0))
+                    .collect(),
+            ),
+            Array::from_opt_utf8(
+                (0..97)
+                    .map(|i| [None, Some("a"), Some(""), Some("bb"), Some("a")][i % 5])
+                    .collect::<Vec<_>>(),
+            ),
+            Array::from_opt_dict_utf8(
+                (0..97)
+                    .map(|i| [Some("x"), None, Some("m"), Some("x"), Some("")][i % 5])
+                    .collect::<Vec<_>>(),
+            ),
+        ];
+        for col in &cols {
+            for order in [SortOrder::Ascending, SortOrder::Descending] {
+                let keys = SortKeys::new(col);
+                let bounds = [0u32, 10, 11, 40, 96, 97];
+                let mut runs: Vec<Vec<u32>> = bounds
+                    .windows(2)
+                    .map(|w| keys.sort_range(order, w[0], w[1]))
+                    .collect();
+                // Merge in a non-left-to-right order to show the merge
+                // tree shape doesn't matter.
+                while runs.len() > 1 {
+                    let b = runs.pop().unwrap();
+                    let a = runs.remove(0);
+                    runs.push(keys.merge(order, &a, &b));
+                }
+                let merged: Vec<i64> = runs.pop().unwrap().into_iter().map(i64::from).collect();
+                assert_eq!(
+                    Array::from_i64(merged),
+                    sort_to_indices(col, order),
+                    "{:?} {order:?}",
+                    col.data_type()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_to_indices_word_scan_matches_naive() {
+        // Cross word boundaries, with and without validity, and with an
+        // `all_set` values bitmap whose padding bits are set.
+        for n in [0usize, 1, 63, 64, 65, 127, 130, 517] {
+            let bools: Vec<bool> = (0..n).map(|i| (i * 11 + 3) % 7 < 3).collect();
+            let plain = mask_from_bools(&bools);
+            let want: Vec<usize> = (0..n).filter(|&i| bools[i]).collect();
+            assert_eq!(mask_to_indices(&plain).unwrap(), want, "plain n={n}");
+
+            let opts: Vec<Option<bool>> = (0..n)
+                .map(|i| match (i * 5 + 1) % 4 {
+                    0 => None,
+                    k => Some(k % 2 == 0 && bools[i]),
+                })
+                .collect();
+            let masked = Array::from_opt_bool(opts.clone());
+            let want: Vec<usize> = (0..n).filter(|&i| opts[i] == Some(true)).collect();
+            assert_eq!(mask_to_indices(&masked).unwrap(), want, "valid n={n}");
+
+            let all = Array::Bool(crate::array::BoolArray::from_parts(
+                Bitmap::all_set(n),
+                None,
+            ));
+            assert_eq!(
+                mask_to_indices(&all).unwrap(),
+                (0..n).collect::<Vec<_>>(),
+                "all_set n={n}"
+            );
+        }
     }
 
     #[test]

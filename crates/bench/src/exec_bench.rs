@@ -23,11 +23,12 @@ use std::time::{Duration, Instant};
 
 use skadi_arrow::array::{Array, Value};
 use skadi_arrow::batch::RecordBatch;
+use skadi_arrow::buffer::Bitmap;
 use skadi_arrow::compute::{self, CmpOp};
 use skadi_arrow::datatype::DataType;
 use skadi_arrow::schema::{Field, Schema};
 use skadi_dcsim::rng::DetRng;
-use skadi_frontends::exec;
+use skadi_frontends::exec::{self, pool};
 use skadi_frontends::sql::{parse, tokenize, Query};
 
 /// Path of the recorded perf trajectory, relative to this crate.
@@ -37,7 +38,8 @@ pub const RESULTS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Kernel name (`filter`, `join`, `filter_join`, `filter_join_hi`,
-    /// `filter_join_dict`, `group_by`, `group_by_dict`, `sort`, `topn`).
+    /// `filter_join_dict`, `group_by`, `group_by_dict`, `sort`, `topn`,
+    /// `popcount`, `mask_scan`).
     pub name: String,
     /// Input row count.
     pub rows: usize,
@@ -701,8 +703,55 @@ pub fn run_suite(sizes: &[usize], budget: Duration) -> Vec<BenchEntry> {
                 std::hint::black_box(vectorized_topn(&events, "value", 10));
             }),
         );
+
+        // Bit-level kernels: the u64-word popcount/scan fast paths vs
+        // their bit-at-a-time predecessors. The mask is the real
+        // `value > 50` comparison output (nullable input, so the scan
+        // must consult validity exactly like `mask_to_indices` does).
+        let mask = compute::cmp_scalar(
+            events.column_by_name("value").expect("value column"),
+            CmpOp::Gt,
+            &Value::F64(50.0),
+        )
+        .expect("cmp_scalar");
+        let bits = Bitmap::from_bools(&(0..n).map(|i| i % 3 != 0).collect::<Vec<bool>>());
+        assert_eq!(
+            (0..bits.len()).filter(|&i| bits.get(i)).count(),
+            bits.count_set(),
+            "popcount mismatch at {n} bits"
+        );
+        assert_eq!(
+            bitwise_mask_scan(&mask),
+            compute::mask_to_indices(&mask).expect("mask_to_indices"),
+            "mask_scan mismatch at {n} rows"
+        );
+        push(
+            "popcount",
+            time_ns(budget, || {
+                std::hint::black_box((0..bits.len()).filter(|&i| bits.get(i)).count());
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(bits.count_set());
+            }),
+        );
+        push(
+            "mask_scan",
+            time_ns(budget, || {
+                std::hint::black_box(bitwise_mask_scan(&mask));
+            }),
+            time_ns(budget, || {
+                std::hint::black_box(compute::mask_to_indices(&mask).expect("mask_to_indices"));
+            }),
+        );
     }
     out
+}
+
+/// Bit-at-a-time replica of `mask_to_indices` (the pre-word-scan shape):
+/// one `get` per row, null-checked through the boxed accessor.
+fn bitwise_mask_scan(mask: &Array) -> Vec<usize> {
+    let b = mask.as_bool().expect("bool mask");
+    (0..b.len()).filter(|&i| b.get(i) == Some(true)).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -759,17 +808,182 @@ pub fn shuffle_bytes_report(rows: usize) -> ShuffleBytesReport {
 }
 
 // ---------------------------------------------------------------------
+// Parallel scaling: the same kernel across pool sizes
+// ---------------------------------------------------------------------
+
+/// Thread counts the parallel suite sweeps (and the JSON records).
+pub const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One kernel at one size, timed at every [`PARALLEL_THREADS`] pool size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelEntry {
+    /// Kernel name (`join`, `group_by`, `sort`, `topn`).
+    pub kernel: String,
+    /// Input row count.
+    pub rows: usize,
+    /// `(threads, best-of-N wall ns)` per swept pool size.
+    pub threads_ns: Vec<(usize, u64)>,
+}
+
+impl ParallelEntry {
+    /// Wall-time speedup of `threads` vs 1 thread (higher is better).
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        let t1 = self.threads_ns.iter().find(|&&(t, _)| t == 1)?.1;
+        let tn = self.threads_ns.iter().find(|&&(t, _)| t == threads)?.1;
+        Some(t1 as f64 / tn.max(1) as f64)
+    }
+}
+
+/// The `"parallel"` section of `BENCH_exec.json`: scaling measurements
+/// plus the core count of the machine that produced them — scaling is a
+/// property of the host, so the regression gate reads its thresholds
+/// from `host_cores` instead of assuming CI hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// `available_parallelism()` of the recording host.
+    pub host_cores: usize,
+    /// One entry per (kernel, rows).
+    pub entries: Vec<ParallelEntry>,
+}
+
+/// Cores of the current host (what [`run_parallel_suite`] records).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sweeps join/group_by/sort/topn over `sizes` × [`PARALLEL_THREADS`],
+/// resizing the shared pool between runs. Before timing anything, every
+/// kernel's output at every thread count is asserted byte-identical to
+/// its 1-thread output — the determinism contract the engine documents.
+///
+/// Restores the pool to its original size before returning.
+/// A named result-producing kernel closure measured by the parallel sweep.
+type NamedKernel<'a> = (&'a str, Box<dyn Fn() -> RecordBatch + 'a>);
+
+pub fn run_parallel_suite(sizes: &[usize], budget: Duration) -> ParallelReport {
+    let restore = pool::global_threads();
+    let mut entries = Vec::new();
+    for &n in sizes {
+        let events = events_batch(n, 42);
+        let users = users_batch((n / 10).max(1), 7);
+        let q = group_query("user_id", "value", "events");
+        let db = exec::MemDb::new().register("events", events_batch(n, 42));
+        let sort_sql = "SELECT user_id, kind, value FROM events ORDER BY value";
+        let topn_sql = "SELECT user_id, kind, value FROM events ORDER BY value DESC LIMIT 10";
+
+        let kernels: Vec<NamedKernel<'_>> = vec![
+            (
+                "join",
+                Box::new(|| {
+                    exec::hash_join(&events, &users, "user_id", "user_id").expect("hash_join")
+                }),
+            ),
+            (
+                "group_by",
+                Box::new(|| exec::aggregate(&q, &events).expect("aggregate")),
+            ),
+            ("sort", Box::new(|| db.query(sort_sql).expect("sort query"))),
+            ("topn", Box::new(|| db.query(topn_sql).expect("topn query"))),
+        ];
+
+        for (name, f) in &kernels {
+            pool::set_global_threads(1);
+            let reference = f();
+            let mut threads_ns = Vec::with_capacity(PARALLEL_THREADS.len());
+            for &t in &PARALLEL_THREADS {
+                pool::set_global_threads(t);
+                assert_eq!(
+                    f(),
+                    reference,
+                    "{name} at {n} rows changed output at {t} threads"
+                );
+                threads_ns.push((
+                    t,
+                    time_ns(budget, || {
+                        std::hint::black_box(f());
+                    }),
+                ));
+            }
+            entries.push(ParallelEntry {
+                kernel: name.to_string(),
+                rows: n,
+                threads_ns,
+            });
+        }
+    }
+    pool::set_global_threads(restore);
+    ParallelReport {
+        host_cores: host_cores(),
+        entries,
+    }
+}
+
+/// The 4-thread speedup a host with `cores` cores must reach on the
+/// join/group_by scaling entries. Honest about hardware: a 1-core
+/// machine cannot speed up at all (the bound there only rejects gross
+/// pool overhead), 2–3 cores can overlap half the work, and ≥4 cores
+/// must show real morsel scaling.
+pub fn required_speedup(cores: usize) -> f64 {
+    if cores >= 4 {
+        2.5
+    } else if cores >= 2 {
+        1.4
+    } else {
+        0.6
+    }
+}
+
+/// The parallel scaling gate: join and group_by at the largest recorded
+/// size must reach [`required_speedup`] for the recording host's cores
+/// at 4 threads. Returns human-readable violations (empty = pass).
+pub fn find_scaling_regressions(report: &ParallelReport) -> Vec<String> {
+    find_scaling_regressions_with(report, required_speedup(report.host_cores))
+}
+
+/// [`find_scaling_regressions`] with an explicit speedup bar — the
+/// `check` binary uses a relaxed bar for its fresh 100k-row re-measure
+/// (morsel granularity caps speedup well below the 1M-row figures).
+pub fn find_scaling_regressions_with(report: &ParallelReport, need: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    let largest = report.entries.iter().map(|e| e.rows).max().unwrap_or(0);
+    for kernel in ["join", "group_by"] {
+        let entry = report
+            .entries
+            .iter()
+            .find(|e| e.kernel == kernel && e.rows == largest);
+        match entry {
+            None => problems.push(format!("parallel: no {kernel} entry at {largest} rows")),
+            Some(e) => match e.speedup_at(4) {
+                None => problems.push(format!(
+                    "parallel: {kernel} @ {largest} rows lacks 1- or 4-thread timings"
+                )),
+                Some(s) if s < need => problems.push(format!(
+                    "parallel: {kernel} @ {largest} rows: {s:.2}x at 4 threads, \
+                     need {need:.1}x on a {}-core host",
+                    report.host_cores
+                )),
+                Some(_) => {}
+            },
+        }
+    }
+    problems
+}
+
+// ---------------------------------------------------------------------
 // BENCH_exec.json (hand-rolled; the tree has no serde)
 // ---------------------------------------------------------------------
 
 /// Renders the result file: one entry object per line so the parser in
 /// [`parse_results`] stays line-oriented. The optional shuffle report
 /// becomes a single `"shuffle"` line that [`parse_results`] ignores (no
-/// `"name"` field), so the regression gate sees exactly the kernels.
+/// `"name"` field), so the regression gate sees exactly the kernels. The
+/// optional parallel report renders one `"kernel"`-keyed line per entry
+/// — likewise invisible to the `"name"`-keyed kernel parser.
 pub fn render_json(
     mode: &str,
     entries: &[BenchEntry],
     shuffle: Option<&ShuffleBytesReport>,
+    parallel: Option<&ParallelReport>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -781,6 +995,27 @@ pub fn render_json(
             "  \"shuffle\": {{\"rows\": {}, \"plain_bytes\": {}, \"compressed_bytes\": {}, \"ratio\": {:.3}}},\n",
             sh.rows, sh.plain_bytes, sh.compressed_bytes, sh.ratio()
         ));
+    }
+    if let Some(p) = parallel {
+        s.push_str(&format!(
+            "  \"parallel\": {{\"host_cores\": {}, \"entries\": [\n",
+            p.host_cores
+        ));
+        for (i, e) in p.entries.iter().enumerate() {
+            let comma = if i + 1 == p.entries.len() { "" } else { "," };
+            let mut fields = String::new();
+            for &(t, ns) in &e.threads_ns {
+                fields.push_str(&format!(", \"t{t}_ns\": {ns}"));
+            }
+            let speedup = e
+                .speedup_at(4)
+                .map_or(String::new(), |x| format!(", \"speedup4\": {x:.2}"));
+            s.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"rows\": {}{fields}{speedup}}}{comma}\n",
+                e.kernel, e.rows
+            ));
+        }
+        s.push_str("  ]},\n");
     }
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -817,6 +1052,62 @@ pub fn parse_results(text: &str) -> Vec<BenchEntry> {
         .collect()
 }
 
+/// Parses the `"parallel"` section back out of a [`render_json`] file.
+/// Returns `None` when the file predates the section.
+pub fn parse_parallel(text: &str) -> Option<ParallelReport> {
+    let host_cores: usize = text
+        .lines()
+        .find(|l| l.contains("\"host_cores\""))
+        .and_then(|l| json_field(l, "host_cores"))
+        .and_then(|v| v.parse().ok())?;
+    let entries: Vec<ParallelEntry> = text
+        .lines()
+        .filter_map(|line| {
+            let kernel = json_field(line, "kernel")?.to_string();
+            let rows = json_field(line, "rows")?.parse().ok()?;
+            let threads_ns: Vec<(usize, u64)> = PARALLEL_THREADS
+                .iter()
+                .filter_map(|&t| {
+                    let ns = json_field(line, &format!("t{t}_ns"))?.parse().ok()?;
+                    Some((t, ns))
+                })
+                .collect();
+            Some(ParallelEntry {
+                kernel,
+                rows,
+                threads_ns,
+            })
+        })
+        .collect();
+    Some(ParallelReport {
+        host_cores,
+        entries,
+    })
+}
+
+/// Pretty scaling table for stdout.
+pub fn render_parallel_table(report: &ParallelReport) -> String {
+    let mut s = format!(
+        "parallel scaling ({}-core host)\n{:<10} {:>9}",
+        report.host_cores, "kernel", "rows"
+    );
+    for t in PARALLEL_THREADS {
+        s.push_str(&format!(" {:>11}", format!("t{t}_ns")));
+    }
+    s.push_str("  speedup@4\n");
+    for e in &report.entries {
+        s.push_str(&format!("{:<10} {:>9}", e.kernel, e.rows));
+        for &(_, ns) in &e.threads_ns {
+            s.push_str(&format!(" {ns:>11}"));
+        }
+        match e.speedup_at(4) {
+            Some(x) => s.push_str(&format!("   {x:>6.2}x\n")),
+            None => s.push('\n'),
+        }
+    }
+    s
+}
+
 /// Pretty table for stdout.
 pub fn render_table(entries: &[BenchEntry]) -> String {
     let mut s = format!(
@@ -839,14 +1130,19 @@ pub fn render_table(entries: &[BenchEntry]) -> String {
 /// Compares a fresh vectorized measurement against the committed
 /// baseline file; returns the list of regressions (>`factor`x slower).
 /// Entries under 20µs are skipped — scheduler jitter dominates there.
+/// Committed entries at row counts the fresh run never measured are
+/// skipped too, so a `full`-mode artifact (with 1M-row points) can be
+/// gated by a smoke-size re-measurement without false "missing" hits;
+/// a kernel absent at a size the fresh run *did* cover still fails.
 pub fn find_regressions(
     committed: &[BenchEntry],
     fresh: &[BenchEntry],
     factor: f64,
 ) -> Vec<String> {
+    let fresh_sizes: std::collections::BTreeSet<usize> = fresh.iter().map(|f| f.rows).collect();
     let mut problems = Vec::new();
     for c in committed {
-        if c.vectorized_ns < 20_000 {
+        if c.vectorized_ns < 20_000 || !fresh_sizes.contains(&c.rows) {
             continue;
         }
         match fresh.iter().find(|f| f.name == c.name && f.rows == c.rows) {
@@ -874,11 +1170,102 @@ mod tests {
     #[test]
     fn engines_agree_and_json_roundtrips() {
         let entries = run_suite(&[2_000], Duration::from_millis(5));
-        assert_eq!(entries.len(), 9);
-        let text = render_json("test", &entries, None);
+        assert_eq!(entries.len(), 11);
+        let text = render_json("test", &entries, None, None);
         let back = parse_results(&text);
         assert_eq!(entries, back);
         assert!(find_regressions(&entries, &entries, 2.0).is_empty());
+    }
+
+    /// The parallel section renders, round-trips, stays invisible to the
+    /// kernel-entry parser, and the scaling gate reads its thresholds
+    /// from the recorded host cores.
+    #[test]
+    fn parallel_section_roundtrips_and_gates() {
+        let report = ParallelReport {
+            host_cores: 8,
+            entries: ["join", "group_by", "sort", "topn"]
+                .iter()
+                .map(|k| ParallelEntry {
+                    kernel: k.to_string(),
+                    rows: 1_000_000,
+                    threads_ns: vec![
+                        (1, 4_000_000),
+                        (2, 2_100_000),
+                        (4, 1_500_000),
+                        (8, 1_400_000),
+                    ],
+                })
+                .collect(),
+        };
+        let entries = vec![BenchEntry {
+            name: "join".into(),
+            rows: 100,
+            baseline_ns: 10,
+            vectorized_ns: 5,
+        }];
+        let text = render_json("test", &entries, None, Some(&report));
+        assert_eq!(
+            parse_results(&text),
+            entries,
+            "parallel lines leaked into kernel entries"
+        );
+        assert_eq!(parse_parallel(&text).as_ref(), Some(&report));
+
+        // 4M/1.5M ns = 2.67x: passes the 4-core bar, and trivially the
+        // 1-core one.
+        assert!(find_scaling_regressions(&report).is_empty());
+        let one_core = ParallelReport {
+            host_cores: 1,
+            ..report.clone()
+        };
+        assert!(find_scaling_regressions(&one_core).is_empty());
+
+        // Flat scaling on a multi-core host must fire for join and
+        // group_by (and only those — sort/topn are recorded, not gated).
+        let mut flat = report.clone();
+        for e in &mut flat.entries {
+            e.threads_ns = vec![
+                (1, 1_000_000),
+                (2, 1_000_000),
+                (4, 1_000_000),
+                (8, 1_000_000),
+            ];
+        }
+        assert_eq!(find_scaling_regressions(&flat).len(), 2);
+        // The same flat numbers are acceptable on a 1-core host…
+        flat.host_cores = 1;
+        assert!(find_scaling_regressions(&flat).is_empty());
+        // …but gross pool overhead (4 threads 2x slower than 1) is not.
+        for e in &mut flat.entries {
+            e.threads_ns = vec![
+                (1, 1_000_000),
+                (2, 1_500_000),
+                (4, 2_000_000),
+                (8, 2_000_000),
+            ];
+        }
+        assert_eq!(find_scaling_regressions(&flat).len(), 2);
+    }
+
+    /// A tiny end-to-end sweep: outputs must be byte-identical at every
+    /// pool size (asserted inside the suite) and every entry must carry
+    /// all four thread timings.
+    #[test]
+    fn parallel_suite_is_thread_invariant() {
+        let _guard = pool_test_lock();
+        let report = run_parallel_suite(&[2_000], Duration::from_millis(2));
+        assert_eq!(report.entries.len(), 4);
+        for e in &report.entries {
+            assert_eq!(e.threads_ns.len(), PARALLEL_THREADS.len());
+        }
+        assert_eq!(report.host_cores, host_cores());
+    }
+
+    /// Serializes tests that resize the process-wide pool.
+    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The `"shuffle"` line must not confuse the line-oriented entry
@@ -899,7 +1286,7 @@ mod tests {
             baseline_ns: 10,
             vectorized_ns: 5,
         }];
-        let text = render_json("test", &entries, Some(&report));
+        let text = render_json("test", &entries, Some(&report), None);
         assert!(text.contains("\"shuffle\""));
         assert_eq!(parse_results(&text), entries);
     }
@@ -955,5 +1342,31 @@ mod tests {
         let mut tiny_fresh = tiny.clone();
         tiny_fresh[0].vectorized_ns = 9_000;
         assert!(find_regressions(&tiny, &tiny_fresh, 2.0).is_empty());
+        // Committed sizes the fresh run never measured are skipped (a
+        // full-mode artifact gated by a smoke re-measurement), but a
+        // kernel missing at a size the fresh run covered still fails.
+        let full = vec![
+            BenchEntry {
+                name: "join".into(),
+                rows: 100_000,
+                baseline_ns: 1_000_000,
+                vectorized_ns: 100_000,
+            },
+            BenchEntry {
+                name: "join".into(),
+                rows: 1_000_000,
+                baseline_ns: 10_000_000,
+                vectorized_ns: 1_000_000,
+            },
+        ];
+        let smoke_fresh = vec![full[0].clone()];
+        assert!(find_regressions(&full, &smoke_fresh, 2.0).is_empty());
+        let wrong_kernel = vec![BenchEntry {
+            name: "sort".into(),
+            rows: 100_000,
+            baseline_ns: 1_000_000,
+            vectorized_ns: 100_000,
+        }];
+        assert_eq!(find_regressions(&full, &wrong_kernel, 2.0).len(), 1);
     }
 }

@@ -155,6 +155,21 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// All events pending at exactly time `at`, in delivery (FIFO) order,
+    /// without popping them. An inspection hook for handlers that want to
+    /// batch work across same-instant events (e.g. executing every task
+    /// that completes at one simulated timestamp together).
+    pub fn pending_at(&self, at: SimTime) -> Vec<&E> {
+        let mut v: Vec<(u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|e| e.time == at)
+            .map(|e| (e.seq, &e.event))
+            .collect();
+        v.sort_unstable_by_key(|&(seq, _)| seq);
+        v.into_iter().map(|(_, e)| e).collect()
+    }
+
     /// Runs the queue to exhaustion, passing each event to `handler`.
     ///
     /// The handler receives the queue itself so it can schedule follow-up

@@ -40,6 +40,9 @@ pub struct ShardStats {
     pub hash_collisions: u64,
     /// For group-by: number of distinct groups produced.
     pub groups: u64,
+    /// Hash-table capacity-growth events. The kernels preallocate from
+    /// exact row counts, so any non-zero value flags a sizing bug.
+    pub rehashes: u64,
 }
 
 /// Min / median / max over a set of per-shard values. The median of an
@@ -245,6 +248,9 @@ impl QueryProfile {
                 }
                 if s.groups > 0 {
                     fields.push(format!("\"groups\": {}", s.groups));
+                }
+                if s.rehashes > 0 {
+                    fields.push(format!("\"rehashes\": {}", s.rehashes));
                 }
                 let comma = if j + 1 < op.shards.len() { "," } else { "" };
                 let _ = writeln!(out, "        {{{}}}{}", fields.join(", "), comma);

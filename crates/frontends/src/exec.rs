@@ -36,6 +36,11 @@ use crate::sql::planner::ops;
 use crate::sql::{parse, tokenize, SqlError};
 use skadi_ir::types::ScalarType;
 
+pub mod parallel;
+pub mod pool;
+
+use pool::PARALLEL_MIN_ROWS;
+
 /// An in-memory database: named tables of record batches.
 #[derive(Debug, Clone, Default)]
 pub struct MemDb {
@@ -177,6 +182,11 @@ pub struct KernelStats {
     pub hash_collisions: u64,
     /// Distinct groups produced (group-by only).
     pub groups: u64,
+    /// Hash-table growth events: how many times a join or group table had
+    /// to double capacity and reinsert. The kernels size tables from exact
+    /// row-count hints, so this stays 0 on every planned path; a non-zero
+    /// value flags a sizing bug.
+    pub rehashes: u64,
 }
 
 impl KernelStats {
@@ -185,6 +195,7 @@ impl KernelStats {
         self.hash_slots += other.hash_slots;
         self.hash_collisions += other.hash_collisions;
         self.groups += other.groups;
+        self.rehashes += other.rehashes;
     }
 }
 
@@ -262,6 +273,7 @@ impl ExecSpans<'_> {
                     hash_slots: kernel.hash_slots,
                     hash_collisions: kernel.hash_collisions,
                     groups: kernel.groups,
+                    rehashes: kernel.rehashes,
                 },
             ));
         }
@@ -285,7 +297,10 @@ pub(crate) fn apply_conjuncts(
     conjuncts: &[&Comparison],
 ) -> Result<RecordBatch, SqlError> {
     match conjunct_mask(batch, conjuncts)? {
-        Some(m) => compute::filter(batch, &m).map_err(wrap),
+        Some(m) => {
+            let idx = compute::mask_to_indices(&m).map_err(wrap)?;
+            parallel::take_batch(batch, &idx).map_err(wrap)
+        }
         None => Ok(batch.clone()),
     }
 }
@@ -296,6 +311,12 @@ fn conjunct_mask(
     batch: &RecordBatch,
     conjuncts: &[&Comparison],
 ) -> Result<Option<Array>, SqlError> {
+    // Multiple conjuncts over a large batch evaluate concurrently; the
+    // branch keys on data size only, so path choice (and the resulting
+    // mask bytes) never depends on thread count.
+    if conjuncts.len() >= 2 && batch.num_rows() >= PARALLEL_MIN_ROWS {
+        return parallel::conjunct_mask(batch, conjuncts);
+    }
     let mut mask: Option<Array> = None;
     for c in conjuncts {
         let col = batch.column_by_name(&c.column).map_err(wrap)?;
@@ -317,12 +338,7 @@ pub(crate) fn selection_indices(
     conjuncts: &[&Comparison],
 ) -> Result<Vec<usize>, SqlError> {
     match conjunct_mask(batch, conjuncts)? {
-        Some(m) => {
-            let b = m.as_bool().expect("comparison masks are Bool");
-            Ok((0..batch.num_rows())
-                .filter(|&i| b.get(i) == Some(true))
-                .collect())
-        }
+        Some(m) => compute::mask_to_indices(&m).map_err(wrap),
         None => Ok((0..batch.num_rows()).collect()),
     }
 }
@@ -440,6 +456,17 @@ pub(crate) fn join_rows(
         (lcol.data_type(), rcol.data_type()),
         (DataType::Int64, DataType::Float64) | (DataType::Float64, DataType::Int64)
     );
+
+    // Large joins take the partitioned parallel path. The threshold is
+    // data-dependent only, so which kernel runs — and every stat it
+    // reports — is identical at every thread count.
+    let probe_rows = left_sel.map_or(left.num_rows(), |s| s.len());
+    if probe_rows.max(right.num_rows()) >= PARALLEL_MIN_ROWS {
+        return Ok(parallel::join_rows_partitioned(
+            lcol, rcol, mixed, left_sel, stats,
+        ));
+    }
+
     // Probe-side hashes: hashing the whole column amortizes best when
     // probing every row, but a selection probe hashes only the rows it
     // touches — `hash_key_at` is bit-identical per row.
@@ -523,13 +550,7 @@ pub(crate) fn assemble_join(
         right_cols.push(i);
     }
 
-    let mut columns: Vec<Array> = Vec::with_capacity(fields.len());
-    for c in 0..left.num_columns() {
-        columns.push(left.column(c).take_rows(left_rows));
-    }
-    for &c in &right_cols {
-        columns.push(right.column(c).take_rows(right_rows));
-    }
+    let columns = parallel::gather_join_columns(left, right, &right_cols, left_rows, right_rows);
     RecordBatch::try_new(Schema::new(fields), columns).map_err(wrap)
 }
 
@@ -770,6 +791,13 @@ pub(crate) fn aggregate_spec(
         .collect::<Result<_, _>>()?;
     let nrows = input.num_rows();
 
+    // Large grouped aggregations take the partitioned parallel path
+    // (byte-identical output; the threshold is data-dependent only).
+    // Global aggregates stay serial — one group, nothing to partition.
+    if !group_cols.is_empty() && nrows >= PARALLEL_MIN_ROWS {
+        return parallel::aggregate_partitioned(&group_cols, aggs, input, stats);
+    }
+
     // Assign each row a dense group id.
     let mut row_group: Vec<u32> = Vec::with_capacity(nrows);
     let mut rep_rows: Vec<usize> = Vec::new(); // first row seen per group
@@ -780,41 +808,27 @@ pub(crate) fn aggregate_spec(
         group_sizes.push(nrows as i64);
     } else {
         let hashes = compute::hash_rows(input, &group_cols);
-        // Linear-probing table of group ids, addressed by the row hash.
-        // Capacity 2x rows keeps the load factor under 0.5; slots store
-        // the group id, keys compare by stored hash then typed equality.
-        let cap = (nrows * 2).next_power_of_two().max(16);
-        stats.hash_slots += cap as u64;
-        let mask = cap as u64 - 1;
-        let mut slots: Vec<u32> = vec![EMPTY_SLOT; cap];
-        let mut group_hashes: Vec<u64> = Vec::new();
+        // Linear-probing table of group ids, addressed by the row hash,
+        // preallocated from the exact row count (so it never rehashes).
+        let mut table = parallel::GroupTable::with_capacity_hint(nrows);
+        stats.hash_slots += table.capacity() as u64;
+        let mut collisions = 0u64;
         for (r, &h) in hashes.iter().enumerate() {
-            let mut b = (fold_hash(h) & mask) as usize;
-            loop {
-                match slots[b] {
-                    EMPTY_SLOT => {
-                        let g = rep_rows.len() as u32;
-                        slots[b] = g;
-                        rep_rows.push(r);
-                        group_hashes.push(h);
-                        group_sizes.push(1);
-                        row_group.push(g);
-                        break;
-                    }
-                    g if group_hashes[g as usize] == h
-                        && group_key_eq(input, &group_cols, rep_rows[g as usize], r) =>
-                    {
-                        group_sizes[g as usize] += 1;
-                        row_group.push(g);
-                        break;
-                    }
-                    _ => {
-                        stats.hash_collisions += 1;
-                        b = (b + 1) & (cap - 1);
-                    }
-                }
+            let (g, inserted) = table.find_or_insert(
+                h,
+                |g| group_key_eq(input, &group_cols, rep_rows[g as usize], r),
+                &mut collisions,
+            );
+            if inserted {
+                rep_rows.push(r);
+                group_sizes.push(1);
+            } else {
+                group_sizes[g as usize] += 1;
             }
+            row_group.push(g);
         }
+        stats.hash_collisions += collisions;
+        stats.rehashes += table.rehashes;
     }
     let ng = group_sizes.len();
     stats.groups += ng as u64;
@@ -873,6 +887,12 @@ pub(crate) fn sort_by(
     } else {
         compute::SortOrder::Ascending
     };
+    // Large sorts run morsel-parallel: the merge's total order makes the
+    // permutation identical to the serial stable sort.
+    if batch.num_rows() >= PARALLEL_MIN_ROWS {
+        let perm = parallel::sort_permutation(col, order);
+        return parallel::take_batch(batch, &perm).map_err(wrap);
+    }
     let indices = compute::sort_to_indices(col, order);
     compute::take(batch, &indices).map_err(wrap)
 }

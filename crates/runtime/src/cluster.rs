@@ -60,7 +60,7 @@ use skadi_store::spill::{SpillPolicy, SpillTarget};
 
 use crate::config::{Deployment, FtMode, RuntimeConfig};
 use crate::error::RuntimeError;
-use crate::executor::TaskExecutor;
+use crate::executor::{ReadyTask, TaskExecutor};
 use crate::failure::FailurePlan;
 use crate::job::{Job, JobStats};
 use crate::lineage::LineageLog;
@@ -169,6 +169,11 @@ pub struct Cluster {
     /// Inputs staged (shared, not copied) for a dispatched task when its
     /// availability check passed; consumed when the task finishes.
     staged_inputs: HashMap<TaskId, StagedInputs>,
+    /// Results computed ahead of their `Finish` delivery by a batched
+    /// `execute_ready` call (every task completing at one simulated
+    /// instant executes together). Consumed when each task's own finish
+    /// commits; invalidated if the task resets first.
+    exec_results: HashMap<TaskId, Result<Vec<u8>, String>>,
     /// Measured output sizes (real encoded bytes) per executed task.
     measured_bytes: std::collections::BTreeMap<TaskId, u64>,
 
@@ -245,6 +250,7 @@ impl Cluster {
             executor: None,
             payloads: skadi_store::payload::PayloadStore::new(),
             staged_inputs: HashMap::new(),
+            exec_results: HashMap::new(),
             measured_bytes: std::collections::BTreeMap::new(),
             actor_node: HashMap::new(),
             actor_busy_until: HashMap::new(),
@@ -524,6 +530,7 @@ impl Cluster {
         self.ec_placements.clear();
         self.payloads.clear();
         self.staged_inputs.clear();
+        self.exec_results.clear();
         self.measured_bytes.clear();
         self.gangs = GangTracker::new();
         self.actor_node.clear();
@@ -1270,6 +1277,9 @@ impl Cluster {
         self.payloads.remove(t.0);
         self.measured_bytes.remove(&t);
         self.staged_inputs.remove(&t);
+        // A pre-executed result from a same-instant batch is stale once
+        // the attempt resets: the retry re-stages inputs and re-executes.
+        self.exec_results.remove(&t);
 
         let (pending, node, state) = {
             let rec = self.tasks.get_mut(&t).expect("known task");
@@ -1466,11 +1476,60 @@ impl Cluster {
         // storage, replication/EC sizing, transfer pricing, pass-by-value
         // inlining, and fetched-copy caching.
         let mut out_bytes = out_bytes;
-        if let Some(exec) = self.executor.as_mut() {
-            let staged = self.staged_inputs.remove(&t).unwrap_or_default();
-            let refs: Vec<(TaskId, &[u8])> =
-                staged.iter().map(|(p, b)| (*p, b.as_slice())).collect();
-            match exec.execute(t, &refs) {
+        if self.executor.is_some() {
+            // Batched execution: the first finish at a simulated instant
+            // also executes every other task finishing at that same
+            // instant (their `Finish` events are still pending in the
+            // queue), in one `execute_ready` call sorted by task ID. A
+            // parallel executor overlaps them on real threads; results
+            // for the peers wait in `exec_results` until their own finish
+            // commits them — in the exact order the serial path would
+            // have, so pricing and every downstream byte are unchanged.
+            let result = match self.exec_results.remove(&t) {
+                Some(r) => r,
+                None => {
+                    let mut batch: Vec<TaskId> = vec![t];
+                    for ev in queue.pending_at(now) {
+                        if let Event::Finish(t2, ep) = *ev {
+                            if t2 != t
+                                && ep == self.epoch(t2)
+                                && self
+                                    .tasks
+                                    .get(&t2)
+                                    .is_some_and(|r| r.state == TaskState::Running)
+                                && self.staged_inputs.contains_key(&t2)
+                                && !self.exec_results.contains_key(&t2)
+                            {
+                                batch.push(t2);
+                            }
+                        }
+                    }
+                    batch.sort_unstable();
+                    batch.dedup();
+                    let staged: Vec<(TaskId, StagedInputs)> = batch
+                        .iter()
+                        .map(|&b| (b, self.staged_inputs.remove(&b).unwrap_or_default()))
+                        .collect();
+                    let tasks: Vec<ReadyTask<'_>> = staged
+                        .iter()
+                        .map(|(b, s)| (*b, s.iter().map(|(p, by)| (*p, by.as_slice())).collect()))
+                        .collect();
+                    let results = match self.executor.as_mut() {
+                        Some(exec) => exec.execute_ready(&tasks),
+                        None => unreachable!("gated on executor.is_some()"),
+                    };
+                    let mut own = Err(format!("data plane returned no result for t{}", t.0));
+                    for (b, r) in batch.into_iter().zip(results) {
+                        if b == t {
+                            own = r;
+                        } else {
+                            self.exec_results.insert(b, r);
+                        }
+                    }
+                    own
+                }
+            };
+            match result {
                 Ok(bytes) => {
                     out_bytes = (bytes.len() as u64).max(1);
                     self.measured_bytes.insert(t, bytes.len() as u64);

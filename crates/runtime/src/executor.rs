@@ -24,6 +24,10 @@
 
 use crate::task::TaskId;
 
+/// One ready task and its staged inputs: `(task, [(producer, payload)])`
+/// with producers sorted by task ID.
+pub type ReadyTask<'a> = (TaskId, Vec<(TaskId, &'a [u8])>);
+
 /// Executes a task's real computation from its inputs' payload bytes.
 pub trait TaskExecutor {
     /// Runs task `t`. `inputs` holds one entry per producer task (each
@@ -32,6 +36,20 @@ pub trait TaskExecutor {
     /// returned bytes become the task's stored payload, and their length
     /// its measured output size.
     fn execute(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<Vec<u8>, String>;
+
+    /// Runs a batch of tasks that all completed at the same simulated
+    /// instant. `tasks` is sorted by task ID and results return in the
+    /// same order. The default delegates to [`TaskExecutor::execute`]
+    /// one task at a time; a parallel executor may overlap the batch on
+    /// real threads — each result must still be the same pure function
+    /// of that task's `(task, inputs)`, so batching can never change
+    /// output bytes, only wall-clock time.
+    fn execute_ready(&mut self, tasks: &[ReadyTask<'_>]) -> Vec<Result<Vec<u8>, String>> {
+        tasks
+            .iter()
+            .map(|(t, inputs)| self.execute(*t, inputs))
+            .collect()
+    }
 }
 
 impl<F> TaskExecutor for F

@@ -20,6 +20,11 @@
 //! cargo run -p skadi --bin skadi-cli -- --distributed --parallelism 8 "SELECT ..."
 //! ```
 //!
+//! `--threads N` (accepted by the default exec path, `--distributed`,
+//! and `serve`) sizes the process-wide morsel-execution pool. It changes
+//! only wall-clock time: answers, profiles, and simulated pricing are
+//! identical at every thread count.
+//!
 //! The `trace` subcommand runs the Figure-1 integrated pipeline with
 //! causal span tracing enabled, writes a Chrome `trace_event` JSON file
 //! (open it at <https://ui.perfetto.dev>), and prints the per-job
@@ -46,7 +51,7 @@
 //! reassembled result batches:
 //!
 //! ```text
-//! cargo run -p skadi --bin skadi-cli -- serve --addr 127.0.0.1:4711 [--distributed] [--rows N]
+//! cargo run -p skadi --bin skadi-cli -- serve --addr 127.0.0.1:4711 [--distributed] [--rows N] [--threads N]
 //! cargo run -p skadi --bin skadi-cli -- client --addr 127.0.0.1:4711 "SELECT ..." ...
 //! ```
 //!
@@ -499,8 +504,8 @@ fn run_metrics(args: &[String]) {
 }
 
 /// `skadi-cli serve [--addr HOST:PORT] [--rows N] [--distributed]
-/// [--parallelism N]`: serve the demo dataset over the native wire
-/// protocol until killed.
+/// [--parallelism N] [--threads N]`: serve the demo dataset over the
+/// native wire protocol until killed.
 fn run_serve(args: &[String]) {
     use skadi::server::{Server, ServerConfig};
 
@@ -508,6 +513,7 @@ fn run_serve(args: &[String]) {
     let mut rows = 10_000usize;
     let mut distributed = false;
     let mut parallelism = 4u32;
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -525,8 +531,18 @@ fn run_serve(args: &[String]) {
                     .and_then(|s| s.parse().ok())
                     .expect("--parallelism takes a number");
             }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads takes a number"),
+                );
+            }
             other => {
-                panic!("serve takes --addr, --rows, --distributed, --parallelism; got {other:?}")
+                panic!(
+                    "serve takes --addr, --rows, --distributed, --parallelism, --threads; \
+                     got {other:?}"
+                )
             }
         }
     }
@@ -540,6 +556,7 @@ fn run_serve(args: &[String]) {
         .build();
     let cfg = ServerConfig {
         distributed,
+        threads,
         ..ServerConfig::default()
     };
     let server = Server::new(session, db, cfg);
@@ -628,6 +645,7 @@ fn main() {
     }
     let mut distributed = false;
     let mut parallelism = 4u32;
+    let mut threads: Option<usize> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -639,18 +657,28 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--parallelism takes a number");
             }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads takes a number"),
+                );
+            }
             _ => rest.push(a),
         }
     }
     let args = rest;
 
     let db = demo_db(10_000);
-    let session = Session::builder()
+    let mut builder = Session::builder()
         .topology(presets::small_disagg_cluster())
         .catalog(Catalog::demo())
         .parallelism(parallelism)
-        .runtime(RuntimeConfig::skadi_gen2())
-        .build();
+        .runtime(RuntimeConfig::skadi_gen2());
+    if let Some(n) = threads {
+        builder = builder.threads(n);
+    }
+    let session = builder.build();
 
     let queries: Vec<String> = if args.is_empty() {
         demo_queries()

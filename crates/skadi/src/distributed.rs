@@ -23,6 +23,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -31,6 +32,7 @@ use skadi_arrow::{compression, ipc};
 use skadi_flowgraph::physical::{PEdgeKind, PVertexId, PhysicalGraph};
 use skadi_flowgraph::profile::{OpProfile, QueryProfile, ShardStats};
 use skadi_flowgraph::ExecOp;
+use skadi_frontends::exec::pool;
 use skadi_frontends::shard::{self, ShardExecStats};
 use skadi_runtime::{TaskExecutor, TaskId};
 
@@ -122,6 +124,7 @@ impl DataPlaneStats {
                 s.hash_slots = t.exec_stats.kernel.hash_slots;
                 s.hash_collisions = t.exec_stats.kernel.hash_collisions;
                 s.groups = t.exec_stats.kernel.groups;
+                s.rehashes = t.exec_stats.kernel.rehashes;
             }
             op.shards.push(s);
         }
@@ -161,9 +164,16 @@ fn is_join_consumer(op: &ExecOp) -> bool {
 }
 
 /// Executes physical-graph shards over real record batches.
+///
+/// The graph and base tables live behind `Arc` so shard computation —
+/// a pure function of `(descriptor, inputs)` — can run on the shared
+/// worker pool when the cluster hands over a same-instant batch via
+/// [`TaskExecutor::execute_ready`]. Stats stay single-threaded: input
+/// staging and timing commits happen on the calling thread, in task-ID
+/// order, so measurements are as deterministic as the serial path.
 pub struct GraphExecutor {
-    graph: PhysicalGraph,
-    tables: BTreeMap<String, RecordBatch>,
+    graph: Arc<PhysicalGraph>,
+    tables: Arc<BTreeMap<String, RecordBatch>>,
     stats: Rc<RefCell<DataPlaneStats>>,
     compress: bool,
 }
@@ -174,8 +184,8 @@ impl GraphExecutor {
     /// [`GraphExecutor::with_compression`]).
     pub fn new(graph: PhysicalGraph, tables: BTreeMap<String, RecordBatch>) -> Self {
         GraphExecutor {
-            graph,
-            tables,
+            graph: Arc::new(graph),
+            tables: Arc::new(tables),
             stats: Rc::new(RefCell::new(DataPlaneStats::default())),
             compress: true,
         }
@@ -201,8 +211,36 @@ impl GraphExecutor {
     }
 }
 
-impl TaskExecutor for GraphExecutor {
-    fn execute(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<Vec<u8>, String> {
+/// One task's shard, staged and ready to run: the exec descriptor plus
+/// this shard's extracted portion of every input edge. Produced serially
+/// by [`GraphExecutor::prepare`]; consumed by the pure
+/// [`GraphExecutor::run_shard`] (safe to run on any thread).
+struct PreparedShard {
+    task: TaskId,
+    op: ExecOp,
+    op_id: u32,
+    op_name: String,
+    shard: u32,
+    shards: u32,
+    port0: Vec<RecordBatch>,
+    port1: Vec<RecordBatch>,
+    rows_in: usize,
+}
+
+/// A finished shard run: encoded payload plus measurements, waiting to
+/// be committed into [`DataPlaneStats`] on the calling thread.
+struct ShardRun {
+    bytes: Vec<u8>,
+    rows_out: usize,
+    wall: Duration,
+    exec_stats: ShardExecStats,
+}
+
+impl GraphExecutor {
+    /// Stages task `t`: decodes producer payloads, extracts this shard's
+    /// portion of each in-edge, and records edge row counts. Runs on the
+    /// calling thread (it touches `stats`).
+    fn prepare(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<PreparedShard, String> {
         let idx = t.0 as usize;
         if idx >= self.graph.len() {
             return Err(format!("task {t} has no physical vertex"));
@@ -274,38 +312,109 @@ impl TaskExecutor for GraphExecutor {
             }
         }
 
+        Ok(PreparedShard {
+            task: t,
+            op: op.clone(),
+            op_id: v.op_id,
+            op_name: v.op.clone(),
+            shard: v.shard,
+            shards: v.shards,
+            port0,
+            port1,
+            rows_in,
+        })
+    }
+
+    /// Runs one staged shard: a pure function of the prepared inputs and
+    /// the (shared, immutable) base tables — safe on any pool thread.
+    fn run_shard(
+        tables: &BTreeMap<String, RecordBatch>,
+        p: &PreparedShard,
+        compress: bool,
+    ) -> Result<ShardRun, String> {
         let mut exec_stats = ShardExecStats::default();
         let started = std::time::Instant::now();
         let out = shard::execute_shard_stats(
-            op,
-            &self.tables,
-            v.shard,
-            v.shards,
-            &port0,
-            &port1,
+            &p.op,
+            tables,
+            p.shard,
+            p.shards,
+            &p.port0,
+            &p.port1,
             &mut exec_stats,
         )
-        .map_err(|e| format!("shard {}/{} of {}: {e}", v.shard, v.shards, v.op))?;
+        .map_err(|e| format!("shard {}/{} of {}: {e}", p.shard, p.shards, p.op_name))?;
         let wall = started.elapsed();
         let frame = ipc::encode(&out);
-        let bytes = if self.compress {
+        let bytes = if compress {
             compression::maybe_compress(&frame)
         } else {
             frame.to_vec()
         };
-        self.stats.borrow_mut().timings.push(ShardTiming {
-            task: t,
-            op_id: v.op_id,
-            op: v.op.clone(),
-            shard: v.shard,
-            shards: v.shards,
-            rows_in,
+        Ok(ShardRun {
             rows_out: out.num_rows(),
-            output_bytes: bytes.len() as u64,
+            bytes,
             wall,
             exec_stats,
+        })
+    }
+
+    /// Records a finished run's measurements and releases its payload.
+    fn commit(&mut self, p: &PreparedShard, run: ShardRun) -> Vec<u8> {
+        self.stats.borrow_mut().timings.push(ShardTiming {
+            task: p.task,
+            op_id: p.op_id,
+            op: p.op_name.clone(),
+            shard: p.shard,
+            shards: p.shards,
+            rows_in: p.rows_in,
+            rows_out: run.rows_out,
+            output_bytes: run.bytes.len() as u64,
+            wall: run.wall,
+            exec_stats: run.exec_stats,
         });
-        Ok(bytes)
+        run.bytes
+    }
+}
+
+impl TaskExecutor for GraphExecutor {
+    fn execute(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<Vec<u8>, String> {
+        let p = self.prepare(t, inputs)?;
+        let run = Self::run_shard(&self.tables, &p, self.compress)?;
+        Ok(self.commit(&p, run))
+    }
+
+    /// Same-instant batch: staging and commits stay serial in task-ID
+    /// order (the order the cluster hands us), while the shard kernels —
+    /// pure functions of their staged inputs — overlap on the shared
+    /// worker pool. Output bytes, row counts, and every stat except wall
+    /// nanos are identical to running the batch one task at a time.
+    fn execute_ready(
+        &mut self,
+        tasks: &[(TaskId, Vec<(TaskId, &[u8])>)],
+    ) -> Vec<Result<Vec<u8>, String>> {
+        let prepared: Vec<Result<PreparedShard, String>> = tasks
+            .iter()
+            .map(|(t, inputs)| self.prepare(*t, inputs))
+            .collect();
+        let prepared = Arc::new(prepared);
+        let prepared2 = Arc::clone(&prepared);
+        let tables = Arc::clone(&self.tables);
+        let compress = self.compress;
+        let runs = pool::global().run_indexed(prepared.len(), move |i| match &prepared2[i] {
+            Ok(p) => Some(Self::run_shard(&tables, p, compress)),
+            Err(_) => None,
+        });
+        prepared
+            .iter()
+            .zip(runs)
+            .map(|(p, run)| match (p, run) {
+                (Ok(p), Some(Ok(run))) => Ok(self.commit(p, run)),
+                (Ok(_), Some(Err(e))) => Err(e),
+                (Err(e), _) => Err(e.clone()),
+                (Ok(_), None) => unreachable!("prepared shard must produce a run"),
+            })
+            .collect()
     }
 }
 

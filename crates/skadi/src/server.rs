@@ -59,6 +59,12 @@ pub struct ServerConfig {
     /// Execute through the simulated cluster's distributed data plane
     /// ([`Session::sql_distributed`]) instead of the local engine.
     pub distributed: bool,
+    /// Worker threads in the process-wide execution pool that admitted
+    /// queries' kernels run on (`None` keeps the pool's current size —
+    /// `SKADI_THREADS` or the host's available parallelism). All
+    /// concurrent sessions share this one pool, so compute stays bounded
+    /// at `threads` cores no matter how many queries are admitted.
+    pub threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +77,7 @@ impl Default for ServerConfig {
             max_concurrent: 8,
             max_queued: 64,
             distributed: false,
+            threads: None,
         }
     }
 }
@@ -182,6 +189,9 @@ pub struct Server {
 impl Server {
     /// Creates a server over the given session and shared tables.
     pub fn new(session: Session, db: MemDb, cfg: ServerConfig) -> Arc<Self> {
+        if let Some(n) = cfg.threads {
+            skadi_frontends::exec::pool::set_global_threads(n.max(1));
+        }
         let admission = Admission::new(cfg.max_concurrent, cfg.max_queued);
         Arc::new(Server {
             session,

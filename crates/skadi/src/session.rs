@@ -97,6 +97,7 @@ pub struct SessionBuilder {
     optimize: bool,
     skew_multiple: f64,
     shuffle_compression: bool,
+    threads: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -153,8 +154,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the number of real worker threads the execution pool uses for
+    /// morsel-parallel kernels and same-instant shard batches. Defaults
+    /// to the host's available parallelism (or `SKADI_THREADS`). The
+    /// thread count changes only wall-clock time, never output bytes,
+    /// profile row counts, or simulated pricing.
+    ///
+    /// The pool is process-wide: building a session with `threads(n)`
+    /// resizes the shared pool for every session in the process.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
+        if let Some(n) = self.threads {
+            skadi_frontends::exec::pool::set_global_threads(n);
+        }
         Session {
             topology: self
                 .topology
@@ -194,6 +211,7 @@ impl Session {
             optimize: true,
             skew_multiple: 2.0,
             shuffle_compression: true,
+            threads: None,
         }
     }
 
