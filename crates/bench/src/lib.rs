@@ -11,6 +11,7 @@
 //! of them.
 
 pub mod exec_bench;
+pub mod sched_bench;
 pub mod table;
 
 pub mod e01_fig1_deployments;

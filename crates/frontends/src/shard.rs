@@ -74,6 +74,10 @@ pub struct ShardExecStats {
     pub filter_rows_in: u64,
     /// Rows surviving filter steps.
     pub filter_rows_out: u64,
+    /// Joins that built their hash table on the nominal probe side
+    /// because the adaptive executor observed the build input to be the
+    /// larger one. Zero unless adaptive execution is on.
+    pub build_swaps: u64,
 }
 
 impl ShardExecStats {
@@ -117,6 +121,30 @@ pub fn execute_shard_stats(
     port1: &[RecordBatch],
     stats: &mut ShardExecStats,
 ) -> Result<RecordBatch, SqlError> {
+    execute_shard_adaptive(op, tables, shard, shards, port0, port1, false, stats)
+}
+
+/// When the nominal build input of an adaptive join holds more than this
+/// multiple of the probe input's rows, the join builds on the probe side
+/// instead. A pure function of gathered row counts — never of timing.
+pub const SWAP_BUILD_MULTIPLE: usize = 2;
+
+/// [`execute_shard_stats`] with adaptive execution: when `adaptive` is
+/// true, a join whose gathered build side (`port1`) exceeds
+/// [`SWAP_BUILD_MULTIPLE`]× the probe side builds its hash table on the
+/// smaller side and restores probe order afterwards, so the output stays
+/// byte-identical to the static plan (see [`join_shard`]).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_shard_adaptive(
+    op: &ExecOp,
+    tables: &BTreeMap<String, RecordBatch>,
+    shard: u32,
+    shards: u32,
+    port0: &[RecordBatch],
+    port1: &[RecordBatch],
+    adaptive: bool,
+    stats: &mut ShardExecStats,
+) -> Result<RecordBatch, SqlError> {
     let mut current: Option<RecordBatch> = None;
     for step in op.clone().flatten() {
         let out = match step {
@@ -135,12 +163,7 @@ pub fn execute_shard_stats(
                     return Err(SqlError::Plan("join cannot be mid-chain".into()));
                 }
                 join_shard(
-                    port0,
-                    port1,
-                    &left_key,
-                    &right_key,
-                    right_rows,
-                    &mut stats.kernel,
+                    port0, port1, &left_key, &right_key, right_rows, adaptive, stats,
                 )?
             }
             other => {
@@ -344,13 +367,26 @@ fn rid_values(batch: &RecordBatch) -> Result<Vec<i64>, SqlError> {
 /// restricted to the keys hashed to this shard. The output row id is
 /// `left_rid * right_table_rows + right_rid`, which orders join outputs
 /// exactly like the reference engine's probe-order emission.
+///
+/// # Adaptive build-side swap
+///
+/// With `adaptive` on and the gathered build side more than
+/// [`SWAP_BUILD_MULTIPLE`]× larger than the probe side, the kernel runs
+/// with the roles reversed (build on the smaller left side, probe the
+/// right) and the match pairs are transposed back. The inner-join pair
+/// *set* is symmetric, and the static path's emission order — probe rows
+/// ascending, build chains ascending — is exactly ascending row-id order
+/// (both inputs are rid-canonical and the rid encoding is lexicographic
+/// in `(left_rid, right_rid)`), so a stable sort of the swapped output by
+/// row id reproduces the static output byte for byte.
 fn join_shard(
     port0: &[RecordBatch],
     port1: &[RecordBatch],
     left_key: &str,
     right_key: &str,
     right_rows: u64,
-    kernel: &mut exec::KernelStats,
+    adaptive: bool,
+    stats: &mut ShardExecStats,
 ) -> Result<RecordBatch, SqlError> {
     let left = gather(port0)?;
     let right = gather(port1)?;
@@ -358,14 +394,41 @@ fn join_shard(
     let r_rid = rid_values(&right)?;
     let left_vis = strip_hidden(&left)?;
     let right_vis = strip_hidden(&right)?;
-    let (lrows, rrows) = exec::join_rows(&left_vis, &right_vis, left_key, right_key, None, kernel)?;
-    let out = exec::assemble_join(&left_vis, &right_vis, right_key, &lrows, &rrows)?;
+    let swap = adaptive && right_vis.num_rows() > SWAP_BUILD_MULTIPLE * left_vis.num_rows();
+    let (lrows, rrows) = if swap {
+        stats.build_swaps += 1;
+        let (probe, build) = exec::join_rows(
+            &right_vis,
+            &left_vis,
+            right_key,
+            left_key,
+            None,
+            &mut stats.kernel,
+        )?;
+        (build, probe)
+    } else {
+        exec::join_rows(
+            &left_vis,
+            &right_vis,
+            left_key,
+            right_key,
+            None,
+            &mut stats.kernel,
+        )?
+    };
+    let mut out = exec::assemble_join(&left_vis, &right_vis, right_key, &lrows, &rrows)?;
     let stride = (right_rows as i64).max(1);
-    let rid: Vec<i64> = lrows
+    let mut rid: Vec<i64> = lrows
         .iter()
         .zip(&rrows)
         .map(|(&l, &r)| l_rid[l].wrapping_mul(stride).wrapping_add(r_rid[r]))
         .collect();
+    if swap {
+        let mut order: Vec<usize> = (0..rid.len()).collect();
+        order.sort_by_key(|&i| rid[i]);
+        out = compute::take_indices(&out, &order).map_err(wrap)?;
+        rid = order.iter().map(|&i| rid[i]).collect();
+    }
     append_column(
         &out,
         Field::new(RID, DataType::Int64, true),
@@ -502,6 +565,72 @@ mod tests {
                 t.column(0).value_at(r)
             );
         }
+    }
+
+    #[test]
+    fn adaptive_join_swap_is_byte_identical() {
+        // Small probe side, large skewed build side (with null keys):
+        // adaptive execution builds on the probe side, yet every shard
+        // must emit bytes identical to the static plan.
+        let left = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, true),
+                Field::new("a", DataType::Int64, false),
+            ]),
+            vec![
+                Array::from_opt_i64(vec![Some(1), Some(2), None, Some(3)]),
+                Array::from_i64(vec![10, 20, 25, 30]),
+            ],
+        )
+        .unwrap();
+        let rkeys: Vec<Option<i64>> = (0..24i64)
+            .map(|i| if i % 7 == 0 { None } else { Some(i % 3 + 1) })
+            .collect();
+        let right = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, true),
+                Field::new("b", DataType::Int64, false),
+            ]),
+            vec![
+                Array::from_opt_i64(rkeys),
+                Array::from_i64((0..24i64).map(|i| i * 100).collect()),
+            ],
+        )
+        .unwrap();
+        let tables = BTreeMap::from([("l".to_string(), left), ("r".to_string(), right)]);
+        let lscan =
+            execute_shard(&ExecOp::Scan { table: "l".into() }, &tables, 0, 1, &[], &[]).unwrap();
+        let rscan =
+            execute_shard(&ExecOp::Scan { table: "r".into() }, &tables, 0, 1, &[], &[]).unwrap();
+        let op = ExecOp::Join {
+            left_key: "k".into(),
+            right_key: "k".into(),
+            right_rows: 24,
+        };
+        let mut swaps = 0;
+        let mut matched = 0;
+        for shard in 0..2u32 {
+            let p0 = partition_by_key(&lscan, "k", 2, true).unwrap();
+            let p1 = partition_by_key(&rscan, "k", 2, true).unwrap();
+            let port0 = vec![p0[shard as usize].clone()];
+            let port1 = vec![p1[shard as usize].clone()];
+            let mut st = ShardExecStats::default();
+            let fixed =
+                execute_shard_adaptive(&op, &tables, shard, 2, &port0, &port1, false, &mut st)
+                    .unwrap();
+            assert_eq!(st.build_swaps, 0);
+            let mut ad = ShardExecStats::default();
+            let swapped =
+                execute_shard_adaptive(&op, &tables, shard, 2, &port0, &port1, true, &mut ad)
+                    .unwrap();
+            assert_eq!(fixed, swapped);
+            swaps += ad.build_swaps;
+            matched += fixed.num_rows();
+        }
+        assert!(swaps >= 1, "the skewed shard should have swapped");
+        // Null keys never match; every non-null left key matches 7 or 8
+        // duplicated right rows.
+        assert!(matched > 0);
     }
 
     #[test]

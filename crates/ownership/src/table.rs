@@ -247,6 +247,17 @@ impl OwnershipTable {
         v
     }
 
+    /// Number of rows listing `node` as a holder of the value — the rows
+    /// that node re-reports when a newly elected scheduler reconstructs
+    /// the table, so failover reconstruction can be priced by actual
+    /// per-node state size instead of a flat per-peer round trip.
+    pub fn rows_located_on(&self, node: NodeId) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.locations.contains(&node))
+            .count()
+    }
+
     /// Re-registers every row owned by `from` under `to`, returning the
     /// affected objects (sorted). Used at control-plane failover: the
     /// rows the dead scheduler hosted are reconstructed on the newly

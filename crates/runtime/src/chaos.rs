@@ -26,7 +26,9 @@
 
 use skadi_dcsim::rng::DetRng;
 use skadi_dcsim::time::{SimDuration, SimTime};
-use skadi_dcsim::topology::{NodeId, Topology};
+use skadi_dcsim::topology::{
+    DurableSpec, MemoryBladeSpec, NodeId, ServerSpec, Topology, TopologyBuilder,
+};
 
 use crate::cluster::{Cluster, PerJobStats};
 use crate::config::{FtMode, RuntimeConfig};
@@ -60,6 +62,25 @@ impl ChaosVerdict {
 /// one memory blade, durable storage.
 pub fn chaos_topology() -> Topology {
     skadi_dcsim::topology::presets::small_disagg_cluster()
+}
+
+/// A chaos topology scaled to an arbitrary server count: racks of 32
+/// servers, a memory blade per rack, durable storage. `scaled(10_000)`
+/// is the 10k-node cluster the scheduler-core benchmarks drive.
+pub fn chaos_topology_scaled(servers: u32) -> Topology {
+    const PER_RACK: u32 = 32;
+    let servers = servers.max(4);
+    let mut b = TopologyBuilder::new();
+    let mut left = servers;
+    while left > 0 {
+        let n = left.min(PER_RACK);
+        b = b.rack(|r| {
+            r.servers(n, ServerSpec::default());
+            r.memory_blade(MemoryBladeSpec::default());
+        });
+        left -= n;
+    }
+    b.durable_storage(DurableSpec::default()).build()
 }
 
 /// Runtime config for chaos runs: invariant checking on, gang scheduling
@@ -296,6 +317,128 @@ pub fn chaos_jobs(seed: u64) -> Vec<(Job, SimTime)> {
     jobs
 }
 
+/// [`chaos_jobs`] at arbitrary scale: exactly `n_jobs` staggered jobs,
+/// gang/actor IDs remapped into disjoint per-job ranges. Used by the
+/// scheduler-core benchmarks to keep a thousands-of-nodes cluster busy.
+pub fn chaos_jobs_scaled(seed: u64, n_jobs: usize) -> Vec<(Job, SimTime)> {
+    let mut rng = DetRng::seed(seed ^ 0x736a_6f62); // "sjob"
+    let mut jobs = Vec::new();
+    let mut at = 0u64;
+    for i in 0..n_jobs as u64 {
+        let base = chaos_job(seed.wrapping_mul(1_013).wrapping_add(i));
+        let specs: Vec<TaskSpec> = base
+            .tasks
+            .values()
+            .cloned()
+            .map(|mut spec| {
+                spec.gang = spec.gang.map(|g| GangId(g.0 + 100 * i as u32));
+                spec.actor = spec.actor.map(|a| ActorId(a.0 + 100 * i));
+                spec
+            })
+            .collect();
+        let job = Job::new(&format!("chaos-scaled-{seed}-{i}"), specs)
+            .expect("remapping ids preserves the DAG");
+        jobs.push((job, SimTime::from_micros(at)));
+        at += rng.range(100, 1_200);
+    }
+    jobs
+}
+
+/// A "regicide" schedule: kill the boot scheduler, then kill the node
+/// that just won the election while it is still reconstructing state
+/// from the raylets — forcing a failover *of the failover*. Both kills
+/// recover, so the schedule is survivable and the run must converge to
+/// the failure-free manifest.
+///
+/// The second strike lands a seeded few microseconds after the election
+/// delay expires — inside the window where the new scheduler is pricing
+/// per-peer state reports and has not finished reconstruction.
+pub fn chaos_plan_regicide(topo: &Topology, cfg: &RuntimeConfig, seed: u64) -> FailurePlan {
+    let mut rng = DetRng::seed(seed ^ 0x7265_6769); // "regi"
+    let servers = topo.servers();
+    assert!(
+        servers.len() >= 3,
+        "regicide needs at least three servers (two die)"
+    );
+    // The boot scheduler lives on the first server; with rack-aware
+    // election off the lowest-ID survivor inherits the crown.
+    let king = servers[0];
+    let heir = servers[1];
+    let t1 = rng.range(300, 1_500);
+    let delay = cfg.election_delay.as_micros();
+    // Strike while reconstruction reports are in flight.
+    let t2 = t1 + delay + rng.range(1, 150);
+    let recover1 = t2 + rng.range(2_000, 6_000);
+    let recover2 = recover1 + rng.range(500, 2_000);
+    FailurePlan::none()
+        .kill_and_recover(
+            king,
+            SimTime::from_micros(t1),
+            SimTime::from_micros(recover1),
+        )
+        .kill_and_recover(
+            heir,
+            SimTime::from_micros(t2),
+            SimTime::from_micros(recover2),
+        )
+}
+
+/// Runs seed `seed` under the regicide schedule
+/// ([`chaos_plan_regicide`]): failure-free baseline first, then the
+/// double-failover run. A correct runtime elects twice and still
+/// converges byte-for-byte.
+pub fn run_chaos_regicide(seed: u64, ft: FtMode) -> Result<ChaosVerdict, RuntimeError> {
+    let topo = chaos_topology();
+    let job = chaos_job(seed);
+    let cfg = chaos_config(ft);
+
+    let mut calm = Cluster::new(&topo, cfg.clone());
+    calm.run(&job)?;
+    let baseline = calm.output_manifest();
+
+    let plan = chaos_plan_regicide(&topo, &cfg, seed);
+    let mut stormy = Cluster::new(&topo, cfg);
+    let stats = stormy.run_with_failures(&job, &plan)?;
+    let chaotic = stormy.output_manifest();
+
+    Ok(ChaosVerdict {
+        plan,
+        stats,
+        baseline,
+        chaotic,
+    })
+}
+
+/// Multi-job chaos on an arbitrary topology: `n_jobs` staggered jobs
+/// ([`chaos_jobs_scaled`]) run failure-free, then again under the seeded
+/// survivable schedule. `cfg` is caller-supplied so large clusters can
+/// turn the O(nodes)-per-event debug invariant checker off.
+pub fn run_chaos_multi_scaled(
+    topo: &Topology,
+    seed: u64,
+    n_jobs: usize,
+    cfg: RuntimeConfig,
+) -> Result<MultiChaosVerdict, RuntimeError> {
+    let jobs = chaos_jobs_scaled(seed, n_jobs);
+
+    let mut calm = Cluster::new(topo, cfg.clone());
+    calm.run_jobs(&jobs, &FailurePlan::none())?;
+    let baseline = calm.output_manifest();
+
+    let plan = chaos_plan(topo, seed);
+    let mut stormy = Cluster::new(topo, cfg);
+    let (per_job, stats) = stormy.run_jobs(&jobs, &plan)?;
+    let chaotic = stormy.output_manifest();
+
+    Ok(MultiChaosVerdict {
+        plan,
+        per_job,
+        stats,
+        baseline,
+        chaotic,
+    })
+}
+
 /// Runs seed `seed` under `ft`: failure-free baseline first, then the
 /// chaos schedule on a fresh cluster, with invariant checking on in both.
 ///
@@ -518,6 +661,86 @@ mod tests {
             gangs_seen.extend(gangs);
             actors_seen.extend(actors);
         }
+    }
+
+    #[test]
+    fn scaled_topology_packs_racks_of_32() {
+        let topo = chaos_topology_scaled(100);
+        assert_eq!(topo.servers().len(), 100);
+        // 32 + 32 + 32 + 4 server racks, plus the durable rack.
+        assert_eq!(topo.memory_blades().len(), 4);
+        assert!(topo.durable_storage().is_some());
+        // Tiny requests round up to a survivable minimum.
+        assert_eq!(chaos_topology_scaled(1).servers().len(), 4);
+        // Deterministic: same request, same topology shape.
+        assert_eq!(
+            chaos_topology_scaled(100).servers(),
+            chaos_topology_scaled(100).servers()
+        );
+    }
+
+    #[test]
+    fn scaled_job_generator_honours_count_and_stays_disjoint() {
+        let jobs = chaos_jobs_scaled(9, 12);
+        assert_eq!(
+            jobs,
+            chaos_jobs_scaled(9, 12),
+            "generator not deterministic"
+        );
+        assert_eq!(jobs.len(), 12);
+        let mut gangs_seen: std::collections::BTreeSet<GangId> = Default::default();
+        let mut last = SimTime::ZERO;
+        for (job, at) in &jobs {
+            assert!(*at >= last, "arrivals must be non-decreasing");
+            last = *at;
+            let gangs: std::collections::BTreeSet<GangId> =
+                job.tasks.values().filter_map(|t| t.gang).collect();
+            assert!(
+                gangs.is_disjoint(&gangs_seen),
+                "gang ids collide across jobs: {gangs:?}"
+            );
+            gangs_seen.extend(gangs);
+        }
+    }
+
+    #[test]
+    fn regicide_plan_kills_king_then_heir_mid_reconstruction() {
+        let topo = chaos_topology();
+        let cfg = chaos_config(FtMode::Lineage);
+        for seed in 0..20 {
+            let plan = chaos_plan_regicide(&topo, &cfg, seed);
+            assert_eq!(plan, chaos_plan_regicide(&topo, &cfg, seed));
+            let fs = plan.failures();
+            assert_eq!(fs.len(), 2);
+            let king = fs.iter().find(|f| f.node == topo.servers()[0]).unwrap();
+            let heir = fs.iter().find(|f| f.node == topo.servers()[1]).unwrap();
+            // The heir dies after its election fires but before the king
+            // is back — i.e. while it wears the crown.
+            let crowned = king.at + cfg.election_delay;
+            assert!(heir.at >= crowned, "heir dies before it is elected");
+            assert!(heir.at < king.recovers_at.unwrap());
+            assert!(fs.iter().all(|f| f.recovers_at.is_some()));
+        }
+    }
+
+    #[test]
+    fn regicide_run_elects_twice_and_matches_failure_free_run() {
+        let v = run_chaos_regicide(3, FtMode::Lineage).expect("survivable schedule");
+        assert!(v.equivalent(), "manifests diverged: {:?}", v.plan);
+        assert!(
+            v.stats.metrics.counter("elections") >= 2,
+            "killing the new scheduler must force a second election (got {})",
+            v.stats.metrics.counter("elections")
+        );
+    }
+
+    #[test]
+    fn scaled_multi_job_chaos_smoke() {
+        let topo = chaos_topology_scaled(48);
+        let cfg = chaos_config(FtMode::Lineage).with_debug_invariants(false);
+        let v = run_chaos_multi_scaled(&topo, 2, 6, cfg).expect("survivable schedule");
+        assert!(v.equivalent(), "manifests diverged: {:?}", v.plan);
+        assert_eq!(v.per_job.len(), 6);
     }
 
     #[test]

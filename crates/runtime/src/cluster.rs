@@ -64,7 +64,9 @@ use crate::executor::{ReadyTask, TaskExecutor};
 use crate::failure::FailurePlan;
 use crate::job::{Job, JobStats};
 use crate::lineage::LineageLog;
-use crate::scheduler::{Autoscaler, GangTracker, NodeFacts, Placer, ScaleDecision};
+use crate::scheduler::{
+    Autoscaler, GangTracker, NodeFacts, PlacementPolicy, Placer, ScaleDecision,
+};
 use crate::task::{ActorId, TaskId, TaskRecord, TaskState};
 
 /// Simulation events. Task events carry the task's epoch so events from
@@ -88,6 +90,16 @@ enum Event {
     /// Scheduler election fires (the failover delay elapsed).
     Elect,
 }
+
+/// Work-stealing bound: how many times one task attempt may be pulled
+/// to a different node before it simply waits for a slot.
+const MAX_STEALS_PER_ATTEMPT: u32 = 3;
+
+/// Serialized size of one state row in a failover re-report.
+const ROW_REPORT_BYTES: u64 = 48;
+
+/// Rows per message in a batched failover re-report.
+const ROWS_PER_REPORT_MSG: u64 = 128;
 
 /// Per-object erasure-coding placement.
 #[derive(Debug, Clone)]
@@ -141,6 +153,21 @@ pub struct Cluster {
     input_ready_at: HashMap<TaskId, SimTime>,
     failed_nodes: HashSet<NodeId>,
     node_load: HashMap<NodeId, u32>,
+    /// Tasks not yet terminal (`Finished`/`Failed`). `job_done()` runs
+    /// after every event, so at 10k nodes it must be an O(1) counter
+    /// check, not a scan of the task table. Cross-checked against the
+    /// table by `check_invariants`.
+    unfinished: usize,
+    /// Alive nodes indexed by backend class, kept sorted. Placement at
+    /// scale reads these instead of filtering the full node set per
+    /// decision; maintained on failure and recovery.
+    alive_servers: Vec<NodeId>,
+    alive_gpus: Vec<NodeId>,
+    alive_fpgas: Vec<NodeId>,
+    /// Steal count per task attempt (work-stealing policy); bounded so
+    /// a dispatch cannot ping-pong between loaded nodes, cleared when
+    /// the attempt resets.
+    steals: HashMap<TaskId, u32>,
     scheduler_node: NodeId,
     /// False between the scheduler node's death and the election of a
     /// successor; readiness notifications park while the control plane
@@ -216,6 +243,12 @@ impl Cluster {
         let seed = cfg.seed;
         let placement = cfg.placement;
         let autoscaler = cfg.autoscale.map(Autoscaler::new);
+        let mut alive_servers = topo.servers();
+        alive_servers.sort();
+        let mut alive_gpus = topo.accel_devices(Some(AccelKind::Gpu));
+        alive_gpus.sort();
+        let mut alive_fpgas = topo.accel_devices(Some(AccelKind::Fpga));
+        alive_fpgas.sort();
         Cluster {
             net: Network::new(topo, links),
             res: NodeResources::new(topo),
@@ -240,6 +273,11 @@ impl Cluster {
             input_ready_at: HashMap::new(),
             failed_nodes: HashSet::new(),
             node_load: HashMap::new(),
+            unfinished: 0,
+            alive_servers,
+            alive_gpus,
+            alive_fpgas,
+            steals: HashMap::new(),
             scheduler_node,
             scheduler_alive: true,
             system_pools: HashMap::new(),
@@ -571,6 +609,9 @@ impl Cluster {
             self.epochs.insert(spec.id, 0);
             self.tasks.insert(spec.id, TaskRecord::new(spec.clone()));
         }
+        // Every task starts non-terminal (Ready or Blocked).
+        self.unfinished = self.tasks.len();
+        self.steals.clear();
         for c in self.consumers.values_mut() {
             c.sort();
         }
@@ -623,9 +664,38 @@ impl Cluster {
     }
 
     fn job_done(&self) -> bool {
-        self.tasks
-            .values()
-            .all(|t| t.state == TaskState::Finished || t.state == TaskState::Failed)
+        self.unfinished == 0
+    }
+
+    /// Adjusts the `unfinished` counter for a task state transition.
+    /// Every site that writes `TaskRecord::state` must route the change
+    /// through here (checked by `check_invariants`).
+    fn note_transition(&mut self, from: TaskState, to: TaskState) {
+        let terminal = |s: TaskState| matches!(s, TaskState::Finished | TaskState::Failed);
+        match (terminal(from), terminal(to)) {
+            (false, true) => self.unfinished -= 1,
+            (true, false) => self.unfinished += 1,
+            _ => {}
+        }
+    }
+
+    /// Maintains the sorted alive-by-class indexes on node failure and
+    /// recovery. Blades and durable storage are never placement targets,
+    /// so only servers and accelerators are indexed.
+    fn index_node_alive(&mut self, node: NodeId, alive: bool) {
+        let list = match self.topo.node(node).kind {
+            NodeKind::Server(_) => &mut self.alive_servers,
+            NodeKind::AccelDevice(AccelKind::Gpu, _) => &mut self.alive_gpus,
+            NodeKind::AccelDevice(AccelKind::Fpga, _) => &mut self.alive_fpgas,
+            _ => return,
+        };
+        match (list.binary_search(&node), alive) {
+            (Err(i), true) => list.insert(i, node),
+            (Ok(i), false) => {
+                list.remove(i);
+            }
+            _ => {}
+        }
     }
 
     fn epoch(&self, t: TaskId) -> u32 {
@@ -697,6 +767,7 @@ impl Cluster {
             Event::Fail(n) => self.on_fail(now, n, queue),
             Event::Recover(n) => {
                 self.failed_nodes.remove(&n);
+                self.index_node_alive(n, true);
             }
             Event::Autoscale => self.on_autoscale(now, queue),
             Event::Elect => self.on_elect(now, queue),
@@ -717,31 +788,41 @@ impl Cluster {
                 }
             }
         }
-        let pool: Vec<NodeId> = if self.cfg.deployment == Deployment::Serverful {
-            self.system_pools
-                .get(&spec.system)
-                .cloned()
-                .unwrap_or_default()
-        } else {
-            self.topo.nodes().iter().map(|n| n.id).collect()
-        };
         let alive = |n: &NodeId| !self.failed_nodes.contains(n);
         let warm = |n: &NodeId| match self.device_available_at.get(n) {
             Some(_) => true, // Provision time is respected at dispatch.
             None => self.autoscaler.is_none(),
         };
-        let mut primary: Vec<NodeId> = pool
-            .iter()
-            .copied()
-            .filter(alive)
-            .filter(|n| match (spec.backend, self.topo.node(*n).kind) {
-                (Backend::Cpu, NodeKind::Server(_)) => true,
-                (Backend::Gpu, NodeKind::AccelDevice(AccelKind::Gpu, _)) => warm(n),
-                (Backend::Fpga, NodeKind::AccelDevice(AccelKind::Fpga, _)) => warm(n),
-                _ => false,
-            })
-            .collect();
-        primary.sort();
+        let primary: Vec<NodeId> = if self.cfg.deployment == Deployment::Serverful {
+            // Serverful silos are small, fixed pools; filter in place.
+            let pool = self
+                .system_pools
+                .get(&spec.system)
+                .cloned()
+                .unwrap_or_default();
+            let mut p: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .filter(alive)
+                .filter(|n| match (spec.backend, self.topo.node(*n).kind) {
+                    (Backend::Cpu, NodeKind::Server(_)) => true,
+                    (Backend::Gpu, NodeKind::AccelDevice(AccelKind::Gpu, _)) => warm(n),
+                    (Backend::Fpga, NodeKind::AccelDevice(AccelKind::Fpga, _)) => warm(n),
+                    _ => false,
+                })
+                .collect();
+            p.sort();
+            p
+        } else {
+            // At scale, read the maintained alive-by-class index instead
+            // of filtering every node in the topology per decision. The
+            // lists are already sorted.
+            match spec.backend {
+                Backend::Cpu => self.alive_servers.clone(),
+                Backend::Gpu => self.alive_gpus.iter().copied().filter(warm).collect(),
+                Backend::Fpga => self.alive_fpgas.iter().copied().filter(warm).collect(),
+            }
+        };
         if !primary.is_empty() {
             return (primary, false);
         }
@@ -759,14 +840,22 @@ impl Cluster {
         }
         // CPU fallback: accel task orchestrated from a plain server.
         if spec.backend != Backend::Cpu && self.cfg.cpu_fallback_slowdown.is_some() {
-            let mut servers: Vec<NodeId> = pool
-                .iter()
-                .copied()
-                .filter(alive)
-                .filter(|n| self.topo.node(*n).kind.class() == NodeClass::Server)
-                .collect();
-            servers.sort();
-            return (servers, true);
+            if self.cfg.deployment == Deployment::Serverful {
+                let pool = self
+                    .system_pools
+                    .get(&spec.system)
+                    .cloned()
+                    .unwrap_or_default();
+                let mut servers: Vec<NodeId> = pool
+                    .iter()
+                    .copied()
+                    .filter(alive)
+                    .filter(|n| self.topo.node(*n).kind.class() == NodeClass::Server)
+                    .collect();
+                servers.sort();
+                return (servers, true);
+            }
+            return (self.alive_servers.clone(), true);
         }
         (Vec::new(), false)
     }
@@ -817,33 +906,30 @@ impl Cluster {
             self.no_eligible_node(now, t, queue);
             return;
         }
-        // Gather placement facts.
+        // Gather placement facts. The locality map is inverted once per
+        // decision — O(inputs x replicas) — so the facts closure is an
+        // O(1) lookup per candidate instead of re-walking every input's
+        // location list for every node the policy inspects.
         let inputs: Vec<(TaskId, u64)> = self.tasks[&t]
             .spec
             .inputs
             .iter()
             .map(|(p, b)| (*p, *b))
             .collect();
-        let cache = &self.cache;
-        let object_of = &self.object_of;
+        let mut local_bytes: HashMap<NodeId, u64> = HashMap::new();
+        for (p, b) in &inputs {
+            if let Some(o) = self.object_of.get(p) {
+                for n in self.cache.locations(*o) {
+                    *local_bytes.entry(*n).or_insert(0) += *b;
+                }
+            }
+        }
         let node_load = &self.node_load;
         let res = &self.res;
-        let placed = self.placer.place(&eligible, |n| {
-            let local: u64 = inputs
-                .iter()
-                .filter(|(p, _)| {
-                    object_of
-                        .get(p)
-                        .map(|o| cache.locations(*o).contains(&n))
-                        .unwrap_or(false)
-                })
-                .map(|(_, b)| *b)
-                .sum();
-            NodeFacts {
-                local_input_bytes: local,
-                load: node_load.get(&n).copied().unwrap_or(0),
-                free_slots: res.free_slots(n),
-            }
+        let placed = self.placer.place(&eligible, |n| NodeFacts {
+            local_input_bytes: local_bytes.get(&n).copied().unwrap_or(0),
+            load: node_load.get(&n).copied().unwrap_or(0),
+            free_slots: res.free_slots(n),
         });
         let Some(node) = placed else {
             // Unreachable with a non-empty eligible set today, but a
@@ -953,7 +1039,11 @@ impl Cluster {
         }
         // Permanent loss of every candidate.
         self.abandoned += 1;
-        self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+        let prev = {
+            let rec = self.tasks.get_mut(&t).expect("known");
+            std::mem::replace(&mut rec.state, TaskState::Failed)
+        };
+        self.note_transition(prev, TaskState::Failed);
         if self.cfg.ft == FtMode::None {
             self.abandon_consumers(t);
             return;
@@ -1215,9 +1305,13 @@ impl Cluster {
     ) {
         if self.cfg.ft == FtMode::None {
             self.abandoned += 1;
-            let rec = self.tasks.get_mut(&consumer).expect("known");
-            let node = rec.node;
-            rec.state = TaskState::Failed;
+            let (node, prev) = {
+                let rec = self.tasks.get_mut(&consumer).expect("known");
+                let node = rec.node;
+                let prev = std::mem::replace(&mut rec.state, TaskState::Failed);
+                (node, prev)
+            };
+            self.note_transition(prev, TaskState::Failed);
             if let Some(node) = node {
                 if let Some(l) = self.node_load.get_mut(&node) {
                     *l = l.saturating_sub(1);
@@ -1280,6 +1374,8 @@ impl Cluster {
         // A pre-executed result from a same-instant batch is stale once
         // the attempt resets: the retry re-stages inputs and re-executes.
         self.exec_results.remove(&t);
+        // The fresh attempt gets a fresh steal budget.
+        self.steals.remove(&t);
 
         let (pending, node, state) = {
             let rec = self.tasks.get_mut(&t).expect("known task");
@@ -1314,7 +1410,11 @@ impl Cluster {
         // dies every attempt) must eventually surface a clean error
         // instead of looping until the event budget trips.
         if self.tasks[&t].attempts > self.cfg.max_attempts {
-            self.tasks.get_mut(&t).expect("known task").state = TaskState::Failed;
+            let prev = {
+                let rec = self.tasks.get_mut(&t).expect("known task");
+                std::mem::replace(&mut rec.state, TaskState::Failed)
+            };
+            self.note_transition(prev, TaskState::Failed);
             self.abandoned += 1;
             if self.fatal.is_none() {
                 self.fatal = Some(RuntimeError::TaskAbandoned(t));
@@ -1329,13 +1429,19 @@ impl Cluster {
                 .collect()
         };
         {
-            let rec = self.tasks.get_mut(&t).expect("known task");
-            rec.pending_inputs = missing.len();
-            if missing.is_empty() {
-                rec.state = TaskState::Ready;
-                queue.schedule_at(now, Event::Ready(t, epoch));
+            let to = if missing.is_empty() {
+                TaskState::Ready
             } else {
-                rec.state = TaskState::Blocked;
+                TaskState::Blocked
+            };
+            let prev = {
+                let rec = self.tasks.get_mut(&t).expect("known task");
+                rec.pending_inputs = missing.len();
+                std::mem::replace(&mut rec.state, to)
+            };
+            self.note_transition(prev, to);
+            if to == TaskState::Ready {
+                queue.schedule_at(now, Event::Ready(t, epoch));
             }
         }
         // Re-create missing inputs: a Blocked task is only woken by its
@@ -1428,12 +1534,69 @@ impl Cluster {
             let e = self.epoch(t);
             queue.schedule_at(now + dur, Event::Finish(t, e));
         } else {
+            // Work stealing: instead of parking behind the busy node's
+            // queue, an idle eligible peer pulls the dispatch. Actor
+            // methods stay pinned, and the steal budget bounds
+            // ping-ponging between nodes that fill up concurrently.
+            if self.cfg.placement == PlacementPolicy::WorkStealing
+                && self.tasks[&t].spec.actor.is_none()
+                && self.steals.get(&t).copied().unwrap_or(0) < MAX_STEALS_PER_ATTEMPT
+            {
+                if let Some(thief) = self.find_thief(t, node) {
+                    *self.steals.entry(t).or_insert(0) += 1;
+                    self.metrics.bump("task_steals");
+                    self.tasks.get_mut(&t).expect("known").node = Some(thief);
+                    if let Some(l) = self.node_load.get_mut(&node) {
+                        *l = l.saturating_sub(1);
+                    }
+                    *self.node_load.entry(thief).or_insert(0) += 1;
+                    // Inputs staged on the loser are stale; the thief
+                    // re-resolves them on arrival (and pays for it).
+                    self.staged_inputs.remove(&t);
+                    // One control message: the thief pulls the dispatch
+                    // record from the loaded raylet, then the normal
+                    // arrival path stages inputs on the new node.
+                    let arrive = self.net.control(now, node, thief);
+                    let arrive = match self.device_available_at.get(&thief) {
+                        Some(at) => arrive.max(*at),
+                        None => arrive,
+                    };
+                    if self.tracer.enabled() {
+                        let umbrella = self.task_span.get(&t).copied().unwrap_or(SpanId::NONE);
+                        let from = format!("node{}", node.0);
+                        let to = format!("node{}", thief.0);
+                        self.tracer.span(
+                            "steal",
+                            "scheduler",
+                            Category::Dispatch,
+                            Some(umbrella),
+                            now,
+                            arrive,
+                            &[("from", &from), ("to", &to)],
+                        );
+                        self.tracer.cover(umbrella, arrive);
+                    }
+                    let e = self.epoch(t);
+                    queue.schedule_at(arrive, Event::Arrive(t, e));
+                    return;
+                }
+            }
             let retry = self.res.earliest_slot(node, now);
             let e = self.epoch(t);
             // Guard against pathological same-instant retries.
             let retry = retry.max(now + SimDuration::from_nanos(100));
             queue.schedule_at(retry, Event::TryStart(t, e));
         }
+    }
+
+    /// An idle eligible peer that can pull `t` off `loser`'s queue: a
+    /// free execution slot and nothing queued, lowest ID for
+    /// determinism. `None` when the whole eligible set is saturated.
+    fn find_thief(&self, t: TaskId, loser: NodeId) -> Option<NodeId> {
+        let (eligible, _) = self.eligible_nodes(t);
+        eligible.into_iter().filter(|n| *n != loser).find(|n| {
+            self.res.free_slots(*n) > 0 && self.node_load.get(n).copied().unwrap_or(0) == 0
+        })
     }
 
     fn on_finish(&mut self, now: SimTime, t: TaskId, queue: &mut EventQueue<Event>) {
@@ -1450,6 +1613,7 @@ impl Cluster {
                 rec.spec.backend,
             )
         };
+        self.note_transition(TaskState::Running, TaskState::Finished);
         let _ = self.res.release_slot(node);
         if let Some(l) = self.node_load.get_mut(&node) {
             *l = l.saturating_sub(1);
@@ -1787,6 +1951,7 @@ impl Cluster {
             return;
         }
         self.failed_nodes.insert(node);
+        self.index_node_alive(node, false);
         self.metrics.bump("node_failures");
 
         // Control-plane death: park scheduling and hold an election once
@@ -1853,7 +2018,11 @@ impl Cluster {
             if self.cfg.ft == FtMode::None {
                 self.abandoned += 1;
                 let was_running = self.tasks[&t].state == TaskState::Running;
-                self.tasks.get_mut(&t).expect("known").state = TaskState::Failed;
+                let prev = {
+                    let rec = self.tasks.get_mut(&t).expect("known");
+                    std::mem::replace(&mut rec.state, TaskState::Failed)
+                };
+                self.note_transition(prev, TaskState::Failed);
                 if was_running {
                     // The aborted task's compute slot must come back: a
                     // node that later rejoins "empty-handed" would
@@ -1902,11 +2071,30 @@ impl Cluster {
             // the same node failed and recovered between schedulings).
             return;
         }
-        let winner = self
-            .topo
-            .servers()
-            .into_iter()
-            .find(|n| !self.failed_nodes.contains(n));
+        // Winner choice: by default the lowest-numbered surviving server.
+        // With `rack_aware_election`, prefer a candidate in the
+        // least-impacted rack (fewest failed nodes) — a rack already
+        // absorbing failures is a bad home for the control plane — with
+        // the node ID as the deterministic tie-break.
+        let winner = if self.cfg.rack_aware_election {
+            let mut failed_per_rack: HashMap<u16, u32> = HashMap::new();
+            for n in &self.failed_nodes {
+                *failed_per_rack.entry(self.topo.rack_of(*n).0).or_insert(0) += 1;
+            }
+            self.topo
+                .servers()
+                .into_iter()
+                .filter(|n| !self.failed_nodes.contains(n))
+                .min_by_key(|n| {
+                    let rack = self.topo.rack_of(*n).0;
+                    (failed_per_rack.get(&rack).copied().unwrap_or(0), *n)
+                })
+        } else {
+            self.topo
+                .servers()
+                .into_iter()
+                .find(|n| !self.failed_nodes.contains(n))
+        };
         let Some(winner) = winner else {
             // No server survives. If one is scheduled to rejoin, hold the
             // election then; otherwise the cluster stays headless and the
@@ -1921,9 +2109,13 @@ impl Cluster {
         self.scheduler_alive = true;
         self.metrics.bump("elections");
 
-        // Reconstruction cost: one query/response round trip per
-        // surviving peer raylet; the new scheduler is fully up once the
-        // last response lands.
+        // Reconstruction cost: one query per surviving peer raylet,
+        // answered by a state re-report *sized by what the peer actually
+        // holds* — the ownership rows listing it as a holder plus its
+        // cached objects and bytes — rather than a flat round trip. An
+        // empty node answers with a single message; a node holding
+        // gigabytes of shuffle state streams a batched report. The new
+        // scheduler is fully up once the last report lands.
         let mut peers: Vec<NodeId> = self
             .topo
             .nodes()
@@ -1934,13 +2126,21 @@ impl Cluster {
         peers.sort();
         let n_peers = peers.len();
         let mut done = now;
+        let mut reconstruct_msgs: u64 = 0;
         for p in peers {
             let query = self.net.control(now, winner, p);
-            let response = self.net.control(query, p, winner);
+            let store = self.cache.store(p);
+            let rows = self.own.rows_located_on(p) as u64 + store.len() as u64;
+            // Serialized report: ~48 bytes per row, plus a per-MiB
+            // digest of the cached payload bytes.
+            let report_bytes = (rows * ROW_REPORT_BYTES + store.used() / (1 << 20)).max(1);
+            let response = self.net.transfer(query, p, winner, report_bytes).arrival;
+            // One query, then one message per report batch.
+            reconstruct_msgs += 1 + 1 + rows / ROWS_PER_REPORT_MSG;
             done = done.max(response);
         }
         self.metrics
-            .add("failover_reconstruct_msgs", 2 * n_peers as u64);
+            .add("failover_reconstruct_msgs", reconstruct_msgs);
 
         // Ownership rows the dead node hosted re-register under the
         // winner (their holders re-report them during reconstruction).
@@ -1948,9 +2148,11 @@ impl Cluster {
         self.metrics
             .add("failover_rehomed_rows", rehomed.len() as u64);
 
-        // Placement state is rebuilt fresh; the round-robin cursor is the
-        // one piece of soft state genuinely lost to the failover.
-        self.placer = Placer::new(self.cfg.placement);
+        // Placement state survives the failover: the strategy cursor is
+        // tiny scheduler metadata the peers replicate, so the rotation
+        // resumes where the dead scheduler stopped instead of re-placing
+        // from the start (double-placing under round-robin).
+        self.placer.rebuild_for_failover();
         // The autoscaler resumes from what the surviving raylets report
         // as the provisioned pool; the cost ledger carries over.
         let provisioned = self.device_available_at.len() as u32;
@@ -2157,9 +2359,17 @@ impl Cluster {
         while let Some(t) = stack.pop() {
             let consumers: Vec<TaskId> = self.consumers.get(&t).cloned().unwrap_or_default();
             for c in consumers {
-                let rec = self.tasks.get_mut(&c).expect("known consumer");
-                if rec.state == TaskState::Blocked {
-                    rec.state = TaskState::Failed;
+                let abandoned = {
+                    let rec = self.tasks.get_mut(&c).expect("known consumer");
+                    if rec.state == TaskState::Blocked {
+                        rec.state = TaskState::Failed;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if abandoned {
+                    self.note_transition(TaskState::Blocked, TaskState::Failed);
                     self.abandoned += 1;
                     stack.push(c);
                 }
@@ -2296,6 +2506,45 @@ impl Cluster {
                         obj, t, e.owner.0, self.scheduler_node.0
                     ));
                 }
+            }
+        }
+        // The O(1) `unfinished` counter must agree with a recount of the
+        // task table (every state write routes through note_transition).
+        let recount = self
+            .tasks
+            .values()
+            .filter(|r| !matches!(r.state, TaskState::Finished | TaskState::Failed))
+            .count();
+        if recount != self.unfinished {
+            return Err(format!(
+                "unfinished counter {} but {recount} non-terminal tasks",
+                self.unfinished
+            ));
+        }
+        // The alive-by-class indexes must agree with a rebuild from the
+        // topology minus the failed set.
+        for (label, have, want) in [
+            ("servers", &self.alive_servers, self.topo.servers()),
+            (
+                "gpus",
+                &self.alive_gpus,
+                self.topo.accel_devices(Some(AccelKind::Gpu)),
+            ),
+            (
+                "fpgas",
+                &self.alive_fpgas,
+                self.topo.accel_devices(Some(AccelKind::Fpga)),
+            ),
+        ] {
+            let mut want: Vec<NodeId> = want
+                .into_iter()
+                .filter(|n| !self.failed_nodes.contains(n))
+                .collect();
+            want.sort();
+            if *have != want {
+                return Err(format!(
+                    "alive-{label} index {have:?} but topology minus failures gives {want:?}"
+                ));
             }
         }
         // Progress: an empty queue with non-terminal tasks is a stall.

@@ -23,8 +23,9 @@
 //! - [`task`]: task specs, IDs, lifecycle states.
 //! - [`config`]: [`RuntimeConfig`] — generation, resolution protocol,
 //!   placement policy, deployment model, fault-tolerance mode.
-//! - [`scheduler`]: placement policies (data-centric vs load-only vs
-//!   round-robin), gang scheduling, and the device autoscaler.
+//! - [`placement`]: pluggable placement policies (data-centric,
+//!   load-only, round-robin, power-of-k load-aware, work-stealing).
+//! - [`scheduler`]: gang scheduling and the device autoscaler.
 //! - [`lineage`]: the lineage log and recovery planning.
 //! - [`cluster`]: the event-driven cluster simulation ([`Cluster`]).
 //! - [`job`]: physical-graph-to-job conversion and [`JobStats`].
@@ -40,6 +41,7 @@ pub mod executor;
 pub mod failure;
 pub mod job;
 pub mod lineage;
+pub mod placement;
 pub mod scheduler;
 pub mod task;
 
@@ -50,5 +52,5 @@ pub use error::RuntimeError;
 pub use executor::TaskExecutor;
 pub use failure::{FailurePlan, Slowdown};
 pub use job::{job_from_physical, Job, JobStats};
-pub use scheduler::PlacementPolicy;
+pub use placement::{NodeFacts, PlacementPolicy, PlacementStrategy, Placer};
 pub use task::{ActorId, TaskId, TaskSpec, TaskState};

@@ -9,95 +9,13 @@
 use std::collections::HashMap;
 
 use skadi_dcsim::time::{SimDuration, SimTime};
-use skadi_dcsim::topology::NodeId;
 
 use crate::config::AutoscaleConfig;
 use crate::task::{GangId, TaskId};
 
-/// How the centralized scheduler places a ready task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PlacementPolicy {
-    /// Move compute to data: prefer the node holding the most input
-    /// bytes, then the least-loaded (the paper's data-centric
-    /// scheduling).
-    DataCentric,
-    /// Ignore data location: least-loaded node first.
-    LoadOnly,
-    /// Blind rotation (the pathological baseline).
-    RoundRobin,
-}
-
-impl std::fmt::Display for PlacementPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            PlacementPolicy::DataCentric => "data-centric",
-            PlacementPolicy::LoadOnly => "load-only",
-            PlacementPolicy::RoundRobin => "round-robin",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Node facts the placement decision reads.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NodeFacts {
-    /// Bytes of the task's inputs already resident on the node.
-    pub local_input_bytes: u64,
-    /// Tasks queued or running on the node.
-    pub load: u32,
-    /// Free execution slots right now.
-    pub free_slots: u32,
-}
-
-/// The centralized placement engine.
-#[derive(Debug, Clone)]
-pub struct Placer {
-    policy: PlacementPolicy,
-    rr_cursor: usize,
-}
-
-impl Placer {
-    /// Creates a placer with the given policy.
-    pub fn new(policy: PlacementPolicy) -> Self {
-        Placer {
-            policy,
-            rr_cursor: 0,
-        }
-    }
-
-    /// The active policy.
-    pub fn policy(&self) -> PlacementPolicy {
-        self.policy
-    }
-
-    /// Picks a node among `eligible` (must be non-empty to return Some).
-    /// `facts` supplies per-node information.
-    pub fn place(
-        &mut self,
-        eligible: &[NodeId],
-        facts: impl Fn(NodeId) -> NodeFacts,
-    ) -> Option<NodeId> {
-        if eligible.is_empty() {
-            return None;
-        }
-        match self.policy {
-            PlacementPolicy::RoundRobin => {
-                let n = eligible[self.rr_cursor % eligible.len()];
-                self.rr_cursor += 1;
-                Some(n)
-            }
-            PlacementPolicy::LoadOnly => eligible.iter().copied().min_by_key(|n| {
-                let f = facts(*n);
-                (f.load, std::cmp::Reverse(f.free_slots), *n)
-            }),
-            PlacementPolicy::DataCentric => eligible.iter().copied().min_by_key(|n| {
-                let f = facts(*n);
-                // Most local bytes first; break ties by load, then ID.
-                (std::cmp::Reverse(f.local_input_bytes), f.load, *n)
-            }),
-        }
-    }
-}
+// Placement moved to its own module (`crate::placement`) when the
+// policy set grew; re-exported here so existing paths keep working.
+pub use crate::placement::{NodeFacts, PlacementPolicy, PlacementStrategy, Placer};
 
 /// A gang member reported ready for a gang nobody declared. Releasing
 /// it anyway would treat the lone member as "the whole gang" (declared
@@ -318,73 +236,6 @@ impl Autoscaler {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn nodes(n: u32) -> Vec<NodeId> {
-        (0..n).map(NodeId).collect()
-    }
-
-    #[test]
-    fn data_centric_follows_bytes() {
-        let mut p = Placer::new(PlacementPolicy::DataCentric);
-        let picked = p
-            .place(&nodes(3), |n| NodeFacts {
-                local_input_bytes: if n == NodeId(1) { 1000 } else { 0 },
-                load: 5,
-                free_slots: 1,
-            })
-            .unwrap();
-        assert_eq!(picked, NodeId(1));
-    }
-
-    #[test]
-    fn data_centric_breaks_ties_by_load() {
-        let mut p = Placer::new(PlacementPolicy::DataCentric);
-        let picked = p
-            .place(&nodes(3), |n| NodeFacts {
-                local_input_bytes: 0,
-                load: if n == NodeId(2) { 0 } else { 9 },
-                free_slots: 1,
-            })
-            .unwrap();
-        assert_eq!(picked, NodeId(2));
-    }
-
-    #[test]
-    fn load_only_ignores_bytes() {
-        let mut p = Placer::new(PlacementPolicy::LoadOnly);
-        let picked = p
-            .place(&nodes(2), |n| NodeFacts {
-                local_input_bytes: if n == NodeId(0) { 10_000 } else { 0 },
-                load: if n == NodeId(0) { 3 } else { 1 },
-                free_slots: 1,
-            })
-            .unwrap();
-        assert_eq!(picked, NodeId(1));
-    }
-
-    #[test]
-    fn round_robin_rotates() {
-        let mut p = Placer::new(PlacementPolicy::RoundRobin);
-        let f = |_| NodeFacts {
-            local_input_bytes: 0,
-            load: 0,
-            free_slots: 1,
-        };
-        let seq: Vec<NodeId> = (0..4).map(|_| p.place(&nodes(2), f).unwrap()).collect();
-        assert_eq!(seq, vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]);
-    }
-
-    #[test]
-    fn empty_eligible_returns_none() {
-        let mut p = Placer::new(PlacementPolicy::LoadOnly);
-        assert!(p
-            .place(&[], |_| NodeFacts {
-                local_input_bytes: 0,
-                load: 0,
-                free_slots: 0
-            })
-            .is_none());
-    }
 
     #[test]
     fn gang_releases_when_complete() {

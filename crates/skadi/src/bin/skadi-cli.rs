@@ -25,6 +25,17 @@
 //! only wall-clock time: answers, profiles, and simulated pricing are
 //! identical at every thread count.
 //!
+//! `--placement POLICY` selects the scheduler's placement policy
+//! (`data-centric`, `load-only`, `round-robin`, `load-aware`,
+//! `work-stealing`); `--adaptive` turns on adaptive query execution —
+//! a pilot pass re-plans sparse shuffle keys and joins build on the
+//! observed smaller side. Answers are byte-identical under every
+//! combination; only the simulated schedule (and pricing) moves:
+//!
+//! ```text
+//! cargo run -p skadi --bin skadi-cli -- --distributed --placement load-aware --adaptive "SELECT ..."
+//! ```
+//!
 //! The `trace` subcommand runs the Figure-1 integrated pipeline with
 //! causal span tracing enabled, writes a Chrome `trace_event` JSON file
 //! (open it at <https://ui.perfetto.dev>), and prints the per-job
@@ -252,6 +263,24 @@ fn run_query_distributed(db: &MemDb, session: &Session, sql: &str) {
         })
         .collect();
     println!("-- measured shards: {} --", ops.join(", "));
+    if !run.replans.is_empty() || run.data_plane.build_swaps() > 0 {
+        let plans: Vec<String> = run
+            .replans
+            .iter()
+            .map(|r| {
+                format!(
+                    "op {} on '{}': {} -> {} shards",
+                    r.vertex, r.key, r.from_shards, r.to_shards
+                )
+            })
+            .collect();
+        println!(
+            "-- adaptive: {} re-plan(s) [{}], {} join build swap(s) --",
+            run.replans.len(),
+            plans.join("; "),
+            run.data_plane.build_swaps(),
+        );
+    }
     println!(
         "-- at cluster scale: {} tasks, makespan {}, {} retries, {} B measured output --\n",
         run.report.physical_vertices,
@@ -644,6 +673,8 @@ fn main() {
         return;
     }
     let mut distributed = false;
+    let mut adaptive = false;
+    let mut placement: Option<PlacementPolicy> = None;
     let mut parallelism = 4u32;
     let mut threads: Option<usize> = None;
     let mut rest: Vec<String> = Vec::new();
@@ -651,6 +682,11 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--distributed" => distributed = true,
+            "--adaptive" => adaptive = true,
+            "--placement" => {
+                let name = it.next().expect("--placement takes a policy name");
+                placement = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
             "--parallelism" => {
                 parallelism = it
                     .next()
@@ -670,11 +706,16 @@ fn main() {
     let args = rest;
 
     let db = demo_db(10_000);
+    let mut runtime = RuntimeConfig::skadi_gen2();
+    if let Some(p) = placement {
+        runtime = runtime.with_placement(p);
+    }
     let mut builder = Session::builder()
         .topology(presets::small_disagg_cluster())
         .catalog(Catalog::demo())
         .parallelism(parallelism)
-        .runtime(RuntimeConfig::skadi_gen2());
+        .adaptive(adaptive)
+        .runtime(runtime);
     if let Some(n) = threads {
         builder = builder.threads(n);
     }

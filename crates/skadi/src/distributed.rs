@@ -84,6 +84,13 @@ impl DataPlaneStats {
         self.timings.iter().map(|t| t.wall).sum()
     }
 
+    /// Joins that adaptively built on the nominal probe side (summed
+    /// over every shard execution, re-executions included). Always zero
+    /// when adaptive execution is off.
+    pub fn build_swaps(&self) -> u64 {
+        self.timings.iter().map(|t| t.exec_stats.build_swaps).sum()
+    }
+
     /// Assembles the per-operator [`QueryProfile`] from the recorded
     /// shard timings and the physical graph's structure. When lineage
     /// recovery re-executed a task, the LAST recorded timing wins (it is
@@ -176,6 +183,7 @@ pub struct GraphExecutor {
     tables: Arc<BTreeMap<String, RecordBatch>>,
     stats: Rc<RefCell<DataPlaneStats>>,
     compress: bool,
+    adaptive: bool,
 }
 
 impl GraphExecutor {
@@ -188,7 +196,18 @@ impl GraphExecutor {
             tables: Arc::new(tables),
             stats: Rc::new(RefCell::new(DataPlaneStats::default())),
             compress: true,
+            adaptive: false,
         }
+    }
+
+    /// Toggles adaptive shard execution: joins whose gathered build
+    /// input is observed (at runtime, from real row counts) to dwarf the
+    /// probe input build their hash table on the smaller side. Results
+    /// are byte-identical either way — the decision only changes which
+    /// side pays the hash-table build.
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
     }
 
     /// Toggles block compression of stored task payloads. When on, each
@@ -331,16 +350,18 @@ impl GraphExecutor {
         tables: &BTreeMap<String, RecordBatch>,
         p: &PreparedShard,
         compress: bool,
+        adaptive: bool,
     ) -> Result<ShardRun, String> {
         let mut exec_stats = ShardExecStats::default();
         let started = std::time::Instant::now();
-        let out = shard::execute_shard_stats(
+        let out = shard::execute_shard_adaptive(
             &p.op,
             tables,
             p.shard,
             p.shards,
             &p.port0,
             &p.port1,
+            adaptive,
             &mut exec_stats,
         )
         .map_err(|e| format!("shard {}/{} of {}: {e}", p.shard, p.shards, p.op_name))?;
@@ -380,7 +401,7 @@ impl GraphExecutor {
 impl TaskExecutor for GraphExecutor {
     fn execute(&mut self, t: TaskId, inputs: &[(TaskId, &[u8])]) -> Result<Vec<u8>, String> {
         let p = self.prepare(t, inputs)?;
-        let run = Self::run_shard(&self.tables, &p, self.compress)?;
+        let run = Self::run_shard(&self.tables, &p, self.compress, self.adaptive)?;
         Ok(self.commit(&p, run))
     }
 
@@ -401,8 +422,9 @@ impl TaskExecutor for GraphExecutor {
         let prepared2 = Arc::clone(&prepared);
         let tables = Arc::clone(&self.tables);
         let compress = self.compress;
+        let adaptive = self.adaptive;
         let runs = pool::global().run_indexed(prepared.len(), move |i| match &prepared2[i] {
-            Ok(p) => Some(Self::run_shard(&tables, p, compress)),
+            Ok(p) => Some(Self::run_shard(&tables, p, compress, adaptive)),
             Err(_) => None,
         });
         prepared

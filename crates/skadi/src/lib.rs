@@ -46,12 +46,14 @@
 //! | [`skadi_runtime`] | stateful serverless runtime (raylets, schedulers, lineage) |
 //! | `skadi` (this crate) | the session API gluing the tiers together |
 
+pub mod adaptive;
 pub mod distributed;
 pub mod pipeline;
 pub mod report;
 pub mod server;
 pub mod session;
 
+pub use adaptive::{AdaptivePlan, Replan};
 pub use distributed::{DataPlaneStats, GraphExecutor, ShardTiming};
 pub use pipeline::PipelineBuilder;
 pub use report::JobReport;

@@ -28,6 +28,7 @@ use skadi_runtime::{
     job_from_physical, Cluster, FailurePlan, Job, RuntimeConfig, RuntimeError, TaskId,
 };
 
+use crate::adaptive::{self, Replan};
 use crate::distributed::{DataPlaneStats, GraphExecutor};
 use crate::pipeline::PipelineBuilder;
 use crate::report::{BackendCounts, JobReport};
@@ -44,6 +45,10 @@ pub struct DistributedRun {
     pub report: JobReport,
     /// Measured per-shard timings and shuffle row counts.
     pub data_plane: DataPlaneStats,
+    /// Adaptive re-planning decisions (empty unless the session was
+    /// built with [`SessionBuilder::adaptive`] and the pilot found
+    /// sparse shuffle keys).
+    pub replans: Vec<Replan>,
 }
 
 /// Errors surfaced by the session API.
@@ -98,6 +103,7 @@ pub struct SessionBuilder {
     skew_multiple: f64,
     shuffle_compression: bool,
     threads: Option<usize>,
+    adaptive: bool,
 }
 
 impl SessionBuilder {
@@ -167,6 +173,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Toggles adaptive query execution (defaults to off). When on,
+    /// distributed SQL runs a single-sharded pilot pass first and
+    /// re-plans keyed consumers whose measured key histograms fill fewer
+    /// shuffle buckets than the default parallelism; at runtime, joins
+    /// build their hash table on whichever side is observed to be
+    /// smaller. Both decisions are pure functions of the data — the
+    /// collected result stays byte-identical to the static plan.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         if let Some(n) = self.threads {
@@ -183,6 +201,7 @@ impl SessionBuilder {
             optimize: self.optimize,
             skew_multiple: self.skew_multiple,
             shuffle_compression: self.shuffle_compression,
+            adaptive: self.adaptive,
         }
     }
 }
@@ -197,6 +216,7 @@ pub struct Session {
     pub(crate) optimize: bool,
     pub(crate) skew_multiple: f64,
     pub(crate) shuffle_compression: bool,
+    pub(crate) adaptive: bool,
 }
 
 impl Session {
@@ -212,6 +232,7 @@ impl Session {
             skew_multiple: 2.0,
             shuffle_compression: true,
             threads: None,
+            adaptive: false,
         }
     }
 
@@ -286,7 +307,16 @@ impl Session {
         } else {
             Default::default()
         };
-        let cfg = LowerConfig::new(self.parallelism, self.policy.clone());
+        let mut cfg = LowerConfig::new(self.parallelism, self.policy.clone());
+        let mut replans = Vec::new();
+        if self.adaptive {
+            // Pilot pass: measure real key histograms, then re-lower the
+            // plan once with coalesced shard counts. Shard-count changes
+            // never change result bytes (see `tests/parallel_equiv.rs`).
+            let pilot = adaptive::plan(&graph, db.tables(), &cfg);
+            replans = pilot.replans.clone();
+            cfg = pilot.apply(cfg);
+        }
         let phys = lower_graph(&graph, &cfg)?;
         let mut counts = BackendCounts::default();
         for v in phys.vertices() {
@@ -302,7 +332,8 @@ impl Session {
 
         let mut cluster = Cluster::new(&self.topology, self.runtime.clone());
         let executor = GraphExecutor::new(phys.clone(), db.tables().clone())
-            .with_compression(self.shuffle_compression);
+            .with_compression(self.shuffle_compression)
+            .with_adaptive(self.adaptive);
         let measurements = executor.stats();
         cluster.set_executor(Box::new(executor));
         let stats = cluster.run_with_failures(&job, failures)?;
@@ -337,6 +368,7 @@ impl Session {
                 profile: Some(profile),
             },
             data_plane,
+            replans,
         })
     }
 

@@ -169,6 +169,37 @@ fn multi_job_chaos_converges_under_erasure_coding() {
     drive_multi(FtMode::ErasureCoding(EcConfig::RS_4_2), "rs(4,2)");
 }
 
+/// Regicide: kill the boot scheduler, then kill the *newly elected*
+/// scheduler while it is still reconstructing state from the raylets —
+/// the schedule [`chaos_plan_regicide`] times the second strike just
+/// after the election delay expires. The cluster must elect twice and
+/// still converge byte-for-byte under every masking FT mode.
+#[test]
+fn regicide_mid_reconstruction_converges_across_modes() {
+    use skadi_runtime::chaos::run_chaos_regicide;
+
+    for ft in [
+        FtMode::Lineage,
+        FtMode::Replication(2),
+        FtMode::ErasureCoding(EcConfig::RS_4_2),
+    ] {
+        for seed in 0..8 {
+            let v = run_chaos_regicide(seed, ft)
+                .unwrap_or_else(|e| panic!("{ft:?} seed {seed}: regicide run failed: {e}"));
+            assert!(
+                v.equivalent(),
+                "{ft:?} seed {seed}: outputs diverged after double failover: {:?}",
+                v.plan
+            );
+            assert!(
+                v.stats.metrics.counter("elections") >= 2,
+                "{ft:?} seed {seed}: expected a second election, got {}",
+                v.stats.metrics.counter("elections")
+            );
+        }
+    }
+}
+
 /// The headline failover scenario, spelled out: kill the scheduler's
 /// boot node mid-job and bring it back. A survivor must win the
 /// election, reconstruct state from the raylets, and converge to the

@@ -395,6 +395,116 @@ proptest! {
     }
 }
 
+/// Deterministic pseudo-facts for a `(seed, node)` pair — varied enough
+/// that locality, load, and slot counts all differ across nodes.
+fn synthetic_facts(seed: u64) -> impl Fn(NodeId) -> skadi::runtime::NodeFacts {
+    move |node: NodeId| {
+        let h = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1000_0000_01B3u64.wrapping_mul(node.0 as u64 + 1));
+        skadi::runtime::NodeFacts {
+            local_input_bytes: (h % 64) << 20,
+            load: (h >> 16) as u32 % 16,
+            free_slots: (h >> 32) as u32 % 4,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every placement policy picks a member of `eligible`, and two
+    /// placers driven in lockstep over the same facts pick identically —
+    /// placement is a pure function of (eligible, facts, cursor), never
+    /// of wall clock or ambient randomness.
+    #[test]
+    fn placement_picks_eligible_and_is_deterministic(
+        n_nodes in 1u32..40,
+        fact_seeds in prop::collection::vec(any::<u64>(), 1..25),
+    ) {
+        use skadi::runtime::{Placer, PlacementPolicy};
+        let eligible: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+        for policy in PlacementPolicy::ALL {
+            let mut a = Placer::new(policy);
+            let mut b = Placer::new(policy);
+            for &seed in &fact_seeds {
+                let pick = a.place(&eligible, synthetic_facts(seed)).unwrap();
+                prop_assert!(
+                    eligible.contains(&pick),
+                    "{policy}: picked {pick:?} outside the eligible set"
+                );
+                prop_assert_eq!(
+                    pick,
+                    b.place(&eligible, synthetic_facts(seed)).unwrap(),
+                    "{} placers diverged on identical inputs", policy
+                );
+            }
+            prop_assert!(a.place(&[], synthetic_facts(0)).is_none());
+        }
+    }
+
+    /// Scheduler failover must not disturb the rotation: a placer that
+    /// rebuilds mid-sequence ([`Placer::rebuild_for_failover`], the
+    /// newly elected scheduler's path) produces exactly the placements
+    /// of one that never failed — under every policy, at any failover
+    /// point.
+    #[test]
+    fn placement_cursor_survives_failover(
+        n_nodes in 1u32..16,
+        steps in 2usize..40,
+        fail_at in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        use skadi::runtime::{Placer, PlacementPolicy};
+        let eligible: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+        for policy in PlacementPolicy::ALL {
+            let mut steady = Placer::new(policy);
+            let mut failing = Placer::new(policy);
+            for i in 0..steps {
+                if i == fail_at % steps {
+                    failing.rebuild_for_failover();
+                }
+                let f = seed.wrapping_add(i as u64);
+                prop_assert_eq!(
+                    steady.place(&eligible, synthetic_facts(f)).unwrap(),
+                    failing.place(&eligible, synthetic_facts(f)).unwrap(),
+                    "{} diverged after failover at step {}", policy, i
+                );
+            }
+        }
+    }
+
+    /// Round-robin never double-places: over one full rotation with all
+    /// nodes eligible, every node is used exactly once — even when the
+    /// scheduler fails over mid-rotation.
+    #[test]
+    fn round_robin_rotation_is_exact_despite_failover(
+        n_nodes in 1u32..24,
+        fail_at in 0u32..24,
+    ) {
+        use skadi::runtime::{NodeFacts, Placer, PlacementPolicy};
+        let eligible: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+        let idle = |_: NodeId| NodeFacts {
+            local_input_bytes: 0,
+            load: 0,
+            free_slots: 1,
+        };
+        let mut p = Placer::new(PlacementPolicy::RoundRobin);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..n_nodes {
+            if i == fail_at % n_nodes {
+                p.rebuild_for_failover();
+            }
+            let pick = p.place(&eligible, idle).unwrap();
+            prop_assert!(
+                seen.insert(pick),
+                "round-robin double-placed {pick:?} within one rotation"
+            );
+        }
+        prop_assert_eq!(seen.len(), n_nodes as usize);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

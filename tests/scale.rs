@@ -68,6 +68,49 @@ fn large_job_survives_two_failures() {
     );
 }
 
+/// The 1k-node suite CI runs: staggered multi-job chaos on a 1000-server
+/// topology must converge to the failure-free manifest, deterministically,
+/// and a plain large job must keep every node's bookkeeping consistent
+/// (no linear scans hiding O(n²) blowups — the run is time-bounded by CI).
+#[test]
+fn thousand_node_cluster_runs_multi_job_chaos() {
+    use skadi::runtime::chaos::{chaos_config, chaos_topology_scaled, run_chaos_multi_scaled};
+    use skadi::runtime::FtMode;
+
+    let topo = chaos_topology_scaled(1_000);
+    assert_eq!(topo.servers().len(), 1_000);
+    // The debug invariant checker is O(nodes) per event — exactly the
+    // scan-shaped cost this suite exists to keep out of the hot path.
+    let cfg = chaos_config(FtMode::Lineage).with_debug_invariants(false);
+    let v = run_chaos_multi_scaled(&topo, 23, 6, cfg.clone()).expect("survivable schedule");
+    assert!(v.equivalent(), "manifests diverged: {:?}", v.plan);
+    assert_eq!(v.per_job.len(), 6);
+
+    // Determinism holds at this scale too.
+    let w = run_chaos_multi_scaled(&topo, 23, 6, cfg).expect("survivable schedule");
+    assert_eq!(v.chaotic, w.chaotic);
+    assert_eq!(v.stats.makespan, w.stats.makespan);
+}
+
+#[test]
+fn thousand_node_cluster_places_under_every_policy() {
+    use skadi::runtime::chaos::chaos_topology_scaled;
+    use skadi::runtime::{Cluster, PlacementPolicy};
+
+    let topo = chaos_topology_scaled(1_000);
+    let job = layered_job(10, 50); // 500 tasks over 1000 nodes.
+    for policy in PlacementPolicy::ALL {
+        let cfg = RuntimeConfig::skadi_gen2()
+            .with_placement(policy)
+            .with_debug_invariants(false);
+        let stats = Cluster::new(&topo, cfg)
+            .run(&job)
+            .unwrap_or_else(|e| panic!("{policy}: {e}"));
+        assert_eq!(stats.finished, 500, "{policy} lost tasks");
+        assert_eq!(stats.abandoned, 0, "{policy} abandoned tasks");
+    }
+}
+
 #[test]
 fn deep_chain_does_not_blow_the_stack() {
     // Lineage recovery recurses producer-by-producer; a 500-deep chain
